@@ -1,0 +1,251 @@
+// Top-level benchmark harness: one benchmark per reproduced paper
+// artifact (experiments E1–E10; see DESIGN.md §4 and EXPERIMENTS.md) plus
+// micro-benchmarks for the substrates they exercise. Run with
+//
+//	go test -bench=. -benchmem
+package netdesign_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/experiments"
+	"netdesign/internal/gadgets"
+	"netdesign/internal/graph"
+	"netdesign/internal/reductions"
+	"netdesign/internal/sne"
+	"netdesign/internal/subsidy"
+)
+
+// quickCfg keeps experiment benchmarks at quick-sweep sizes.
+var quickCfg = experiments.Config{Seed: 1, Quick: true}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(quickCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per paper artifact ---
+
+func BenchmarkE1_SNELPFormulations(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2_BypassGadget(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3_BinPackReduction(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4_ISReduction(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5_Theorem6(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE5b_Figure4(b *testing.B)          { benchExperiment(b, "E5b") }
+func BenchmarkE6_CycleLowerBound(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7_SATReduction(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8_AONLowerBound(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9_PriceOfStability(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkE10_IntegralityGap(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11_WaterFill(b *testing.B)        { benchExperiment(b, "E11") }
+func BenchmarkE12_AONConjecture(b *testing.B)    { benchExperiment(b, "E12") }
+func BenchmarkE13_Coalitions(b *testing.B)       { benchExperiment(b, "E13") }
+func BenchmarkE14_ApproxTradeoff(b *testing.B)   { benchExperiment(b, "E14") }
+func BenchmarkE15_Multicast(b *testing.B)        { benchExperiment(b, "E15") }
+func BenchmarkE16_Weighted(b *testing.B)         { benchExperiment(b, "E16") }
+
+func BenchmarkFullSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAll(quickCfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func randomState(b *testing.B, n int) *broadcast.State {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomConnected(rng, n, 0.1, 0.5, 3)
+	bg, err := broadcast.NewGame(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mst, err := graph.MST(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := broadcast.NewState(bg, mst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func BenchmarkMSTKruskal400(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomConnected(rng, 400, 0.05, 0.5, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.MST(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDijkstra400(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomConnected(rng, 400, 0.05, 0.5, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Dijkstra(g, 0, nil)
+	}
+}
+
+func BenchmarkEquilibriumCheck200(b *testing.B) {
+	st := randomState(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.IsEquilibrium(nil)
+	}
+}
+
+func BenchmarkBroadcastLP64(b *testing.B) {
+	st, err := gadgets.CycleInstance(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sne.SolveBroadcastLP(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTheorem6Enforce200(b *testing.B) {
+	st := randomState(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := subsidy.Enforce(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAONExactPath18(b *testing.B) {
+	st, err := gadgets.AONPathInstance(18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sne.SolveAON(st, sne.AONOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpanningTreeEnum(b *testing.B) {
+	g := graph.Complete(7, func(i, j int) float64 { return 1 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.CountSpanningTrees(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSATGadgetBuildAndCheck(b *testing.B) {
+	f := &reductions.Formula{NumVars: 5, Clauses: []reductions.Clause{
+		{{Var: 0}, {Var: 1}, {Var: 2}},
+		{{Var: 0, Neg: true}, {Var: 3}, {Var: 4}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sg, err := gadgets.BuildSAT(f, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := sg.State()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.IsEquilibrium(sg.SubsidyForAssignment([]bool{true, true, true, true, true})) {
+			b.Fatal("gadget broken")
+		}
+	}
+}
+
+func BenchmarkExactRationalCheck(b *testing.B) {
+	f := &reductions.Formula{NumVars: 3, Clauses: []reductions.Clause{
+		{{Var: 0}, {Var: 1, Neg: true}, {Var: 2}},
+	}}
+	sg, err := gadgets.BuildSAT(f, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := sg.State()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := sg.SubsidyForAssignment([]bool{true, false, true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.IsEquilibrium(sub)
+	}
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationAONHeaviestFirst vs ...LightestFirst measure the
+// effect of the branch-and-bound edge ordering on the Theorem-21 path,
+// where weights are maximally skewed (one unit edge among ~x-weight ones).
+func BenchmarkAblationAONHeaviestFirst(b *testing.B) {
+	st, err := gadgets.AONPathInstance(18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sne.SolveAON(st, sne.AONOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationAONLightestFirst(b *testing.B) {
+	st, err := gadgets.AONPathInstance(18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sne.SolveAON(st, sne.AONOptions{LightestFirst: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWaterFillVsLP contrasts the combinatorial heuristic
+// with the simplex-based optimum on the same instance.
+func BenchmarkAblationWaterFill(b *testing.B) {
+	st, err := gadgets.CycleInstance(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sne.WaterFill(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE17_ParetoFrontier(b *testing.B) { benchExperiment(b, "E17") }
+
+func BenchmarkE18_DirectedHn(b *testing.B) { benchExperiment(b, "E18") }
+func BenchmarkE19_Arrival(b *testing.B)    { benchExperiment(b, "E19") }

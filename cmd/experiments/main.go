@@ -1,0 +1,56 @@
+// Command experiments runs the paper-reproduction suite: one experiment
+// per theorem/figure of "Enforcing efficient equilibria in network design
+// games via subsidies" (SPAA 2012), printing the measured tables that
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments [-id E6] [-seed 1] [-quick] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netdesign/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "run a single experiment by ID (default: all)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if err := run(cfg, *id, *markdown); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, id string, markdown bool) error {
+	var list []experiments.Experiment
+	if id != "" {
+		e, ok := experiments.Get(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		list = []experiments.Experiment{e}
+	} else {
+		list = experiments.Registry()
+	}
+	for _, e := range list {
+		tb, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if markdown {
+			fmt.Print(tb.Markdown())
+		} else {
+			tb.Render(os.Stdout)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+
+	"netdesign/internal/experiments"
+)
+
+func TestRunSingleAndUnknown(t *testing.T) {
+	cfg := experiments.Config{Seed: 2, Quick: true}
+	if err := run(cfg, "E2", false); err != nil {
+		t.Errorf("E2: %v", err)
+	}
+	if err := run(cfg, "E2", true); err != nil {
+		t.Errorf("E2 markdown: %v", err)
+	}
+	if err := run(cfg, "nope", false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,139 @@
+// Command gadgetgen emits the paper's gadget instances in the shared
+// instance-file format consumed by cmd/sne and cmd/snd.
+//
+// Usage:
+//
+//	gadgetgen -gadget cycle -n 16                  # Theorem 11 cycle
+//	gadgetgen -gadget aonpath -n 14                # Theorem 21 path
+//	gadgetgen -gadget bypass -kappa 6 -beta 4      # Lemma 4 / Figure 1
+//	gadgetgen -gadget binpack -sizes 4,2,2 -bins 1 -capacity 8   # Figure 2
+//	gadgetgen -gadget is -n 8 -seed 1              # Theorem 5 / Figure 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"netdesign/internal/gadgets"
+	"netdesign/internal/graph"
+	"netdesign/internal/instancefile"
+	"netdesign/internal/reductions"
+)
+
+func main() {
+	gadget := flag.String("gadget", "", "cycle | aonpath | bypass | binpack | is")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT (target tree bold) instead of the instance format")
+	n := flag.Int("n", 8, "size parameter")
+	kappa := flag.Int("kappa", 4, "bypass capacity κ")
+	beta := flag.Int("beta", 4, "players behind the bypass connector")
+	sizes := flag.String("sizes", "4,2,2", "bin packing item sizes (comma-separated)")
+	bins := flag.Int("bins", 1, "bin count")
+	capacity := flag.Int("capacity", 8, "bin capacity")
+	seed := flag.Int64("seed", 1, "RNG seed (is gadget)")
+	delta := flag.Float64("delta", 1.0/12, "δ for the IS gadget")
+	flag.Parse()
+
+	inst, err := build(*gadget, *n, *kappa, *beta, *sizes, *bins, *capacity, *seed, *delta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gadgetgen:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		err = writeDOT(os.Stdout, inst)
+	} else {
+		err = instancefile.Write(os.Stdout, inst)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gadgetgen:", err)
+		os.Exit(1)
+	}
+}
+
+// writeDOT renders the instance as Graphviz DOT with the target tree in
+// bold and the root labeled.
+func writeDOT(w *os.File, inst *instancefile.Instance) error {
+	highlight := map[int]bool{}
+	for _, id := range inst.Tree {
+		highlight[id] = true
+	}
+	return graph.WriteDOT(w, inst.Game.G, graph.DOTOptions{
+		Name:      "gadget",
+		Highlight: highlight,
+		NodeLabel: func(v int) string {
+			if v == inst.Game.Root {
+				return "r"
+			}
+			if m := inst.Game.Mult[v]; m != 1 {
+				return fmt.Sprintf("%d×%d", v, m)
+			}
+			return strconv.Itoa(v)
+		},
+	})
+}
+
+func build(gadget string, n, kappa, beta int, sizesCSV string, bins, capacity int, seed int64, delta float64) (*instancefile.Instance, error) {
+	switch gadget {
+	case "cycle":
+		st, err := gadgets.CycleInstance(n)
+		if err != nil {
+			return nil, err
+		}
+		return &instancefile.Instance{Game: st.BG, Tree: st.Tree.EdgeIDs}, nil
+	case "aonpath":
+		st, err := gadgets.AONPathInstance(n)
+		if err != nil {
+			return nil, err
+		}
+		return &instancefile.Instance{Game: st.BG, Tree: st.Tree.EdgeIDs}, nil
+	case "bypass":
+		st, _, err := gadgets.Lemma4Instance(kappa, beta)
+		if err != nil {
+			return nil, err
+		}
+		return &instancefile.Instance{Game: st.BG, Tree: st.Tree.EdgeIDs}, nil
+	case "binpack":
+		var items []int
+		for _, part := range strings.Split(sizesCSV, ",") {
+			s, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad size %q", part)
+			}
+			items = append(items, s)
+		}
+		in := reductions.BinPacking{Sizes: items, Bins: bins, Capacity: capacity}
+		bp, err := gadgets.BuildBinPack(in)
+		if err != nil {
+			return nil, err
+		}
+		// Emit with the first assignment tree as target.
+		assign := make([]int, len(items))
+		tree, err := bp.TreeForAssignment(assign)
+		if err != nil {
+			return nil, err
+		}
+		return &instancefile.Instance{Game: bp.BG, Tree: tree}, nil
+	case "is":
+		rng := rand.New(rand.NewSource(seed))
+		h, err := graph.RandomRegular(rng, n, 3)
+		if err != nil {
+			return nil, err
+		}
+		ig, err := gadgets.BuildIS(h, delta)
+		if err != nil {
+			return nil, err
+		}
+		st, _, _, err := ig.BestEquilibrium()
+		if err != nil {
+			return nil, err
+		}
+		return &instancefile.Instance{Game: ig.BG, Tree: st.Tree.EdgeIDs}, nil
+	case "":
+		return nil, fmt.Errorf("missing -gadget (cycle | aonpath | bypass | binpack | is)")
+	default:
+		return nil, fmt.Errorf("unknown gadget %q", gadget)
+	}
+}

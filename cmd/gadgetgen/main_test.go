@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"netdesign/internal/instancefile"
+)
+
+func TestBuildAllGadgets(t *testing.T) {
+	cases := []struct {
+		gadget string
+	}{
+		{"cycle"}, {"aonpath"}, {"bypass"}, {"binpack"}, {"is"},
+	}
+	for _, c := range cases {
+		inst, err := build(c.gadget, 8, 4, 4, "4,2,2", 1, 8, 1, 1.0/12)
+		if err != nil {
+			t.Fatalf("%s: %v", c.gadget, err)
+		}
+		// Result must round-trip through the instance format.
+		var buf bytes.Buffer
+		if err := instancefile.Write(&buf, inst); err != nil {
+			t.Fatal(err)
+		}
+		back, err := instancefile.Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: round trip: %v", c.gadget, err)
+		}
+		if _, err := back.State(); err != nil {
+			t.Fatalf("%s: state: %v", c.gadget, err)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("", 8, 4, 4, "4", 1, 8, 1, 0.05); err == nil {
+		t.Error("missing gadget accepted")
+	}
+	if _, err := build("nope", 8, 4, 4, "4", 1, 8, 1, 0.05); err == nil {
+		t.Error("unknown gadget accepted")
+	}
+	if _, err := build("binpack", 8, 4, 4, "x,y", 1, 8, 1, 0.05); err == nil {
+		t.Error("malformed sizes accepted")
+	}
+	if _, err := build("binpack", 8, 4, 4, "3,3", 1, 8, 1, 0.05); err == nil {
+		t.Error("invalid (odd) packing instance accepted")
+	}
+	if _, err := build("cycle", 0, 4, 4, "4", 1, 8, 1, 0.05); err == nil {
+		t.Error("cycle n=0 accepted")
+	}
+	if _, err := build("is", 7, 4, 4, "4", 1, 8, 1, 0.05); err == nil {
+		t.Error("odd 3-regular order accepted")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	inst, err := build("bypass", 8, 3, 2, "4", 1, 8, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := os.CreateTemp(t.TempDir(), "dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := writeDOT(tmp, inst); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "graph gadget {") || !strings.Contains(out, `label="r"`) {
+		t.Errorf("DOT output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "style=bold") || !strings.Contains(out, "style=dashed") {
+		t.Error("tree/non-tree styling missing")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.txt")
+	content := "nodes 5\nedge 0 1 1\nedge 1 2 1\nedge 2 3 1\nedge 3 4 1\nedge 4 0 1\nroot 0\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunHeuristicAndExact(t *testing.T) {
+	path := writeInstance(t)
+	if err := run(path, 2.0, false, 0); err != nil {
+		t.Errorf("heuristic: %v", err)
+	}
+	if err := run(path, 2.0, true, 100000); err != nil {
+		t.Errorf("exact: %v", err)
+	}
+	if err := run(path, 0, true, 100000); err != nil {
+		t.Errorf("exact zero budget: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent", 1, false, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeInstance(t)
+	if err := run(path, 1, true, 1); err == nil {
+		t.Error("tree limit violation not reported")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if pct(1, 0) != 0 || pct(1, 2) != 50 {
+		t.Error("pct wrong")
+	}
+}

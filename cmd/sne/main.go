@@ -1,0 +1,96 @@
+// Command sne solves STABLE NETWORK ENFORCEMENT on a broadcast instance
+// file: the minimum subsidies under which the target tree is a Nash
+// equilibrium.
+//
+// Usage:
+//
+//	sne -in instance.txt [-method lp|theorem6|aon|greedy|full] [-v]
+//
+// Methods: lp (optimal, LP (3)); theorem6 (the wgt(T)/e construction);
+// aon (exact all-or-nothing branch-and-bound); greedy (all-or-nothing
+// heuristic); full (subsidize everything — the trivial baseline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netdesign/internal/instancefile"
+	"netdesign/internal/sne"
+	"netdesign/internal/subsidy"
+)
+
+func main() {
+	inPath := flag.String("in", "", "instance file (required)")
+	method := flag.String("method", "lp", "lp | theorem6 | aon | greedy | full")
+	verbose := flag.Bool("v", false, "print per-edge subsidies")
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*inPath, *method, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "sne:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, method string, verbose bool) error {
+	f, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	inst, err := instancefile.Read(f)
+	if err != nil {
+		return err
+	}
+	st, err := inst.State()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: %d nodes, %d edges, %d players, target tree weight %.6g\n",
+		inst.Game.G.N(), inst.Game.G.M(), inst.Game.NumPlayers(), st.Weight())
+	if st.IsEquilibrium(nil) {
+		fmt.Println("the target tree is already an equilibrium (0 subsidies needed)")
+	}
+
+	var res *sne.Result
+	switch method {
+	case "lp":
+		res, err = sne.SolveBroadcastLP(st)
+	case "theorem6":
+		b, cert, serr := subsidy.Enforce(st)
+		if serr != nil {
+			return serr
+		}
+		res = &sne.Result{Subsidy: b, Cost: cert.Total}
+		fmt.Printf("decomposition: %d weight levels\n", len(cert.Levels))
+	case "aon":
+		res, err = sne.SolveAON(st, sne.AONOptions{})
+	case "greedy":
+		res, err = sne.GreedyAON(st)
+	case "full":
+		res = sne.FullSubsidy(st)
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	if err != nil {
+		return err
+	}
+	if err := sne.VerifyBroadcast(st, res.Subsidy); err != nil {
+		return fmt.Errorf("result failed verification: %w", err)
+	}
+	fmt.Printf("method=%s subsidies=%.6g fraction=%.4f of wgt(T) [verified: tree is an equilibrium]\n",
+		method, res.Cost, res.Cost/st.Weight())
+	if verbose {
+		for _, id := range st.Tree.EdgeIDs {
+			if res.Subsidy.At(id) > 0 {
+				e := inst.Game.G.Edge(id)
+				fmt.Printf("  edge %d (%d-%d, w=%.6g): subsidy %.6g\n", id, e.U, e.V, e.W, res.Subsidy.At(id))
+			}
+		}
+	}
+	return nil
+}

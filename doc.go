@@ -1,0 +1,12 @@
+// Package netdesign reproduces "Enforcing efficient equilibria in network
+// design games via subsidies" (Augustine, Caragiannis, Fanelli, Kalaitzis;
+// SPAA 2012) as a complete Go library.
+//
+// Start with internal/core for the public API (compute minimum subsidies,
+// enforce trees within the 1/e bound, design budgeted networks, verify
+// equilibria), DESIGN.md for the system inventory and per-experiment
+// index, and EXPERIMENTS.md for the measured reproduction of every
+// theorem and figure. The top-level bench_test.go regenerates each paper
+// artifact under `go test -bench=.`; `go run ./cmd/experiments` prints
+// the full table suite.
+package netdesign

@@ -1,0 +1,80 @@
+// Dynamics: the game-theoretic machinery under the hood. Players start
+// from selfish shortest paths, improve unilaterally until a Nash
+// equilibrium emerges (Rosenthal's potential descending at every step),
+// and we compare what selfishness converged to against the social
+// optimum — then stabilize the optimum with subsidies instead.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/core"
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomConnected(rng, 9, 0.35, 0.5, 3)
+	bg, err := core.NewBroadcastGame(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Expand to the general engine: one explicit player per node.
+	mst, err := core.MinimumSpanningTree(bg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := core.NewTreeState(bg, mst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gm, _, err := st.ToGeneral(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start from independently chosen (perturbed) shortest paths.
+	paths := make([][]int, gm.N())
+	for i, tm := range gm.Terminals {
+		sp := graph.Dijkstra(g, tm.S, func(id int) float64 { return g.Weight(id) * (1 + rng.Float64()) })
+		paths[i] = sp.PathTo(tm.T)
+	}
+	start, err := game.NewState(gm, paths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("start: social cost %.3f, potential %.3f\n", start.EstablishedWeight(), start.Potential(nil))
+
+	res, err := game.BestResponseDynamics(start, nil, game.RoundRobin, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best-response dynamics converged in %d steps\n", res.Steps)
+	for i, phi := range res.Potentials {
+		fmt.Printf("  step %2d: potential %.4f\n", i, phi)
+	}
+	final := res.Final
+	fmt.Printf("equilibrium social cost: %.3f (optimum %.3f, ratio %.3f)\n",
+		final.EstablishedWeight(), g.WeightOf(mst), final.EstablishedWeight()/g.WeightOf(mst))
+
+	// The designer's alternative: keep the optimum and pay subsidies.
+	opt, err := core.MinimumSubsidies(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stabilizing the optimum instead costs %.3f in subsidies (%.1f%% of it)\n",
+		opt.Cost, 100*opt.Cost/st.Weight())
+
+	// Exact equilibrium landscape for the record.
+	a, err := broadcast.AnalyzeTrees(bg, nil, 500000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("landscape: %d trees, %d equilibria, PoS %.4f, PoA (over trees) %.4f\n",
+		a.Trees, a.Equilibria, a.PoS(), a.WorstEq/a.OptWeight)
+}

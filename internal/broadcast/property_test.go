@@ -1,0 +1,162 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// quickState derives a deterministic broadcast state from fuzzed inputs.
+func quickState(seed int64, n, p uint8) (*State, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := 3 + int(n%7)
+	g := graph.RandomConnected(rng, nodes, 0.3+float64(p%50)/100, 0.2, 3)
+	bg, err := NewGame(g, rng.Intn(nodes))
+	if err != nil {
+		return nil, false
+	}
+	mst, err := graph.MST(g)
+	if err != nil {
+		return nil, false
+	}
+	st, err := NewState(bg, mst)
+	if err != nil {
+		return nil, false
+	}
+	return st, true
+}
+
+// TestPropertyFullSubsidyAlwaysEquilibrium: Theorem-trivial but vital —
+// fully subsidizing the tree closes every Lemma-2 constraint.
+func TestPropertyFullSubsidyAlwaysEquilibrium(t *testing.T) {
+	f := func(seed int64, n, p uint8) bool {
+		st, ok := quickState(seed, n, p)
+		if !ok {
+			return true
+		}
+		b := game.ZeroSubsidy(st.BG.G)
+		for _, id := range st.Tree.EdgeIDs {
+			b[id] = st.BG.G.Weight(id)
+		}
+		return st.IsEquilibrium(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNonTreeSubsidiesNeverHelp: subsidizing a non-tree edge only
+// cheapens deviations — if the state is an equilibrium with such a
+// subsidy, it is one without it too.
+func TestPropertyNonTreeSubsidiesNeverHelp(t *testing.T) {
+	f := func(seed int64, n, p uint8, frac uint8) bool {
+		st, ok := quickState(seed, n, p)
+		if !ok {
+			return true
+		}
+		g := st.BG.G
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		withNonTree := game.ZeroSubsidy(g)
+		treeOnly := game.ZeroSubsidy(g)
+		for id := 0; id < g.M(); id++ {
+			amt := g.Weight(id) * float64(frac%100) / 100 * rng.Float64()
+			if st.Tree.Contains(id) {
+				withNonTree[id] = amt
+				treeOnly[id] = amt
+			} else {
+				withNonTree[id] = amt
+			}
+		}
+		if st.IsEquilibrium(withNonTree) && !st.IsEquilibrium(treeOnly) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCostDecomposition: player costs are consistent with the
+// totals: Σ_v μ_v·cost(v) = Σ_{a∈T}(w_a − b_a).
+func TestPropertyCostDecomposition(t *testing.T) {
+	f := func(seed int64, n, p uint8, frac uint8) bool {
+		st, ok := quickState(seed, n, p)
+		if !ok {
+			return true
+		}
+		g := st.BG.G
+		b := game.ZeroSubsidy(g)
+		for _, id := range st.Tree.EdgeIDs {
+			b[id] = g.Weight(id) * float64(frac%100) / 100
+		}
+		sum := 0.0
+		for v := 0; v < g.N(); v++ {
+			if v == st.BG.Root {
+				continue
+			}
+			sum += float64(st.BG.Mult[v]) * st.PlayerCost(v, b)
+		}
+		return numeric.AlmostEqualTol(sum, st.TotalPlayerCost(b), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyUsageConservation: Σ_a n_a equals Σ_v μ_v·depth(v): every
+// player contributes one usage unit per edge of her path.
+func TestPropertyUsageConservation(t *testing.T) {
+	f := func(seed int64, n, p uint8) bool {
+		st, ok := quickState(seed, n, p)
+		if !ok {
+			return true
+		}
+		var lhs int64
+		for _, id := range st.Tree.EdgeIDs {
+			lhs += st.NA[id]
+		}
+		var rhs int64
+		for v := 0; v < st.BG.G.N(); v++ {
+			if v != st.BG.Root {
+				rhs += st.BG.Mult[v] * int64(st.Tree.Depth[v])
+			}
+		}
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMoreSubsidyOnViolatedPathHelps: raising the subsidy on the
+// deviating player's own path edges weakly reduces her incentive (her
+// Lemma-2 LHS), keeping other rows' LHS unchanged only when the edge is
+// exclusive — a targeted regression for the packing logic.
+func TestPropertyMoreSubsidyOnViolatedPathHelps(t *testing.T) {
+	f := func(seed int64, n, p uint8) bool {
+		st, ok := quickState(seed, n, p)
+		if !ok {
+			return true
+		}
+		v := st.FindViolation(nil)
+		if v == nil {
+			return true
+		}
+		g := st.BG.G
+		b := game.ZeroSubsidy(g)
+		// Fully subsidize the violating player's path-to-root.
+		for _, id := range st.Tree.PathToRoot(v.Node) {
+			b[id] = g.Weight(id)
+		}
+		// Her cost is now zero, so her own constraint via that edge holds.
+		return st.PlayerCost(v.Node, b) <= numeric.Eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

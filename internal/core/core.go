@@ -1,0 +1,116 @@
+// Package core is the library's public facade: it re-exports the main
+// types and wires the paper's headline operations — computing minimum
+// subsidies (SNE, Theorem 1), enforcing an MST within the 1/e bound
+// (Theorem 6), exact all-or-nothing enforcement (Section 5) and budgeted
+// network design (SND) — behind a small, stable API. Examples and
+// command-line tools program against this package; research code that
+// needs knobs can reach into the focused packages underneath.
+package core
+
+import (
+	"netdesign/internal/broadcast"
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+	"netdesign/internal/snd"
+	"netdesign/internal/sne"
+	"netdesign/internal/subsidy"
+)
+
+// Core graph and game types, aliased for one-import consumption.
+type (
+	// Graph is an undirected weighted multigraph.
+	Graph = graph.Graph
+	// BroadcastGame is a broadcast network design game.
+	BroadcastGame = broadcast.Game
+	// TreeState is a spanning-tree strategy profile of a broadcast game.
+	TreeState = broadcast.State
+	// Subsidy maps edge IDs to subsidy amounts in [0, w].
+	Subsidy = game.Subsidy
+	// EnforceResult is a subsidy assignment plus solver metadata.
+	EnforceResult = sne.Result
+	// DesignResult is a network design: tree + enforcing subsidies.
+	DesignResult = snd.Result
+	// Certificate is the audit trail of the Theorem-6 construction.
+	Certificate = subsidy.Certificate
+)
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewBroadcastGame builds a broadcast game with one player per non-root
+// node.
+func NewBroadcastGame(g *Graph, root int) (*BroadcastGame, error) {
+	return broadcast.NewGame(g, root)
+}
+
+// NewTreeState adopts treeEdges as the strategy profile of bg.
+func NewTreeState(bg *BroadcastGame, treeEdges []int) (*TreeState, error) {
+	return broadcast.NewState(bg, treeEdges)
+}
+
+// MinimumSpanningTree returns a socially optimal design of the game.
+func MinimumSpanningTree(bg *BroadcastGame) ([]int, error) { return bg.MST() }
+
+// IsEquilibrium reports whether the tree state is a Nash equilibrium of
+// the game extended with subsidies b (nil means no subsidies).
+func IsEquilibrium(st *TreeState, b Subsidy) bool { return st.IsEquilibrium(b) }
+
+// MinimumSubsidies solves STABLE NETWORK ENFORCEMENT optimally for a
+// broadcast state via the paper's LP (3): the cheapest fractional subsidy
+// assignment under which the tree is an equilibrium.
+func MinimumSubsidies(st *TreeState) (*EnforceResult, error) {
+	return sne.SolveBroadcastLP(st)
+}
+
+// EnforceWithinOneOverE runs the Theorem-6 construction: the returned
+// assignment enforces the minimum spanning tree state at cost exactly
+// wgt(T)/e (at most wgt(T)/e with player multiplicities above one).
+func EnforceWithinOneOverE(st *TreeState) (Subsidy, *Certificate, error) {
+	return subsidy.Enforce(st)
+}
+
+// MinimumAONSubsidies solves the all-or-nothing variant exactly by
+// branch-and-bound: every edge is either fully subsidized or not at all.
+func MinimumAONSubsidies(st *TreeState) (*EnforceResult, error) {
+	return sne.SolveAON(st, sne.AONOptions{})
+}
+
+// DesignNetwork solves STABLE NETWORK DESIGN exactly on small instances:
+// the lightest tree enforceable within the subsidy budget. treeLimit
+// bounds the spanning-tree enumeration (≤ 0 means unlimited).
+func DesignNetwork(bg *BroadcastGame, budget float64, treeLimit int) (*DesignResult, error) {
+	return snd.SolveExact(bg, budget, treeLimit)
+}
+
+// DesignNetworkHeuristic proposes the MST with its LP-optimal enforcement
+// — the polynomial-time design of choice when enumeration is infeasible.
+func DesignNetworkHeuristic(bg *BroadcastGame, budget float64) (*DesignResult, error) {
+	return snd.HeuristicMSTLP(bg, budget)
+}
+
+// PriceOfStability computes the exact spanning-tree price of stability by
+// enumeration (small instances; treeLimit ≤ 0 means unlimited).
+func PriceOfStability(bg *BroadcastGame, treeLimit int) (float64, error) {
+	a, err := broadcast.AnalyzeTrees(bg, nil, treeLimit)
+	if err != nil {
+		return 0, err
+	}
+	return a.PoS(), nil
+}
+
+// Verify independently confirms that b enforces st (bounds + Lemma-2
+// equilibrium check). Use it to audit any result before deployment.
+func Verify(st *TreeState, b Subsidy) error { return sne.VerifyBroadcast(st, b) }
+
+// ProveHnBound constructs the classical certificate that the game's
+// price of stability is at most H_n: best-response descent from the MST
+// reaches an equilibrium of cost ≤ Φ(MST) ≤ H_n·wgt(MST).
+func ProveHnBound(bg *BroadcastGame) (*broadcast.HnCertificate, error) {
+	return broadcast.ProveHnBound(bg, 0)
+}
+
+// BindingDeviations reports the defection threats that pin down the
+// subsidy bill of st, with LP shadow prices (most expensive first).
+func BindingDeviations(st *TreeState) ([]sne.BindingDeviation, *EnforceResult, error) {
+	return sne.BindingDeviations(st)
+}

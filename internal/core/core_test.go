@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// TestFacadeEndToEnd drives the whole public API on the Theorem-11 cycle.
+func TestFacadeEndToEnd(t *testing.T) {
+	n := 12
+	g := graph.Cycle(n, 1)
+	bg, err := NewBroadcastGame(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := make([]int, n)
+	for i := range tree {
+		tree[i] = i
+	}
+	st, err := NewTreeState(bg, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsEquilibrium(st, nil) {
+		t.Fatal("path tree should not be an equilibrium for free")
+	}
+
+	lp, err := MinimumSubsidies(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(st, lp.Subsidy); err != nil {
+		t.Fatal(err)
+	}
+
+	b6, cert, err := EnforceWithinOneOverE(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(st, b6); err != nil {
+		t.Fatal(err)
+	}
+	if lp.Cost > cert.Total+1e-9 {
+		t.Errorf("LP %v above Theorem-6 cost %v", lp.Cost, cert.Total)
+	}
+	if !numeric.AlmostEqual(cert.Total, float64(n)/math.E) {
+		t.Errorf("Theorem-6 cost %v ≠ n/e", cert.Total)
+	}
+
+	aon, err := MinimumAONSubsidies(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aon.Cost < lp.Cost-1e-9 {
+		t.Errorf("AON %v below fractional optimum %v", aon.Cost, lp.Cost)
+	}
+	if err := Verify(st, aon.Subsidy); err != nil {
+		t.Fatal(err)
+	}
+
+	mst, err := MinimumSpanningTree(bg)
+	if err != nil || len(mst) != n {
+		t.Fatalf("MST: %v %v", mst, err)
+	}
+
+	pos, err := PriceOfStability(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 1 {
+		t.Errorf("cycle PoS = %v, want 1 (balanced splits are free equilibria)", pos)
+	}
+
+	des, err := DesignNetwork(bg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if des.Weight != float64(n) || des.SubsidyCost > 1e-9 {
+		t.Errorf("design %+v", des)
+	}
+	heu, err := DesignNetworkHeuristic(bg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heu.Weight != float64(n) {
+		t.Errorf("heuristic design %+v", heu)
+	}
+}
+
+func TestNewGraphAlias(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	bg, err := NewBroadcastGame(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.NumPlayers() != 2 {
+		t.Errorf("players = %d", bg.NumPlayers())
+	}
+}
+
+func TestFacadeCertificatesAndShadowPrices(t *testing.T) {
+	g := graph.Cycle(8, 1)
+	bg, err := NewBroadcastGame(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ProveHnBound(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tree := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	st, err := NewTreeState(bg, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding, res, err := BindingDeviations(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binding) == 0 || res.Cost <= 0 {
+		t.Errorf("expected binding threats on the cycle path: %v, cost %v", binding, res.Cost)
+	}
+}

@@ -1,0 +1,197 @@
+package directed
+
+import (
+	"math"
+	"testing"
+
+	"netdesign/internal/game"
+	"netdesign/internal/numeric"
+)
+
+func TestDigraphBasics(t *testing.T) {
+	d := NewDigraph(3)
+	a := d.AddArc(0, 1, 1)
+	b := d.AddArc(1, 2, 2)
+	if d.N() != 3 || d.M() != 2 || d.Arc(a).To != 1 || d.Weight(b) != 2 {
+		t.Error("digraph accessors wrong")
+	}
+	for name, fn := range map[string]func(){
+		"self loop":  func() { d.AddArc(1, 1, 1) },
+		"bad node":   func() { d.AddArc(0, 9, 1) },
+		"neg weight": func() { d.AddArc(0, 2, -1) },
+		"neg nodes":  func() { NewDigraph(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDirectionalityMatters(t *testing.T) {
+	// Arc 0→1 exists but 1→0 does not: a player from 1 cannot use it.
+	d := NewDigraph(3)
+	d.AddArc(0, 1, 1)
+	d.AddArc(1, 2, 1)
+	gm, err := NewGame(d, []Player{{S: 0, T: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(gm, [][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsEquilibrium(nil) {
+		t.Error("unique path should be an equilibrium")
+	}
+	// Reverse player has no path at all.
+	gm2, err := NewGame(d, []Player{{S: 2, T: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewState(gm2, [][]int{{1, 0}}); err == nil {
+		t.Error("reversed arcs accepted in a path")
+	}
+}
+
+func TestStateValidation(t *testing.T) {
+	d := NewDigraph(3)
+	d.AddArc(0, 1, 1)
+	d.AddArc(1, 2, 1)
+	d.AddArc(0, 2, 1)
+	gm, _ := NewGame(d, []Player{{S: 0, T: 2}})
+	bad := [][][]int{
+		{{}},        // empty
+		{{0}},       // stops early
+		{{1}},       // wrong start
+		{{0, 1, 2}}, // revisits 0? arc 2 is 0→2, breaks at node 2
+		{{9}},       // unknown arc
+	}
+	for i, paths := range bad {
+		if _, err := NewState(gm, paths); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+	if _, err := NewGame(d, nil); err == nil {
+		t.Error("empty players accepted")
+	}
+	if _, err := NewGame(d, []Player{{S: 0, T: 0}}); err == nil {
+		t.Error("equal terminals accepted")
+	}
+}
+
+// TestHnInstance reproduces the tight directed PoS example: the optimum
+// is not an equilibrium, the all-direct profile is, and the ratio is
+// H_n/(1+ε).
+func TestHnInstance(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		inst, err := NewHnInstance(n, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := inst.OptState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(opt.EstablishedWeight(), 1.01) {
+			t.Errorf("n=%d: opt weight %v", n, opt.EstablishedWeight())
+		}
+		if opt.IsEquilibrium(nil) {
+			t.Errorf("n=%d: shared optimum must not be an equilibrium (player n defects)", n)
+		}
+		direct, err := inst.DirectState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !direct.IsEquilibrium(nil) {
+			t.Errorf("n=%d: all-direct must be an equilibrium", n)
+		}
+		if !numeric.AlmostEqual(direct.EstablishedWeight(), numeric.Harmonic(n)) {
+			t.Errorf("n=%d: direct weight %v ≠ H_n", n, direct.EstablishedWeight())
+		}
+		// Potential of the equilibrium is below the optimum's potential —
+		// the Anshelevich potential argument in action.
+		if direct.Potential(nil) > opt.Potential(nil)+1e-9 {
+			// Not required in general, but holds here and documents the
+			// potential-descent reasoning.
+			t.Logf("n=%d: potential(direct)=%v potential(opt)=%v", n,
+				direct.Potential(nil), opt.Potential(nil))
+		}
+	}
+}
+
+// TestHnSNE: enforcing the shared optimum needs exactly ε subsidies on
+// the relay arc (the binding constraint is player n's direct option).
+func TestHnSNE(t *testing.T) {
+	for _, n := range []int{2, 5, 10} {
+		eps := 0.05
+		inst, err := NewHnInstance(n, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := inst.OptState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, cost, err := SolveSNE(opt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.IsEquilibrium(b) {
+			t.Fatalf("n=%d: SNE result does not enforce", n)
+		}
+		// Player n's constraint: (1+ε−b)/n ≤ 1/n  ⟺  b ≥ ε.
+		if !numeric.AlmostEqualTol(cost, eps, 1e-6) {
+			t.Errorf("n=%d: SNE cost %v, want ε = %v", n, cost, eps)
+		}
+	}
+}
+
+func TestBestResponseUnreachable(t *testing.T) {
+	d := NewDigraph(3)
+	d.AddArc(0, 1, 1)
+	d.AddArc(0, 2, 5)
+	gm, _ := NewGame(d, []Player{{S: 0, T: 2}})
+	st, err := NewState(gm, [][]int{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, c := st.BestResponse(0, nil)
+	if p == nil || !numeric.AlmostEqual(c, 5) {
+		t.Errorf("BR = %v %v", p, c)
+	}
+}
+
+func TestPlayerCostWithSubsidy(t *testing.T) {
+	inst, err := NewHnInstance(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := inst.OptState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make(game.Subsidy, inst.Game.D.M())
+	b[inst.Shared] = 0.2
+	if got := opt.PlayerCost(0, b); !numeric.AlmostEqual(got, 1.0/3) {
+		t.Errorf("subsidized share %v, want 1/3", got)
+	}
+	if u := opt.Usage(inst.Shared); u != 3 {
+		t.Errorf("usage %d", u)
+	}
+}
+
+func TestNewHnInstanceValidation(t *testing.T) {
+	if _, err := NewHnInstance(0, 0.1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewHnInstance(3, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+var _ = math.Inf

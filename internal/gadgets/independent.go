@@ -1,0 +1,208 @@
+package gadgets
+
+import (
+	"fmt"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/graph"
+	"netdesign/internal/reductions"
+)
+
+// ISGadget is the Theorem-5 reduction graph from a 3-regular graph H:
+// a root r, a U-node per node of H, a V-node per edge of H; unit-weight
+// edges from every non-root node to r; and edges of weight (2+δ)/3
+// between each V-node and the U-nodes of its endpoints. Its equilibria
+// are exactly the forests of type-A branches (a lone node wired to r) and
+// type-B branches (a U-node wired to r carrying its three V-neighbors),
+// with the B-centers forming an independent set I of H; the equilibrium
+// weight is 5n/2 − (1−δ)·|I|.
+type ISGadget struct {
+	H      *graph.Graph
+	Delta  float64
+	G      *graph.Graph
+	BG     *broadcast.Game
+	Root   int
+	UNode  []int          // UNode[h-node] = G node
+	VNode  []int          // VNode[h-edge] = G node
+	Direct []int          // Direct[g-node] = unit edge to root (root: -1)
+	Cross  map[[2]int]int // {h-node, h-edge} → cross edge ID
+}
+
+// BuildIS constructs the gadget. H must be 3-regular and δ ∈ (0, 1/12]
+// (the proof's admissible range).
+func BuildIS(h *graph.Graph, delta float64) (*ISGadget, error) {
+	if delta <= 0 || delta > 1.0/12 {
+		return nil, fmt.Errorf("gadgets: delta %v outside (0, 1/12]", delta)
+	}
+	for v := 0; v < h.N(); v++ {
+		if h.Degree(v) != 3 {
+			return nil, fmt.Errorf("gadgets: input graph is not 3-regular at node %d", v)
+		}
+	}
+	g := graph.New(1)
+	ig := &ISGadget{H: h, Delta: delta, G: g, Root: 0, Cross: map[[2]int]int{}}
+	ig.Direct = []int{-1}
+	for v := 0; v < h.N(); v++ {
+		node := g.AddNode()
+		ig.UNode = append(ig.UNode, node)
+		ig.Direct = append(ig.Direct, g.AddEdge(node, ig.Root, 1))
+	}
+	w := (2 + delta) / 3
+	for _, e := range h.Edges() {
+		node := g.AddNode()
+		ig.VNode = append(ig.VNode, node)
+		ig.Direct = append(ig.Direct, g.AddEdge(node, ig.Root, 1))
+		ig.Cross[[2]int{e.U, e.ID}] = g.AddEdge(node, ig.UNode[e.U], w)
+		ig.Cross[[2]int{e.V, e.ID}] = g.AddEdge(node, ig.UNode[e.V], w)
+	}
+	bg, err := broadcast.NewGame(g, ig.Root)
+	if err != nil {
+		return nil, err
+	}
+	ig.BG = bg
+	return ig, nil
+}
+
+// EquilibriumWeight returns 5n/2 − (1−δ)m, the weight of the equilibrium
+// induced by an independent set of size m.
+func (ig *ISGadget) EquilibriumWeight(m int) float64 {
+	return 2.5*float64(ig.H.N()) - (1-ig.Delta)*float64(m)
+}
+
+// TreeForIS returns the A/B-branch spanning tree induced by an
+// independent set of H: each set node becomes a type-B branch carrying
+// its three V-neighbors; every other node takes its direct edge.
+func (ig *ISGadget) TreeForIS(indep []int) ([]int, error) {
+	if !reductions.IsIndependentSet(ig.H, indep) {
+		return nil, fmt.Errorf("gadgets: node set is not independent in H")
+	}
+	inSet := map[int]bool{}
+	for _, v := range indep {
+		inSet[v] = true
+	}
+	var tree []int
+	covered := map[int]bool{} // V-nodes hanging off a B-branch
+	for _, hv := range indep {
+		tree = append(tree, ig.Direct[ig.UNode[hv]])
+		for _, half := range ig.H.Adj(hv) {
+			tree = append(tree, ig.Cross[[2]int{hv, half.Edge}])
+			covered[ig.VNode[half.Edge]] = true
+		}
+	}
+	for hv := 0; hv < ig.H.N(); hv++ {
+		if !inSet[hv] {
+			tree = append(tree, ig.Direct[ig.UNode[hv]])
+		}
+	}
+	for _, vnode := range ig.VNode {
+		if !covered[vnode] {
+			tree = append(tree, ig.Direct[vnode])
+		}
+	}
+	return tree, nil
+}
+
+// StateForIS builds the broadcast state of the A/B forest of an
+// independent set.
+func (ig *ISGadget) StateForIS(indep []int) (*broadcast.State, error) {
+	tree, err := ig.TreeForIS(indep)
+	if err != nil {
+		return nil, err
+	}
+	return broadcast.NewState(ig.BG, tree)
+}
+
+// BestEquilibrium computes a maximum independent set of H exactly and
+// returns the corresponding best equilibrium state and its weight,
+// realizing the Theorem-5 correspondence min-eq-weight = 5n/2 − (1−δ)·α(H).
+func (ig *ISGadget) BestEquilibrium() (*broadcast.State, float64, []int, error) {
+	mis := reductions.MaxIndependentSet(ig.H)
+	st, err := ig.StateForIS(mis)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return st, ig.EquilibriumWeight(len(mis)), mis, nil
+}
+
+// TreeWithTypeC builds a tree containing a type-C branch (Figure 3c): the
+// U-node of hNode is wired to the root and carries exactly one of its
+// V-neighbors as a leaf; everything else is type A. The proof shows the
+// leaf player must deviate.
+func (ig *ISGadget) TreeWithTypeC(hNode int) ([]int, error) {
+	if hNode < 0 || hNode >= ig.H.N() {
+		return nil, fmt.Errorf("gadgets: node %d outside H", hNode)
+	}
+	half := ig.H.Adj(hNode)[0]
+	hang := ig.VNode[half.Edge]
+	var tree []int
+	tree = append(tree, ig.Cross[[2]int{hNode, half.Edge}])
+	for node := 1; node < ig.G.N(); node++ {
+		if node != hang {
+			tree = append(tree, ig.Direct[node])
+		}
+	}
+	return tree, nil
+}
+
+// TreeWithTypeD builds a tree with a depth-3 branch (Figure 3e): V-node
+// of edge e wired to r, endpoint U-node under it, and a second V-node
+// under that U-node; everything else type A.
+func (ig *ISGadget) TreeWithTypeD() ([]int, error) {
+	e := ig.H.Edge(0)
+	u := e.U
+	var e2 graph.Edge
+	found := false
+	for _, half := range ig.H.Adj(u) {
+		if half.Edge != e.ID {
+			e2 = ig.H.Edge(half.Edge)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("gadgets: no second edge at node %d", u)
+	}
+	v1, v2 := ig.VNode[e.ID], ig.VNode[e2.ID]
+	var tree []int
+	tree = append(tree, ig.Direct[v1])
+	tree = append(tree, ig.Cross[[2]int{u, e.ID}])
+	tree = append(tree, ig.Cross[[2]int{u, e2.ID}])
+	for node := 1; node < ig.G.N(); node++ {
+		if node != ig.UNode[u] && node != v1 && node != v2 {
+			tree = append(tree, ig.Direct[node])
+		}
+	}
+	return tree, nil
+}
+
+// TreeWithTypeE builds a tree with a depth-4 branch (Figure 3f/g):
+// r — v_e — u — v_e' — u', everything else type A.
+func (ig *ISGadget) TreeWithTypeE() ([]int, error) {
+	e := ig.H.Edge(0)
+	u := e.U
+	var e2 graph.Edge
+	found := false
+	for _, half := range ig.H.Adj(u) {
+		if half.Edge != e.ID {
+			e2 = ig.H.Edge(half.Edge)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("gadgets: no second edge at node %d", u)
+	}
+	u2 := e2.Other(u)
+	v1, v2 := ig.VNode[e.ID], ig.VNode[e2.ID]
+	var tree []int
+	tree = append(tree, ig.Direct[v1])
+	tree = append(tree, ig.Cross[[2]int{u, e.ID}])
+	tree = append(tree, ig.Cross[[2]int{u, e2.ID}])
+	tree = append(tree, ig.Cross[[2]int{u2, e2.ID}])
+	for node := 1; node < ig.G.N(); node++ {
+		if node != ig.UNode[u] && node != v1 && node != v2 && node != ig.UNode[u2] {
+			tree = append(tree, ig.Direct[node])
+		}
+	}
+	return tree, nil
+}

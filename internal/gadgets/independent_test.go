@@ -1,0 +1,175 @@
+package gadgets
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+	"netdesign/internal/reductions"
+)
+
+// k4 returns the complete graph on 4 nodes — the smallest 3-regular graph.
+func k4() *graph.Graph {
+	return graph.Complete(4, func(i, j int) float64 { return 1 })
+}
+
+// k33 returns the 3-regular complete bipartite graph K_{3,3}.
+func k33() *graph.Graph {
+	g := graph.New(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	return g
+}
+
+func TestBuildISValidation(t *testing.T) {
+	if _, err := BuildIS(k4(), 0); err == nil {
+		t.Error("delta 0 accepted")
+	}
+	if _, err := BuildIS(k4(), 0.2); err == nil {
+		t.Error("delta beyond 1/12 accepted")
+	}
+	if _, err := BuildIS(graph.Path(3, 1), 0.05); err == nil {
+		t.Error("non-3-regular graph accepted")
+	}
+	ig, err := BuildIS(k4(), 1.0/12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n U-nodes + 3n/2 V-nodes + root.
+	if ig.G.N() != 1+4+6 {
+		t.Errorf("node count %d", ig.G.N())
+	}
+	// 5n/2 direct edges + 2 cross edges per H-edge.
+	if ig.G.M() != 10+12 {
+		t.Errorf("edge count %d", ig.G.M())
+	}
+}
+
+func TestISEquilibriaAndWeights(t *testing.T) {
+	for name, h := range map[string]*graph.Graph{"K4": k4(), "K33": k33()} {
+		ig, err := BuildIS(h, 1.0/12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Empty set: all type-A branches — an equilibrium of weight 5n/2.
+		st, err := ig.StateForIS(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.IsEquilibrium(nil) {
+			t.Errorf("%s: all-A forest should be an equilibrium", name)
+		}
+		if !numeric.AlmostEqual(st.Weight(), 2.5*float64(h.N())) {
+			t.Errorf("%s: all-A weight %v", name, st.Weight())
+		}
+		// Best equilibrium via exact max IS.
+		best, wgt, mis, err := ig.BestEquilibrium()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !best.IsEquilibrium(nil) {
+			t.Errorf("%s: best A/B forest not an equilibrium: %v", name, best.FindViolation(nil))
+		}
+		if !numeric.AlmostEqual(best.Weight(), wgt) {
+			t.Errorf("%s: weight %v ≠ formula %v", name, best.Weight(), wgt)
+		}
+		if !numeric.AlmostEqual(wgt, ig.EquilibriumWeight(len(mis))) {
+			t.Errorf("%s: formula inconsistency", name)
+		}
+		// Every single-node IS also yields an equilibrium.
+		for v := 0; v < h.N(); v++ {
+			st, err := ig.StateForIS([]int{v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.IsEquilibrium(nil) {
+				t.Errorf("%s: single-B forest at %d unstable: %v", name, v, st.FindViolation(nil))
+			}
+		}
+	}
+}
+
+func TestISBranchCaseAnalysis(t *testing.T) {
+	// The Figure-3 case analysis: trees containing a type C, D or E
+	// branch are never equilibria.
+	for name, h := range map[string]*graph.Graph{"K4": k4(), "K33": k33()} {
+		ig, err := BuildIS(h, 1.0/12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		builders := map[string]func() ([]int, error){
+			"C": func() ([]int, error) { return ig.TreeWithTypeC(0) },
+			"D": ig.TreeWithTypeD,
+			"E": ig.TreeWithTypeE,
+		}
+		for btype, build := range builders {
+			tree, err := build()
+			if err != nil {
+				t.Fatalf("%s type %s: %v", name, btype, err)
+			}
+			if !ig.G.IsSpanningTree(tree) {
+				t.Fatalf("%s type %s: not a spanning tree", name, btype)
+			}
+			st, err := broadcast.NewState(ig.BG, tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.IsEquilibrium(nil) {
+				t.Errorf("%s: tree with type-%s branch must not be an equilibrium", name, btype)
+			}
+		}
+	}
+}
+
+func TestISRejectsNonIndependent(t *testing.T) {
+	ig, err := BuildIS(k4(), 1.0/12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ig.TreeForIS([]int{0, 1}); err == nil {
+		t.Error("adjacent nodes accepted as IS")
+	}
+	if _, err := ig.TreeWithTypeC(99); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestISRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range []int{6, 8, 10} {
+		h, err := graph.RandomRegular(rng, n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ig, err := BuildIS(h, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, wgt, mis, err := ig.BestEquilibrium()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reductions.IsIndependentSet(h, mis) {
+			t.Fatal("max IS not independent")
+		}
+		if !best.IsEquilibrium(nil) {
+			t.Fatalf("n=%d: best forest unstable: %v", n, best.FindViolation(nil))
+		}
+		if want := 2.5*float64(n) - (1-0.05)*float64(len(mis)); !numeric.AlmostEqual(wgt, want) {
+			t.Errorf("n=%d: weight %v want %v", n, wgt, want)
+		}
+		// Weight decreases as the IS grows: the bigger the independent
+		// set, the better the equilibrium — the Theorem 5 gap mechanism.
+		if len(mis) > 0 {
+			st0, _ := ig.StateForIS(nil)
+			if st0.Weight() <= best.Weight() {
+				t.Errorf("n=%d: B-branches should strictly improve weight", n)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package gadgets
+
+import (
+	"fmt"
+	"math"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/graph"
+)
+
+// CycleInstance builds the Theorem-11 lower-bound instance: a cycle of
+// n+1 unit-weight edges spanning the root and n players, with the target
+// tree being the full path (every edge except one incident to the root).
+// Enforcing it needs at least (n+1)/e − 2 subsidies while wgt(T) = n, so
+// the required fraction approaches 1/e.
+func CycleInstance(n int) (*broadcast.State, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gadgets: cycle instance needs n ≥ 1")
+	}
+	g := graph.Cycle(n, 1)
+	bg, err := broadcast.NewGame(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	tree := make([]int, n)
+	for i := range tree {
+		tree[i] = i
+	}
+	return broadcast.NewState(bg, tree)
+}
+
+// CycleLowerBound returns the paper's analytic lower bound for the cycle
+// instance: (n+1)/e − 2.
+func CycleLowerBound(n int) float64 { return float64(n+1)/math.E - 2 }
+
+// AONPathInstance builds the Theorem-21 instance showing all-or-nothing
+// subsidies may need an e/(2e−1) fraction of wgt(T). The graph is a path
+// ⟨r, v_1, …, v_n⟩ in which the first n−1 edges have weight
+// x = 1/(n − n/e + 1) and the last edge (v_{n−1}, v_n) has weight 1, plus
+// two shortcut edges: (r, v_{n−1}) of weight x and (r, v_n) of weight 1.
+// The target tree is the path.
+//
+// Either the heavy unit edge stays unsubsidized — then every one of the
+// n−1 light path edges must be subsidized to appease the player at v_n —
+// or it is subsidized, and the player at v_{n−1} still needs ~(n/e)·x of
+// packed subsidies against her own shortcut.
+func AONPathInstance(n int) (*broadcast.State, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gadgets: AON path instance needs n ≥ 3")
+	}
+	x := 1 / (float64(n) - float64(n)/math.E + 1)
+	g := graph.New(n + 1) // node 0 = root, players 1..n
+	tree := make([]int, 0, n)
+	tree = append(tree, g.AddEdge(0, 1, x))
+	for i := 1; i <= n-2; i++ {
+		tree = append(tree, g.AddEdge(i, i+1, x))
+	}
+	tree = append(tree, g.AddEdge(n-1, n, 1))
+	g.AddEdge(0, n-1, x) // shortcut to v_{n−1}
+	g.AddEdge(0, n, 1)   // shortcut to v_n
+	bg, err := broadcast.NewGame(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := broadcast.NewState(bg, tree)
+	if err != nil {
+		return nil, err
+	}
+	if !graph.IsMinimumSpanningTree(g, tree) {
+		return nil, fmt.Errorf("gadgets: AON path tree is not an MST")
+	}
+	return st, nil
+}
+
+// AONBoundFraction is the asymptotic all-or-nothing fraction e/(2e−1).
+func AONBoundFraction() float64 { return math.E / (2*math.E - 1) }

@@ -1,0 +1,384 @@
+package gadgets
+
+import (
+	"fmt"
+	"math/big"
+
+	"netdesign/internal/exact"
+	"netdesign/internal/graph"
+	"netdesign/internal/reductions"
+)
+
+// SATGadget is the Theorem-12 reduction: a broadcast game built from a
+// 3SAT-4 formula φ such that a *light* all-or-nothing subsidy assignment
+// (subsidizing only unit-weight edges) enforcing the canonical MST T
+// exists iff φ is satisfiable; otherwise any enforcing assignment must
+// subsidize a heavy edge of weight ≥ K. Since K can be made arbitrarily
+// large relative to the 3|C| cost of a light assignment, all-or-nothing
+// SNE is inapproximable within any factor.
+//
+// The construction follows Figures 5–7 literally: a literal gadget per
+// appearance of a literal in a clause (chained so that l(c,ℓ1)=r,
+// l(c,ℓ2)=u(c,ℓ1), l(c,ℓ3)=u(c,ℓ2), labels j1<j2<j3), a clause node
+// v(c), and ℓ-ℓ / ℓ-ℓ̄ consistency gadgets between consecutive
+// appearances of each variable. Auxiliary players pad the two light
+// edges of each appearance gadget to exactly n_j and n_j−3 users, where
+// n_9 = 7 and n_j = 4·n_{j+1}² — values up to ~10^369, which is why this
+// gadget runs on the exact rational engine with big-integer
+// multiplicities (one auxiliary node of multiplicity m replaces m
+// colocated leaf players).
+type SATGadget struct {
+	F      *reductions.Formula
+	Labels []int      // per variable: label j ∈ {1..9}
+	N      []*big.Int // N[j] = n_j for j = 1..9 (index 0 unused)
+	K      *big.Rat
+
+	G    *graph.Graph
+	EG   *exact.Game
+	Root int
+	Tree []int // the target MST T
+
+	Apps    [][3]Appearance // per clause: the three gadgets in label order
+	Clauses []ClauseNode
+	Cons    []ConsGadget
+
+	weights []*big.Rat // by edge ID
+	mult    []*big.Int // by node
+	tCount  []int      // consistency tree-attachments per node (build-time)
+}
+
+// Appearance is one literal gadget (Figure 5). In the paper's naming, for
+// the appearance of literal λ in clause c: L = l(c,λ), Mid = u(c,λ̄),
+// End = u(c,λ). Light1 = (L, Mid) belongs to E(λ̄); Light2 = (Mid, End)
+// belongs to E(λ).
+type Appearance struct {
+	Lit          reductions.Literal
+	Label        int
+	L            int
+	Mid          int
+	End          int
+	V1           int
+	V2           int
+	V3           int
+	Light1       int // tree, weight 1
+	Light2       int // tree, weight 1
+	HeavyLV1     int // tree, K
+	HeavyV1V2    int // tree, K
+	HeavyV3End   int // tree, K
+	NonTreeLV3   int // K + 1/(n_j − 3)
+	NonTreeV2End int // 3K/2 − 1/(n_j + 1)
+	AuxMid       int // aux node at Mid (-1 when multiplicity would be 0)
+	AuxEnd       int // aux node at End (-1 when none)
+}
+
+// ClauseNode is the v(c) part of Figure 6.
+type ClauseNode struct {
+	VC          int
+	TreeEdge    int // (u(c,ℓ3), v(c)) weight K
+	NonTreeEdge int // (v(c), r) weight K + 1/n_{j1} + 1/(n_{j2}−3) + 1/(n_{j3}−3)
+}
+
+// ConsGadget is a consistency gadget (Figure 7) between consecutive
+// appearances A (earlier clause) and B of the same variable.
+type ConsGadget struct {
+	Var         int
+	SameLiteral bool // ℓ-ℓ gadget vs ℓ-ℓ̄ gadget
+	U1, U2      int
+	Tree1       int // u1's tree edge (weight K)
+	Tree2       int // u2's tree edge (weight K)
+	Non1        int // u1's non-tree edge
+	Non2        int // u2's non-tree edge
+}
+
+// SATConstants returns n_1..n_9 per the paper: n_9 = 7, n_j = 4·n_{j+1}².
+func SATConstants() []*big.Int {
+	n := make([]*big.Int, 10)
+	n[9] = big.NewInt(7)
+	for j := 8; j >= 1; j-- {
+		sq := new(big.Int).Mul(n[j+1], n[j+1])
+		n[j] = sq.Mul(sq, big.NewInt(4))
+	}
+	return n
+}
+
+// BuildSAT constructs the reduction for formula f. K may be nil, in which
+// case it defaults to 100·(3|C|+1) — "significantly larger than 3|C|".
+func BuildSAT(f *reductions.Formula, K *big.Rat) (*SATGadget, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	labels, err := f.LabelVariables()
+	if err != nil {
+		return nil, err
+	}
+	if K == nil {
+		K = new(big.Rat).SetInt64(int64(100 * (3*len(f.Clauses) + 1)))
+	}
+	sg := &SATGadget{
+		F:      f,
+		Labels: labels,
+		N:      SATConstants(),
+		K:      K,
+		G:      graph.New(1),
+		Root:   0,
+	}
+	sg.mult = []*big.Int{big.NewInt(0)} // root
+	sg.tCount = []int{0}
+
+	for ci, c := range f.Clauses {
+		sg.buildClause(ci, c)
+	}
+	sg.buildConsistency()
+	sg.buildAux()
+
+	eg, err := exact.NewGame(sg.G, sg.Root, sg.weights, sg.mult)
+	if err != nil {
+		return nil, err
+	}
+	sg.EG = eg
+	return sg, nil
+}
+
+// node adds a graph node with unit multiplicity and returns its index.
+func (sg *SATGadget) node() int {
+	v := sg.G.AddNode()
+	sg.mult = append(sg.mult, big.NewInt(1))
+	sg.tCount = append(sg.tCount, 0)
+	return v
+}
+
+// edge adds an edge with exact weight w (float approximation for display)
+// and returns its ID; inTree appends it to the target tree T.
+func (sg *SATGadget) edge(u, v int, w *big.Rat, inTree bool) int {
+	approx, _ := w.Float64()
+	id := sg.G.AddEdge(u, v, approx)
+	sg.weights = append(sg.weights, w)
+	if inTree {
+		sg.Tree = append(sg.Tree, id)
+	}
+	return id
+}
+
+// invN returns 1/(n_j + d) as an exact rational.
+func (sg *SATGadget) invN(j int, d int64) *big.Rat {
+	return exact.Inv(exact.AddI(sg.N[j], exact.I(d)))
+}
+
+// buildClause lays down the three chained literal gadgets of clause c and
+// the clause node v(c).
+func (sg *SATGadget) buildClause(ci int, c reductions.Clause) {
+	// Sort the three literals by ascending label (j1 < j2 < j3).
+	lits := []reductions.Literal{c[0], c[1], c[2]}
+	for i := 0; i < 3; i++ {
+		for k := i + 1; k < 3; k++ {
+			if sg.Labels[lits[k].Var] < sg.Labels[lits[i].Var] {
+				lits[i], lits[k] = lits[k], lits[i]
+			}
+		}
+	}
+	one := exact.RI(1)
+	half := exact.R(3, 2)
+	var apps [3]Appearance
+	l := sg.Root
+	for i, lit := range lits {
+		j := sg.Labels[lit.Var]
+		a := Appearance{Lit: lit, Label: j, L: l, AuxMid: -1, AuxEnd: -1}
+		a.Mid = sg.node()
+		a.End = sg.node()
+		a.V1 = sg.node()
+		a.V2 = sg.node()
+		a.V3 = sg.node()
+		a.Light1 = sg.edge(a.L, a.Mid, one, true)
+		a.Light2 = sg.edge(a.Mid, a.End, one, true)
+		a.HeavyLV1 = sg.edge(a.L, a.V1, sg.K, true)
+		a.HeavyV1V2 = sg.edge(a.V1, a.V2, sg.K, true)
+		a.HeavyV3End = sg.edge(a.V3, a.End, sg.K, true)
+		// (l, v3): K + 1/(n_j − 3)
+		a.NonTreeLV3 = sg.edge(a.L, a.V3, exact.Add(sg.K, sg.invN(j, -3)), false)
+		// (v2, u): 3K/2 − 1/(n_j + 1)
+		w := exact.Sub(exact.Mul(half, sg.K), sg.invN(j, 1))
+		a.NonTreeV2End = sg.edge(a.V2, a.End, w, false)
+		apps[i] = a
+		l = a.End
+	}
+	vc := sg.node()
+	treeEdge := sg.edge(apps[2].End, vc, sg.K, true)
+	// (v(c), r): K + 1/n_{j1} + 1/(n_{j2}−3) + 1/(n_{j3}−3)
+	w := exact.Sum(sg.K,
+		sg.invN(apps[0].Label, 0),
+		sg.invN(apps[1].Label, -3),
+		sg.invN(apps[2].Label, -3))
+	nonTree := sg.edge(vc, sg.Root, w, false)
+	sg.Apps = append(sg.Apps, apps)
+	sg.Clauses = append(sg.Clauses, ClauseNode{VC: vc, TreeEdge: treeEdge, NonTreeEdge: nonTree})
+}
+
+// appearanceOf locates the gadget of variable v's k-th appearance.
+func (sg *SATGadget) appearanceOf(occ reductions.Occurrence, v int) *Appearance {
+	for i := range sg.Apps[occ.Clause] {
+		a := &sg.Apps[occ.Clause][i]
+		if a.Lit.Var == v {
+			return a
+		}
+	}
+	panic("gadgets: appearance not found")
+}
+
+// buildConsistency connects consecutive appearances of each variable.
+func (sg *SATGadget) buildConsistency() {
+	occ := sg.F.Occurrences()
+	for v, apps := range occ {
+		j := sg.Labels[v]
+		for i := 0; i+1 < len(apps); i++ {
+			a := sg.appearanceOf(apps[i], v)
+			b := sg.appearanceOf(apps[i+1], v)
+			cg := ConsGadget{Var: v, SameLiteral: apps[i].Neg == apps[i+1].Neg}
+			cg.U1 = sg.node()
+			cg.U2 = sg.node()
+			if cg.SameLiteral {
+				// ℓ-ℓ gadget: both ends attach to the Mid nodes
+				// u(c,ℓ̄); non-tree weight K + 1/(2n_j).
+				w := exact.Add(sg.K, exact.Inv(exact.MulI(exact.I(2), sg.N[j])))
+				cg.Tree1 = sg.edge(cg.U1, a.Mid, sg.K, true)
+				cg.Non1 = sg.edge(cg.U1, b.Mid, w, false)
+				cg.Tree2 = sg.edge(cg.U2, b.Mid, sg.K, true)
+				cg.Non2 = sg.edge(cg.U2, a.Mid, w, false)
+				sg.tCount[a.Mid]++
+				sg.tCount[b.Mid]++
+			} else {
+				// ℓ-ℓ̄ gadget: u1 attaches to the earlier appearance's
+				// End node u(c1,ℓ) and deviates to the later gadget's Mid
+				// node u(c2,ℓ) at weight K + 1/n_j + 1/(2n_j²); u2
+				// attaches to u(c2,ℓ) and deviates to u(c1,ℓ) at K.
+				twoN2 := exact.MulI(exact.I(2), exact.MulI(sg.N[j], sg.N[j]))
+				w := exact.Sum(sg.K, sg.invN(j, 0), exact.Inv(twoN2))
+				cg.Tree1 = sg.edge(cg.U1, a.End, sg.K, true)
+				cg.Non1 = sg.edge(cg.U1, b.Mid, w, false)
+				cg.Tree2 = sg.edge(cg.U2, b.Mid, sg.K, true)
+				cg.Non2 = sg.edge(cg.U2, a.End, sg.K, false)
+				sg.tCount[a.End]++
+				sg.tCount[b.Mid]++
+			}
+			sg.Cons = append(sg.Cons, cg)
+		}
+	}
+}
+
+// buildAux pads usage counts with auxiliary players: the first light edge
+// of an appearance with label j must carry exactly n_j players and the
+// second n_j − 3.
+func (sg *SATGadget) buildAux() {
+	zero := new(big.Rat)
+	attach := func(to int, count *big.Int) int {
+		if count.Sign() < 0 {
+			panic(fmt.Sprintf("gadgets: negative auxiliary multiplicity %s at node %d", count, to))
+		}
+		if count.Sign() == 0 {
+			return -1
+		}
+		v := sg.G.AddNode()
+		sg.mult = append(sg.mult, count)
+		sg.tCount = append(sg.tCount, 0)
+		sg.edge(to, v, zero, true)
+		return v
+	}
+	for ci := range sg.Apps {
+		for i := range sg.Apps[ci] {
+			a := &sg.Apps[ci][i]
+			// Mid: 2 − t auxiliary players.
+			a.AuxMid = attach(a.Mid, exact.I(int64(2-sg.tCount[a.Mid])))
+			// End: n_{j3} − 6 − t for the last gadget,
+			// n_{ji} − n_{j(i+1)} − 7 − t otherwise.
+			var count *big.Int
+			if i == 2 {
+				count = exact.SubI(sg.N[a.Label], exact.I(int64(6+sg.tCount[a.End])))
+			} else {
+				next := sg.Apps[ci][i+1].Label
+				count = exact.SubI(sg.N[a.Label], exact.AddI(sg.N[next], exact.I(int64(7+sg.tCount[a.End]))))
+			}
+			a.AuxEnd = attach(a.End, count)
+		}
+	}
+}
+
+// State returns the exact broadcast state of the target tree T.
+func (sg *SATGadget) State() (*exact.State, error) {
+	return exact.NewState(sg.EG, sg.Tree)
+}
+
+// LightChoice selects which light edge of each appearance gadget is
+// subsidized: true means Light2 = (u(c,ℓ̄),u(c,ℓ)) ∈ E(ℓ), false means
+// Light1 = (l(c,ℓ),u(c,ℓ̄)) ∈ E(ℓ̄). One choice per appearance, indexed
+// [clause][position].
+type LightChoice [][3]bool
+
+// BalancedSubsidy realizes a balanced light assignment: exactly one light
+// edge subsidized per appearance gadget, per the given choices.
+func (sg *SATGadget) BalancedSubsidy(choice LightChoice) exact.Subsidy {
+	b := make(exact.Subsidy, sg.G.M())
+	for ci := range sg.Apps {
+		for i := range sg.Apps[ci] {
+			a := &sg.Apps[ci][i]
+			if choice[ci][i] {
+				b[a.Light2] = exact.RI(1)
+			} else {
+				b[a.Light1] = exact.RI(1)
+			}
+		}
+	}
+	return b
+}
+
+// SubsidyForAssignment maps a truth assignment to its consistent balanced
+// light assignment: variable x true subsidizes the edges of E(x), false
+// those of E(x̄). Its cost is exactly 3|C| (one unit edge per appearance).
+func (sg *SATGadget) SubsidyForAssignment(assign []bool) exact.Subsidy {
+	choice := sg.ChoiceForAssignment(assign)
+	return sg.BalancedSubsidy(choice)
+}
+
+// ChoiceForAssignment expresses a truth assignment as per-gadget choices:
+// the appearance of literal λ subsidizes Light2 ∈ E(λ) iff λ is true.
+func (sg *SATGadget) ChoiceForAssignment(assign []bool) LightChoice {
+	choice := make(LightChoice, len(sg.Apps))
+	for ci := range sg.Apps {
+		for i := range sg.Apps[ci] {
+			a := &sg.Apps[ci][i]
+			litTrue := assign[a.Lit.Var] != a.Lit.Neg
+			choice[ci][i] = litTrue
+		}
+	}
+	return choice
+}
+
+// IsConsistent reports whether a per-gadget choice corresponds to a truth
+// assignment (all appearances of each variable agree on which side of
+// E(x)/E(x̄) is subsidized). It returns the induced assignment when so.
+func (sg *SATGadget) IsConsistent(choice LightChoice) ([]bool, bool) {
+	assign := make([]bool, sg.F.NumVars)
+	seen := make([]bool, sg.F.NumVars)
+	for ci := range sg.Apps {
+		for i := range sg.Apps[ci] {
+			a := &sg.Apps[ci][i]
+			// choice true ⟺ E(λ) side ⟺ λ true.
+			val := choice[ci][i] != a.Lit.Neg
+			if seen[a.Lit.Var] && assign[a.Lit.Var] != val {
+				return nil, false
+			}
+			seen[a.Lit.Var] = true
+			assign[a.Lit.Var] = val
+		}
+	}
+	return assign, true
+}
+
+// LightEdges returns all 6|C| light edge IDs.
+func (sg *SATGadget) LightEdges() []int {
+	var ids []int
+	for ci := range sg.Apps {
+		for i := range sg.Apps[ci] {
+			ids = append(ids, sg.Apps[ci][i].Light1, sg.Apps[ci][i].Light2)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,388 @@
+package gadgets
+
+import (
+	"math/big"
+	"testing"
+
+	"netdesign/internal/exact"
+	"netdesign/internal/reductions"
+)
+
+func TestSATConstants(t *testing.T) {
+	n := SATConstants()
+	if n[9].Int64() != 7 || n[8].Int64() != 196 || n[7].Int64() != 153664 {
+		t.Errorf("n9=%v n8=%v n7=%v", n[9], n[8], n[7])
+	}
+	for j := 1; j <= 8; j++ {
+		want := new(big.Int).Mul(n[j+1], n[j+1])
+		want.Mul(want, big.NewInt(4))
+		if n[j].Cmp(want) != 0 {
+			t.Errorf("recurrence broken at j=%d", j)
+		}
+	}
+	// n_1 is astronomically large — the reason the exact engine exists.
+	if n[1].BitLen() < 1000 {
+		t.Errorf("n1 has only %d bits", n[1].BitLen())
+	}
+}
+
+// oneClause builds the gadget for the single clause (x0 ∨ ¬x1 ∨ x2).
+func oneClause(t *testing.T) *SATGadget {
+	t.Helper()
+	f := &reductions.Formula{NumVars: 3, Clauses: []reductions.Clause{
+		{{Var: 0}, {Var: 1, Neg: true}, {Var: 2}},
+	}}
+	sg, err := BuildSAT(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+func TestSATGadgetShape(t *testing.T) {
+	sg := oneClause(t)
+	if !sg.G.IsSpanningTree(sg.Tree) {
+		t.Fatal("target T is not a spanning tree")
+	}
+	if len(sg.Apps) != 1 || len(sg.Clauses) != 1 || len(sg.Cons) != 0 {
+		t.Fatalf("shape: %d apps %d clauses %d cons", len(sg.Apps), len(sg.Clauses), len(sg.Cons))
+	}
+	// Labels of a single clause are distinct and drawn from {7,8,9}.
+	labels := map[int]bool{}
+	for _, a := range sg.Apps[0] {
+		labels[a.Label] = true
+		if a.Label < 7 || a.Label > 9 {
+			t.Errorf("label %d outside the compact range", a.Label)
+		}
+	}
+	if len(labels) != 3 {
+		t.Error("labels not distinct within the clause")
+	}
+	// Chaining: l(c,ℓ1) = root, l(c,ℓ2) = u(c,ℓ1), l(c,ℓ3) = u(c,ℓ2);
+	// labels ascend.
+	if sg.Apps[0][0].L != sg.Root ||
+		sg.Apps[0][1].L != sg.Apps[0][0].End ||
+		sg.Apps[0][2].L != sg.Apps[0][1].End {
+		t.Error("gadget chaining broken")
+	}
+	if !(sg.Apps[0][0].Label < sg.Apps[0][1].Label && sg.Apps[0][1].Label < sg.Apps[0][2].Label) {
+		t.Error("labels not ascending along the chain")
+	}
+	if len(sg.LightEdges()) != 6 {
+		t.Errorf("light edges: %d", len(sg.LightEdges()))
+	}
+}
+
+// TestSATUsageCounts asserts the paper's padding invariant: the first
+// light edge of each appearance gadget carries exactly n_j players and
+// the second exactly n_j − 3.
+func TestSATUsageCounts(t *testing.T) {
+	formulas := []*reductions.Formula{
+		{NumVars: 3, Clauses: []reductions.Clause{
+			{{Var: 0}, {Var: 1, Neg: true}, {Var: 2}},
+		}},
+		// Shared variable in two clauses (consistency gadgets active,
+		// both ℓ-ℓ and ℓ-ℓ̄ cases below).
+		{NumVars: 5, Clauses: []reductions.Clause{
+			{{Var: 0}, {Var: 1}, {Var: 2}},
+			{{Var: 0}, {Var: 3}, {Var: 4}},
+		}},
+		{NumVars: 5, Clauses: []reductions.Clause{
+			{{Var: 0}, {Var: 1}, {Var: 2}},
+			{{Var: 0, Neg: true}, {Var: 3}, {Var: 4}},
+		}},
+		// A variable appearing four times.
+		{NumVars: 9, Clauses: []reductions.Clause{
+			{{Var: 0}, {Var: 1}, {Var: 2}},
+			{{Var: 0, Neg: true}, {Var: 3}, {Var: 4}},
+			{{Var: 0}, {Var: 5}, {Var: 6}},
+			{{Var: 0, Neg: true}, {Var: 7}, {Var: 8}},
+		}},
+	}
+	for fi, f := range formulas {
+		sg, err := BuildSAT(f, nil)
+		if err != nil {
+			t.Fatalf("formula %d: %v", fi, err)
+		}
+		st, err := sg.State()
+		if err != nil {
+			t.Fatalf("formula %d: %v", fi, err)
+		}
+		for ci := range sg.Apps {
+			for i, a := range sg.Apps[ci] {
+				nj := sg.N[a.Label]
+				if st.NA[a.Light1].Cmp(nj) != 0 {
+					t.Errorf("formula %d clause %d pos %d: Light1 usage %v ≠ n_%d = %v",
+						fi, ci, i, st.NA[a.Light1], a.Label, nj)
+				}
+				want := new(big.Int).Sub(nj, big.NewInt(3))
+				if st.NA[a.Light2].Cmp(want) != 0 {
+					t.Errorf("formula %d clause %d pos %d: Light2 usage %v ≠ n_%d−3",
+						fi, ci, i, st.NA[a.Light2], a.Label)
+				}
+			}
+		}
+	}
+}
+
+// TestCorollary20 is the headline equivalence: a consistent balanced
+// light assignment enforces T iff its truth assignment satisfies φ —
+// checked exhaustively over all 2^vars assignments.
+func TestCorollary20(t *testing.T) {
+	formulas := []*reductions.Formula{
+		{NumVars: 3, Clauses: []reductions.Clause{
+			{{Var: 0}, {Var: 1, Neg: true}, {Var: 2}},
+		}},
+		{NumVars: 5, Clauses: []reductions.Clause{
+			{{Var: 0}, {Var: 1}, {Var: 2}},
+			{{Var: 0, Neg: true}, {Var: 3}, {Var: 4}},
+		}},
+		{NumVars: 4, Clauses: []reductions.Clause{
+			{{Var: 0}, {Var: 1}, {Var: 2}},
+			{{Var: 0, Neg: true}, {Var: 1, Neg: true}, {Var: 3}},
+		}},
+	}
+	for fi, f := range formulas {
+		sg, err := BuildSAT(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sg.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign := make([]bool, f.NumVars)
+		for mask := 0; mask < 1<<f.NumVars; mask++ {
+			for v := range assign {
+				assign[v] = mask&(1<<v) != 0
+			}
+			b := sg.SubsidyForAssignment(assign)
+			enforced := st.IsEquilibrium(b)
+			satisfied := f.Eval(assign)
+			if enforced != satisfied {
+				t.Errorf("formula %d assign %b: enforced=%v satisfied=%v",
+					fi, mask, enforced, satisfied)
+			}
+			// Light assignment costs exactly 3|C|.
+			if want := int64(3 * len(f.Clauses)); b.Cost().Cmp(exact.RI(want)) != 0 {
+				t.Errorf("formula %d: light cost %v ≠ %d", fi, b.Cost(), want)
+			}
+		}
+	}
+}
+
+// TestLemma14Unbalanced: subsidizing both or neither light edge of some
+// gadget always breaks equilibrium (regardless of clause truth).
+func TestLemma14Unbalanced(t *testing.T) {
+	sg := oneClause(t)
+	st, err := sg.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start from a satisfying, consistent assignment.
+	base := sg.SubsidyForAssignment([]bool{true, false, true})
+	if !st.IsEquilibrium(base) {
+		t.Fatal("baseline should enforce")
+	}
+	for i := range sg.Apps[0] {
+		a := sg.Apps[0][i]
+		// Neither edge subsidized: the v3 player prefers (l, v3).
+		none := make(exact.Subsidy, sg.G.M())
+		copy(none, base)
+		none[a.Light1] = nil
+		none[a.Light2] = nil
+		if v := st.FindViolation(none); v == nil {
+			t.Errorf("gadget %d: zero-light assignment should not enforce", i)
+		} else if v.Node != a.V3 && v.Node != a.V2 {
+			// The first reported violation may vary; it must at least be
+			// a critical player of this or a downstream gadget.
+			t.Logf("gadget %d: violation at node %d via edge %d", i, v.Node, v.ViaEdge)
+		}
+		// Both edges subsidized: the v2 player prefers (v2, u).
+		both := make(exact.Subsidy, sg.G.M())
+		copy(both, base)
+		both[a.Light1] = exact.RI(1)
+		both[a.Light2] = exact.RI(1)
+		if st.IsEquilibrium(both) {
+			t.Errorf("gadget %d: double-light assignment should not enforce", i)
+		}
+	}
+}
+
+// TestLemma16and17Inconsistent: balanced but variable-inconsistent
+// choices wake a consistency player, for both gadget types.
+func TestLemma16and17Inconsistent(t *testing.T) {
+	for _, neg := range []bool{false, true} {
+		f := &reductions.Formula{NumVars: 5, Clauses: []reductions.Clause{
+			{{Var: 0}, {Var: 1}, {Var: 2}},
+			{{Var: 0, Neg: neg}, {Var: 3}, {Var: 4}},
+		}}
+		sg, err := BuildSAT(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sg.Cons) != 1 || sg.Cons[0].SameLiteral == neg {
+			t.Fatalf("neg=%v: consistency gadgets %v", neg, sg.Cons)
+		}
+		st, err := sg.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A satisfying assignment enforces (sanity).
+		sat := []bool{true, true, true, true, true}
+		if !f.Eval(sat) {
+			t.Fatal("assignment should satisfy")
+		}
+		if !st.IsEquilibrium(sg.SubsidyForAssignment(sat)) {
+			t.Fatalf("neg=%v: satisfying assignment should enforce", neg)
+		}
+		// Flip x0's choice in clause 2 only: balanced but inconsistent.
+		choice := sg.ChoiceForAssignment(sat)
+		for i := range sg.Apps[1] {
+			if sg.Apps[1][i].Lit.Var == 0 {
+				choice[1][i] = !choice[1][i]
+			}
+		}
+		if _, ok := sg.IsConsistent(choice); ok {
+			t.Fatalf("neg=%v: flipped choice should be inconsistent", neg)
+		}
+		b := sg.BalancedSubsidy(choice)
+		v := st.FindViolation(b)
+		if v == nil {
+			t.Fatalf("neg=%v: inconsistent assignment should not enforce", neg)
+		}
+		cg := sg.Cons[0]
+		if v.Node != cg.U1 && v.Node != cg.U2 {
+			t.Errorf("neg=%v: violation at node %d, expected a consistency player (%d or %d)",
+				neg, v.Node, cg.U1, cg.U2)
+		}
+	}
+}
+
+// TestLemma19ClauseEdge: with a consistent balanced assignment whose
+// truth assignment falsifies a clause, the violated player is that
+// clause's v(c).
+func TestLemma19ClauseEdge(t *testing.T) {
+	sg := oneClause(t)
+	st, err := sg.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (x0 ∨ ¬x1 ∨ x2) falsified by x0=false, x1=true, x2=false.
+	b := sg.SubsidyForAssignment([]bool{false, true, false})
+	v := st.FindViolation(b)
+	if v == nil {
+		t.Fatal("falsifying assignment should not enforce")
+	}
+	if v.Node != sg.Clauses[0].VC || v.ViaEdge != sg.Clauses[0].NonTreeEdge {
+		t.Errorf("violation %v, want clause player %d via edge %d",
+			v, sg.Clauses[0].VC, sg.Clauses[0].NonTreeEdge)
+	}
+}
+
+// TestTheorem12BruteForce enumerates every balanced light choice of a
+// one-clause gadget (2^3 of them) and confirms that exactly the
+// clause-satisfying ones enforce T. Combined with TestLemma14Unbalanced
+// this walks the whole Lemma 13–19 chain mechanically.
+func TestTheorem12BruteForce(t *testing.T) {
+	sg := oneClause(t)
+	st, err := sg.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 8; mask++ {
+		choice := make(LightChoice, 1)
+		for i := 0; i < 3; i++ {
+			choice[0][i] = mask&(1<<i) != 0
+		}
+		assign, consistent := sg.IsConsistent(choice)
+		if !consistent {
+			t.Fatal("one-clause choices are always consistent")
+		}
+		b := sg.BalancedSubsidy(choice)
+		enforced := st.IsEquilibrium(b)
+		if enforced != sg.F.Eval(assign) {
+			t.Errorf("mask %b: enforced=%v eval=%v", mask, enforced, sg.F.Eval(assign))
+		}
+	}
+}
+
+func TestBuildSATRejectsBadFormula(t *testing.T) {
+	bad := &reductions.Formula{NumVars: 2, Clauses: []reductions.Clause{
+		{{Var: 0}, {Var: 0, Neg: true}, {Var: 1}},
+	}}
+	if _, err := BuildSAT(bad, nil); err == nil {
+		t.Error("invalid formula accepted")
+	}
+}
+
+func TestSATCustomK(t *testing.T) {
+	f := &reductions.Formula{NumVars: 3, Clauses: []reductions.Clause{
+		{{Var: 0}, {Var: 1}, {Var: 2}},
+	}}
+	sg, err := BuildSAT(f, exact.RI(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.K.Cmp(exact.RI(5000)) != 0 {
+		t.Error("custom K ignored")
+	}
+	st, err := sg.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsEquilibrium(sg.SubsidyForAssignment([]bool{true, true, true})) {
+		t.Error("custom-K gadget broken")
+	}
+}
+
+// TestSATFourLabelFormula stresses the gadget with a formula whose
+// conflict graph needs four labels, pushing the constants down to
+// n_6 ≈ 9.4·10^10 and the auxiliary multiplicities beyond int32 range.
+func TestSATFourLabelFormula(t *testing.T) {
+	// Variable 0 appears in all four clauses, pairing with six others in
+	// overlapping patterns that force a 4-coloring.
+	f := &reductions.Formula{NumVars: 7, Clauses: []reductions.Clause{
+		{{Var: 0}, {Var: 1}, {Var: 2}},
+		{{Var: 0, Neg: true}, {Var: 1}, {Var: 3}},
+		{{Var: 0}, {Var: 2, Neg: true}, {Var: 3}},
+		{{Var: 0, Neg: true}, {Var: 4}, {Var: 5}},
+	}}
+	sg, err := BuildSAT(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minLabel := 10
+	for ci := range sg.Apps {
+		for _, a := range sg.Apps[ci] {
+			if a.Label < minLabel {
+				minLabel = a.Label
+			}
+		}
+	}
+	if minLabel > 6 {
+		t.Logf("formula only needed labels ≥ %d; still a valid stress case", minLabel)
+	}
+	st, err := sg.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Padding invariant holds at every label depth.
+	for ci := range sg.Apps {
+		for _, a := range sg.Apps[ci] {
+			if st.NA[a.Light1].Cmp(sg.N[a.Label]) != 0 {
+				t.Fatalf("clause %d label %d: Light1 usage %v ≠ n_j", ci, a.Label, st.NA[a.Light1])
+			}
+		}
+	}
+	// Corollary 20 on the full assignment space (2^7 = 128 checks).
+	assign := make([]bool, f.NumVars)
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		for v := range assign {
+			assign[v] = mask&(1<<v) != 0
+		}
+		if st.IsEquilibrium(sg.SubsidyForAssignment(assign)) != f.Eval(assign) {
+			t.Fatalf("mask %b: equivalence broken", mask)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package game
+
+import (
+	"errors"
+	"math/rand"
+
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// BestResponse returns a minimum-cost deviation path for player i against
+// the rest of st, together with its cost. The marginal cost of edge a for
+// player i is (w_a − b_a)/(n_a + 1 − n_a^i): this is the separation oracle
+// of the paper's LP (1), implemented with Dijkstra.
+func (st *State) BestResponse(i int, b Subsidy) (path []int, cost float64) {
+	g := st.game.G
+	wf := func(id int) float64 {
+		den := st.usage[id] + 1
+		if st.uses[i][id] {
+			den--
+		}
+		return (g.Weight(id) - b.At(id)) / float64(den)
+	}
+	sp := graph.Dijkstra(g, st.game.Terminals[i].S, wf)
+	t := st.game.Terminals[i].T
+	return sp.PathTo(t), sp.Dist[t]
+}
+
+// Violation describes a profitable unilateral deviation.
+type Violation struct {
+	Player  int
+	Path    []int   // the improving path
+	Current float64 // player's current cost
+	Better  float64 // cost after deviating
+}
+
+// Gain returns how much the deviation saves.
+func (v *Violation) Gain() float64 { return v.Current - v.Better }
+
+// FindViolation returns a profitable deviation, or nil if st is a Nash
+// equilibrium of the game extended with subsidies b.
+func (st *State) FindViolation(b Subsidy) *Violation {
+	best := st.bestViolation(b, false)
+	return best
+}
+
+// IsEquilibrium reports whether no player can profitably deviate.
+func (st *State) IsEquilibrium(b Subsidy) bool {
+	return st.FindViolation(b) == nil
+}
+
+// bestViolation scans players in order; if maxGain is true it returns the
+// violation with the largest gain, otherwise the first found.
+func (st *State) bestViolation(b Subsidy, maxGain bool) *Violation {
+	var best *Violation
+	for i := range st.Paths {
+		cur := st.PlayerCost(i, b)
+		path, cost := st.BestResponse(i, b)
+		if path == nil {
+			continue
+		}
+		if numeric.Less(cost, cur) {
+			v := &Violation{Player: i, Path: path, Current: cur, Better: cost}
+			if !maxGain {
+				return v
+			}
+			if best == nil || v.Gain() > best.Gain() {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// Order selects the player-scheduling discipline for best-response
+// dynamics.
+type Order int
+
+// Scheduling disciplines.
+const (
+	RoundRobin Order = iota // first improving player in index order
+	MaxGain                 // player with the largest improvement
+	Random                  // random improving player
+)
+
+// ErrNoConvergence is returned when dynamics exceed their step budget.
+// Fair-cost-sharing games are potential games, so this indicates a
+// tolerance pathology, not a theoretical possibility.
+var ErrNoConvergence = errors.New("game: best-response dynamics exceeded step budget")
+
+// DynamicsResult records a best-response-dynamics run.
+type DynamicsResult struct {
+	Final      *State
+	Steps      int
+	Potentials []float64 // potential after each step (including start)
+}
+
+// BestResponseDynamics runs improving best responses from st until no
+// player can improve, under the given order (rng may be nil unless
+// order == Random). The Rosenthal potential strictly decreases each step,
+// which both proves termination and is recorded for analysis.
+func BestResponseDynamics(st *State, b Subsidy, order Order, rng *rand.Rand, maxSteps int) (*DynamicsResult, error) {
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	res := &DynamicsResult{Final: st, Potentials: []float64{st.Potential(b)}}
+	for res.Steps < maxSteps {
+		var v *Violation
+		switch order {
+		case RoundRobin:
+			v = res.Final.bestViolation(b, false)
+		case MaxGain:
+			v = res.Final.bestViolation(b, true)
+		case Random:
+			var all []*Violation
+			for i := range res.Final.Paths {
+				cur := res.Final.PlayerCost(i, b)
+				path, cost := res.Final.BestResponse(i, b)
+				if path != nil && numeric.Less(cost, cur) {
+					all = append(all, &Violation{Player: i, Path: path, Current: cur, Better: cost})
+				}
+			}
+			if len(all) > 0 {
+				v = all[rng.Intn(len(all))]
+			}
+		}
+		if v == nil {
+			return res, nil
+		}
+		next, err := res.Final.Replace(v.Player, v.Path)
+		if err != nil {
+			return nil, err
+		}
+		res.Final = next
+		res.Steps++
+		res.Potentials = append(res.Potentials, next.Potential(b))
+	}
+	return res, ErrNoConvergence
+}

@@ -1,0 +1,116 @@
+package game
+
+import (
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// This file implements pairwise coalition deviations — the first step of
+// the coalition variation the paper's Section 6 poses as future work
+// ("variations of SNE and SND that consider deviations of coalitions of
+// players, as opposed to unilateral deviations").
+//
+// A pair deviation is a joint move by two players after which BOTH are
+// strictly better off. States resilient to unilateral and pair deviations
+// are 2-strong equilibria; enforcing them can require more subsidies than
+// Nash enforcement because the blocking condition is disjunctive (at
+// least one member must not gain) and therefore not a single LP row.
+
+// PairViolation is a profitable joint deviation by two players.
+type PairViolation struct {
+	Players [2]int
+	Paths   [2][]int
+	Gains   [2]float64 // strictly positive for both
+}
+
+// FindPairDeviation searches for a profitable pair deviation under
+// subsidies b, enumerating up to maxPaths simple paths per player
+// (≤ 0 for unlimited — exponential; keep instances small). It returns
+// nil when the state is 2-strong-stable against pair moves.
+func (st *State) FindPairDeviation(b Subsidy, maxPaths int) (*PairViolation, error) {
+	gm := st.game
+	n := gm.N()
+	// Strategy pools per player (current path first so indices align).
+	pools := make([][][]int, n)
+	for i, tm := range gm.Terminals {
+		var paths [][]int
+		graph.SimplePaths(gm.G, tm.S, tm.T, maxPaths, func(p []int) bool {
+			paths = append(paths, p)
+			return true
+		})
+		pools[i] = paths
+	}
+	for i := 0; i < n; i++ {
+		ci := st.PlayerCost(i, b)
+		for j := i + 1; j < n; j++ {
+			cj := st.PlayerCost(j, b)
+			for _, pi := range pools[i] {
+				for _, pj := range pools[j] {
+					niCost, njCost := st.jointCosts(i, pi, j, pj, b)
+					if numeric.Less(niCost, ci) && numeric.Less(njCost, cj) {
+						return &PairViolation{
+							Players: [2]int{i, j},
+							Paths:   [2][]int{pi, pj},
+							Gains:   [2]float64{ci - niCost, cj - njCost},
+						}, nil
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// jointCosts returns the costs of players i and j after they jointly
+// switch to paths pi and pj with everyone else fixed.
+func (st *State) jointCosts(i int, pi []int, j int, pj []int, b Subsidy) (float64, float64) {
+	g := st.game.G
+	onPi := make(map[int]bool, len(pi))
+	for _, id := range pi {
+		onPi[id] = true
+	}
+	onPj := make(map[int]bool, len(pj))
+	for _, id := range pj {
+		onPj[id] = true
+	}
+	// usage after the joint move = old usage − (i used) − (j used)
+	//                              + (i uses now) + (j uses now).
+	usageAfter := func(id int) int {
+		u := st.usage[id]
+		if st.uses[i][id] {
+			u--
+		}
+		if st.uses[j][id] {
+			u--
+		}
+		if onPi[id] {
+			u++
+		}
+		if onPj[id] {
+			u++
+		}
+		return u
+	}
+	cost := func(path []int) float64 {
+		sum := 0.0
+		for _, id := range path {
+			sum += (g.Weight(id) - b.At(id)) / float64(usageAfter(id))
+		}
+		return sum
+	}
+	return cost(pi), cost(pj)
+}
+
+// IsPairStable reports whether st is a Nash equilibrium that additionally
+// resists every pair deviation (a 2-strong equilibrium over the sampled
+// strategy pools).
+func (st *State) IsPairStable(b Subsidy, maxPaths int) (bool, error) {
+	if !st.IsEquilibrium(b) {
+		return false, nil
+	}
+	v, err := st.FindPairDeviation(b, maxPaths)
+	if err != nil {
+		return false, err
+	}
+	return v == nil, nil
+}

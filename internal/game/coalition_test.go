@@ -1,0 +1,155 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// TestPairDeviationClassic: two players on a shared expensive edge are
+// unilaterally stable but can jointly migrate to a cheaper edge.
+func TestPairDeviationClassic(t *testing.T) {
+	g := graph.New(2)
+	cheap := g.AddEdge(0, 1, 2.5)
+	costly := g.AddEdge(0, 1, 3)
+	gm, err := New(g, []Terminal{{S: 0, T: 1}, {S: 0, T: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(gm, [][]int{{costly}, {costly}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unilaterally stable: leaving costs 2.5 > 1.5.
+	if !st.IsEquilibrium(nil) {
+		t.Fatal("state should be a Nash equilibrium")
+	}
+	// Jointly unstable: both moving pays 1.25 < 1.5 each.
+	v, err := st.FindPairDeviation(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("pair deviation to the cheap edge should exist")
+	}
+	if !numeric.AlmostEqual(v.Gains[0], 0.25) || !numeric.AlmostEqual(v.Gains[1], 0.25) {
+		t.Errorf("gains = %v", v.Gains)
+	}
+	if len(v.Paths[0]) != 1 || v.Paths[0][0] != cheap {
+		t.Errorf("deviation paths = %v", v.Paths)
+	}
+	stable, err := st.IsPairStable(nil, 0)
+	if err != nil || stable {
+		t.Errorf("IsPairStable = %v %v, want false", stable, err)
+	}
+	// Subsidizing the expensive edge down to an effective 2.4 restores
+	// 2-strong stability (sharing 1.2 each beats 1.25).
+	sub := ZeroSubsidy(g)
+	sub[costly] = 0.6
+	stable, err = st.IsPairStable(sub, 0)
+	if err != nil || !stable {
+		t.Errorf("subsidized IsPairStable = %v %v, want true", stable, err)
+	}
+}
+
+// TestPairStableImpliesNash: the 2-strong check subsumes the Nash check.
+func TestPairStableImpliesNash(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 1, 3)
+	gm, _ := New(g, []Terminal{{S: 0, T: 1}, {S: 0, T: 1}})
+	st, _ := NewState(gm, [][]int{{1}, {1}}) // both on the expensive edge
+	// Not even a Nash equilibrium (solo move to the cheap edge pays 1).
+	stable, err := st.IsPairStable(nil, 0)
+	if err != nil || stable {
+		t.Errorf("non-Nash state reported pair-stable")
+	}
+}
+
+// TestPairDeviationMatchesReplacePair: joint cost computation must agree
+// with literally rebuilding the state with both paths replaced.
+func TestPairDeviationMatchesReplacePair(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(3)
+		g := graph.RandomConnected(rng, n, 0.7, 0.5, 2)
+		gm, err := New(g, []Terminal{{S: 0, T: n - 1}, {S: 1, T: n - 1}, {S: 2, T: n - 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths := make([][]int, 3)
+		for i, tm := range gm.Terminals {
+			paths[i] = graph.Dijkstra(g, tm.S, nil).PathTo(tm.T)
+		}
+		st, err := NewState(gm, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var alts0, alts1 [][]int
+		graph.SimplePaths(g, 0, n-1, 10, func(p []int) bool { alts0 = append(alts0, p); return true })
+		graph.SimplePaths(g, 1, n-1, 10, func(p []int) bool { alts1 = append(alts1, p); return true })
+		for _, p0 := range alts0 {
+			for _, p1 := range alts1 {
+				c0, c1 := st.jointCosts(0, p0, 1, p1, nil)
+				mid, err := st.Replace(0, p0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				both, err := mid.Replace(1, p1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !numeric.AlmostEqual(c0, both.PlayerCost(0, nil)) ||
+					!numeric.AlmostEqual(c1, both.PlayerCost(1, nil)) {
+					t.Fatalf("trial %d: joint costs (%v,%v) vs replaced (%v,%v)",
+						trial, c0, c1, both.PlayerCost(0, nil), both.PlayerCost(1, nil))
+				}
+			}
+		}
+	}
+}
+
+// TestNashOftenPairStable: on random broadcast-style games, states that
+// are Nash equilibria are frequently (not always) pair-stable; the test
+// asserts consistency of the two predicates rather than a rate.
+func TestNashOftenPairStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	checked := 0
+	for trial := 0; trial < 20 && checked < 8; trial++ {
+		n := 3 + rng.Intn(3)
+		g := graph.RandomConnected(rng, n, 0.5, 0.5, 2)
+		var terms []Terminal
+		for i := 1; i < n; i++ {
+			terms = append(terms, Terminal{S: i, T: 0})
+		}
+		gm, err := New(g, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths := make([][]int, len(terms))
+		for i, tm := range terms {
+			paths[i] = graph.Dijkstra(g, tm.S, nil).PathTo(tm.T)
+		}
+		st, err := NewState(gm, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := BestResponseDynamics(st, nil, RoundRobin, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stable, err := res.Final.IsPairStable(nil, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stable && !res.Final.IsEquilibrium(nil) {
+			t.Fatal("pair-stable state is not Nash — predicate inconsistency")
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no instances checked")
+	}
+}

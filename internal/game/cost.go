@@ -1,0 +1,59 @@
+package game
+
+import "netdesign/internal/numeric"
+
+// PlayerCost returns the cost player i experiences in state st under
+// subsidies b:  Σ_{a∈T_i} (w_a − b_a)/n_a(T).
+func (st *State) PlayerCost(i int, b Subsidy) float64 {
+	g := st.game.G
+	sum := 0.0
+	for _, id := range st.Paths[i] {
+		sum += (g.Weight(id) - b.At(id)) / float64(st.usage[id])
+	}
+	return sum
+}
+
+// TotalPlayerCost is Σ_i cost_i = Σ established (w_a − b_a): what the
+// players collectively pay after subsidies.
+func (st *State) TotalPlayerCost(b Subsidy) float64 {
+	g := st.game.G
+	sum := 0.0
+	for id, u := range st.usage {
+		if u > 0 {
+			sum += g.Weight(id) - b.At(id)
+		}
+	}
+	return sum
+}
+
+// Potential returns Rosenthal's potential Φ(T) = Σ_a Σ_{k=1}^{n_a}
+// (w_a − b_a)/k = Σ_a (w_a − b_a)·H_{n_a}. A unilateral deviation changes
+// a player's cost by exactly the change in Φ, so local minima of Φ are
+// Nash equilibria — the paper's Section 1 recalls this as the engine
+// behind the H_n price-of-stability bound.
+func (st *State) Potential(b Subsidy) float64 {
+	g := st.game.G
+	sum := 0.0
+	for id, u := range st.usage {
+		if u > 0 {
+			sum += (g.Weight(id) - b.At(id)) * numeric.Harmonic(u)
+		}
+	}
+	return sum
+}
+
+// DeviationCost returns the cost player i would experience by switching
+// to path p while everyone else stays:
+// Σ_{a∈p} (w_a − b_a)/(n_a(T) + 1 − n_a^i(T)).
+func (st *State) DeviationCost(i int, p []int, b Subsidy) float64 {
+	g := st.game.G
+	sum := 0.0
+	for _, id := range p {
+		den := st.usage[id] + 1
+		if st.uses[i][id] {
+			den--
+		}
+		sum += (g.Weight(id) - b.At(id)) / float64(den)
+	}
+	return sum
+}

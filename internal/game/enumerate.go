@@ -1,0 +1,128 @@
+package game
+
+import (
+	"errors"
+	"math"
+
+	"netdesign/internal/graph"
+)
+
+// ErrTooManyStates is returned by exhaustive analyses when the strategy
+// space exceeds the caller's limit.
+var ErrTooManyStates = errors.New("game: state space limit exceeded")
+
+// Strategies enumerates every simple path for each player, capped at
+// maxPerPlayer paths per player (≤ 0 means unlimited).
+func (gm *Game) Strategies(maxPerPlayer int) ([][][]int, error) {
+	out := make([][][]int, gm.N())
+	for i, tm := range gm.Terminals {
+		var paths [][]int
+		graph.SimplePaths(gm.G, tm.S, tm.T, maxPerPlayer, func(p []int) bool {
+			paths = append(paths, p)
+			return true
+		})
+		if len(paths) == 0 {
+			return nil, errors.New("game: player has no connecting path")
+		}
+		if maxPerPlayer > 0 && len(paths) >= maxPerPlayer {
+			return nil, ErrTooManyStates
+		}
+		out[i] = paths
+	}
+	return out, nil
+}
+
+// ForEachState enumerates the full strategy-profile space (the Cartesian
+// product of players' simple paths) and calls fn on each state. fn may
+// return false to stop. The total number of states visited is returned;
+// enumeration aborts with ErrTooManyStates beyond stateLimit (≤ 0 means
+// unlimited). This is intentionally brute force: it is the oracle against
+// which the fast equilibrium checks are validated, and the engine for
+// exact price-of-anarchy/stability on tiny games.
+func (gm *Game) ForEachState(stateLimit int, fn func(st *State) bool) (int, error) {
+	strat, err := gm.Strategies(0)
+	if err != nil {
+		return 0, err
+	}
+	total := 1
+	for _, s := range strat {
+		if stateLimit > 0 && total > stateLimit {
+			return 0, ErrTooManyStates
+		}
+		total *= len(s)
+		if stateLimit > 0 && total > stateLimit {
+			return 0, ErrTooManyStates
+		}
+	}
+	choice := make([]int, gm.N())
+	count := 0
+	for {
+		paths := make([][]int, gm.N())
+		for i, c := range choice {
+			paths[i] = strat[i][c]
+		}
+		st, err := NewState(gm, paths)
+		if err != nil {
+			return count, err
+		}
+		count++
+		if !fn(st) {
+			return count, nil
+		}
+		// Advance the mixed-radix counter.
+		i := 0
+		for ; i < gm.N(); i++ {
+			choice[i]++
+			if choice[i] < len(strat[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == gm.N() {
+			return count, nil
+		}
+	}
+}
+
+// Analysis summarizes the exhaustive equilibrium landscape of a game.
+type Analysis struct {
+	States       int
+	Equilibria   int
+	OptWeight    float64 // minimum established weight over all states
+	BestEqWeight float64 // minimum established weight over equilibria (+Inf if none)
+	WorstEq      float64 // maximum established weight over equilibria (-Inf if none)
+}
+
+// PoS returns the price of stability (best equilibrium / optimum).
+func (a *Analysis) PoS() float64 { return a.BestEqWeight / a.OptWeight }
+
+// PoA returns the price of anarchy (worst equilibrium / optimum).
+func (a *Analysis) PoA() float64 { return a.WorstEq / a.OptWeight }
+
+// Analyze exhaustively scans the state space under subsidies b. Pure Nash
+// equilibria always exist in these potential games, so Equilibria ≥ 1
+// whenever enumeration completes.
+func (gm *Game) Analyze(b Subsidy, stateLimit int) (*Analysis, error) {
+	a := &Analysis{OptWeight: math.Inf(1), BestEqWeight: math.Inf(1), WorstEq: math.Inf(-1)}
+	n, err := gm.ForEachState(stateLimit, func(st *State) bool {
+		w := st.EstablishedWeight()
+		if w < a.OptWeight {
+			a.OptWeight = w
+		}
+		if st.IsEquilibrium(b) {
+			a.Equilibria++
+			if w < a.BestEqWeight {
+				a.BestEqWeight = w
+			}
+			if w > a.WorstEq {
+				a.WorstEq = w
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.States = n
+	return a, nil
+}

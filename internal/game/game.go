@@ -1,0 +1,148 @@
+// Package game implements general fair-cost-sharing network design games
+// (Anshelevich et al.): each player selects a path between her terminals,
+// and every established edge's (possibly subsidized) weight is split
+// evenly among the players using it.
+//
+// The package provides states, costs, the Rosenthal potential,
+// best-response computation via Dijkstra on marginal cost shares,
+// equilibrium checking, best-response dynamics and brute-force
+// price-of-anarchy/stability analysis for small instances. Broadcast
+// games — the paper's focus — have a faster specialized engine in
+// package broadcast; this general engine doubles as its test oracle.
+package game
+
+import (
+	"fmt"
+
+	"netdesign/internal/graph"
+)
+
+// Terminal is a player's source-destination pair.
+type Terminal struct {
+	S, T int
+}
+
+// Game is a network design game: a weighted undirected graph plus one
+// terminal pair per player.
+type Game struct {
+	G         *graph.Graph
+	Terminals []Terminal
+}
+
+// New validates terminals and returns a game.
+func New(g *graph.Graph, terminals []Terminal) (*Game, error) {
+	for i, tm := range terminals {
+		if tm.S < 0 || tm.S >= g.N() || tm.T < 0 || tm.T >= g.N() {
+			return nil, fmt.Errorf("game: player %d terminals out of range", i)
+		}
+		if tm.S == tm.T {
+			return nil, fmt.Errorf("game: player %d has equal terminals", i)
+		}
+	}
+	return &Game{G: g, Terminals: terminals}, nil
+}
+
+// N returns the number of players.
+func (gm *Game) N() int { return len(gm.Terminals) }
+
+// State is a strategy profile: one path (as an ordered edge-ID list from
+// S to T) per player, with cached usage counts.
+type State struct {
+	game  *Game
+	Paths [][]int
+	usage []int    // usage[edgeID] = number of players using the edge
+	uses  [][]bool // uses[i][edgeID]
+}
+
+// NewState validates the profile (each path must be a simple S→T path)
+// and caches usage counts.
+func NewState(gm *Game, paths [][]int) (*State, error) {
+	if len(paths) != gm.N() {
+		return nil, fmt.Errorf("game: %d paths for %d players", len(paths), gm.N())
+	}
+	st := &State{
+		game:  gm,
+		Paths: paths,
+		usage: make([]int, gm.G.M()),
+		uses:  make([][]bool, gm.N()),
+	}
+	for i, p := range paths {
+		if err := validatePath(gm.G, gm.Terminals[i], p); err != nil {
+			return nil, fmt.Errorf("game: player %d: %w", i, err)
+		}
+		st.uses[i] = make([]bool, gm.G.M())
+		for _, id := range p {
+			st.uses[i][id] = true
+			st.usage[id]++
+		}
+	}
+	return st, nil
+}
+
+// validatePath checks p is a simple walk from tm.S to tm.T.
+func validatePath(g *graph.Graph, tm Terminal, p []int) error {
+	if len(p) == 0 {
+		return fmt.Errorf("empty path")
+	}
+	cur := tm.S
+	visited := map[int]bool{cur: true}
+	for _, id := range p {
+		if id < 0 || id >= g.M() {
+			return fmt.Errorf("edge %d out of range", id)
+		}
+		e := g.Edge(id)
+		var next int
+		switch cur {
+		case e.U:
+			next = e.V
+		case e.V:
+			next = e.U
+		default:
+			return fmt.Errorf("edge %d does not continue the path at node %d", id, cur)
+		}
+		if visited[next] {
+			return fmt.Errorf("path revisits node %d", next)
+		}
+		visited[next] = true
+		cur = next
+	}
+	if cur != tm.T {
+		return fmt.Errorf("path ends at %d, want %d", cur, tm.T)
+	}
+	return nil
+}
+
+// Game returns the underlying game.
+func (st *State) Game() *Game { return st.game }
+
+// Usage returns the number of players using the given edge.
+func (st *State) Usage(edgeID int) int { return st.usage[edgeID] }
+
+// Uses reports whether player i uses the given edge.
+func (st *State) Uses(i, edgeID int) bool { return st.uses[i][edgeID] }
+
+// EstablishedEdges returns the IDs of edges used by at least one player —
+// the network the state establishes.
+func (st *State) EstablishedEdges() []int {
+	var ids []int
+	for id, u := range st.usage {
+		if u > 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// EstablishedWeight is the social cost of the state: the total weight of
+// established edges. Subsidies do not change it — they change who pays.
+func (st *State) EstablishedWeight() float64 {
+	return st.game.G.WeightOf(st.EstablishedEdges())
+}
+
+// Replace returns a copy of st in which player i uses path p.
+func (st *State) Replace(i int, p []int) (*State, error) {
+	paths := make([][]int, len(st.Paths))
+	copy(paths, st.Paths)
+	paths[i] = p
+	return NewState(st.game, paths)
+}

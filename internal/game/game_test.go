@@ -1,0 +1,451 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// twoPlayerParallel builds the classic two-parallel-edge game: both
+// players connect 0→1 over edge A (weight 1) or edge B (weight 3).
+func twoPlayerParallel(t *testing.T) (*Game, int, int) {
+	t.Helper()
+	g := graph.New(2)
+	a := g.AddEdge(0, 1, 1)
+	b := g.AddEdge(0, 1, 3)
+	gm, err := New(g, []Terminal{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gm, a, b
+}
+
+func TestNewValidation(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	if _, err := New(g, []Terminal{{0, 5}}); err == nil {
+		t.Error("out-of-range terminal accepted")
+	}
+	if _, err := New(g, []Terminal{{1, 1}}); err == nil {
+		t.Error("equal terminals accepted")
+	}
+}
+
+func TestStateValidation(t *testing.T) {
+	gm, a, b := twoPlayerParallel(t)
+	if _, err := NewState(gm, [][]int{{a}, {b}}); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	if _, err := NewState(gm, [][]int{{a}}); err == nil {
+		t.Error("wrong path count accepted")
+	}
+	if _, err := NewState(gm, [][]int{{}, {b}}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := NewState(gm, [][]int{{a, b}, {b}}); err == nil {
+		t.Error("path revisiting its start accepted")
+	}
+	if _, err := NewState(gm, [][]int{{99}, {b}}); err == nil {
+		t.Error("unknown edge accepted")
+	}
+}
+
+func TestCostsAndUsage(t *testing.T) {
+	gm, a, b := twoPlayerParallel(t)
+	both, _ := NewState(gm, [][]int{{a}, {a}})
+	if both.Usage(a) != 2 || both.Usage(b) != 0 {
+		t.Error("usage counts wrong")
+	}
+	if c := both.PlayerCost(0, nil); !numeric.AlmostEqual(c, 0.5) {
+		t.Errorf("shared cost = %v, want 0.5", c)
+	}
+	if w := both.EstablishedWeight(); w != 1 {
+		t.Errorf("established weight = %v", w)
+	}
+	split, _ := NewState(gm, [][]int{{a}, {b}})
+	if c := split.PlayerCost(1, nil); c != 3 {
+		t.Errorf("solo cost = %v", c)
+	}
+	if w := split.EstablishedWeight(); w != 4 {
+		t.Errorf("established weight = %v", w)
+	}
+	if tc := split.TotalPlayerCost(nil); tc != 4 {
+		t.Errorf("total player cost = %v", tc)
+	}
+	// Sum of player costs equals total weight of established edges.
+	sum := both.PlayerCost(0, nil) + both.PlayerCost(1, nil)
+	if !numeric.AlmostEqual(sum, both.EstablishedWeight()) {
+		t.Errorf("cost shares don't sum to social cost: %v vs %v", sum, both.EstablishedWeight())
+	}
+}
+
+func TestSubsidizedCosts(t *testing.T) {
+	gm, a, b := twoPlayerParallel(t)
+	st, _ := NewState(gm, [][]int{{b}, {b}})
+	sub := ZeroSubsidy(gm.G)
+	sub[b] = 2 // players share only 3-2 = 1
+	if c := st.PlayerCost(0, sub); !numeric.AlmostEqual(c, 0.5) {
+		t.Errorf("subsidized cost = %v, want 0.5", c)
+	}
+	_ = a
+	if err := sub.Validate(gm.G); err != nil {
+		t.Errorf("valid subsidy rejected: %v", err)
+	}
+	sub[b] = 5
+	if err := sub.Validate(gm.G); err == nil {
+		t.Error("oversubsidy accepted")
+	}
+	sub[b] = -1
+	if err := sub.Validate(gm.G); err == nil {
+		t.Error("negative subsidy accepted")
+	}
+}
+
+func TestSubsidyHelpers(t *testing.T) {
+	g := graph.New(2)
+	a := g.AddEdge(0, 1, 2)
+	b := g.AddEdge(0, 1, 4)
+	var nilSub Subsidy
+	if nilSub.At(a) != 0 || nilSub.Cost() != 0 || nilSub.Validate(g) != nil {
+		t.Error("nil subsidy misbehaves")
+	}
+	if !nilSub.IsAllOrNothing(g) || nilSub.Clone() != nil {
+		t.Error("nil subsidy AON/clone wrong")
+	}
+	s := ZeroSubsidy(g)
+	s[a] = 2
+	if !s.IsAllOrNothing(g) {
+		t.Error("full subsidy should be AON")
+	}
+	s[b] = 1
+	if s.IsAllOrNothing(g) {
+		t.Error("partial subsidy reported AON")
+	}
+	if s.Cost() != 3 || s.CostOn([]int{a}) != 2 {
+		t.Error("Cost/CostOn wrong")
+	}
+	s[b] = 4.0000000001
+	s.Clamp(g)
+	if s[b] > 4 {
+		t.Error("Clamp failed")
+	}
+	cl := s.Clone()
+	cl[a] = 0
+	if s[a] != 2 {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestBestResponseAndEquilibrium(t *testing.T) {
+	gm, a, b := twoPlayerParallel(t)
+	// Both on the cheap edge: equilibrium.
+	both, _ := NewState(gm, [][]int{{a}, {a}})
+	if !both.IsEquilibrium(nil) {
+		t.Error("both-on-A should be an equilibrium")
+	}
+	// Both on the expensive edge: each pays 3/2, deviating to A costs 1:
+	// a profitable deviation exists.
+	bad, _ := NewState(gm, [][]int{{b}, {b}})
+	v := bad.FindViolation(nil)
+	if v == nil {
+		t.Fatal("both-on-B should not be an equilibrium")
+	}
+	if !numeric.AlmostEqual(v.Current, 1.5) || !numeric.AlmostEqual(v.Better, 1) {
+		t.Errorf("violation costs %v → %v", v.Current, v.Better)
+	}
+	if g := v.Gain(); !numeric.AlmostEqual(g, 0.5) {
+		t.Errorf("gain = %v", g)
+	}
+	// With a subsidy of 2 on B, sharing B costs 1/2 each: equilibrium.
+	sub := ZeroSubsidy(gm.G)
+	sub[b] = 2
+	if !bad.IsEquilibrium(sub) {
+		t.Error("subsidized both-on-B should be an equilibrium")
+	}
+}
+
+func TestPotentialIdentity(t *testing.T) {
+	// Rosenthal's defining property: when one player deviates, the change
+	// in her cost equals the change in potential. Checked on random small
+	// games, random states and random deviations.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(4)
+		g := graph.RandomConnected(rng, n, 0.5, 0.2, 3)
+		var terms []Terminal
+		np := 1 + rng.Intn(3)
+		for i := 0; i < np; i++ {
+			s, tt := rng.Intn(n), rng.Intn(n)
+			for tt == s {
+				tt = rng.Intn(n)
+			}
+			terms = append(terms, Terminal{s, tt})
+		}
+		gm, err := New(g, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub Subsidy
+		if rng.Intn(2) == 0 {
+			sub = ZeroSubsidy(g)
+			for id := range sub {
+				sub[id] = rng.Float64() * g.Weight(id)
+			}
+		}
+		// Random initial state via shortest paths w/ random perturbation.
+		paths := make([][]int, np)
+		for i, tm := range terms {
+			sp := graph.Dijkstra(g, tm.S, func(id int) float64 { return g.Weight(id) * (1 + rng.Float64()) })
+			paths[i] = sp.PathTo(tm.T)
+		}
+		st, err := NewState(gm, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dev := 0; dev < 5; dev++ {
+			i := rng.Intn(np)
+			// Random alternative simple path for player i.
+			var alts [][]int
+			graph.SimplePaths(g, terms[i].S, terms[i].T, 50, func(p []int) bool {
+				alts = append(alts, p)
+				return true
+			})
+			alt := alts[rng.Intn(len(alts))]
+			next, err := st.Replace(i, alt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dCost := next.PlayerCost(i, sub) - st.PlayerCost(i, sub)
+			dPot := next.Potential(sub) - st.Potential(sub)
+			if !numeric.AlmostEqualTol(dCost, dPot, 1e-7) {
+				t.Fatalf("trial %d: Δcost %v ≠ Δpotential %v", trial, dCost, dPot)
+			}
+			st = next
+		}
+	}
+}
+
+func TestDeviationCostMatchesReplace(t *testing.T) {
+	// DeviationCost must equal the player's cost in the replaced state.
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(4)
+		g := graph.RandomConnected(rng, n, 0.6, 0.5, 2)
+		gm, err := New(g, []Terminal{{0, n - 1}, {0, n - 1}, {1, n - 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths := make([][]int, 3)
+		for i, tm := range gm.Terminals {
+			paths[i] = graph.Dijkstra(g, tm.S, nil).PathTo(tm.T)
+		}
+		st, err := NewState(gm, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var alts [][]int
+		graph.SimplePaths(g, 0, n-1, 20, func(p []int) bool { alts = append(alts, p); return true })
+		for _, alt := range alts {
+			want := st.DeviationCost(0, alt, nil)
+			next, err := st.Replace(0, alt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := next.PlayerCost(0, nil); !numeric.AlmostEqual(got, want) {
+				t.Fatalf("DeviationCost %v vs actual %v", want, got)
+			}
+		}
+	}
+}
+
+func TestBestResponseDynamicsConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, order := range []Order{RoundRobin, MaxGain, Random} {
+		for trial := 0; trial < 15; trial++ {
+			n := 4 + rng.Intn(3)
+			g := graph.RandomConnected(rng, n, 0.5, 0.2, 3)
+			var terms []Terminal
+			for i := 1; i < n; i++ {
+				terms = append(terms, Terminal{i, 0})
+			}
+			gm, err := New(g, terms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			paths := make([][]int, len(terms))
+			for i, tm := range terms {
+				paths[i] = graph.Dijkstra(g, tm.S, func(id int) float64 { return g.Weight(id) * (1 + 2*rng.Float64()) }).PathTo(tm.T)
+			}
+			st, err := NewState(gm, paths)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := BestResponseDynamics(st, nil, order, rng, 10000)
+			if err != nil {
+				t.Fatalf("order %v: %v", order, err)
+			}
+			if !res.Final.IsEquilibrium(nil) {
+				t.Fatalf("order %v: dynamics ended in a non-equilibrium", order)
+			}
+			// Potential must be strictly decreasing.
+			for k := 1; k < len(res.Potentials); k++ {
+				if res.Potentials[k] >= res.Potentials[k-1]+numeric.Eps {
+					t.Fatalf("order %v: potential increased at step %d", order, k)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzeParallelEdges(t *testing.T) {
+	gm, _, _ := twoPlayerParallel(t)
+	a, err := gm.Analyze(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// States: 2×2 = 4; equilibria: both-on-A (and both-on-B is NOT an
+	// equilibrium since 1.5 > 1; split states are not equilibria either).
+	if a.States != 4 {
+		t.Errorf("states = %d", a.States)
+	}
+	if a.Equilibria != 1 || a.OptWeight != 1 || a.BestEqWeight != 1 {
+		t.Errorf("analysis = %+v", a)
+	}
+	if a.PoS() != 1 || a.PoA() != 1 {
+		t.Errorf("PoS %v PoA %v", a.PoS(), a.PoA())
+	}
+}
+
+func TestAnalyzePoSGreaterThanOne(t *testing.T) {
+	// Paper-style example: one player 0→2; direct expensive edge vs
+	// cheap 2-hop path... with a single player PoS=1 always; instead use
+	// the classic 2-player opt-vs-stability gap: terminals share an edge
+	// whose cost splits, but a private cheaper option exists.
+	//
+	//   0 --1.0-- 2      players: {0→2, 1→2}
+	//   1 --1.0-- 2
+	//   0 --0.9-- 3 --0.9-- 2   (cheap shared route for player 0 only? )
+	//
+	// Simpler canonical gap instance: two players with sources 0,1 and
+	// common sink 2; middle node 3.
+	//   0-3 w=1, 1-3 w=1, 3-2 w=1 (shared trunk), 0-2 w=1.9, 1-2 w=1.9
+	// OPT: both via trunk: weight 3. Equilibria include OPT (each pays
+	// 1.5 < 1.9 single). Worst equilibrium: both direct = 3.8? Check:
+	// direct player pays 1.9; deviating to trunk costs 1+1 = 2 > 1.9, so
+	// both-direct is an equilibrium. PoA = 3.8/3.
+	g := graph.New(4)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(3, 2, 1)
+	g.AddEdge(0, 2, 1.9)
+	g.AddEdge(1, 2, 1.9)
+	gm, err := New(g, []Terminal{{0, 2}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := gm.Analyze(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(a.OptWeight, 3) {
+		t.Errorf("opt = %v", a.OptWeight)
+	}
+	if !numeric.AlmostEqual(a.BestEqWeight, 3) {
+		t.Errorf("best equilibrium = %v", a.BestEqWeight)
+	}
+	if !numeric.AlmostEqual(a.WorstEq, 3.8) {
+		t.Errorf("worst equilibrium = %v", a.WorstEq)
+	}
+	if !numeric.AlmostEqual(a.PoA(), 3.8/3) {
+		t.Errorf("PoA = %v", a.PoA())
+	}
+}
+
+func TestForEachStateLimit(t *testing.T) {
+	g := graph.Complete(5, func(i, j int) float64 { return 1 })
+	gm, _ := New(g, []Terminal{{0, 4}, {1, 4}, {2, 4}})
+	if _, err := gm.ForEachState(10, func(*State) bool { return true }); err != ErrTooManyStates {
+		t.Errorf("err = %v, want ErrTooManyStates", err)
+	}
+	// Early stop.
+	count, err := gm.ForEachState(0, func(*State) bool { return false })
+	if err != nil || count != 1 {
+		t.Errorf("early stop: %d %v", count, err)
+	}
+}
+
+func TestStrategiesNoPath(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	gm, _ := New(g, []Terminal{{0, 2}})
+	if _, err := gm.Strategies(0); err == nil {
+		t.Error("unreachable terminal accepted")
+	}
+	if _, err := gm.Analyze(nil, 0); err == nil {
+		t.Error("Analyze should propagate missing-path error")
+	}
+}
+
+func TestPotentialBoundsSocialCost(t *testing.T) {
+	// wgt(T) ≤ Φ(T) ≤ H_n · wgt(T): the inequality behind the paper's
+	// H_n price-of-stability discussion.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(4)
+		g := graph.RandomConnected(rng, n, 0.5, 0.1, 2)
+		var terms []Terminal
+		for i := 1; i < n; i++ {
+			terms = append(terms, Terminal{i, 0})
+		}
+		gm, _ := New(g, terms)
+		paths := make([][]int, len(terms))
+		for i, tm := range terms {
+			paths[i] = graph.Dijkstra(g, tm.S, nil).PathTo(tm.T)
+		}
+		st, err := NewState(gm, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := st.EstablishedWeight()
+		phi := st.Potential(nil)
+		hn := numeric.Harmonic(len(terms))
+		if phi < w-1e-9 || phi > hn*w+1e-9 {
+			t.Fatalf("potential %v outside [wgt, Hn·wgt] = [%v, %v]", phi, w, hn*w)
+		}
+	}
+}
+
+func TestReplaceInvalid(t *testing.T) {
+	gm, a, b := twoPlayerParallel(t)
+	st, _ := NewState(gm, [][]int{{a}, {b}})
+	if _, err := st.Replace(0, []int{}); err == nil {
+		t.Error("Replace with empty path accepted")
+	}
+}
+
+func BenchmarkEquilibriumCheckGeneral(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomConnected(rng, 40, 0.2, 0.5, 3)
+	var terms []Terminal
+	for i := 1; i < 40; i++ {
+		terms = append(terms, Terminal{i, 0})
+	}
+	gm, _ := New(g, terms)
+	paths := make([][]int, len(terms))
+	for i, tm := range terms {
+		paths[i] = graph.Dijkstra(g, tm.S, nil).PathTo(tm.T)
+	}
+	st, err := NewState(gm, paths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.IsEquilibrium(nil)
+	}
+}
+
+var _ = math.Inf // keep math imported for future edits

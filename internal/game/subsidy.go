@@ -1,0 +1,89 @@
+package game
+
+import (
+	"fmt"
+
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// Subsidy assigns an amount b_a ∈ [0, w_a] to every edge (indexed by edge
+// ID). The zero value of an entry means the edge is unsubsidized. A nil
+// Subsidy is treated everywhere as all-zero.
+type Subsidy []float64
+
+// ZeroSubsidy returns an all-zero assignment sized for g.
+func ZeroSubsidy(g *graph.Graph) Subsidy { return make(Subsidy, g.M()) }
+
+// At returns b_a, treating nil as zero.
+func (b Subsidy) At(edgeID int) float64 {
+	if b == nil {
+		return 0
+	}
+	return b[edgeID]
+}
+
+// Cost returns the total amount of subsidies Σ_a b_a.
+func (b Subsidy) Cost() float64 {
+	sum := 0.0
+	for _, v := range b {
+		sum += v
+	}
+	return sum
+}
+
+// CostOn returns the subsidies restricted to the given edge set, b(A).
+func (b Subsidy) CostOn(ids []int) float64 {
+	sum := 0.0
+	for _, id := range ids {
+		sum += b.At(id)
+	}
+	return sum
+}
+
+// Validate checks 0 ≤ b_a ≤ w_a for every edge (within tolerance).
+func (b Subsidy) Validate(g *graph.Graph) error {
+	if b == nil {
+		return nil
+	}
+	if len(b) != g.M() {
+		return fmt.Errorf("game: subsidy has %d entries for %d edges", len(b), g.M())
+	}
+	for id, v := range b {
+		w := g.Weight(id)
+		if v < -numeric.Eps || v > w+numeric.Eps*(1+w) {
+			return fmt.Errorf("game: subsidy %v on edge %d outside [0,%v]", v, id, w)
+		}
+	}
+	return nil
+}
+
+// IsAllOrNothing reports whether every entry is 0 or the full edge weight
+// (within tolerance) — the integral regime of Section 5 of the paper.
+func (b Subsidy) IsAllOrNothing(g *graph.Graph) bool {
+	if b == nil {
+		return true
+	}
+	for id, v := range b {
+		if !numeric.AlmostEqual(v, 0) && !numeric.AlmostEqual(v, g.Weight(id)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clamp snaps entries into [0, w_a], removing tolerance-level excursions
+// produced by LP round-off.
+func (b Subsidy) Clamp(g *graph.Graph) {
+	for id := range b {
+		b[id] = numeric.Clamp(b[id], 0, g.Weight(id))
+	}
+}
+
+// Clone returns a copy of b (nil stays nil).
+func (b Subsidy) Clone() Subsidy {
+	if b == nil {
+		return nil
+	}
+	return append(Subsidy(nil), b...)
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// DOTOptions controls Graphviz export.
+type DOTOptions struct {
+	Name      string              // graph name (default "G")
+	Highlight map[int]bool        // edge IDs drawn bold (e.g. a spanning tree)
+	EdgeLabel func(id int) string // extra per-edge label (e.g. subsidies); nil for weight only
+	NodeLabel func(v int) string  // per-node label; nil for the index
+}
+
+// WriteDOT renders g in Graphviz DOT format, so gadget constructions and
+// subsidized designs can be inspected visually (dot -Tsvg). Highlighted
+// edges — typically the enforced tree — are bold; the rest dashed.
+func WriteDOT(w io.Writer, g *Graph, opts DOTOptions) error {
+	bw := bufio.NewWriter(w)
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(bw, "graph %s {\n", name)
+	fmt.Fprintf(bw, "  node [shape=circle fontsize=10];\n")
+	for v := 0; v < g.N(); v++ {
+		label := fmt.Sprintf("%d", v)
+		if opts.NodeLabel != nil {
+			label = opts.NodeLabel(v)
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q];\n", v, label)
+	}
+	for _, e := range g.Edges() {
+		label := fmt.Sprintf("%.4g", e.W)
+		if opts.EdgeLabel != nil {
+			label = opts.EdgeLabel(e.ID)
+		}
+		style := "dashed"
+		if opts.Highlight[e.ID] {
+			style = "bold"
+		}
+		fmt.Fprintf(bw, "  n%d -- n%d [label=%q style=%s];\n", e.U, e.V, label, style)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

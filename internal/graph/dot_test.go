@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New(3)
+	a := g.AddEdge(0, 1, 1.5)
+	g.AddEdge(1, 2, 2)
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, DOTOptions{
+		Name:      "demo",
+		Highlight: map[int]bool{a: true},
+		EdgeLabel: func(id int) string { return fmt.Sprintf("e%d", id) },
+		NodeLabel: func(v int) string {
+			if v == 0 {
+				return "root"
+			}
+			return fmt.Sprintf("v%d", v)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph demo {",
+		`n0 [label="root"]`,
+		`n0 -- n1 [label="e0" style=bold]`,
+		`n1 -- n2 [label="e1" style=dashed]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaults(t *testing.T) {
+	g := Path(2, 3)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "graph G {") || !strings.Contains(out, `label="3"`) {
+		t.Errorf("default DOT wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText ensures the graph parser never panics and accepted graphs
+// round-trip.
+func FuzzReadText(f *testing.F) {
+	f.Add("nodes 3\nedge 0 1 1\nedge 1 2 0.5\n")
+	f.Add("nodes 0\n")
+	f.Add("nodes 2\nedge 0 1 1\nedge 0 1 2\n")
+	f.Add("garbage\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("serialized graph failed to re-parse: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns a path graph r=0 — 1 — ... — n with the given uniform edge
+// weight. It has n+1 nodes and n edges.
+func Path(n int, w float64) *Graph {
+	g := New(n + 1)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, i+1, w)
+	}
+	return g
+}
+
+// Cycle returns a cycle on n+1 nodes (0..n) with unit-weight edges — the
+// Theorem 11 lower-bound topology when weights are 1.
+func Cycle(n int, w float64) *Graph {
+	if n < 1 {
+		panic("graph: Cycle needs at least 2 nodes")
+	}
+	g := Path(n, w)
+	g.AddEdge(n, 0, w)
+	return g
+}
+
+// Star returns a star with center 0 and n leaves, each spoke of weight w.
+func Star(n int, w float64) *Graph {
+	g := New(n + 1)
+	for i := 1; i <= n; i++ {
+		g.AddEdge(0, i, w)
+	}
+	return g
+}
+
+// Wheel returns a wheel: center 0, rim 1..n joined in a cycle with rim
+// weight rimW, spokes of weight spokeW.
+func Wheel(n int, spokeW, rimW float64) *Graph {
+	if n < 3 {
+		panic("graph: Wheel needs a rim of at least 3 nodes")
+	}
+	g := New(n + 1)
+	for i := 1; i <= n; i++ {
+		g.AddEdge(0, i, spokeW)
+	}
+	for i := 1; i <= n; i++ {
+		j := i%n + 1
+		g.AddEdge(i, j, rimW)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n with weights drawn from wf(i,j).
+func Complete(n int, wf func(i, j int) float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, wf(i, j))
+		}
+	}
+	return g
+}
+
+// Grid returns an r×c grid graph with uniform weight w. Node (i,j) has
+// index i*c+j.
+func Grid(r, c int, w float64) *Graph {
+	g := New(r * c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(i*c+j, i*c+j+1, w)
+			}
+			if i+1 < r {
+				g.AddEdge(i*c+j, (i+1)*c+j, w)
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnected returns a connected random graph on n nodes: a random
+// spanning tree plus each remaining pair independently with probability p,
+// weights uniform in [minW, maxW). Deterministic for a given rng.
+func RandomConnected(rng *rand.Rand, n int, p, minW, maxW float64) *Graph {
+	if n < 1 {
+		panic("graph: RandomConnected needs at least one node")
+	}
+	if minW < 0 || maxW < minW {
+		panic(fmt.Sprintf("graph: bad weight range [%v,%v)", minW, maxW))
+	}
+	w := func() float64 {
+		if maxW == minW {
+			return minW
+		}
+		return minW + rng.Float64()*(maxW-minW)
+	}
+	g := New(n)
+	perm := rng.Perm(n)
+	// Random tree: attach each node (in random order) to a random earlier one.
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		g.AddEdge(perm[i], perm[j], w())
+	}
+	has := make(map[[2]int]bool)
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		has[[2]int{u, v}] = true
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !has[[2]int{u, v}] && rng.Float64() < p {
+				g.AddEdge(u, v, w())
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular simple graph on n nodes via the
+// pairing model with restarts (requires n·d even and d < n). Used to feed
+// the Theorem 5 reduction, which consumes 3-regular graphs.
+func RandomRegular(rng *rand.Rand, n, d int) (*Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d must be even (n=%d d=%d)", n, d)
+	}
+	if d >= n {
+		return nil, fmt.Errorf("graph: degree %d too large for %d nodes", d, n)
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for k := 0; k < d; k++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		seen := make(map[[2]int]bool)
+		type pair struct{ u, v int }
+		var pairs []pair
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				ok = false
+				break
+			}
+			seen[[2]int{u, v}] = true
+			pairs = append(pairs, pair{u, v})
+		}
+		if !ok {
+			continue
+		}
+		g := New(n)
+		for _, p := range pairs {
+			g.AddEdge(p.u, p.v, 1)
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("graph: failed to sample a %d-regular graph on %d nodes", d, n)
+}

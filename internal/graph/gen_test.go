@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerators(t *testing.T) {
+	if g := Path(5, 2); g.N() != 6 || g.M() != 5 || g.TotalWeight() != 10 {
+		t.Error("Path wrong")
+	}
+	if g := Cycle(4, 1); g.N() != 5 || g.M() != 5 || !g.Connected() {
+		t.Error("Cycle wrong")
+	}
+	if g := Star(7, 3); g.N() != 8 || g.M() != 7 || g.Degree(0) != 7 {
+		t.Error("Star wrong")
+	}
+	if g := Wheel(5, 1, 2); g.N() != 6 || g.M() != 10 || g.Degree(0) != 5 {
+		t.Error("Wheel wrong")
+	}
+	if g := Complete(5, func(i, j int) float64 { return 1 }); g.M() != 10 {
+		t.Error("Complete wrong")
+	}
+	if g := Grid(3, 4, 1); g.N() != 12 || g.M() != 3*3+2*4 || !g.Connected() {
+		t.Error("Grid wrong")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(20)
+		g := RandomConnected(rng, n, 0.3, 0.5, 2)
+		if !g.Connected() {
+			t.Fatalf("trial %d: not connected", trial)
+		}
+		if g.M() < n-1 {
+			t.Fatalf("trial %d: too few edges", trial)
+		}
+		for _, e := range g.Edges() {
+			if e.W < 0.5 || e.W >= 2 {
+				t.Fatalf("weight %v out of range", e.W)
+			}
+		}
+	}
+	// Determinism for a fixed seed.
+	a := RandomConnected(rand.New(rand.NewSource(9)), 10, 0.3, 0, 1)
+	b := RandomConnected(rand.New(rand.NewSource(9)), 10, 0.3, 0, 1)
+	if a.M() != b.M() {
+		t.Error("RandomConnected not deterministic for fixed seed")
+	}
+	for i := range a.Edges() {
+		if a.Edge(i) != b.Edge(i) {
+			t.Error("RandomConnected edges differ for fixed seed")
+			break
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{4, 6, 8, 10, 14} {
+		g, err := RandomRegular(rng, n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != 3 {
+				t.Fatalf("n=%d: node %d has degree %d", n, v, g.Degree(v))
+			}
+		}
+		// Simple graph check: no parallel edges.
+		seen := map[[2]int]bool{}
+		for _, e := range g.Edges() {
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				t.Fatalf("parallel edge %d-%d", u, v)
+			}
+			seen[[2]int{u, v}] = true
+		}
+	}
+	if _, err := RandomRegular(rng, 5, 3); err == nil {
+		t.Error("odd n*d should fail")
+	}
+	if _, err := RandomRegular(rng, 3, 3); err == nil {
+		t.Error("d >= n should fail")
+	}
+}

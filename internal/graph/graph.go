@@ -1,0 +1,230 @@
+// Package graph implements the undirected, edge-weighted multigraphs that
+// underlie every network design game in this library, together with the
+// classic algorithms the paper's constructions rely on: minimum spanning
+// trees, shortest paths, rooted-tree queries (LCA, subtree statistics) and
+// exhaustive spanning-tree enumeration.
+//
+// Nodes are dense integers 0..N-1. Edges carry stable integer IDs equal to
+// their insertion order, so subsidy assignments and tree states can be
+// represented as slices indexed by edge ID. Parallel edges are allowed
+// (the Theorem 11 cycle with n = 1 degenerates to one); self-loops are
+// rejected because no simple path ever uses one.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is an undirected edge {U,V} with non-negative weight W and a stable
+// identifier ID (its index in the graph's edge list).
+type Edge struct {
+	ID int
+	U  int
+	V  int
+	W  float64
+}
+
+// Other returns the endpoint of e opposite to node u.
+// It panics if u is not an endpoint of e.
+func (e Edge) Other(u int) int {
+	switch u {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d", u, e.ID))
+}
+
+// Half is an adjacency record: the far endpoint and the connecting edge ID.
+type Half struct {
+	To   int
+	Edge int
+}
+
+// Graph is an undirected weighted multigraph with a fixed node count.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]Half
+}
+
+// New creates a graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{n: n, adj: make([][]Half, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddNode appends a new node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge inserts an undirected edge {u,v} of weight w and returns its ID.
+// Weights must be non-negative and finite; self-loops are rejected.
+func (g *Graph) AddEdge(u, v int, w float64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if u == v {
+		panic("graph: self-loops are not allowed")
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("graph: invalid edge weight %v", w))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, U: u, V: v, W: w})
+	g.adj[u] = append(g.adj[u], Half{To: v, Edge: id})
+	g.adj[v] = append(g.adj[v], Half{To: u, Edge: id})
+	return id
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge {
+	return g.edges[id]
+}
+
+// Edges returns the edge list. The returned slice must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Adj returns the adjacency list of node u. Must not be modified.
+func (g *Graph) Adj(u int) []Half { return g.adj[u] }
+
+// Degree returns the number of edge endpoints at node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Weight returns the weight of the edge with the given ID.
+func (g *Graph) Weight(id int) float64 { return g.edges[id].W }
+
+// SetWeight updates the weight of an edge in place. It is used by
+// instance perturbation helpers in tests; weights must stay non-negative.
+func (g *Graph) SetWeight(id int, w float64) {
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("graph: invalid edge weight %v", w))
+	}
+	g.edges[id].W = w
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	sum := 0.0
+	for _, e := range g.edges {
+		sum += e.W
+	}
+	return sum
+}
+
+// WeightOf returns the total weight of the edge set given by IDs.
+func (g *Graph) WeightOf(ids []int) float64 {
+	sum := 0.0
+	for _, id := range ids {
+		sum += g.edges[id].W
+	}
+	return sum
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	h := &Graph{n: g.n, edges: append([]Edge(nil), g.edges...), adj: make([][]Half, g.n)}
+	for u := range g.adj {
+		h.adj[u] = append([]Half(nil), g.adj[u]...)
+	}
+	return h
+}
+
+// Connected reports whether the graph is connected (vacuously true for
+// n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return len(g.Component(0)) == g.n
+}
+
+// Component returns the nodes reachable from start (including start),
+// in BFS order.
+func (g *Graph) Component(start int) []int {
+	seen := make([]bool, g.n)
+	seen[start] = true
+	order := []int{start}
+	for i := 0; i < len(order); i++ {
+		for _, h := range g.adj[order[i]] {
+			if !seen[h.To] {
+				seen[h.To] = true
+				order = append(order, h.To)
+			}
+		}
+	}
+	return order
+}
+
+// ConnectedOn reports whether the subgraph induced by the given edge IDs
+// connects all n nodes.
+func (g *Graph) ConnectedOn(edgeIDs []int) bool {
+	if g.n <= 1 {
+		return true
+	}
+	dsu := NewUnionFind(g.n)
+	comps := g.n
+	for _, id := range edgeIDs {
+		e := g.edges[id]
+		if dsu.Union(e.U, e.V) {
+			comps--
+		}
+	}
+	return comps == 1
+}
+
+// IsSpanningTree reports whether the edge ID set forms a spanning tree of g.
+func (g *Graph) IsSpanningTree(edgeIDs []int) bool {
+	if len(edgeIDs) != g.n-1 {
+		return false
+	}
+	return g.ConnectedOn(edgeIDs)
+}
+
+// FindEdge returns the ID of a minimum-weight edge between u and v, or
+// -1 if none exists.
+func (g *Graph) FindEdge(u, v int) int {
+	best := -1
+	for _, h := range g.adj[u] {
+		if h.To == v && (best == -1 || g.edges[h.Edge].W < g.edges[best].W) {
+			best = h.Edge
+		}
+	}
+	return best
+}
+
+// SortedEdgeIDs returns all edge IDs ordered by ascending weight
+// (ties by ID, so the order is deterministic).
+func (g *Graph) SortedEdgeIDs() []int {
+	ids := make([]int, len(g.edges))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ea, eb := g.edges[ids[a]], g.edges[ids[b]]
+		if ea.W != eb.W {
+			return ea.W < eb.W
+		}
+		return ea.ID < eb.ID
+	})
+	return ids
+}
+
+// String renders a compact human-readable description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d w=%.4g}", g.n, len(g.edges), g.TotalWeight())
+}

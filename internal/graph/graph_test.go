@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicConstruction(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 || g.M() != 0 {
+		t.Fatalf("fresh graph: n=%d m=%d", g.N(), g.M())
+	}
+	e0 := g.AddEdge(0, 1, 2.5)
+	e1 := g.AddEdge(1, 2, 1.0)
+	e2 := g.AddEdge(0, 1, 3.0) // parallel edge allowed
+	if e0 != 0 || e1 != 1 || e2 != 2 {
+		t.Fatalf("edge IDs not sequential: %d %d %d", e0, e1, e2)
+	}
+	if g.Degree(1) != 3 {
+		t.Errorf("Degree(1) = %d, want 3", g.Degree(1))
+	}
+	if g.Edge(0).Other(0) != 1 || g.Edge(0).Other(1) != 0 {
+		t.Error("Other failed")
+	}
+	if g.TotalWeight() != 6.5 {
+		t.Errorf("TotalWeight = %v", g.TotalWeight())
+	}
+	if g.WeightOf([]int{0, 1}) != 3.5 {
+		t.Errorf("WeightOf = %v", g.WeightOf([]int{0, 1}))
+	}
+	if id := g.FindEdge(0, 1); id != 0 {
+		t.Errorf("FindEdge(0,1) = %d, want the lighter parallel edge 0", id)
+	}
+	if id := g.FindEdge(0, 3); id != -1 {
+		t.Errorf("FindEdge(0,3) = %d, want -1", id)
+	}
+}
+
+func TestAddNodeAndClone(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	v := g.AddNode()
+	if v != 2 || g.N() != 3 {
+		t.Fatalf("AddNode -> %d, n=%d", v, g.N())
+	}
+	g.AddEdge(1, 2, 4)
+	h := g.Clone()
+	h.SetWeight(0, 99)
+	if g.Weight(0) == 99 {
+		t.Error("Clone is not independent")
+	}
+}
+
+func TestInvalidOperationsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"self-loop":       func() { New(2).AddEdge(0, 0, 1) },
+		"negative weight": func() { New(2).AddEdge(0, 1, -1) },
+		"out of range":    func() { New(2).AddEdge(0, 5, 1) },
+		"negative nodes":  func() { New(-1) },
+		"other mismatch":  func() { e := Edge{ID: 0, U: 1, V: 2}; e.Other(7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if g.Connected() {
+		t.Error("two components reported connected")
+	}
+	g.AddEdge(1, 2, 1)
+	if !g.Connected() {
+		t.Error("connected graph reported disconnected")
+	}
+	if got := len(g.Component(0)); got != 4 {
+		t.Errorf("Component(0) size %d", got)
+	}
+	if !g.ConnectedOn([]int{0, 1, 2}) {
+		t.Error("ConnectedOn full edge set failed")
+	}
+	if g.ConnectedOn([]int{0, 1}) {
+		t.Error("ConnectedOn partial edge set should fail")
+	}
+	if !g.IsSpanningTree([]int{0, 1, 2}) {
+		t.Error("IsSpanningTree failed on a valid tree")
+	}
+	if g.IsSpanningTree([]int{0, 1}) {
+		t.Error("IsSpanningTree accepted a forest")
+	}
+}
+
+func TestSortedEdgeIDs(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 5)
+	ids := g.SortedEdgeIDs()
+	if ids[0] != 1 || ids[1] != 0 || ids[2] != 2 {
+		t.Errorf("SortedEdgeIDs = %v", ids)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Count() != 5 {
+		t.Fatalf("Count = %d", uf.Count())
+	}
+	if !uf.Union(0, 1) || uf.Union(0, 1) {
+		t.Error("Union return values wrong")
+	}
+	uf.Union(2, 3)
+	if uf.Same(0, 2) {
+		t.Error("Same(0,2) should be false")
+	}
+	uf.Union(1, 3)
+	if !uf.Same(0, 2) || uf.Count() != 2 {
+		t.Error("merged sets inconsistent")
+	}
+	cl := uf.Clone()
+	cl.Union(0, 4)
+	if uf.Same(0, 4) {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestUnionFindRandomAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 50
+	uf := NewUnionFind(n)
+	label := make([]int, n) // naive labeling
+	for i := range label {
+		label[i] = i
+	}
+	for step := 0; step < 500; step++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		got := uf.Union(a, b)
+		want := label[a] != label[b]
+		if got != want {
+			t.Fatalf("step %d: Union(%d,%d) = %v, naive %v", step, a, b, got, want)
+		}
+		if want {
+			old, nw := label[a], label[b]
+			for i := range label {
+				if label[i] == old {
+					label[i] = nw
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if uf.Same(i, j) != (label[i] == label[j]) {
+				t.Fatalf("Same(%d,%d) disagrees with naive", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text instance format is line-oriented:
+//
+//	# comment
+//	nodes <n>
+//	edge <u> <v> <weight>
+//
+// It is deliberately minimal so instances stay hand-editable; cmd/gadgetgen
+// emits it and cmd/sne, cmd/snd consume it.
+
+// WriteText serializes g in the text instance format.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "nodes %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "edge %d %d %g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a graph from the text instance format.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var g *Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "nodes":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'nodes <n>'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
+			}
+			g = New(n)
+		case "edge":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: 'edge' before 'nodes'", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want 'edge <u> <v> <w>'", lineNo)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed edge", lineNo)
+			}
+			if u < 0 || u >= g.N() || v < 0 || v >= g.N() || u == v || w < 0 {
+				return nil, fmt.Errorf("graph: line %d: invalid edge %d-%d w=%g", lineNo, u, v, w)
+			}
+			g.AddEdge(u, v, w)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing 'nodes' directive")
+	}
+	return g, nil
+}
+
+// jsonGraph is the JSON wire representation.
+type jsonGraph struct {
+	Nodes int         `json:"nodes"`
+	Edges [][3]string `json:"edges"` // [u, v, w] as strings to keep precision explicit
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Nodes: g.n}
+	for _, e := range g.edges {
+		jg.Edges = append(jg.Edges, [3]string{
+			strconv.Itoa(e.U), strconv.Itoa(e.V), strconv.FormatFloat(e.W, 'g', -1, 64),
+		})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	ng := New(jg.Nodes)
+	for i, triple := range jg.Edges {
+		u, err1 := strconv.Atoi(triple[0])
+		v, err2 := strconv.Atoi(triple[1])
+		w, err3 := strconv.ParseFloat(triple[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("graph: malformed JSON edge %d", i)
+		}
+		ng.AddEdge(u, v, w)
+	}
+	*g = *ng
+	return nil
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := RandomConnected(rng, 12, 0.4, 0.25, 7)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("round trip changed shape: %v vs %v", h, g)
+	}
+	for i := range g.Edges() {
+		if g.Edge(i) != h.Edge(i) {
+			t.Fatalf("edge %d differs: %v vs %v", i, g.Edge(i), h.Edge(i))
+		}
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	in := "# a graph\nnodes 3\n\nedge 0 1 1.5\nedge 1 2 2\n"
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 || g.Weight(0) != 1.5 {
+		t.Errorf("parsed wrong: %v", g)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	bad := []string{
+		"edge 0 1 1\n",            // edge before nodes
+		"nodes x\n",               // bad count
+		"nodes 2\nedge 0 5 1\n",   // out of range
+		"nodes 2\nedge 0 0 1\n",   // self loop
+		"nodes 2\nedge 0 1 -1\n",  // negative weight
+		"nodes 2\nedge 0 1\n",     // missing weight
+		"nodes 2\nfrobnicate 1\n", // unknown directive
+		"",                        // empty
+		"nodes\n",                 // missing arg
+	}
+	for _, in := range bad {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := RandomConnected(rng, 9, 0.5, 0, 3)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Graph
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatal("JSON round trip changed shape")
+	}
+	for i := range g.Edges() {
+		if g.Edge(i) != h.Edge(i) {
+			t.Fatalf("edge %d differs after JSON round trip", i)
+		}
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"nodes":2,"edges":[["a","1","1"]]}`), &g); err == nil {
+		t.Error("malformed edge accepted")
+	}
+	if err := json.Unmarshal([]byte(`{`), &g); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

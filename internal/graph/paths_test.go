@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDijkstraSimple(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 1)
+	// node 4 isolated
+	sp := Dijkstra(g, 0, nil)
+	want := []float64{0, 1, 3, 4, math.Inf(1)}
+	for v, d := range want {
+		if sp.Dist[v] != d {
+			t.Errorf("Dist[%d] = %v, want %v", v, sp.Dist[v], d)
+		}
+	}
+	path := sp.PathTo(3)
+	if len(path) != 3 || g.WeightOf(path) != 4 {
+		t.Errorf("PathTo(3) = %v", path)
+	}
+	if sp.PathTo(4) != nil {
+		t.Error("PathTo(4) should be nil for unreachable node")
+	}
+	if p := sp.PathTo(0); len(p) != 0 {
+		t.Errorf("PathTo(source) = %v", p)
+	}
+}
+
+func TestDijkstraWeightFunc(t *testing.T) {
+	g := New(3)
+	a := g.AddEdge(0, 1, 10)
+	b := g.AddEdge(1, 2, 10)
+	c := g.AddEdge(0, 2, 10)
+	// Override: make the two-hop route cheap.
+	wf := func(id int) float64 {
+		if id == a || id == b {
+			return 1
+		}
+		_ = c
+		return 10
+	}
+	sp := Dijkstra(g, 0, wf)
+	if sp.Dist[2] != 2 {
+		t.Errorf("Dist[2] = %v, want 2 under override", sp.Dist[2])
+	}
+}
+
+func TestDijkstraVsFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(15)
+		g := RandomConnected(rng, n, 0.3, 0, 10)
+		all := AllPairsFloydWarshall(g, nil)
+		for s := 0; s < n; s++ {
+			sp := Dijkstra(g, s, nil)
+			for v := 0; v < n; v++ {
+				if math.Abs(sp.Dist[v]-all[s][v]) > 1e-9 {
+					t.Fatalf("trial %d: dist(%d,%d): dijkstra %v vs fw %v", trial, s, v, sp.Dist[v], all[s][v])
+				}
+				// Path weight must equal distance.
+				if p := sp.PathTo(v); p != nil {
+					if math.Abs(g.WeightOf(p)-sp.Dist[v]) > 1e-9 {
+						t.Fatalf("path weight mismatch at %d", v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSimplePathsTriangle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	var paths [][]int
+	n := SimplePaths(g, 0, 2, 0, func(p []int) bool {
+		paths = append(paths, p)
+		return true
+	})
+	if n != 2 || len(paths) != 2 {
+		t.Fatalf("triangle 0→2 simple paths = %d, want 2", n)
+	}
+}
+
+func TestSimplePathsLimitAndStop(t *testing.T) {
+	g := Complete(6, func(i, j int) float64 { return 1 })
+	n := SimplePaths(g, 0, 5, 3, func(p []int) bool { return true })
+	if n != 3 {
+		t.Errorf("limit=3 produced %d paths", n)
+	}
+	count := 0
+	SimplePaths(g, 0, 5, 0, func(p []int) bool {
+		count++
+		return count < 2 // stop after 2
+	})
+	if count != 2 {
+		t.Errorf("early stop produced %d paths", count)
+	}
+}
+
+func TestSimplePathsCountOnCompleteGraph(t *testing.T) {
+	// # simple paths between two fixed nodes of K_n is sum_{k=0}^{n-2} (n-2)!/(n-2-k)!.
+	g := Complete(5, func(i, j int) float64 { return 1 })
+	want := 1 + 3 + 3*2 + 3*2*1 // direct, one via, two via, three via = 16
+	if n := SimplePaths(g, 0, 4, 0, func([]int) bool { return true }); n != want {
+		t.Errorf("K5 path count = %d, want %d", n, want)
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import "errors"
+
+// ErrTooManyTrees is returned by EnumerateSpanningTrees when the number of
+// spanning trees exceeds the caller's limit.
+var ErrTooManyTrees = errors.New("graph: spanning tree limit exceeded")
+
+// EnumerateSpanningTrees invokes fn with the edge-ID set of every spanning
+// tree of g exactly once. Enumeration is the classic contraction/deletion
+// recursion: pick an edge incident to a fixed node, enumerate trees using
+// it (contract) and trees avoiding it (delete, when the rest stays
+// connected). fn may return false to stop early. limit > 0 aborts with
+// ErrTooManyTrees once more than limit trees have been produced; limit ≤ 0
+// means unlimited.
+//
+// Exhaustive enumeration is exponential, but the paper's analyses need it
+// only on small instances: brute-force price-of-stability computation and
+// exhaustive validation of the hardness gadgets.
+func EnumerateSpanningTrees(g *Graph, limit int, fn func(tree []int) bool) (int, error) {
+	n := g.N()
+	if n == 0 {
+		return 0, nil
+	}
+	if !g.Connected() {
+		return 0, ErrDisconnected
+	}
+	count := 0
+	stopped := false
+
+	// comp maps each node to its contracted component representative.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = i
+	}
+	// find with path compression over the comp slice (copied per level to
+	// keep the recursion simple and allocation-light for small n).
+	var find func(c []int, x int) int
+	find = func(c []int, x int) int {
+		for c[x] != x {
+			c[x] = c[c[x]]
+			x = c[x]
+		}
+		return x
+	}
+
+	alive := make([]bool, g.M())
+	for i := range alive {
+		alive[i] = true
+	}
+
+	var chosen []int
+
+	// connectedUnder reports whether the alive edges connect all current
+	// components given the contraction c.
+	connectedUnder := func(c []int) bool {
+		dsu := NewUnionFind(n)
+		comps := 0
+		seen := make(map[int]bool)
+		for v := 0; v < n; v++ {
+			r := find(c, v)
+			if !seen[r] {
+				seen[r] = true
+				comps++
+			}
+		}
+		for id, ok := range alive {
+			if !ok {
+				continue
+			}
+			e := g.Edge(id)
+			ru, rv := find(c, e.U), find(c, e.V)
+			if ru != rv && dsu.Union(ru, rv) {
+				comps--
+			}
+		}
+		return comps == 1
+	}
+
+	var rec func(c []int, remaining int)
+	rec = func(c []int, remaining int) {
+		if stopped {
+			return
+		}
+		if remaining == 0 {
+			count++
+			if limit > 0 && count > limit {
+				stopped = true
+				return
+			}
+			cp := append([]int(nil), chosen...)
+			if !fn(cp) {
+				stopped = true
+			}
+			return
+		}
+		// Pick the lowest-ID alive non-self-loop edge.
+		pick := -1
+		for id := 0; id < g.M(); id++ {
+			if !alive[id] {
+				continue
+			}
+			e := g.Edge(id)
+			if find(c, e.U) != find(c, e.V) {
+				pick = id
+				break
+			}
+		}
+		if pick == -1 {
+			return // no way to connect further
+		}
+		e := g.Edge(pick)
+
+		// Branch 1: include pick (contract its endpoints).
+		c2 := append([]int(nil), c...)
+		ru, rv := find(c2, e.U), find(c2, e.V)
+		c2[rv] = ru
+		chosen = append(chosen, pick)
+		alive[pick] = false
+		rec(c2, remaining-1)
+		chosen = chosen[:len(chosen)-1]
+
+		// Branch 2: exclude pick (it stays dead); only recurse if the
+		// remaining alive edges can still connect everything.
+		if !stopped && connectedUnder(c) {
+			rec(c, remaining)
+		}
+		alive[pick] = true
+	}
+
+	rec(comp, n-1)
+	if limit > 0 && count > limit {
+		return count, ErrTooManyTrees
+	}
+	return count, nil
+}
+
+// CountSpanningTrees returns the number of spanning trees, stopping with
+// ErrTooManyTrees beyond limit (limit ≤ 0 counts exhaustively).
+func CountSpanningTrees(g *Graph, limit int) (int, error) {
+	return EnumerateSpanningTrees(g, limit, func([]int) bool { return true })
+}

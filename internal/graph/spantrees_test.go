@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEnumerateCycle(t *testing.T) {
+	// A cycle on n+1 nodes has exactly n+1 spanning trees.
+	for n := 1; n <= 8; n++ {
+		g := Cycle(n, 1)
+		count, err := CountSpanningTrees(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != n+1 {
+			t.Errorf("cycle with %d edges: %d trees, want %d", n+1, count, n+1)
+		}
+	}
+}
+
+func TestEnumerateComplete(t *testing.T) {
+	// Cayley: K_n has n^(n-2) spanning trees.
+	want := map[int]int{2: 1, 3: 3, 4: 16, 5: 125, 6: 1296}
+	for n, w := range want {
+		g := Complete(n, func(i, j int) float64 { return 1 })
+		count, err := CountSpanningTrees(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != w {
+			t.Errorf("K%d: %d trees, want %d", n, count, w)
+		}
+	}
+}
+
+func TestEnumerateTreeIsUniqueAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		g := RandomConnected(rng, n, 0.6, 1, 2)
+		seen := map[string]bool{}
+		_, err := EnumerateSpanningTrees(g, 0, func(tree []int) bool {
+			if !g.IsSpanningTree(tree) {
+				t.Fatalf("enumerated non-tree %v", tree)
+			}
+			key := ""
+			for _, id := range tree {
+				key += string(rune('A' + id))
+			}
+			if seen[key] {
+				t.Fatalf("duplicate tree %v", tree)
+			}
+			seen[key] = true
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	g := Complete(6, func(i, j int) float64 { return 1 })
+	_, err := CountSpanningTrees(g, 10)
+	if err != ErrTooManyTrees {
+		t.Errorf("limit: err = %v, want ErrTooManyTrees", err)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := Complete(5, func(i, j int) float64 { return 1 })
+	calls := 0
+	_, err := EnumerateSpanningTrees(g, 0, func([]int) bool {
+		calls++
+		return calls < 4
+	})
+	if err != nil || calls != 4 {
+		t.Errorf("early stop: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestEnumerateDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	if _, err := CountSpanningTrees(g, 0); err != ErrDisconnected {
+		t.Errorf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestEnumerateMultigraph(t *testing.T) {
+	// Two nodes with 3 parallel edges: 3 spanning trees.
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 1, 3)
+	count, err := CountSpanningTrees(g, 0)
+	if err != nil || count != 3 {
+		t.Errorf("parallel edges: count=%d err=%v", count, err)
+	}
+}
+
+func TestEnumerateSingleNode(t *testing.T) {
+	count, err := CountSpanningTrees(New(1), 0)
+	if err != nil || count != 1 {
+		t.Errorf("single node: count=%d err=%v", count, err)
+	}
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// RootedTree is a spanning tree of a graph rooted at a designated node,
+// with precomputed parents, depths, children, a bottom-up ordering and a
+// binary-lifting table for O(log n) lowest-common-ancestor queries.
+//
+// In broadcast games a state *is* a rooted spanning tree: player u's
+// strategy is the tree path from u to the root, so almost every quantity
+// in the paper (usage counts n_a, costs, LP rows) is a query on this type.
+type RootedTree struct {
+	G        *Graph
+	Root     int
+	Parent   []int   // Parent[v] = parent node, -1 at root
+	ParEdge  []int   // ParEdge[v] = edge ID to parent, -1 at root
+	Depth    []int   // Depth[v] = #edges to root
+	Children [][]int // Children[v] = child nodes
+	Order    []int   // BFS order from the root (parents precede children)
+	EdgeIDs  []int   // the n-1 tree edge IDs, ascending
+	inTree   []bool  // indexed by edge ID
+	up       [][]int // binary lifting: up[k][v] = 2^k-th ancestor (-1 past root)
+}
+
+// NewRootedTree builds a rooted tree from a spanning edge set. It returns
+// an error if the edges do not form a spanning tree of g.
+func NewRootedTree(g *Graph, root int, treeEdges []int) (*RootedTree, error) {
+	n := g.N()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("graph: root %d out of range", root)
+	}
+	if len(treeEdges) != n-1 {
+		return nil, fmt.Errorf("graph: %d edges cannot span %d nodes", len(treeEdges), n)
+	}
+	inTree := make([]bool, g.M())
+	for _, id := range treeEdges {
+		if inTree[id] {
+			return nil, fmt.Errorf("graph: duplicate tree edge %d", id)
+		}
+		inTree[id] = true
+	}
+	t := &RootedTree{
+		G:        g,
+		Root:     root,
+		Parent:   make([]int, n),
+		ParEdge:  make([]int, n),
+		Depth:    make([]int, n),
+		Children: make([][]int, n),
+		inTree:   inTree,
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.ParEdge[i] = -1
+	}
+	seen := make([]bool, n)
+	seen[root] = true
+	t.Order = append(t.Order, root)
+	for i := 0; i < len(t.Order); i++ {
+		u := t.Order[i]
+		for _, half := range g.Adj(u) {
+			if inTree[half.Edge] && !seen[half.To] {
+				seen[half.To] = true
+				t.Parent[half.To] = u
+				t.ParEdge[half.To] = half.Edge
+				t.Depth[half.To] = t.Depth[u] + 1
+				t.Children[u] = append(t.Children[u], half.To)
+				t.Order = append(t.Order, half.To)
+			}
+		}
+	}
+	if len(t.Order) != n {
+		return nil, ErrDisconnected
+	}
+	t.EdgeIDs = make([]int, 0, n-1)
+	for id, in := range inTree {
+		if in {
+			t.EdgeIDs = append(t.EdgeIDs, id)
+		}
+	}
+	t.buildLifting()
+	return t, nil
+}
+
+// buildLifting fills the binary-lifting ancestor table.
+func (t *RootedTree) buildLifting() {
+	n := t.G.N()
+	levels := 1
+	if n > 1 {
+		levels = bits.Len(uint(n - 1))
+	}
+	t.up = make([][]int, levels)
+	t.up[0] = append([]int(nil), t.Parent...)
+	for k := 1; k < levels; k++ {
+		t.up[k] = make([]int, n)
+		for v := 0; v < n; v++ {
+			mid := t.up[k-1][v]
+			if mid == -1 {
+				t.up[k][v] = -1
+			} else {
+				t.up[k][v] = t.up[k-1][mid]
+			}
+		}
+	}
+}
+
+// Contains reports whether edge id belongs to the tree.
+func (t *RootedTree) Contains(id int) bool { return t.inTree[id] }
+
+// LCA returns the lowest common ancestor of u and v.
+func (t *RootedTree) LCA(u, v int) int {
+	if t.Depth[u] < t.Depth[v] {
+		u, v = v, u
+	}
+	diff := t.Depth[u] - t.Depth[v]
+	for k := 0; diff != 0; k++ {
+		if diff&1 == 1 {
+			u = t.up[k][u]
+		}
+		diff >>= 1
+	}
+	if u == v {
+		return u
+	}
+	for k := len(t.up) - 1; k >= 0; k-- {
+		if t.up[k][u] != t.up[k][v] {
+			u = t.up[k][u]
+			v = t.up[k][v]
+		}
+	}
+	return t.Parent[u]
+}
+
+// PathToRoot returns the edge IDs on the tree path from u up to the root,
+// ordered from u upward. This is player u's strategy T_u in a broadcast
+// game.
+func (t *RootedTree) PathToRoot(u int) []int {
+	var path []int
+	for u != t.Root {
+		path = append(path, t.ParEdge[u])
+		u = t.Parent[u]
+	}
+	return path
+}
+
+// PathUpTo returns the edge IDs on the path from u up to ancestor anc
+// (exclusive of anc), ordered from u upward. anc must be an ancestor of u.
+func (t *RootedTree) PathUpTo(u, anc int) []int {
+	var path []int
+	for u != anc {
+		if u == t.Root {
+			panic("graph: PathUpTo target is not an ancestor")
+		}
+		path = append(path, t.ParEdge[u])
+		u = t.Parent[u]
+	}
+	return path
+}
+
+// TreePath returns the edge IDs of the unique tree path between u and v
+// (through their LCA), ordered u→LCA then LCA→v.
+func (t *RootedTree) TreePath(u, v int) []int {
+	x := t.LCA(u, v)
+	up := t.PathUpTo(u, x)
+	down := t.PathUpTo(v, x)
+	for i, j := 0, len(down)-1; i < j; i, j = i+1, j-1 {
+		down[i], down[j] = down[j], down[i]
+	}
+	return append(up, down...)
+}
+
+// SubtreeSizes returns, for every node v, the number of nodes in the
+// subtree rooted at v (including v).
+func (t *RootedTree) SubtreeSizes() []int {
+	sizes := make([]int, t.G.N())
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		sizes[v] = 1
+		for _, c := range t.Children[v] {
+			sizes[v] += sizes[c]
+		}
+	}
+	return sizes
+}
+
+// SubtreeSums aggregates an arbitrary per-node value bottom-up: the result
+// at v is the sum of vals over the subtree rooted at v. Usage counts n_a
+// of a broadcast state are SubtreeSums over player multiplicities.
+func (t *RootedTree) SubtreeSums(vals []int64) []int64 {
+	sums := make([]int64, t.G.N())
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		sums[v] = vals[v]
+		for _, c := range t.Children[v] {
+			sums[v] += sums[c]
+		}
+	}
+	return sums
+}
+
+// Leaves returns the nodes with no children.
+func (t *RootedTree) Leaves() []int {
+	var leaves []int
+	for v := 0; v < t.G.N(); v++ {
+		if len(t.Children[v]) == 0 && v != t.Root {
+			leaves = append(leaves, v)
+		}
+	}
+	// A root with no children (n == 1) has no leaves below it.
+	return leaves
+}
+
+// Weight returns the total weight of the tree's edges.
+func (t *RootedTree) Weight() float64 { return t.G.WeightOf(t.EdgeIDs) }

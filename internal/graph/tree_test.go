@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildSampleTree returns a small rooted tree:
+//
+//	      0 (root)
+//	     / \
+//	    1   2
+//	   / \   \
+//	  3   4   5
+//	 /
+//	6
+func buildSampleTree(t *testing.T) (*Graph, *RootedTree) {
+	t.Helper()
+	g := New(7)
+	ids := []int{
+		g.AddEdge(0, 1, 1),
+		g.AddEdge(0, 2, 1),
+		g.AddEdge(1, 3, 1),
+		g.AddEdge(1, 4, 1),
+		g.AddEdge(2, 5, 1),
+		g.AddEdge(3, 6, 1),
+	}
+	tr, err := NewRootedTree(g, 0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr
+}
+
+func TestRootedTreeBasics(t *testing.T) {
+	_, tr := buildSampleTree(t)
+	if tr.Parent[6] != 3 || tr.Parent[3] != 1 || tr.Parent[1] != 0 || tr.Parent[0] != -1 {
+		t.Error("parents wrong")
+	}
+	if tr.Depth[6] != 3 || tr.Depth[5] != 2 || tr.Depth[0] != 0 {
+		t.Error("depths wrong")
+	}
+	if len(tr.PathToRoot(6)) != 3 {
+		t.Error("PathToRoot(6) length wrong")
+	}
+	sizes := tr.SubtreeSizes()
+	if sizes[0] != 7 || sizes[1] != 4 || sizes[3] != 2 || sizes[6] != 1 {
+		t.Errorf("subtree sizes wrong: %v", sizes)
+	}
+	leaves := tr.Leaves()
+	if len(leaves) != 3 { // 4, 5, 6
+		t.Errorf("leaves = %v", leaves)
+	}
+	if tr.Weight() != 6 {
+		t.Errorf("tree weight = %v", tr.Weight())
+	}
+}
+
+func TestLCA(t *testing.T) {
+	_, tr := buildSampleTree(t)
+	cases := []struct{ u, v, want int }{
+		{6, 4, 1},
+		{6, 5, 0},
+		{3, 4, 1},
+		{6, 6, 6},
+		{6, 3, 3},
+		{0, 6, 0},
+		{4, 5, 0},
+	}
+	for _, c := range cases {
+		if got := tr.LCA(c.u, c.v); got != c.want {
+			t.Errorf("LCA(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+		if got := tr.LCA(c.v, c.u); got != c.want {
+			t.Errorf("LCA(%d,%d) = %d, want %d", c.v, c.u, got, c.want)
+		}
+	}
+}
+
+func TestLCARandomAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := RandomConnected(rng, n, 0.2, 1, 2)
+		treeIDs, err := MST(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := rng.Intn(n)
+		tr, err := NewRootedTree(g, root, treeIDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := func(u, v int) int {
+			seen := map[int]bool{}
+			for x := u; ; x = tr.Parent[x] {
+				seen[x] = true
+				if x == root {
+					break
+				}
+			}
+			for x := v; ; x = tr.Parent[x] {
+				if seen[x] {
+					return x
+				}
+			}
+		}
+		for q := 0; q < 50; q++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if got, want := tr.LCA(u, v), naive(u, v); got != want {
+				t.Fatalf("LCA(%d,%d) = %d, naive %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestPathUpToAndTreePath(t *testing.T) {
+	g, tr := buildSampleTree(t)
+	p := tr.PathUpTo(6, 1)
+	if len(p) != 2 || g.WeightOf(p) != 2 {
+		t.Errorf("PathUpTo(6,1) = %v", p)
+	}
+	tp := tr.TreePath(6, 4)
+	if len(tp) != 3 {
+		t.Errorf("TreePath(6,4) = %v", tp)
+	}
+	tp2 := tr.TreePath(6, 5)
+	if len(tp2) != 5 {
+		t.Errorf("TreePath(6,5) = %v", tp2)
+	}
+	if len(tr.TreePath(3, 3)) != 0 {
+		t.Error("TreePath(v,v) should be empty")
+	}
+}
+
+func TestSubtreeSums(t *testing.T) {
+	_, tr := buildSampleTree(t)
+	vals := []int64{0, 1, 1, 1, 1, 1, 1} // root multiplicity 0
+	sums := tr.SubtreeSums(vals)
+	if sums[0] != 6 || sums[1] != 4 || sums[3] != 2 || sums[5] != 1 {
+		t.Errorf("SubtreeSums = %v", sums)
+	}
+}
+
+func TestNewRootedTreeErrors(t *testing.T) {
+	g := New(3)
+	a := g.AddEdge(0, 1, 1)
+	b := g.AddEdge(1, 2, 1)
+	c := g.AddEdge(0, 2, 1)
+	if _, err := NewRootedTree(g, 0, []int{a}); err == nil {
+		t.Error("wrong edge count accepted")
+	}
+	if _, err := NewRootedTree(g, 0, []int{a, a}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if _, err := NewRootedTree(g, 5, []int{a, b}); err == nil {
+		t.Error("bad root accepted")
+	}
+	if _, err := NewRootedTree(g, 0, []int{a, b}); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+	_ = c
+	// Disconnected "tree": two nodes but a cycle edge set.
+	g2 := New(4)
+	x := g2.AddEdge(0, 1, 1)
+	y := g2.AddEdge(0, 1, 1) // parallel: covers duplicate-span case
+	z := g2.AddEdge(2, 3, 1)
+	if _, err := NewRootedTree(g2, 0, []int{x, y, z}); err == nil {
+		t.Error("non-spanning edge set accepted")
+	}
+	if tr, err := NewRootedTree(New(1), 0, nil); err != nil || tr.Root != 0 {
+		t.Errorf("singleton tree: %v %v", tr, err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	g := New(3)
+	a := g.AddEdge(0, 1, 1)
+	b := g.AddEdge(1, 2, 1)
+	c := g.AddEdge(0, 2, 1)
+	tr, err := NewRootedTree(g, 0, []int{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Contains(a) || !tr.Contains(b) || tr.Contains(c) {
+		t.Error("Contains wrong")
+	}
+}

@@ -1,0 +1,62 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path halving.
+// It backs Kruskal's algorithm, connectivity tests and the spanning-tree
+// enumerator.
+type UnionFind struct {
+	parent []int
+	rank   []uint8
+	count  int
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), rank: make([]uint8, n), count: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y. It returns true if they were
+// previously distinct.
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.count--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (uf *UnionFind) Same(x, y int) bool { return uf.Find(x) == uf.Find(y) }
+
+// Count returns the current number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.count }
+
+// Clone returns an independent copy (used by the spanning-tree enumerator's
+// recursion).
+func (uf *UnionFind) Clone() *UnionFind {
+	return &UnionFind{
+		parent: append([]int(nil), uf.parent...),
+		rank:   append([]uint8(nil), uf.rank...),
+		count:  uf.count,
+	}
+}

@@ -1,0 +1,170 @@
+// Package instancefile reads and writes broadcast SNE/SND instances in a
+// line-oriented text format shared by the cmd/ tools:
+//
+//	# comment
+//	nodes <n>
+//	edge <u> <v> <weight>
+//	root <r>
+//	mult <node> <multiplicity>     (optional; default 1 per non-root node)
+//	tree <edgeID> <edgeID> ...     (optional; default: a minimum spanning tree)
+//
+// cmd/gadgetgen emits this format; cmd/sne and cmd/snd consume it.
+package instancefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/graph"
+)
+
+// Instance is a parsed broadcast instance: a game plus a target tree.
+type Instance struct {
+	Game *broadcast.Game
+	Tree []int
+}
+
+// State materializes the target tree as a broadcast state.
+func (in *Instance) State() (*broadcast.State, error) {
+	return broadcast.NewState(in.Game, in.Tree)
+}
+
+// Write serializes an instance.
+func Write(w io.Writer, in *Instance) error {
+	bw := bufio.NewWriter(w)
+	g := in.Game.G
+	fmt.Fprintf(bw, "nodes %d\n", g.N())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "edge %d %d %g\n", e.U, e.V, e.W)
+	}
+	fmt.Fprintf(bw, "root %d\n", in.Game.Root)
+	for v, m := range in.Game.Mult {
+		if v != in.Game.Root && m != 1 {
+			fmt.Fprintf(bw, "mult %d %d\n", v, m)
+		}
+	}
+	if len(in.Tree) > 0 {
+		parts := make([]string, len(in.Tree))
+		for i, id := range in.Tree {
+			parts[i] = strconv.Itoa(id)
+		}
+		fmt.Fprintf(bw, "tree %s\n", strings.Join(parts, " "))
+	}
+	return bw.Flush()
+}
+
+// Read parses an instance. Missing tree lines default to a minimum
+// spanning tree; missing mult lines default to one player per node.
+func Read(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var g *graph.Graph
+	root := -1
+	var tree []int
+	multOverride := map[int]int64{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "nodes":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("instancefile: line %d: want 'nodes <n>'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("instancefile: line %d: bad node count", lineNo)
+			}
+			g = graph.New(n)
+		case "edge":
+			if g == nil {
+				return nil, fmt.Errorf("instancefile: line %d: 'edge' before 'nodes'", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("instancefile: line %d: want 'edge <u> <v> <w>'", lineNo)
+			}
+			u, e1 := strconv.Atoi(fields[1])
+			v, e2 := strconv.Atoi(fields[2])
+			w, e3 := strconv.ParseFloat(fields[3], 64)
+			if e1 != nil || e2 != nil || e3 != nil || u < 0 || v < 0 || u >= g.N() || v >= g.N() || u == v || w < 0 {
+				return nil, fmt.Errorf("instancefile: line %d: malformed edge", lineNo)
+			}
+			g.AddEdge(u, v, w)
+		case "root":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("instancefile: line %d: want 'root <r>'", lineNo)
+			}
+			r, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("instancefile: line %d: bad root", lineNo)
+			}
+			root = r
+		case "mult":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("instancefile: line %d: want 'mult <node> <m>'", lineNo)
+			}
+			v, e1 := strconv.Atoi(fields[1])
+			m, e2 := strconv.ParseInt(fields[2], 10, 64)
+			if e1 != nil || e2 != nil {
+				return nil, fmt.Errorf("instancefile: line %d: malformed mult", lineNo)
+			}
+			multOverride[v] = m
+		case "tree":
+			if g == nil {
+				return nil, fmt.Errorf("instancefile: line %d: 'tree' before 'nodes'", lineNo)
+			}
+			for _, f := range fields[1:] {
+				id, err := strconv.Atoi(f)
+				if err != nil || id < 0 || id >= g.M() {
+					return nil, fmt.Errorf("instancefile: line %d: bad tree edge %q", lineNo, f)
+				}
+				tree = append(tree, id)
+			}
+		default:
+			return nil, fmt.Errorf("instancefile: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("instancefile: missing 'nodes'")
+	}
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("instancefile: missing or invalid 'root'")
+	}
+	mult := make([]int64, g.N())
+	for v := range mult {
+		if v != root {
+			mult[v] = 1
+		}
+	}
+	for v, m := range multOverride {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("instancefile: mult node %d out of range", v)
+		}
+		mult[v] = m
+	}
+	bg, err := broadcast.NewGameMult(g, root, mult)
+	if err != nil {
+		return nil, err
+	}
+	if tree == nil {
+		tree, err = graph.MST(g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !g.IsSpanningTree(tree) {
+		return nil, fmt.Errorf("instancefile: 'tree' is not a spanning tree")
+	}
+	return &Instance{Game: bg, Tree: tree}, nil
+}

@@ -1,0 +1,182 @@
+// Package lp implements linear programming from scratch: a model builder
+// and a dense two-phase primal simplex solver with Dantzig pricing and a
+// Bland's-rule fallback for anti-cycling.
+//
+// The paper's Theorem 1 shows STABLE NETWORK ENFORCEMENT is in P via
+// linear programming; the Go standard library has no LP solver, so this
+// package is the substrate standing in for the paper's LP machinery.
+// Problem sizes here are modest (hundreds of variables/rows), so a dense
+// tableau is the right trade-off: simple, auditable and fast enough.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // Σ coef·x ≤ rhs
+	GE           // Σ coef·x ≥ rhs
+	EQ           // Σ coef·x = rhs
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Constraint is a sparse linear constraint over model variables.
+type Constraint struct {
+	Coefs map[int]float64
+	Op    Op
+	RHS   float64
+}
+
+// Model is a linear program: minimize obj·x subject to constraints, with
+// every variable bounded below by 0 and above by an optional finite upper
+// bound. (Lower bounds other than zero are not needed anywhere in this
+// library — subsidies live in [0, w_a].)
+type Model struct {
+	obj  []float64
+	ub   []float64 // +Inf when unbounded above
+	cons []Constraint
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// AddVar appends a variable with the given objective coefficient and upper
+// bound (use math.Inf(1) for none) and returns its index.
+func (m *Model) AddVar(objCoef, ub float64) int {
+	if math.IsNaN(objCoef) || math.IsNaN(ub) || ub < 0 {
+		panic(fmt.Sprintf("lp: invalid variable (obj=%v ub=%v)", objCoef, ub))
+	}
+	m.obj = append(m.obj, objCoef)
+	m.ub = append(m.ub, ub)
+	return len(m.obj) - 1
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.obj) }
+
+// NumConstraints returns the number of explicit constraints (upper bounds
+// are not counted; they are expanded internally at solve time).
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// AddConstraint appends Σ coefs[i]·x_i  op  rhs. Variables absent from
+// coefs have coefficient zero. Zero coefficients are dropped.
+func (m *Model) AddConstraint(coefs map[int]float64, op Op, rhs float64) {
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		panic("lp: invalid RHS")
+	}
+	clean := make(map[int]float64, len(coefs))
+	for j, c := range coefs {
+		if j < 0 || j >= len(m.obj) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", j))
+		}
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			panic("lp: invalid coefficient")
+		}
+		if c != 0 {
+			clean[j] = c
+		}
+	}
+	m.cons = append(m.cons, Constraint{Coefs: clean, Op: op, RHS: rhs})
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution is the result of solving a model.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (valid when Status == Optimal)
+	Objective float64   // objective value (valid when Status == Optimal)
+	Pivots    int       // simplex pivot count, for benchmarking
+
+	// Duals holds the shadow price of each user constraint (in the
+	// orientation it was written), valid when Status == Optimal. In the
+	// SNE LPs these measure how binding each deviation constraint is:
+	// the marginal subsidy saved per unit of slack added to the row.
+	Duals []float64
+	// DualityGap is |dual objective − primal objective| over the internal
+	// standard form — a post-solve certificate that should sit at
+	// round-off level for a correct optimal basis.
+	DualityGap float64
+}
+
+// Feasible reports whether x satisfies all constraints and bounds of m
+// within tol. It is the model's independent verification hook: tests and
+// callers can confirm any claimed solution without trusting the solver.
+func (m *Model) Feasible(x []float64, tol float64) bool {
+	if len(x) != len(m.obj) {
+		return false
+	}
+	for j, v := range x {
+		if v < -tol || v > m.ub[j]+tol*(1+math.Abs(m.ub[j])) {
+			return false
+		}
+	}
+	for _, c := range m.cons {
+		lhs := 0.0
+		scale := 1.0
+		for j, coef := range c.Coefs {
+			lhs += coef * x[j]
+			scale += math.Abs(coef * x[j])
+		}
+		switch c.Op {
+		case LE:
+			if lhs > c.RHS+tol*scale {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-tol*scale {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > tol*scale {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Value returns obj·x.
+func (m *Model) Value(x []float64) float64 {
+	v := 0.0
+	for j, c := range m.obj {
+		v += c * x[j]
+	}
+	return v
+}

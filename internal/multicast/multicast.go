@@ -1,0 +1,122 @@
+package multicast
+
+import (
+	"fmt"
+
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+	"netdesign/internal/sne"
+)
+
+// Game is a multicast game: players sit at Terminals and must connect to
+// Root; other nodes are Steiner nodes free for routing.
+type Game struct {
+	G         *graph.Graph
+	Root      int
+	Terminals []int
+}
+
+// NewGame validates and returns a multicast game. Terminals must be
+// distinct non-root nodes.
+func NewGame(g *graph.Graph, root int, terminals []int) (*Game, error) {
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("multicast: root %d out of range", root)
+	}
+	seen := map[int]bool{root: true}
+	for _, t := range terminals {
+		if t < 0 || t >= g.N() {
+			return nil, fmt.Errorf("multicast: terminal %d out of range", t)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("multicast: terminal %d repeated (or equals the root)", t)
+		}
+		seen[t] = true
+	}
+	if len(terminals) == 0 {
+		return nil, fmt.Errorf("multicast: no terminals")
+	}
+	return &Game{G: g, Root: root, Terminals: terminals}, nil
+}
+
+// ToGeneral expresses the multicast game in the general engine: one
+// player per terminal with destination Root.
+func (mg *Game) ToGeneral() (*game.Game, error) {
+	terms := make([]game.Terminal, len(mg.Terminals))
+	for i, t := range mg.Terminals {
+		terms[i] = game.Terminal{S: t, T: mg.Root}
+	}
+	return game.New(mg.G, terms)
+}
+
+// OptimalDesign returns a minimum-weight network serving all terminals —
+// a Steiner tree over Terminals ∪ {Root}, computed exactly by
+// Dreyfus–Wagner.
+func (mg *Game) OptimalDesign() ([]int, float64, error) {
+	all := append([]int{mg.Root}, mg.Terminals...)
+	return SteinerTree(mg.G, all)
+}
+
+// TreeState adopts a Steiner tree (an edge set connecting all terminals
+// to the root) as the strategy profile: each player's path is her unique
+// route to the root within the tree.
+func (mg *Game) TreeState(treeEdges []int) (*game.State, error) {
+	gm, err := mg.ToGeneral()
+	if err != nil {
+		return nil, err
+	}
+	// Root the forest at mg.Root and read off terminal paths. The edge
+	// set need not span all of G, so build adjacency restricted to it.
+	parent := make([]int, mg.G.N())
+	parEdge := make([]int, mg.G.N())
+	for i := range parent {
+		parent[i] = -1
+		parEdge[i] = -1
+	}
+	adj := make([][]graph.Half, mg.G.N())
+	for _, id := range treeEdges {
+		e := mg.G.Edge(id)
+		adj[e.U] = append(adj[e.U], graph.Half{To: e.V, Edge: id})
+		adj[e.V] = append(adj[e.V], graph.Half{To: e.U, Edge: id})
+	}
+	queue := []int{mg.Root}
+	visited := map[int]bool{mg.Root: true}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, h := range adj[u] {
+			if !visited[h.To] {
+				visited[h.To] = true
+				parent[h.To] = u
+				parEdge[h.To] = h.Edge
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	paths := make([][]int, len(mg.Terminals))
+	for i, t := range mg.Terminals {
+		if !visited[t] {
+			return nil, fmt.Errorf("multicast: tree does not connect terminal %d to the root", t)
+		}
+		var p []int
+		for v := t; v != mg.Root; v = parent[v] {
+			p = append(p, parEdge[v])
+		}
+		paths[i] = p
+	}
+	return game.NewState(gm, paths)
+}
+
+// MinSubsidies computes minimum-cost subsidies enforcing the Steiner-tree
+// state, via LP (1) row generation (Theorem 1 applies verbatim to
+// multicast games).
+func (mg *Game) MinSubsidies(treeEdges []int) (*sne.Result, *game.State, error) {
+	st, err := mg.TreeState(treeEdges)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sne.SolveRowGeneration(st, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, st, nil
+}

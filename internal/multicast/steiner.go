@@ -1,0 +1,279 @@
+// Package multicast implements multicast network design games — the
+// generalization the paper repeatedly contrasts with broadcast games
+// (price of stability O(log n/log log n), NP-hard potential minimization,
+// and "more general instances of SND (e.g., involving multicast games)
+// are challenging" in Section 6). Only a subset of nodes host players;
+// the socially optimal design is a STEINER TREE, computed here exactly
+// with the Dreyfus–Wagner dynamic program, and enforcement questions are
+// answered through the general game engine and the LP (1) row-generation
+// solver, which are terminal-set agnostic.
+package multicast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"netdesign/internal/graph"
+)
+
+// MaxSteinerTerminals bounds the Dreyfus–Wagner subset dimension
+// (3^k subset-split work).
+const MaxSteinerTerminals = 14
+
+// ErrTooManyTerminals is returned when the terminal set exceeds the
+// exact solver's range.
+var ErrTooManyTerminals = errors.New("multicast: too many terminals for exact Steiner solving")
+
+// SteinerTree computes a minimum-weight tree connecting the given
+// terminals using the Dreyfus–Wagner dynamic program:
+//
+//	dp[S][v] = cost of an optimal tree spanning S ∪ {v}
+//	dp[S][v] = min(  min_{∅⊂T⊂S} dp[T][v] + dp[S\T][v],
+//	                 min_u dp[S][u] + dist(u,v) )
+//
+// It returns the edge IDs of an optimal tree and its weight. Terminals
+// may repeat; the graph must connect them.
+func SteinerTree(g *graph.Graph, terminals []int) ([]int, float64, error) {
+	// Deduplicate terminals.
+	seen := map[int]bool{}
+	var terms []int
+	for _, t := range terminals {
+		if t < 0 || t >= g.N() {
+			return nil, 0, fmt.Errorf("multicast: terminal %d out of range", t)
+		}
+		if !seen[t] {
+			seen[t] = true
+			terms = append(terms, t)
+		}
+	}
+	switch len(terms) {
+	case 0:
+		return nil, 0, nil
+	case 1:
+		return []int{}, 0, nil
+	}
+	if len(terms) > MaxSteinerTerminals {
+		return nil, 0, ErrTooManyTerminals
+	}
+
+	n := g.N()
+	k := len(terms)
+	// All-pairs shortest paths with parent edges, one Dijkstra per node.
+	sp := make([]*graph.ShortestPaths, n)
+	for v := 0; v < n; v++ {
+		sp[v] = graph.Dijkstra(g, v, nil)
+	}
+	for _, t := range terms[1:] {
+		if math.IsInf(sp[terms[0]].Dist[t], 1) {
+			return nil, 0, graph.ErrDisconnected
+		}
+	}
+
+	full := 1 << (k - 1) // subsets over terms[1:]; terms[0] is the anchor
+	const inf = math.MaxFloat64
+	dp := make([][]float64, full)
+	// choice[S][v] encodes reconstruction: ≥ 0 → "via node u" (merge with
+	// dist(u,v)); < 0 → "split into subset −choice−1 at v".
+	choice := make([][]int, full)
+	for S := range dp {
+		dp[S] = make([]float64, n)
+		choice[S] = make([]int, n)
+		for v := range dp[S] {
+			dp[S][v] = inf
+			choice[S][v] = v // self: leaf base case
+		}
+	}
+	// Base: singleton subsets {t_i}.
+	for i := 1; i < k; i++ {
+		S := 1 << (i - 1)
+		for v := 0; v < n; v++ {
+			dp[S][v] = sp[terms[i]].Dist[v]
+			choice[S][v] = terms[i] // path from terminal to v
+		}
+	}
+	for S := 1; S < full; S++ {
+		// Combine strictly smaller subset pairs at every node (the loop
+		// is empty for singletons, which the base case covers).
+		for T := (S - 1) & S; T > 0; T = (T - 1) & S {
+			if T < S-T {
+				break // each unordered pair once
+			}
+			for v := 0; v < n; v++ {
+				if dp[T][v] < inf && dp[S^T][v] < inf {
+					if c := dp[T][v] + dp[S^T][v]; c < dp[S][v] {
+						dp[S][v] = c
+						choice[S][v] = -T - 1
+					}
+				}
+			}
+		}
+		// Distance relaxation: dp[S][v] = min_u dp[S][u] + dist(u,v).
+		// A single multi-source Dijkstra pass over precomputed dists is
+		// O(n²) here, fine for the instance sizes this library targets.
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if dp[S][u] < inf && !math.IsInf(sp[u].Dist[v], 1) {
+					if c := dp[S][u] + sp[u].Dist[v]; c < dp[S][v]-1e-15 {
+						dp[S][v] = c
+						choice[S][v] = u
+					}
+				}
+			}
+		}
+	}
+
+	root := terms[0]
+	best := dp[full-1][root]
+	if best >= inf {
+		return nil, 0, graph.ErrDisconnected
+	}
+
+	// Reconstruct the edge set: splits recurse into both halves; extends
+	// walk the connecting shortest path and continue at its far end.
+	// Chains terminate because every extend strictly decreased dp and
+	// every split strictly shrinks S.
+	edgeSet := map[int]bool{}
+	var emit func(S, v int)
+	emit = func(S, v int) {
+		ch := choice[S][v]
+		switch {
+		case ch == v:
+			// Base: v is the subset's own terminal.
+		case ch < 0:
+			T := -ch - 1
+			emit(T, v)
+			emit(S^T, v)
+		default:
+			for _, id := range sp[ch].PathTo(v) {
+				edgeSet[id] = true
+			}
+			emit(S, ch)
+		}
+	}
+	emit(full-1, root)
+
+	// The union of reconstruction paths connects all terminals at cost
+	// ≤ best; prune it to a tree and drop non-terminal leaves.
+	var ids []int
+	for id := range edgeSet {
+		ids = append(ids, id)
+	}
+	tree, w, err := pruneToSteiner(g, ids, terms)
+	if err != nil {
+		return nil, 0, err
+	}
+	if w > best+1e-6*(1+best) {
+		return nil, 0, fmt.Errorf("multicast: reconstruction cost %v exceeds DP value %v", w, best)
+	}
+	return tree, w, nil
+}
+
+// pruneToSteiner reduces an edge union to a tree spanning the terminals:
+// build an MST of the union subgraph, then repeatedly remove non-terminal
+// leaves.
+func pruneToSteiner(g *graph.Graph, ids []int, terms []int) ([]int, float64, error) {
+	if len(ids) == 0 {
+		return nil, 0, errors.New("multicast: empty reconstruction")
+	}
+	// Forest of the union via Kruskal on the restricted edge set.
+	dsu := graph.NewUnionFind(g.N())
+	var forest []int
+	for _, id := range ids {
+		e := g.Edge(id)
+		if dsu.Union(e.U, e.V) {
+			forest = append(forest, id)
+		}
+	}
+	for _, t := range terms[1:] {
+		if !dsu.Same(terms[0], t) {
+			return nil, 0, errors.New("multicast: reconstruction does not connect terminals")
+		}
+	}
+	isTerm := map[int]bool{}
+	for _, t := range terms {
+		isTerm[t] = true
+	}
+	// Iteratively strip non-terminal leaves.
+	for {
+		deg := map[int]int{}
+		for _, id := range forest {
+			e := g.Edge(id)
+			deg[e.U]++
+			deg[e.V]++
+		}
+		removed := false
+		var kept []int
+		drop := map[int]bool{}
+		for _, id := range forest {
+			e := g.Edge(id)
+			if (deg[e.U] == 1 && !isTerm[e.U]) || (deg[e.V] == 1 && !isTerm[e.V]) {
+				if !drop[id] {
+					drop[id] = true
+					removed = true
+					continue
+				}
+			}
+			kept = append(kept, id)
+		}
+		forest = kept
+		if !removed {
+			break
+		}
+	}
+	return forest, g.WeightOf(forest), nil
+}
+
+// SteinerBruteForce returns the optimal Steiner tree weight by minimizing
+// MST(G[terminals ∪ X]) over all Steiner-node subsets X — the test oracle
+// for Dreyfus–Wagner (exponential in non-terminals).
+func SteinerBruteForce(g *graph.Graph, terminals []int) (float64, error) {
+	isTerm := make([]bool, g.N())
+	for _, t := range terminals {
+		isTerm[t] = true
+	}
+	var steiner []int
+	for v := 0; v < g.N(); v++ {
+		if !isTerm[v] {
+			steiner = append(steiner, v)
+		}
+	}
+	if len(steiner) > 20 {
+		return 0, errors.New("multicast: brute force limited to 20 Steiner nodes")
+	}
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<len(steiner); mask++ {
+		keep := make([]bool, g.N())
+		for _, t := range terminals {
+			keep[t] = true
+		}
+		for i, v := range steiner {
+			if mask&(1<<i) != 0 {
+				keep[v] = true
+			}
+		}
+		// Induced-subgraph MST via Kruskal over permitted edges.
+		dsu := graph.NewUnionFind(g.N())
+		w := 0.0
+		comps := 0
+		for v := 0; v < g.N(); v++ {
+			if keep[v] {
+				comps++
+			}
+		}
+		for _, id := range g.SortedEdgeIDs() {
+			e := g.Edge(id)
+			if keep[e.U] && keep[e.V] && dsu.Union(e.U, e.V) {
+				w += e.W
+				comps--
+			}
+		}
+		if comps == 1 && w < best {
+			best = w
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, graph.ErrDisconnected
+	}
+	return best, nil
+}

@@ -1,0 +1,53 @@
+package numeric
+
+import "math"
+
+// Eps is the default comparison tolerance used throughout the float-based
+// game engine. Costs are short sums of O(n) terms of moderate magnitude,
+// so 1e-9 absolute-relative tolerance is comfortably safe; constructions
+// that need more (the 3SAT-4 gadget) use the exact rational engine instead.
+const Eps = 1e-9
+
+// AlmostEqual reports whether a and b differ by at most Eps, scaled by
+// magnitude for large values.
+func AlmostEqual(a, b float64) bool {
+	return AlmostEqualTol(a, b, Eps)
+}
+
+// AlmostEqualTol reports |a−b| ≤ tol·max(1, |a|, |b|).
+func AlmostEqualTol(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+// LessEq reports a ≤ b up to tolerance (a may exceed b by at most
+// Eps·scale). Equilibrium constraints are always checked with LessEq so
+// that exact ties — ubiquitous in the paper's constructions — do not
+// register as violations.
+func LessEq(a, b float64) bool {
+	return a <= b || AlmostEqual(a, b)
+}
+
+// Less reports a < b strictly beyond tolerance.
+func Less(a, b float64) bool {
+	return a < b && !AlmostEqual(a, b)
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// InvE is 1/e, the subsidy fraction of Theorems 6 and 11.
+var InvE = 1 / math.E
+
+// AONBound is e/(2e−1), the all-or-nothing lower-bound fraction of
+// Theorem 21 (≈ 0.6127).
+var AONBound = math.E / (2*math.E - 1)

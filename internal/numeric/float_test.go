@@ -1,0 +1,57 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1, 1 + 1e-12, true},
+		{1, 1 + 1e-6, false},
+		{0, 1e-12, true},
+		{1e9, 1e9 + 1, true}, // relative tolerance at large scale: 1/1e9 < Eps
+		{1e9, 1e9 * 1.001, false},
+		{-1, 1, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b); got != c.want {
+			t.Errorf("AlmostEqual(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLessEqAndLess(t *testing.T) {
+	if !LessEq(1, 1) || !LessEq(1, 2) || LessEq(2, 1) {
+		t.Error("LessEq basic cases failed")
+	}
+	if !LessEq(1+1e-12, 1) {
+		t.Error("LessEq must absorb tolerance-level overshoot")
+	}
+	if Less(1, 1+1e-13) {
+		t.Error("Less must not fire within tolerance")
+	}
+	if !Less(1, 1.1) {
+		t.Error("Less(1,1.1) should hold")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp failed")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if math.Abs(InvE-0.36787944117144233) > 1e-15 {
+		t.Errorf("InvE = %v", InvE)
+	}
+	// e/(2e-1) ≈ 0.612699...; the paper rounds it to 61%.
+	if math.Abs(AONBound-math.E/(2*math.E-1)) > 1e-15 || AONBound < 0.61 || AONBound > 0.62 {
+		t.Errorf("AONBound = %v", AONBound)
+	}
+}

@@ -1,0 +1,63 @@
+// Package numeric provides small numerical utilities shared across the
+// library: harmonic numbers (which govern cost shares in fair-cost-sharing
+// games) and tolerance-aware float comparisons.
+package numeric
+
+import "sync"
+
+// harmonicCache memoizes prefix harmonic numbers H_0..H_k so that repeated
+// gadget constructions (which evaluate H at thousands of indices) stay cheap.
+var harmonicCache = struct {
+	sync.Mutex
+	vals []float64 // vals[i] = H_i, vals[0] = 0
+}{vals: []float64{0}}
+
+// Harmonic returns the n-th harmonic number H_n = 1 + 1/2 + ... + 1/n.
+// H_0 = 0. Negative n panics: callers index player counts, which are
+// never negative.
+func Harmonic(n int) float64 {
+	if n < 0 {
+		panic("numeric: Harmonic of negative index")
+	}
+	harmonicCache.Lock()
+	defer harmonicCache.Unlock()
+	for len(harmonicCache.vals) <= n {
+		k := len(harmonicCache.vals)
+		harmonicCache.vals = append(harmonicCache.vals, harmonicCache.vals[k-1]+1/float64(k))
+	}
+	return harmonicCache.vals[n]
+}
+
+// HarmonicDiff returns H_b − H_a = 1/(a+1) + ... + 1/b for 0 ≤ a ≤ b.
+// This is the cost a player pays on a path whose edges are shared by
+// a+1, a+2, ..., b players (the quantity driving the Bypass gadget).
+func HarmonicDiff(a, b int) float64 {
+	if a > b {
+		panic("numeric: HarmonicDiff with a > b")
+	}
+	// Summing the small terms directly is more accurate than subtracting
+	// two large cached prefixes when b-a is small.
+	if b-a <= 64 {
+		sum := 0.0
+		for k := b; k > a; k-- {
+			sum += 1 / float64(k)
+		}
+		return sum
+	}
+	return Harmonic(b) - Harmonic(a)
+}
+
+// BypassLength returns the minimum positive ℓ with H_{κ+ℓ} − H_κ > 1,
+// the basic-path length of the paper's Bypass gadget (Figure 1).
+func BypassLength(kappa int) int {
+	if kappa < 0 {
+		panic("numeric: BypassLength of negative capacity")
+	}
+	sum := 0.0
+	for l := 1; ; l++ {
+		sum += 1 / float64(kappa+l)
+		if sum > 1 {
+			return l
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicSmall(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 1.5},
+		{3, 1.0 + 0.5 + 1.0/3},
+		{4, 1.0 + 0.5 + 1.0/3 + 0.25},
+		{10, 2.9289682539682538},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicMonotoneAndLogBound(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 2000; n++ {
+		h := Harmonic(n)
+		if h <= prev {
+			t.Fatalf("Harmonic not strictly increasing at n=%d", n)
+		}
+		// ln(n+1) < H_n ≤ ln(n) + 1
+		if h <= math.Log(float64(n+1)) || h > math.Log(float64(n))+1 {
+			t.Fatalf("Harmonic(%d)=%v violates log bounds", n, h)
+		}
+		prev = h
+	}
+}
+
+func TestHarmonicNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative index")
+		}
+	}()
+	Harmonic(-1)
+}
+
+func TestHarmonicDiff(t *testing.T) {
+	for a := 0; a <= 50; a += 7 {
+		for b := a; b <= a+300; b += 31 {
+			want := Harmonic(b) - Harmonic(a)
+			got := HarmonicDiff(a, b)
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("HarmonicDiff(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestHarmonicDiffPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a > b")
+		}
+	}()
+	HarmonicDiff(3, 2)
+}
+
+func TestHarmonicDiffProperty(t *testing.T) {
+	// H_b − H_a computed by direct summation must match cached prefixes.
+	f := func(a uint8, span uint8) bool {
+		lo, hi := int(a), int(a)+int(span)
+		return math.Abs(HarmonicDiff(lo, hi)-(Harmonic(hi)-Harmonic(lo))) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBypassLength(t *testing.T) {
+	for kappa := 0; kappa <= 40; kappa++ {
+		l := BypassLength(kappa)
+		if HarmonicDiff(kappa, kappa+l) <= 1 {
+			t.Errorf("kappa=%d: H diff at l=%d not > 1", kappa, l)
+		}
+		if l > 1 && HarmonicDiff(kappa, kappa+l-1) > 1 {
+			t.Errorf("kappa=%d: l=%d not minimal", kappa, l)
+		}
+	}
+	// The gadget length grows roughly like (e-1)·kappa.
+	if l := BypassLength(100); l < 150 || l > 200 {
+		t.Errorf("BypassLength(100) = %d, outside plausible (e-1)·kappa range", l)
+	}
+}
+
+func BenchmarkHarmonic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Harmonic(10000)
+	}
+}

@@ -1,0 +1,84 @@
+// Package parallel provides the small worker-pool primitives used by the
+// experiment harness, the all-or-nothing branch-and-bound and parameter
+// sweeps. It follows the fixed-worker-count pattern from Effective Go:
+// a bounded number of goroutines draining an index channel.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the worker count to use when the caller passes n ≤ 0:
+// the number of usable CPUs.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using at most workers
+// goroutines (≤ 0 means GOMAXPROCS). It returns when all calls complete.
+// fn must be safe for concurrent invocation on distinct indices.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Map applies fn to every item concurrently and returns the results in
+// input order.
+func Map[T, R any](items []T, workers int, fn func(T) R) []R {
+	out := make([]R, len(items))
+	ForEach(len(items), workers, func(i int) {
+		out[i] = fn(items[i])
+	})
+	return out
+}
+
+// MinBy runs fn(i) for i in [0,n) concurrently and returns the index and
+// value minimizing the returned score; ok is false when n == 0. Used for
+// "best tree under a predicate"-style sweeps.
+func MinBy(n, workers int, fn func(i int) float64) (argmin int, min float64, ok bool) {
+	if n == 0 {
+		return 0, 0, false
+	}
+	scores := make([]float64, n)
+	ForEach(n, workers, func(i int) { scores[i] = fn(i) })
+	argmin = 0
+	min = scores[0]
+	for i := 1; i < n; i++ {
+		if scores[i] < min {
+			min = scores[i]
+			argmin = i
+		}
+	}
+	return argmin, min, true
+}

@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 100} {
+		n := 237
+		var hits [237]int32
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	out := Map(in, 8, func(x int) int { return x * x })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMinBy(t *testing.T) {
+	arg, min, ok := MinBy(50, 4, func(i int) float64 { return float64((i - 33) * (i - 33)) })
+	if !ok || arg != 33 || min != 0 {
+		t.Fatalf("MinBy = %d %v %v", arg, min, ok)
+	}
+	if _, _, ok := MinBy(0, 4, nil); ok {
+		t.Error("MinBy on empty range should report !ok")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit worker count ignored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("default worker count must be positive")
+	}
+}

@@ -1,0 +1,172 @@
+// Package reductions implements from scratch the NP-complete source
+// problems consumed by the paper's hardness constructions — BIN PACKING
+// (Theorem 3), INDEPENDENT SET in 3-regular graphs (Theorem 5) and 3SAT-4
+// (Theorem 12) — together with exact solvers used to validate each
+// reduction in both directions on small instances.
+package reductions
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// BinPacking is an instance of the paper's strict BIN PACKING variant:
+// allocate every item to one of Bins bins so that each bin's total size is
+// exactly Capacity. The paper further restricts sizes and capacity to be
+// even; Stricten performs that conversion from a conventional instance.
+type BinPacking struct {
+	Sizes    []int
+	Bins     int
+	Capacity int
+}
+
+// TotalSize returns Σ sizes.
+func (bp BinPacking) TotalSize() int {
+	sum := 0
+	for _, s := range bp.Sizes {
+		sum += s
+	}
+	return sum
+}
+
+// Validate checks the strict-form invariants used by the Theorem-3
+// reduction: even positive sizes, even capacity ≥ max size, and total
+// size exactly Bins·Capacity.
+func (bp BinPacking) Validate() error {
+	if bp.Bins < 1 {
+		return errors.New("binpacking: need at least one bin")
+	}
+	if bp.Capacity < 2 || bp.Capacity%2 != 0 {
+		return fmt.Errorf("binpacking: capacity %d must be a positive even integer", bp.Capacity)
+	}
+	for i, s := range bp.Sizes {
+		if s <= 0 || s%2 != 0 {
+			return fmt.Errorf("binpacking: size %d of item %d must be a positive even integer", s, i)
+		}
+		if s > bp.Capacity {
+			return fmt.Errorf("binpacking: item %d (size %d) exceeds capacity %d", i, s, bp.Capacity)
+		}
+	}
+	if got, want := bp.TotalSize(), bp.Bins*bp.Capacity; got != want {
+		return fmt.Errorf("binpacking: total size %d ≠ bins·capacity = %d", got, want)
+	}
+	return nil
+}
+
+// Stricten converts a conventional instance — do the items fit into k
+// bins of capacity cap? — into the paper's strict form by adding unit
+// filler items and doubling everything. The strict instance has a perfect
+// packing iff the original items fit.
+func Stricten(sizes []int, k, cap int) (BinPacking, error) {
+	total := 0
+	for _, s := range sizes {
+		if s <= 0 || s > cap {
+			return BinPacking{}, fmt.Errorf("binpacking: size %d out of (0,%d]", s, cap)
+		}
+		total += s
+	}
+	if total > k*cap {
+		return BinPacking{}, errors.New("binpacking: items exceed total capacity")
+	}
+	strict := BinPacking{Bins: k, Capacity: 2 * cap}
+	for _, s := range sizes {
+		strict.Sizes = append(strict.Sizes, 2*s)
+	}
+	for f := 0; f < k*cap-total; f++ {
+		strict.Sizes = append(strict.Sizes, 2)
+	}
+	return strict, nil
+}
+
+// SolveExact decides the strict instance and, when solvable, returns an
+// assignment item→bin filling every bin exactly. The search assigns items
+// in decreasing size order with two classic prunes: skip bins with equal
+// residual capacity (symmetry) and abandon bins whose residual cannot be
+// completed by the remaining items.
+func (bp BinPacking) SolveExact() ([]int, bool) {
+	if err := bp.Validate(); err != nil {
+		return nil, false
+	}
+	n := len(bp.Sizes)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return bp.Sizes[order[a]] > bp.Sizes[order[b]] })
+
+	residual := make([]int, bp.Bins)
+	for j := range residual {
+		residual[j] = bp.Capacity
+	}
+	assign := make([]int, n)
+	var dfs func(k int) bool
+	dfs = func(k int) bool {
+		if k == n {
+			return true // total == bins·capacity, so all residuals are 0
+		}
+		item := order[k]
+		size := bp.Sizes[item]
+		tried := map[int]bool{}
+		for j := 0; j < bp.Bins; j++ {
+			if residual[j] < size || tried[residual[j]] {
+				continue
+			}
+			tried[residual[j]] = true
+			residual[j] -= size
+			assign[item] = j
+			if dfs(k + 1) {
+				return true
+			}
+			residual[j] += size
+		}
+		return false
+	}
+	if dfs(0) {
+		return assign, true
+	}
+	return nil, false
+}
+
+// FirstFitDecreasing is the classical heuristic: it returns a bin count
+// that packs all items within capacity (ignoring the exact-fill
+// requirement) — useful as a quick feasibility screen and as a baseline.
+func (bp BinPacking) FirstFitDecreasing() int {
+	sizes := append([]int(nil), bp.Sizes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	var loads []int
+	for _, s := range sizes {
+		placed := false
+		for j := range loads {
+			if loads[j]+s <= bp.Capacity {
+				loads[j] += s
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			loads = append(loads, s)
+		}
+	}
+	return len(loads)
+}
+
+// CheckAssignment verifies that assign is a perfect packing.
+func (bp BinPacking) CheckAssignment(assign []int) bool {
+	if len(assign) != len(bp.Sizes) {
+		return false
+	}
+	loads := make([]int, bp.Bins)
+	for i, j := range assign {
+		if j < 0 || j >= bp.Bins {
+			return false
+		}
+		loads[j] += bp.Sizes[i]
+	}
+	for _, l := range loads {
+		if l != bp.Capacity {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package reductions
+
+import "netdesign/internal/graph"
+
+// IsIndependentSet reports whether nodes is an independent set of g.
+func IsIndependentSet(g *graph.Graph, nodes []int) bool {
+	in := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		if in[v] {
+			return false
+		}
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if in[e.U] && in[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxIndependentSet returns a maximum independent set of g by exact
+// branch-and-bound, suitable for the small 3-regular graphs feeding the
+// Theorem-5 reduction. Branching follows the standard rule: pick a vertex
+// v of maximum residual degree and branch on excluding v (keeping its
+// neighbors available) or including v (discarding N[v]).
+func MaxIndependentSet(g *graph.Graph) []int {
+	n := g.N()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		seen := map[int]bool{}
+		for _, h := range g.Adj(v) {
+			if !seen[h.To] {
+				seen[h.To] = true
+				adj[v] = append(adj[v], h.To)
+			}
+		}
+	}
+	var best []int
+	var cur []int
+	aliveCount := n
+
+	var dfs func()
+	dfs = func() {
+		if len(cur)+aliveCount <= len(best) {
+			return // even taking everything left cannot beat the incumbent
+		}
+		// Pick the alive vertex of maximum alive-degree.
+		pick, deg := -1, -1
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			d := 0
+			for _, u := range adj[v] {
+				if alive[u] {
+					d++
+				}
+			}
+			if d > deg {
+				pick, deg = v, d
+			}
+		}
+		if pick == -1 {
+			if len(cur) > len(best) {
+				best = append([]int(nil), cur...)
+			}
+			return
+		}
+		if deg == 0 {
+			// All remaining vertices are isolated: take them all.
+			taken := 0
+			for v := 0; v < n; v++ {
+				if alive[v] {
+					cur = append(cur, v)
+					taken++
+				}
+			}
+			if len(cur) > len(best) {
+				best = append([]int(nil), cur...)
+			}
+			cur = cur[:len(cur)-taken]
+			return
+		}
+		// Branch 1: include pick, removing its closed neighborhood.
+		removed := []int{pick}
+		alive[pick] = false
+		for _, u := range adj[pick] {
+			if alive[u] {
+				alive[u] = false
+				removed = append(removed, u)
+			}
+		}
+		aliveCount -= len(removed)
+		cur = append(cur, pick)
+		dfs()
+		cur = cur[:len(cur)-1]
+		for _, u := range removed {
+			alive[u] = true
+		}
+		aliveCount += len(removed)
+
+		// Branch 2: exclude pick.
+		alive[pick] = false
+		aliveCount--
+		dfs()
+		alive[pick] = true
+		aliveCount++
+	}
+	dfs()
+	return best
+}

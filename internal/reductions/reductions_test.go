@@ -1,0 +1,362 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/graph"
+)
+
+func TestBinPackingValidate(t *testing.T) {
+	good := BinPacking{Sizes: []int{4, 2, 2, 4, 4}, Bins: 2, Capacity: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	bad := []BinPacking{
+		{Sizes: []int{4, 4}, Bins: 0, Capacity: 8},          // no bins
+		{Sizes: []int{4, 4}, Bins: 1, Capacity: 7},          // odd capacity
+		{Sizes: []int{3, 5}, Bins: 1, Capacity: 8},          // odd sizes
+		{Sizes: []int{10}, Bins: 1, Capacity: 8},            // oversize item
+		{Sizes: []int{4, 4}, Bins: 2, Capacity: 8},          // total ≠ k·C
+		{Sizes: []int{-2, 4, 6}, Bins: 1, Capacity: 8},      // non-positive
+		{Sizes: []int{4, 4, 4, 4}, Bins: 2, Capacity: 6},    // item fits but odd? no: total 16 ≠ 12
+		{Sizes: []int{2, 2, 2, 2}, Bins: 2, Capacity: 0},    // zero capacity
+		{Sizes: []int{2, 2, 2, 2, 2}, Bins: 2, Capacity: 4}, // total 10 ≠ 8
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad instance %d accepted", i)
+		}
+	}
+}
+
+func TestBinPackingSolveExact(t *testing.T) {
+	// Solvable: {6,2,4,4,2,6} into 3 bins of 8.
+	in := BinPacking{Sizes: []int{6, 2, 4, 4, 2, 6}, Bins: 3, Capacity: 8}
+	assign, ok := in.SolveExact()
+	if !ok || !in.CheckAssignment(assign) {
+		t.Fatalf("solvable instance not solved: %v %v", assign, ok)
+	}
+	// Unsolvable: {6,6,6,2,2,2} into 2 bins of 12 is solvable (6+6, rest),
+	// but {6,6,4,4,4} into 2 bins of 12 is not: 6+6=12 leaves 4+4+4=12 ✓…
+	// pick a genuinely unsolvable one: {10,10,2,2} into 2 bins of 12:
+	// 10+2=12 twice — solvable. Use {10,6,6,2} into 2 bins of 12:
+	// 10 needs exactly 2 → 10+2; remaining 6+6=12 ✓ solvable too.
+	// {10,8,4,2} into 2 bins of 12: 10+2, 8+4 ✓. Try {10,10,4}... total
+	// must be 24: {10,10,4} no. Use {10,4,4,4,2} total 24: bins of 12:
+	// 10 pairs only with 2 → 10+2; rest 4+4+4=12 ✓. Hmm — parity makes
+	// small unsolvable instances rare; force one with big items:
+	// {8,8,8} into 2 bins of 12: total 24 ✓, but no subset sums to 12.
+	un := BinPacking{Sizes: []int{8, 8, 8}, Bins: 2, Capacity: 12}
+	if err := un.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := un.SolveExact(); ok {
+		t.Error("unsolvable instance solved")
+	}
+}
+
+func TestBinPackingSolveExactRandomCrossCheck(t *testing.T) {
+	// Construct instances that are solvable by design (split full bins),
+	// and verify the solver finds a perfect packing.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + rng.Intn(3)
+		C := 2 * (3 + rng.Intn(6)) // even, 6..16
+		var sizes []int
+		for j := 0; j < k; j++ {
+			rem := C
+			for rem > 0 {
+				s := 2 * (1 + rng.Intn(rem/2))
+				if s > rem {
+					s = rem
+				}
+				sizes = append(sizes, s)
+				rem -= s
+			}
+		}
+		in := BinPacking{Sizes: sizes, Bins: k, Capacity: C}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assign, ok := in.SolveExact()
+		if !ok || !in.CheckAssignment(assign) {
+			t.Fatalf("trial %d: designed-solvable instance unsolved", trial)
+		}
+	}
+}
+
+func TestStricten(t *testing.T) {
+	// 3 items of size 3 into 2 bins of 5: fits (3+? no: 3+3=6>5 →
+	// bins {3},{3,?}… k=2,cap=5: 3,3,3 → needs 2 bins? 3+3 > 5 so one
+	// bin per pair impossible: {3},{3,3}→6>5: does NOT fit in 2 bins.
+	strict, err := Stricten([]int{3, 3, 3}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := strict.SolveExact(); ok {
+		t.Error("strict form of unsolvable instance solved")
+	}
+	// 2+3 into 2 bins of 5… wait 2+3=5 fits in ONE bin; 2 bins of 5
+	// with filler: solvable.
+	strict2, err := Stricten([]int{2, 3}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := strict2.SolveExact(); !ok {
+		t.Error("strict form of solvable instance unsolved")
+	}
+	// Overfull inputs are rejected.
+	if _, err := Stricten([]int{5, 5, 5}, 2, 5); err == nil {
+		t.Error("overfull instance accepted")
+	}
+	if _, err := Stricten([]int{9}, 1, 5); err == nil {
+		t.Error("oversize item accepted")
+	}
+}
+
+func TestStrictenAgainstBrute(t *testing.T) {
+	// Cross-check Stricten+SolveExact against a direct fit search.
+	rng := rand.New(rand.NewSource(20))
+	fits := func(sizes []int, k, cap int) bool {
+		loads := make([]int, k)
+		var dfs func(i int) bool
+		dfs = func(i int) bool {
+			if i == len(sizes) {
+				return true
+			}
+			seen := map[int]bool{}
+			for j := 0; j < k; j++ {
+				if loads[j]+sizes[i] <= cap && !seen[loads[j]] {
+					seen[loads[j]] = true
+					loads[j] += sizes[i]
+					if dfs(i + 1) {
+						return true
+					}
+					loads[j] -= sizes[i]
+				}
+			}
+			return false
+		}
+		return dfs(0)
+	}
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(3)
+		cap := 4 + rng.Intn(6)
+		var sizes []int
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			sizes = append(sizes, 1+rng.Intn(cap))
+		}
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		if total > k*cap {
+			continue
+		}
+		strict, err := Stricten(sizes, k, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got := strict.SolveExact()
+		if want := fits(sizes, k, cap); got != want {
+			t.Fatalf("trial %d: strict %v vs direct %v (sizes=%v k=%d cap=%d)", trial, got, want, sizes, k, cap)
+		}
+	}
+}
+
+func TestFirstFitDecreasing(t *testing.T) {
+	in := BinPacking{Sizes: []int{6, 2, 4, 4, 2, 6}, Bins: 3, Capacity: 8}
+	if got := in.FirstFitDecreasing(); got < 3 || got > 4 {
+		t.Errorf("FFD = %d bins", got)
+	}
+}
+
+func TestMaxIndependentSetKnown(t *testing.T) {
+	// Path 0-1-2-3-4: max IS {0,2,4}.
+	g := graph.Path(4, 1)
+	is := MaxIndependentSet(g)
+	if len(is) != 3 || !IsIndependentSet(g, is) {
+		t.Errorf("path IS = %v", is)
+	}
+	// Complete graph K5: max IS size 1.
+	k5 := graph.Complete(5, func(i, j int) float64 { return 1 })
+	if is := MaxIndependentSet(k5); len(is) != 1 {
+		t.Errorf("K5 IS = %v", is)
+	}
+	// Cycle with 6 edges (7 nodes): max IS = 3.
+	c := graph.Cycle(5, 1) // 6 nodes in a 6-cycle
+	if is := MaxIndependentSet(c); len(is) != 3 {
+		t.Errorf("C6 IS = %v", is)
+	}
+	// Petersen graph: independence number 4.
+	pet := graph.New(10)
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	for _, pairs := range [][][2]int{outer, inner, spokes} {
+		for _, p := range pairs {
+			pet.AddEdge(p[0], p[1], 1)
+		}
+	}
+	if is := MaxIndependentSet(pet); len(is) != 4 || !IsIndependentSet(pet, is) {
+		t.Errorf("Petersen IS = %v", is)
+	}
+}
+
+func TestMaxIndependentSetAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(9)
+		g := graph.RandomConnected(rng, n, 0.35, 1, 2)
+		got := MaxIndependentSet(g)
+		if !IsIndependentSet(g, got) {
+			t.Fatalf("trial %d: returned set not independent", trial)
+		}
+		// Brute force.
+		best := 0
+		for mask := 0; mask < 1<<n; mask++ {
+			var set []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					set = append(set, v)
+				}
+			}
+			if len(set) > best && IsIndependentSet(g, set) {
+				best = len(set)
+			}
+		}
+		if len(got) != best {
+			t.Fatalf("trial %d: B&B %d vs brute %d", trial, len(got), best)
+		}
+	}
+}
+
+func TestIsIndependentSetDuplicates(t *testing.T) {
+	g := graph.Path(3, 1)
+	if IsIndependentSet(g, []int{0, 0}) {
+		t.Error("duplicate nodes accepted")
+	}
+}
+
+func TestFormulaValidate(t *testing.T) {
+	f := &Formula{NumVars: 3, Clauses: []Clause{
+		{{Var: 0}, {Var: 1, Neg: true}, {Var: 2}},
+	}}
+	if err := f.Validate(); err != nil {
+		t.Errorf("valid formula rejected: %v", err)
+	}
+	repeat := &Formula{NumVars: 3, Clauses: []Clause{
+		{{Var: 0}, {Var: 0, Neg: true}, {Var: 2}},
+	}}
+	if err := repeat.Validate(); err == nil {
+		t.Error("repeated variable accepted")
+	}
+	unknown := &Formula{NumVars: 2, Clauses: []Clause{
+		{{Var: 0}, {Var: 1}, {Var: 5}},
+	}}
+	if err := unknown.Validate(); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	// Five occurrences of variable 0.
+	over := &Formula{NumVars: 11}
+	for i := 0; i < 5; i++ {
+		over.Clauses = append(over.Clauses, Clause{{Var: 0}, {Var: 2*i + 1}, {Var: 2*i + 2}})
+	}
+	if err := over.Validate(); err == nil {
+		t.Error("occurrence bound violation accepted")
+	}
+}
+
+func TestFormulaEvalAndBrute(t *testing.T) {
+	// (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ ¬x1 ∨ ¬x2)
+	f := &Formula{NumVars: 3, Clauses: []Clause{
+		{{Var: 0}, {Var: 1}, {Var: 2}},
+		{{Var: 0, Neg: true}, {Var: 1, Neg: true}, {Var: 2, Neg: true}},
+	}}
+	assign, ok := f.SolveBrute()
+	if !ok || !f.Eval(assign) {
+		t.Fatal("satisfiable formula unsolved")
+	}
+	// Unsatisfiable 3SAT-4 needs care; use all eight sign patterns over
+	// three variables — every assignment falsifies one clause — but that
+	// uses each variable 8 times. Instead verify Eval directly.
+	if f.Eval([]bool{false, false, false}) {
+		t.Error("falsifying assignment accepted")
+	}
+	if !f.Eval([]bool{true, false, false}) {
+		t.Error("satisfying assignment rejected")
+	}
+}
+
+func TestLabelVariables(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 25; trial++ {
+		nv := 6 + rng.Intn(10)
+		nc := 2 + rng.Intn(4*nv/3-2)
+		f, err := RandomFormula(rng, nv, nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels, err := f.LabelVariables()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range f.Clauses {
+			if labels[c[0].Var] == labels[c[1].Var] ||
+				labels[c[0].Var] == labels[c[2].Var] ||
+				labels[c[1].Var] == labels[c[2].Var] {
+				t.Fatalf("trial %d: clause shares a label", trial)
+			}
+		}
+		for _, l := range labels {
+			if l < 1 || l > 9 {
+				t.Fatalf("label %d out of range", l)
+			}
+		}
+	}
+}
+
+func TestOccurrences(t *testing.T) {
+	f := &Formula{NumVars: 4, Clauses: []Clause{
+		{{Var: 0}, {Var: 1}, {Var: 2}},
+		{{Var: 0, Neg: true}, {Var: 1}, {Var: 3}},
+	}}
+	occ := f.Occurrences()
+	if len(occ[0]) != 2 || occ[0][0].Clause != 0 || occ[0][1].Neg != true {
+		t.Errorf("occ[0] = %v", occ[0])
+	}
+	if len(occ[3]) != 1 || occ[3][0].Clause != 1 {
+		t.Errorf("occ[3] = %v", occ[3])
+	}
+}
+
+func TestRandomFormulaShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	if _, err := RandomFormula(rng, 2, 1); err == nil {
+		t.Error("too few variables accepted")
+	}
+	if _, err := RandomFormula(rng, 3, 5); err == nil {
+		t.Error("occurrence-impossible shape accepted")
+	}
+	f, err := RandomFormula(rng, 9, 12) // exactly at the 3·12 = 4·9 bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiteralHelpers(t *testing.T) {
+	l := Literal{Var: 3}
+	if l.Negated().Neg != true || l.Negated().Var != 3 {
+		t.Error("Negated wrong")
+	}
+	if l.String() != "x3" || l.Negated().String() != "¬x3" {
+		t.Errorf("String: %s / %s", l, l.Negated())
+	}
+}

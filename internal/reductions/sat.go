@@ -1,0 +1,216 @@
+package reductions
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Literal is a possibly-negated propositional variable.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// Negated returns the complementary literal.
+func (l Literal) Negated() Literal { return Literal{Var: l.Var, Neg: !l.Neg} }
+
+func (l Literal) String() string {
+	if l.Neg {
+		return fmt.Sprintf("¬x%d", l.Var)
+	}
+	return fmt.Sprintf("x%d", l.Var)
+}
+
+// Clause is a disjunction of exactly three literals over distinct
+// variables (the 3SAT-4 format of Tovey used by Theorem 12).
+type Clause [3]Literal
+
+// Formula is a 3SAT-4 instance: every clause has three literals on
+// distinct variables and every variable occurs in at most four clauses.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks the 3SAT-4 syntactic restrictions.
+func (f *Formula) Validate() error {
+	occ := make([]int, f.NumVars)
+	for ci, c := range f.Clauses {
+		vars := map[int]bool{}
+		for _, l := range c {
+			if l.Var < 0 || l.Var >= f.NumVars {
+				return fmt.Errorf("sat: clause %d references unknown variable %d", ci, l.Var)
+			}
+			if vars[l.Var] {
+				return fmt.Errorf("sat: clause %d repeats variable %d", ci, l.Var)
+			}
+			vars[l.Var] = true
+			occ[l.Var]++
+		}
+	}
+	for v, k := range occ {
+		if k > 4 {
+			return fmt.Errorf("sat: variable %d occurs %d > 4 times", v, k)
+		}
+	}
+	return nil
+}
+
+// Eval reports whether the assignment satisfies every clause.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if assign[l.Var] != l.Neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveBrute exhaustively searches assignments (formulas here are small
+// validation instances). It returns a satisfying assignment if one exists.
+func (f *Formula) SolveBrute() ([]bool, bool) {
+	if f.NumVars > 30 {
+		panic("sat: brute-force solver limited to 30 variables")
+	}
+	assign := make([]bool, f.NumVars)
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		for v := range assign {
+			assign[v] = mask&(1<<v) != 0
+		}
+		if f.Eval(assign) {
+			return append([]bool(nil), assign...), true
+		}
+	}
+	return nil, false
+}
+
+// Occurrence locates one appearance of a variable.
+type Occurrence struct {
+	Clause int  // clause index
+	Neg    bool // appears negated there
+}
+
+// Occurrences returns, for each variable, its appearances in clause order.
+// The Theorem-12 consistency gadgets connect consecutive entries.
+func (f *Formula) Occurrences() [][]Occurrence {
+	occ := make([][]Occurrence, f.NumVars)
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			occ[l.Var] = append(occ[l.Var], Occurrence{Clause: ci, Neg: l.Neg})
+		}
+	}
+	return occ
+}
+
+// LabelVariables assigns each variable a label in {1,…,9} such that
+// variables sharing a clause get distinct labels — the paper's greedy
+// argument: a variable occurs in ≤ 4 clauses and so conflicts with ≤ 8
+// others, hence 9 labels always suffice. To keep the gadget constants
+// n_j = 4·n_{j+1}² (n_9 = 7) as small as possible, colors are mapped to
+// the largest labels first: the first color becomes label 9, the next 8,
+// and so on.
+func (f *Formula) LabelVariables() ([]int, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	// Conflict graph over variables.
+	conflict := make([]map[int]bool, f.NumVars)
+	for v := range conflict {
+		conflict[v] = map[int]bool{}
+	}
+	for _, c := range f.Clauses {
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				conflict[c[i].Var][c[j].Var] = true
+				conflict[c[j].Var][c[i].Var] = true
+			}
+		}
+	}
+	colors := make([]int, f.NumVars) // 0-based colors, -1 = unassigned
+	for v := range colors {
+		colors[v] = -1
+	}
+	for v := 0; v < f.NumVars; v++ {
+		used := map[int]bool{}
+		for u := range conflict[v] {
+			if colors[u] >= 0 {
+				used[colors[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		if c >= 9 {
+			return nil, errors.New("sat: greedy labelling exceeded 9 labels (input is not 3SAT-4)")
+		}
+		colors[v] = c
+	}
+	labels := make([]int, f.NumVars)
+	for v, c := range colors {
+		labels[v] = 9 - c
+	}
+	return labels, nil
+}
+
+// RandomFormula draws a random 3SAT-4 formula with the given number of
+// variables and clauses, rejecting clause candidates that would violate
+// the occurrence bound. It errs when the shape is impossible
+// (3·clauses > 4·vars) or sampling stalls.
+func RandomFormula(rng *rand.Rand, numVars, numClauses int) (*Formula, error) {
+	if numVars < 3 {
+		return nil, errors.New("sat: need at least 3 variables")
+	}
+	if 3*numClauses > 4*numVars {
+		return nil, errors.New("sat: too many clauses for the occurrence bound")
+	}
+	// Rejection sampling can paint itself into a corner near the
+	// occurrence bound (3·clauses close to 4·vars), so restart the whole
+	// draw when a clause cannot be placed.
+	for restart := 0; restart < 200; restart++ {
+		f := &Formula{NumVars: numVars}
+		occ := make([]int, numVars)
+		stalled := false
+		for len(f.Clauses) < numClauses && !stalled {
+			ok := false
+			for attempt := 0; attempt < 200; attempt++ {
+				a := rng.Intn(numVars)
+				b := rng.Intn(numVars)
+				c := rng.Intn(numVars)
+				if a == b || a == c || b == c {
+					continue
+				}
+				if occ[a] >= 4 || occ[b] >= 4 || occ[c] >= 4 {
+					continue
+				}
+				cl := Clause{
+					{Var: a, Neg: rng.Intn(2) == 0},
+					{Var: b, Neg: rng.Intn(2) == 0},
+					{Var: c, Neg: rng.Intn(2) == 0},
+				}
+				f.Clauses = append(f.Clauses, cl)
+				occ[a]++
+				occ[b]++
+				occ[c]++
+				ok = true
+				break
+			}
+			stalled = !ok
+		}
+		if !stalled {
+			if err := f.Validate(); err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+	}
+	return nil, errors.New("sat: random generation stalled")
+}

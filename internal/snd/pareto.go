@@ -1,0 +1,72 @@
+package snd
+
+import (
+	"sort"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/graph"
+	"netdesign/internal/parallel"
+	"netdesign/internal/sne"
+)
+
+// ParetoPoint is one breakpoint of the budget→weight tradeoff: with a
+// subsidy budget of at least Budget, a stable design of weight Weight
+// (and no lighter one) becomes available.
+type ParetoPoint struct {
+	Budget float64
+	Weight float64
+	Tree   []int
+}
+
+// ParetoFrontier computes the exact budget–weight tradeoff of STABLE
+// NETWORK DESIGN for a broadcast game: for every spanning tree the
+// LP-optimal enforcement cost is computed (in parallel), and the lower
+// staircase of (cost, weight) pairs is returned in increasing-budget
+// order. The first point is the best design enforceable for free; the
+// last is the minimum spanning tree. Exponential in instance size via
+// tree enumeration (treeLimit ≤ 0 means unlimited).
+func ParetoFrontier(bg *broadcast.Game, treeLimit int) ([]ParetoPoint, error) {
+	var trees [][]int
+	if _, err := graph.EnumerateSpanningTrees(bg.G, treeLimit, func(tr []int) bool {
+		trees = append(trees, tr)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	type pair struct {
+		cost, weight float64
+		tree         []int
+		err          error
+	}
+	pairs := parallel.Map(trees, 0, func(tr []int) pair {
+		st, err := broadcast.NewState(bg, tr)
+		if err != nil {
+			return pair{err: err}
+		}
+		res, err := sne.SolveBroadcastLP(st)
+		if err != nil {
+			return pair{err: err}
+		}
+		return pair{cost: res.Cost, weight: st.Weight(), tree: tr}
+	})
+	for _, p := range pairs {
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].cost != pairs[j].cost {
+			return pairs[i].cost < pairs[j].cost
+		}
+		return pairs[i].weight < pairs[j].weight
+	})
+	var frontier []ParetoPoint
+	bestW := -1.0
+	for _, p := range pairs {
+		if bestW < 0 || p.weight < bestW-1e-12 {
+			bestW = p.weight
+			frontier = append(frontier, ParetoPoint{Budget: p.cost, Weight: p.weight, Tree: p.tree})
+		}
+	}
+	return frontier, nil
+}

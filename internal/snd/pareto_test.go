@@ -1,0 +1,70 @@
+package snd
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+func TestParetoFrontierCycle(t *testing.T) {
+	// The 5-cycle: balanced splits are free equilibria of MST weight, so
+	// the frontier collapses to one point at budget 0.
+	bg := cycleGame(t, 4)
+	fr, err := ParetoFrontier(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != 1 || fr[0].Budget > 1e-9 || fr[0].Weight != 4 {
+		t.Errorf("frontier = %+v", fr)
+	}
+}
+
+func TestParetoFrontierShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(3)
+		g := graph.RandomConnected(rng, n, 0.5, 0.3, 2)
+		bg, err := broadcast.NewGame(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := ParetoFrontier(bg, 5000)
+		if err == graph.ErrTooManyTrees {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fr) == 0 {
+			t.Fatal("empty frontier")
+		}
+		// Budgets strictly increase, weights strictly decrease.
+		for i := 1; i < len(fr); i++ {
+			if fr[i].Budget <= fr[i-1].Budget {
+				t.Fatalf("trial %d: budgets not increasing: %+v", trial, fr)
+			}
+			if fr[i].Weight >= fr[i-1].Weight {
+				t.Fatalf("trial %d: weights not decreasing: %+v", trial, fr)
+			}
+		}
+		// The last point is the MST.
+		mst, _ := graph.MST(g)
+		if !numeric.AlmostEqual(fr[len(fr)-1].Weight, g.WeightOf(mst)) {
+			t.Fatalf("trial %d: frontier does not end at the MST", trial)
+		}
+		// Every point agrees with SolveExact at its own budget.
+		for _, p := range fr {
+			res, err := SolveExact(bg, p.Budget+1e-9, 5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !numeric.AlmostEqualTol(res.Weight, p.Weight, 1e-7) {
+				t.Fatalf("trial %d: frontier point (%v, %v) vs SolveExact %v",
+					trial, p.Budget, p.Weight, res.Weight)
+			}
+		}
+	}
+}

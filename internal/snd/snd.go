@@ -1,0 +1,169 @@
+// Package snd tackles STABLE NETWORK DESIGN, the paper's second
+// optimization problem: given a broadcast game and a subsidy budget B,
+// find a minimum-weight network that some subsidy assignment of cost ≤ B
+// enforces as an equilibrium. Theorem 3 proves the problem NP-hard even
+// with B = 0, so this package offers an exact solver for small instances
+// (spanning-tree enumeration × the SNE LP, fanned out over a worker pool)
+// and two polynomial heuristics the paper's discussion motivates: the
+// trivial MST + Theorem-6 construction (always feasible when B ≥
+// wgt(MST)/e) and MST + LP (feasible whenever the MST's optimal
+// enforcement fits the budget).
+package snd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+	"netdesign/internal/parallel"
+	"netdesign/internal/sne"
+	"netdesign/internal/subsidy"
+)
+
+// Result is a design: a tree, the subsidies enforcing it, and both costs.
+type Result struct {
+	Tree        []int
+	Weight      float64 // wgt(T) — the social cost being minimized
+	Subsidy     game.Subsidy
+	SubsidyCost float64
+}
+
+// ErrBudgetInfeasible is returned when no candidate design fits budget B.
+// With fractional subsidies this can only happen for heuristics: the
+// exact solver always finds the fully-subsidized MST when B ≥ wgt(MST).
+var ErrBudgetInfeasible = errors.New("snd: no design enforceable within budget")
+
+// SolveExact enumerates every spanning tree (error beyond treeLimit;
+// ≤ 0 means unlimited), solves the SNE LP for each in parallel, and
+// returns the minimum-weight tree whose optimal enforcement cost is ≤ B.
+// Ties on weight are broken toward cheaper subsidies.
+func SolveExact(bg *broadcast.Game, budget float64, treeLimit int) (*Result, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("snd: negative budget %v", budget)
+	}
+	var trees [][]int
+	if _, err := graph.EnumerateSpanningTrees(bg.G, treeLimit, func(tr []int) bool {
+		trees = append(trees, tr)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	type cand struct {
+		res *Result
+		err error
+	}
+	cands := parallel.Map(trees, 0, func(tr []int) cand {
+		st, err := broadcast.NewState(bg, tr)
+		if err != nil {
+			return cand{err: err}
+		}
+		lp, err := sne.SolveBroadcastLP(st)
+		if err != nil {
+			return cand{err: err}
+		}
+		return cand{res: &Result{
+			Tree:        tr,
+			Weight:      st.Weight(),
+			Subsidy:     lp.Subsidy,
+			SubsidyCost: lp.Cost,
+		}}
+	})
+	var best *Result
+	for _, c := range cands {
+		if c.err != nil {
+			return nil, c.err
+		}
+		if c.res.SubsidyCost > budget+1e-9*(1+budget) {
+			continue
+		}
+		if best == nil || c.res.Weight < best.Weight-1e-12 ||
+			(math.Abs(c.res.Weight-best.Weight) <= 1e-12 && c.res.SubsidyCost < best.SubsidyCost) {
+			best = c.res
+		}
+	}
+	if best == nil {
+		return nil, ErrBudgetInfeasible
+	}
+	return best, nil
+}
+
+// HeuristicMSTLP proposes the MST enforced by its LP-optimal subsidies —
+// the natural polynomial-time design. It fails only when even the
+// cheapest enforcement of the MST exceeds the budget (in which case a
+// heavier tree might still fit: that trade-off is exactly what makes SND
+// hard).
+func HeuristicMSTLP(bg *broadcast.Game, budget float64) (*Result, error) {
+	mst, err := bg.MST()
+	if err != nil {
+		return nil, err
+	}
+	st, err := broadcast.NewState(bg, mst)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := sne.SolveBroadcastLP(st)
+	if err != nil {
+		return nil, err
+	}
+	if lp.Cost > budget+1e-9*(1+budget) {
+		return nil, ErrBudgetInfeasible
+	}
+	return &Result{Tree: mst, Weight: st.Weight(), Subsidy: lp.Subsidy, SubsidyCost: lp.Cost}, nil
+}
+
+// HeuristicTheorem6 proposes the MST enforced by the Theorem-6
+// construction: cost exactly wgt(MST)/e, so it fits any budget of at
+// least that — the paper's universal guarantee (its Section 6 notes the
+// answer to budgeted SND is "clearly positive if α ≥ 1/e").
+func HeuristicTheorem6(bg *broadcast.Game, budget float64) (*Result, error) {
+	mst, err := bg.MST()
+	if err != nil {
+		return nil, err
+	}
+	st, err := broadcast.NewState(bg, mst)
+	if err != nil {
+		return nil, err
+	}
+	b, cert, err := subsidy.Enforce(st)
+	if err != nil {
+		return nil, err
+	}
+	if cert.Total > budget+1e-9*(1+budget) {
+		return nil, ErrBudgetInfeasible
+	}
+	return &Result{Tree: mst, Weight: st.Weight(), Subsidy: b, SubsidyCost: cert.Total}, nil
+}
+
+// PoSIsOne decides whether the game's price of stability is exactly 1 —
+// i.e. whether some MST is an equilibrium without subsidies. This is the
+// question Theorem 3 proves NP-hard; the implementation is the honest
+// exponential check via tree enumeration.
+func PoSIsOne(bg *broadcast.Game, treeLimit int) (bool, error) {
+	ok, _, err := broadcast.MSTEquilibrium(bg, treeLimit)
+	return ok, err
+}
+
+// Verify confirms a Result: the tree spans, the subsidies are valid and
+// within the stated cost, and the extension has the tree as equilibrium.
+func Verify(bg *broadcast.Game, r *Result, budget float64) error {
+	st, err := broadcast.NewState(bg, r.Tree)
+	if err != nil {
+		return err
+	}
+	if err := sne.VerifyBroadcast(st, r.Subsidy); err != nil {
+		return err
+	}
+	if got := r.Subsidy.Cost(); math.Abs(got-r.SubsidyCost) > 1e-6*(1+got) {
+		return fmt.Errorf("snd: stated subsidy cost %v ≠ actual %v", r.SubsidyCost, got)
+	}
+	if r.SubsidyCost > budget+1e-6*(1+budget) {
+		return fmt.Errorf("snd: subsidy cost %v exceeds budget %v", r.SubsidyCost, budget)
+	}
+	if math.Abs(st.Weight()-r.Weight) > 1e-6*(1+st.Weight()) {
+		return fmt.Errorf("snd: stated weight %v ≠ actual %v", r.Weight, st.Weight())
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package sne
+
+import (
+	"fmt"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/game"
+	"netdesign/internal/lp"
+	"netdesign/internal/numeric"
+)
+
+// This file generalizes SNE to α-approximate equilibria (the relaxation
+// studied by Albers & Lenzner, cited in the paper's related work): a
+// state is an α-equilibrium if no player can improve her cost by more
+// than a factor α ≥ 1. Enforcing a tree as an α-equilibrium is still a
+// linear program — the Lemma-2 row becomes
+//
+//	Σ_{a∈T_u} (w_a−b_a)/n_a ≤ α·[ w_uv − b_uv + Σ_{a∈T_v} (w_a−b_a)/(n_a+1−n_a^u) ]
+//
+// and, unlike the α = 1 case, the edges shared by T_u and T_v no longer
+// cancel (their coefficients become (1−α)/n_a), so rows span full paths.
+// Subsidy requirements fall monotonically in α and hit zero once α
+// reaches the worst cost ratio of the unsubsidized tree.
+
+// IsApproxEquilibrium reports whether the broadcast state is an
+// α-approximate equilibrium under subsidies b.
+func IsApproxEquilibrium(st *broadcast.State, b game.Subsidy, alpha float64) bool {
+	if alpha < 1 {
+		panic("sne: approximation factor must be ≥ 1")
+	}
+	g := st.BG.G
+	up := st.CostsToRoot(b)
+	for _, e := range g.Edges() {
+		if st.Tree.Contains(e.ID) {
+			continue
+		}
+		for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			u, v := dir[0], dir[1]
+			if u == st.BG.Root {
+				continue
+			}
+			dev := e.W - b.At(e.ID)
+			x := st.Tree.LCA(u, v)
+			for _, id := range st.Tree.PathToRoot(v) {
+				den := st.NA[id] + 1
+				if onRootSide(st, id, x) {
+					den = st.NA[id] // shared with T_u: the deviator already uses it
+				}
+				dev += (g.Weight(id) - b.At(id)) / float64(den)
+			}
+			if numeric.Less(alpha*dev, up[u]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// onRootSide reports whether tree edge id lies on the path from x to the
+// root (the segment shared by T_u and T_v when x = lca(u,v)).
+func onRootSide(st *broadcast.State, id, x int) bool {
+	e := st.BG.G.Edge(id)
+	// The deeper endpoint identifies the edge's position; shared edges
+	// are those whose deeper endpoint is an ancestor-or-self of x.
+	child := e.U
+	if st.Tree.Depth[e.V] > st.Tree.Depth[child] {
+		child = e.V
+	}
+	return st.Tree.LCA(child, x) == child
+}
+
+// SolveBroadcastLPApprox computes minimum subsidies enforcing the state
+// as an α-approximate equilibrium. α = 1 recovers SolveBroadcastLP's
+// optimum (modulo the uncancelled-row formulation).
+func SolveBroadcastLPApprox(st *broadcast.State, alpha float64) (*Result, error) {
+	if alpha < 1 {
+		return nil, fmt.Errorf("sne: approximation factor %v must be ≥ 1", alpha)
+	}
+	g := st.BG.G
+	model := lp.NewModel()
+	varOf := make(map[int]int, len(st.Tree.EdgeIDs))
+	for _, id := range st.Tree.EdgeIDs {
+		varOf[id] = model.AddVar(1, g.Weight(id))
+	}
+	up0 := st.CostsToRoot(nil)
+	for _, e := range g.Edges() {
+		if st.Tree.Contains(e.ID) {
+			continue
+		}
+		for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			u, v := dir[0], dir[1]
+			if u == st.BG.Root {
+				continue
+			}
+			x := st.Tree.LCA(u, v)
+			// Row: Σ_{T_u} b/n − α·Σ_{T_v} b/den ≥ up0[u] − α·dev0.
+			coefs := make(map[int]float64)
+			for _, id := range st.Tree.PathToRoot(u) {
+				coefs[varOf[id]] += 1 / float64(st.NA[id])
+			}
+			dev0 := e.W
+			for _, id := range st.Tree.PathToRoot(v) {
+				den := float64(st.NA[id] + 1)
+				if onRootSide(st, id, x) {
+					den = float64(st.NA[id])
+				}
+				coefs[varOf[id]] -= alpha / den
+				dev0 += g.Weight(id) / den
+			}
+			rhs := up0[u] - alpha*dev0
+			// Drop vacuous rows (no support after coefficient merging).
+			nonzero := false
+			for _, c := range coefs {
+				if c != 0 {
+					nonzero = true
+					break
+				}
+			}
+			if nonzero || rhs > 0 {
+				model.AddConstraint(coefs, lp.GE, rhs)
+			}
+		}
+	}
+	sol, err := model.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("sne: approximate LP status %v", sol.Status)
+	}
+	b := game.ZeroSubsidy(g)
+	for id, j := range varOf {
+		b[id] = sol.X[j]
+	}
+	snap(b, g)
+	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: 1, Pivots: sol.Pivots}
+	if !IsApproxEquilibrium(st, b, alpha) {
+		return nil, fmt.Errorf("sne: approximate LP produced a non-enforcing assignment")
+	}
+	return res, nil
+}
+
+// StabilityFactor returns the smallest α for which the tree is an
+// α-approximate equilibrium without subsidies: the worst ratio of a
+// player's tree cost to her best deviation. It is 1 exactly when the
+// tree is a Nash equilibrium.
+func StabilityFactor(st *broadcast.State) float64 {
+	g := st.BG.G
+	up := st.CostsToRoot(nil)
+	worst := 1.0
+	for _, e := range g.Edges() {
+		if st.Tree.Contains(e.ID) {
+			continue
+		}
+		for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			u, v := dir[0], dir[1]
+			if u == st.BG.Root {
+				continue
+			}
+			x := st.Tree.LCA(u, v)
+			dev := e.W
+			for _, id := range st.Tree.PathToRoot(v) {
+				den := float64(st.NA[id] + 1)
+				if onRootSide(st, id, x) {
+					den = float64(st.NA[id])
+				}
+				dev += g.Weight(id) / den
+			}
+			if dev > 0 && up[u]/dev > worst {
+				worst = up[u] / dev
+			}
+		}
+	}
+	return worst
+}

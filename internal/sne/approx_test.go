@@ -1,0 +1,113 @@
+package sne
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/numeric"
+)
+
+func TestApproxMatchesExactAtAlphaOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	for trial := 0; trial < 25; trial++ {
+		st := randomBroadcastState(t, rng, 3+rng.Intn(5), 0.5)
+		// α = 1 approximate-equilibrium check ≡ Nash check.
+		if got, want := IsApproxEquilibrium(st, nil, 1), st.IsEquilibrium(nil); got != want {
+			t.Fatalf("trial %d: approx(1) %v vs Nash %v", trial, got, want)
+		}
+		// α = 1 LP must match the exact LP optimum.
+		r1, err := SolveBroadcastLPApprox(st, 1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r0, err := SolveBroadcastLP(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqualTol(r1.Cost, r0.Cost, 1e-6) {
+			t.Fatalf("trial %d: approx LP %v vs exact LP %v", trial, r1.Cost, r0.Cost)
+		}
+	}
+}
+
+func TestApproxCostMonotoneInAlpha(t *testing.T) {
+	st := cycleInstance(t, 16)
+	prev := st.Weight() + 1
+	for _, alpha := range []float64{1, 1.1, 1.3, 1.6, 2, 3} {
+		r, err := SolveBroadcastLPApprox(st, alpha)
+		if err != nil {
+			t.Fatalf("alpha %v: %v", alpha, err)
+		}
+		if r.Cost > prev+1e-9 {
+			t.Fatalf("cost not monotone: alpha %v cost %v > previous %v", alpha, r.Cost, prev)
+		}
+		prev = r.Cost
+		if !IsApproxEquilibrium(st, r.Subsidy, alpha) {
+			t.Fatalf("alpha %v: result not α-enforcing", alpha)
+		}
+	}
+}
+
+func TestStabilityFactor(t *testing.T) {
+	// On the cycle, the worst player is the far one: cost H_n against a
+	// deviation of exactly 1, so the stability factor is H_n.
+	for _, n := range []int{4, 8, 16} {
+		st := cycleInstance(t, n)
+		want := numeric.Harmonic(n)
+		if got := StabilityFactor(st); !numeric.AlmostEqualTol(got, want, 1e-9) {
+			t.Errorf("n=%d: stability factor %v, want H_n = %v", n, got, want)
+		}
+		// At α = StabilityFactor the tree is free to enforce.
+		r, err := SolveBroadcastLPApprox(st, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cost > 1e-7 {
+			t.Errorf("n=%d: cost %v at the stability factor, want 0", n, r.Cost)
+		}
+		// Just below it, a positive subsidy is required.
+		r2, err := SolveBroadcastLPApprox(st, want*0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Cost <= 0 {
+			t.Errorf("n=%d: zero cost below the stability factor", n)
+		}
+	}
+}
+
+func TestStabilityFactorOneOnEquilibrium(t *testing.T) {
+	rng := rand.New(rand.NewSource(802))
+	for trial := 0; trial < 30; trial++ {
+		st := randomBroadcastState(t, rng, 3+rng.Intn(5), 0.5)
+		sf := StabilityFactor(st)
+		if sf < 1 {
+			t.Fatalf("trial %d: stability factor %v < 1", trial, sf)
+		}
+		if st.IsEquilibrium(nil) != (sf <= 1+1e-9) {
+			t.Fatalf("trial %d: equilibrium %v vs stability factor %v", trial,
+				st.IsEquilibrium(nil), sf)
+		}
+		// The factor is always enforceable for free; anything ≥ it too.
+		r, err := SolveBroadcastLPApprox(st, sf+1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cost > 1e-6 {
+			t.Fatalf("trial %d: cost %v at stability factor", trial, r.Cost)
+		}
+	}
+}
+
+func TestApproxPanicsAndErrors(t *testing.T) {
+	st := cycleInstance(t, 4)
+	if _, err := SolveBroadcastLPApprox(st, 0.5); err == nil {
+		t.Error("alpha < 1 accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IsApproxEquilibrium with alpha < 1 should panic")
+		}
+	}()
+	IsApproxEquilibrium(st, nil, 0.9)
+}

@@ -1,0 +1,121 @@
+package sne
+
+import (
+	"fmt"
+	"math"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/game"
+	"netdesign/internal/lp"
+)
+
+// broadcastRow is one LP (3) constraint in subsidy-variable form. The
+// paper's row for player u and non-tree edge (u,v) is
+//
+//	Σ_{a∈T_u} (w_a−b_a)/n_a ≤ w_uv − b_uv + Σ_{a∈T_v} (w_a−b_a)/(n_a+1−n_a^u).
+//
+// Edges shared by T_u and T_v (those above x = lca(u,v)) appear on both
+// sides with denominator n_a and cancel; b_uv is fixed to zero because
+// subsidizing a non-tree edge only strengthens the deviation. Moving the
+// variables left and constants right gives
+//
+//	Σ_{a∈T_u\T_x} b_a/n_a − Σ_{a∈T_v\T_x} b_a/(n_a+1) ≥ C_uv,
+//
+// with C_uv = (up0[u]−up0[x]) − w_uv − (dev0[v]−dev0[x]) evaluated at
+// zero subsidies.
+type broadcastRow struct {
+	coefs map[int]float64 // keyed by tree-edge ID
+	rhs   float64
+	u, v  int // deviating player and entry node, for diagnostics
+	edge  int // the non-tree edge
+}
+
+// buildBroadcastRows materializes every LP (3) row of the state.
+func buildBroadcastRows(st *broadcast.State) []broadcastRow {
+	g := st.BG.G
+	up0 := st.CostsToRoot(nil)
+	dev0 := make([]float64, g.N())
+	for _, v := range st.Tree.Order {
+		if v == st.BG.Root {
+			continue
+		}
+		id := st.Tree.ParEdge[v]
+		dev0[v] = dev0[st.Tree.Parent[v]] + g.Weight(id)/float64(st.NA[id]+1)
+	}
+	var rows []broadcastRow
+	for _, e := range g.Edges() {
+		if st.Tree.Contains(e.ID) {
+			continue
+		}
+		for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			u, v := dir[0], dir[1]
+			if u == st.BG.Root {
+				continue
+			}
+			x := st.Tree.LCA(u, v)
+			coefs := make(map[int]float64)
+			for _, id := range st.Tree.PathUpTo(u, x) {
+				coefs[id] += 1 / float64(st.NA[id])
+			}
+			for _, id := range st.Tree.PathUpTo(v, x) {
+				coefs[id] -= 1 / float64(st.NA[id]+1)
+			}
+			rhs := (up0[u] - up0[x]) - e.W - (dev0[v] - dev0[x])
+			if len(coefs) == 0 {
+				// No variables can appear only when u == x (v below u);
+				// then rhs = −w_uv − devseg ≤ 0 and the row is vacuous.
+				continue
+			}
+			rows = append(rows, broadcastRow{coefs: coefs, rhs: rhs, u: u, v: v, edge: e.ID})
+		}
+	}
+	return rows
+}
+
+// SolveBroadcastLP computes a minimum-cost subsidy assignment enforcing
+// the broadcast state st, via the paper's LP (3). The LP is always
+// feasible (full subsidies enforce anything), so the result is always
+// Optimal barring numerical failure.
+func SolveBroadcastLP(st *broadcast.State) (*Result, error) {
+	g := st.BG.G
+	model := lp.NewModel()
+	// One variable per tree edge, in tree-edge order.
+	varOf := make(map[int]int, len(st.Tree.EdgeIDs))
+	for _, id := range st.Tree.EdgeIDs {
+		varOf[id] = model.AddVar(1, g.Weight(id))
+	}
+	for _, row := range buildBroadcastRows(st) {
+		coefs := make(map[int]float64, len(row.coefs))
+		for id, c := range row.coefs {
+			coefs[varOf[id]] = c
+		}
+		model.AddConstraint(coefs, lp.GE, row.rhs)
+	}
+	sol, err := model.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("sne: broadcast LP status %v (should be feasible by full subsidy)", sol.Status)
+	}
+	b := game.ZeroSubsidy(g)
+	for id, j := range varOf {
+		b[id] = sol.X[j]
+	}
+	snap(b, g)
+	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: 1, Pivots: sol.Pivots}
+	if err := VerifyBroadcast(st, b); err != nil {
+		return nil, fmt.Errorf("sne: LP(3) produced a non-enforcing assignment: %w", err)
+	}
+	return res, nil
+}
+
+// MinSubsidyLowerBoundLP returns the LP relaxation value only (no
+// verification round-trip); used by analyses that need many optima fast.
+func MinSubsidyLowerBoundLP(st *broadcast.State) (float64, error) {
+	r, err := SolveBroadcastLP(st)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return r.Cost, nil
+}

@@ -1,0 +1,102 @@
+package sne
+
+import (
+	"fmt"
+
+	"netdesign/internal/game"
+	"netdesign/internal/lp"
+)
+
+// SolveGeneralLP computes minimum-cost subsidies enforcing the general
+// game state st via the paper's polynomial-size LP (2). Variables are the
+// subsidies b_a on edges established by st plus, for every player i and
+// node v, a shortest-path potential π_i(v) that lower-bounds the length of
+// the cheapest deviation prefix in the reduced-cost graph H_i:
+//
+//	∀ i, (u,v) ∈ E:  π_i(v) ≤ π_i(u) + (w_uv − b_uv)/(n_uv+1−n_uv^i)
+//	∀ i:             π_i(s_i) = 0,  π_i(t_i) ≥ Σ_{a∈T_i} (w_a − b_a)/n_a
+//
+// Θ(n·|V|) variables and Θ(n·|E|) constraints — use it for cross-checks
+// and modest instances; the broadcast LP (3) and row generation scale
+// further.
+func SolveGeneralLP(st *game.State) (*Result, error) {
+	g := st.Game().G
+	n := st.Game().N()
+	model := lp.NewModel()
+
+	// Subsidy variables only on established edges; others are provably 0
+	// at any optimum (they can only strengthen deviations).
+	estab := st.EstablishedEdges()
+	varOf := make(map[int]int, len(estab))
+	for _, id := range estab {
+		varOf[id] = model.AddVar(1, g.Weight(id))
+	}
+	// Potentials π_i(v) for v ≠ s_i: π_i(s_i) is the constant 0.
+	inf := func() float64 { return 1e308 }
+	piVar := make([][]int, n)
+	for i := 0; i < n; i++ {
+		piVar[i] = make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			if v == st.Game().Terminals[i].S {
+				piVar[i][v] = -1
+			} else {
+				piVar[i][v] = model.AddVar(0, inf())
+			}
+		}
+	}
+
+	addPi := func(coefs map[int]float64, i, v int, c float64) {
+		if j := piVar[i][v]; j >= 0 {
+			coefs[j] += c
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		// Arc relaxations in both directions for every edge.
+		for _, e := range g.Edges() {
+			den := float64(st.Usage(e.ID) + 1)
+			if st.Uses(i, e.ID) {
+				den--
+			}
+			for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+				u, v := dir[0], dir[1]
+				// π_i(v) − π_i(u) + b_e/den ≤ w_e/den
+				coefs := make(map[int]float64)
+				addPi(coefs, i, v, 1)
+				addPi(coefs, i, u, -1)
+				if j, ok := varOf[e.ID]; ok {
+					coefs[j] += 1 / den
+				}
+				model.AddConstraint(coefs, lp.LE, e.W/den)
+			}
+		}
+		// π_i(t_i) + Σ_{a∈T_i} b_a/n_a ≥ Σ_{a∈T_i} w_a/n_a.
+		coefs := make(map[int]float64)
+		addPi(coefs, i, st.Game().Terminals[i].T, 1)
+		rhs := 0.0
+		for _, id := range st.Paths[i] {
+			na := float64(st.Usage(id))
+			coefs[varOf[id]] += 1 / na
+			rhs += g.Weight(id) / na
+		}
+		model.AddConstraint(coefs, lp.GE, rhs)
+	}
+
+	sol, err := model.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("sne: general LP status %v (should be feasible by full subsidy)", sol.Status)
+	}
+	b := game.ZeroSubsidy(g)
+	for id, j := range varOf {
+		b[id] = sol.X[j]
+	}
+	snap(b, g)
+	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: 1, Pivots: sol.Pivots}
+	if err := VerifyGeneral(st, b); err != nil {
+		return nil, fmt.Errorf("sne: LP(2) produced a non-enforcing assignment: %w", err)
+	}
+	return res, nil
+}

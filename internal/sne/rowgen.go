@@ -1,0 +1,95 @@
+package sne
+
+import (
+	"errors"
+	"fmt"
+
+	"netdesign/internal/game"
+	"netdesign/internal/lp"
+	"netdesign/internal/numeric"
+)
+
+// ErrRowGenStalled is returned when constraint generation exceeds its
+// iteration budget, which would indicate a tolerance mismatch between the
+// LP solver and the separation oracle.
+var ErrRowGenStalled = errors.New("sne: row generation exceeded iteration budget")
+
+// SolveRowGeneration solves the exponential LP (1) by lazy constraint
+// generation. Starting from the unconstrained relaxation (b = 0), it
+// repeatedly asks the separation oracle — a Dijkstra best-response
+// computation per player, exactly as described under Theorem 1 — for a
+// violated equilibrium constraint, adds that row, and re-solves. Because
+// the row set grows within the finite family of (player, simple-path)
+// constraints, the loop terminates; on exit the incumbent is feasible for
+// the full LP and optimal for a relaxation of it, hence optimal.
+func SolveRowGeneration(st *game.State, maxIters int) (*Result, error) {
+	if maxIters <= 0 {
+		maxIters = 10000
+	}
+	g := st.Game().G
+	model := lp.NewModel()
+	estab := st.EstablishedEdges()
+	varOf := make(map[int]int, len(estab))
+	for _, id := range estab {
+		varOf[id] = model.AddVar(1, g.Weight(id))
+	}
+
+	res := &Result{}
+	b := game.ZeroSubsidy(g)
+	for iter := 0; iter < maxIters; iter++ {
+		res.Iterations++
+		// Separation: find any player with a profitable deviation.
+		viol := st.FindViolation(b)
+		if viol == nil {
+			snap(b, g)
+			res.Subsidy = b
+			res.Cost = b.Cost()
+			if err := VerifyGeneral(st, b); err != nil {
+				return nil, fmt.Errorf("sne: row generation ended non-enforcing: %w", err)
+			}
+			return res, nil
+		}
+		// Add the constraint cost_i(T;b) ≤ cost_i(T_{-i}, p; b) for the
+		// violating path p. Shared edges (used by i on both sides) cancel.
+		i, p := viol.Player, viol.Path
+		coefs := make(map[int]float64)
+		rhs := 0.0
+		onPath := make(map[int]bool, len(p))
+		for _, id := range p {
+			onPath[id] = true
+		}
+		for _, id := range st.Paths[i] {
+			if onPath[id] {
+				continue // denominator n_a on both sides — cancels
+			}
+			na := float64(st.Usage(id))
+			coefs[varOf[id]] += 1 / na
+			rhs += g.Weight(id) / na
+		}
+		for _, id := range p {
+			if st.Uses(i, id) {
+				continue
+			}
+			den := float64(st.Usage(id) + 1)
+			if j, ok := varOf[id]; ok {
+				coefs[j] -= 1 / den
+			}
+			rhs -= g.Weight(id) / den
+		}
+		// Σ_{T_i\p} b/n − Σ_{p\T_i} b/(n+1) ≥ Σ_{T_i\p} w/n − Σ_{p\T_i} w/(n+1)
+		model.AddConstraint(coefs, lp.GE, rhs)
+
+		sol, err := model.Solve()
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, fmt.Errorf("sne: row generation LP status %v", sol.Status)
+		}
+		res.Pivots += sol.Pivots
+		for id, j := range varOf {
+			b[id] = numeric.Clamp(sol.X[j], 0, g.Weight(id))
+		}
+	}
+	return nil, ErrRowGenStalled
+}

@@ -1,0 +1,116 @@
+package sne
+
+import (
+	"errors"
+	"sort"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/game"
+	"netdesign/internal/numeric"
+)
+
+// WaterFill is a combinatorial SNE heuristic addressing the paper's first
+// open problem (Section 6: "design a combinatorial algorithm for SNE ...
+// Lemma 2 may be helpful in this direction"). It works directly on the
+// Lemma-2 / LP (3) rows, never solving an LP:
+//
+// while some row  Σ_{a∈A_r} b_a/n_a − Σ_{a∈B_r} b_a/(n_a+1) ≥ C_r  is
+// violated, pour subsidies into the row's A-side edges in order of
+// crowdedness — least crowded first, exactly the packing that both the
+// Theorem-6 construction and the Theorem-11 lower bound identify as the
+// most efficient way to lower one player's cost — until the row closes.
+//
+// Fully subsidizing a row's A-side always satisfies it regardless of what
+// happened on its B-side (the identity Σ_A w/n − Σ_B w/(n+1) = C + w_e
+// guarantees slack w_e ≥ 0), so each visit can always close its row;
+// because B-side pours can reopen other rows, a row visited more than
+// maxVisits times has its A-side saturated outright, which bounds the
+// total number of iterations.
+//
+// The result enforces the target but is not always optimal — the
+// returned cost is ≥ the LP (3) optimum, and experiment E11 measures the
+// gap. Subsidies only ever increase, so the cost is also ≤ wgt(T).
+func WaterFill(st *broadcast.State) (*Result, error) {
+	g := st.BG.G
+	rows := buildBroadcastRows(st)
+	b := game.ZeroSubsidy(g)
+
+	// rowValue computes the current LHS of row r under b.
+	rowValue := func(r *broadcastRow) float64 {
+		v := 0.0
+		for id, c := range r.coefs {
+			v += c * b[id]
+		}
+		return v
+	}
+	// aSide lists the row's positive-coefficient edges, least crowded
+	// (largest coefficient 1/n_a) first.
+	aSide := func(r *broadcastRow) []int {
+		var ids []int
+		for id, c := range r.coefs {
+			if c > 0 {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(x, y int) bool {
+			if r.coefs[ids[x]] != r.coefs[ids[y]] {
+				return r.coefs[ids[x]] > r.coefs[ids[y]]
+			}
+			return ids[x] < ids[y]
+		})
+		return ids
+	}
+
+	visits := make([]int, len(rows))
+	maxVisits := 2*len(rows) + 8
+	iters := 0
+	for {
+		iters++
+		if iters > 1000*(len(rows)+1) {
+			return nil, errors.New("sne: water-filling failed to converge")
+		}
+		// Most violated row.
+		worst, worstGap := -1, numeric.Eps
+		for i := range rows {
+			if gap := rows[i].rhs - rowValue(&rows[i]); gap > worstGap {
+				worst, worstGap = i, gap
+			}
+		}
+		if worst == -1 {
+			break
+		}
+		r := &rows[worst]
+		visits[worst]++
+		saturate := visits[worst] > maxVisits
+		need := worstGap
+		for _, id := range aSide(r) {
+			if need <= 0 && !saturate {
+				break
+			}
+			headroom := g.Weight(id) - b[id]
+			if headroom <= 0 {
+				continue
+			}
+			pour := headroom
+			if !saturate {
+				// Raising b_id by δ raises the row value by coef·δ.
+				if want := need / r.coefs[id]; want < pour {
+					pour = want
+				}
+			}
+			b[id] += pour
+			need -= pour * r.coefs[id]
+		}
+		if need > numeric.Eps && !saturate {
+			// A-side exhausted yet row still open: impossible by the
+			// slack identity unless numerics drifted; saturate next time.
+			visits[worst] = maxVisits + 1
+		}
+	}
+	snap(b, g)
+	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: iters}
+	if err := VerifyBroadcast(st, b); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,81 @@
+// Package subsidy implements the paper's Theorem 6: a constructive
+// algorithm that enforces any minimum spanning tree of a broadcast game
+// as an equilibrium using subsidies of total cost exactly wgt(T)/e.
+//
+// The construction has two stages, mirroring the proof:
+//
+//  1. Decompose the weighted graph G into copies G¹,…,G^k whose edge
+//     weights lie in {0, c_j}: the thresholds d_1 < … < d_k are the
+//     distinct positive weights of G and c_j = d_j − d_{j−1}; an edge is
+//     "heavy" in copy j iff its weight is at least d_j. Edge weights sum
+//     across copies back to the original.
+//  2. In each copy, pack subsidies on the least crowded heavy edges using
+//     the virtual cost vc(a,y) = c_j·ln(m_a/(m_a−1+y/c_j)), where m_a is
+//     the number of heavy players below a: walking down from the root,
+//     the first heavy edge where the accumulated zero-subsidy virtual
+//     cost crosses c_j joins the cut S and receives the partial subsidy
+//     b_a = c_j·(1 − m_a·(1 − e^{λ−1})), λ = vc(T_{p(v)},0)/c_j; every
+//     heavy edge below the cut is fully subsidized.
+//
+// Claim 8 (vc upper-bounds the real cost share) then caps every player's
+// cost at c_j per copy, and the paper's path-merging argument shows the
+// per-copy spend is exactly wgt(T^j)/e — which this implementation
+// asserts numerically and surfaces in its certificate.
+package subsidy
+
+import (
+	"math"
+	"sort"
+
+	"netdesign/internal/graph"
+)
+
+// Level is one copy G^j of the decomposition.
+type Level struct {
+	Threshold float64 // d_j: edges of weight ≥ d_j are heavy in this copy
+	C         float64 // c_j = d_j − d_{j−1}: the uniform heavy weight
+}
+
+// Decompose returns the weight levels of g, in increasing threshold order.
+// The number of levels is the number of distinct positive edge weights.
+func Decompose(g *graph.Graph) []Level {
+	seen := map[float64]bool{}
+	var ds []float64
+	for _, e := range g.Edges() {
+		if e.W > 0 && !seen[e.W] {
+			seen[e.W] = true
+			ds = append(ds, e.W)
+		}
+	}
+	sort.Float64s(ds)
+	levels := make([]Level, len(ds))
+	prev := 0.0
+	for j, d := range ds {
+		levels[j] = Level{Threshold: d, C: d - prev}
+		prev = d
+	}
+	return levels
+}
+
+// VirtualCost returns vc for a heavy edge used by m heavy players carrying
+// subsidy y in a copy with heavy weight c:  c·ln(m/(m−1+y/c)).
+// It is +Inf when the denominator vanishes (m = 1, y = 0) and 0 when the
+// edge is fully subsidized (y = c).
+func VirtualCost(m int64, y, c float64) float64 {
+	if m < 1 {
+		panic("subsidy: virtual cost needs m ≥ 1")
+	}
+	den := float64(m) - 1 + y/c
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return c * math.Log(float64(m)/den)
+}
+
+// CutSubsidy returns the partial subsidy placed on a cut edge S:
+// b = c·(1 − m·(1 − e^{λ−1})) with λ = vc(T_{p(v)},0)/c ∈ [0,1).
+// The S-membership condition guarantees b ∈ [0, c], and by construction
+// vc(T_{p(v)},0) + vc(a,b) = c exactly.
+func CutSubsidy(m int64, lambda, c float64) float64 {
+	return c * (1 - float64(m)*(1-math.Exp(lambda-1)))
+}

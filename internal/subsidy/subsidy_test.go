@@ -1,0 +1,300 @@
+package subsidy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+	"netdesign/internal/sne"
+)
+
+func TestDecompose(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(0, 3, 5)
+	g.AddEdge(0, 2, 0) // zero-weight edge: never a level
+	levels := Decompose(g)
+	if len(levels) != 3 {
+		t.Fatalf("levels = %v", levels)
+	}
+	wantD := []float64{1, 3, 5}
+	wantC := []float64{1, 2, 2}
+	for j, lv := range levels {
+		if lv.Threshold != wantD[j] || lv.C != wantC[j] {
+			t.Errorf("level %d = %+v", j, lv)
+		}
+	}
+	// Reconstruction: each edge weight equals the sum of c_j over levels
+	// where it is heavy.
+	for _, e := range g.Edges() {
+		sum := 0.0
+		for _, lv := range levels {
+			if e.W >= lv.Threshold {
+				sum += lv.C
+			}
+		}
+		if !numeric.AlmostEqual(sum, e.W) {
+			t.Errorf("edge %d: level sum %v ≠ weight %v", e.ID, sum, e.W)
+		}
+	}
+}
+
+func TestDecomposeUniform(t *testing.T) {
+	g := graph.Cycle(5, 2)
+	levels := Decompose(g)
+	if len(levels) != 1 || levels[0].C != 2 || levels[0].Threshold != 2 {
+		t.Errorf("uniform decomposition = %v", levels)
+	}
+}
+
+func TestVirtualCost(t *testing.T) {
+	// m = 1, y = 0: infinite.
+	if !math.IsInf(VirtualCost(1, 0, 1), 1) {
+		t.Error("vc(1,0,1) should be +Inf")
+	}
+	// Fully subsidized: ln(m/m) = 0.
+	if VirtualCost(5, 2, 2) != 0 {
+		t.Error("vc at full subsidy should be 0")
+	}
+	// Claim 8: vc(a,y) ≥ (c−y)/m ≥ (c−y)/n_a.
+	for m := int64(1); m <= 30; m++ {
+		for _, frac := range []float64{0, 0.25, 0.5, 0.9} {
+			c := 2.0
+			y := frac * c
+			if vc := VirtualCost(m, y, c); vc < (c-y)/float64(m)-1e-12 {
+				t.Errorf("Claim 8 violated at m=%d y=%v: vc=%v", m, y, vc)
+			}
+		}
+	}
+	// Telescoping (Claim 10 with zero subsidies): Σ_{i=k+1..t} vc(i,0,c)
+	// = c·ln(t/k).
+	c := 1.5
+	sum := 0.0
+	for i := int64(4); i <= 9; i++ {
+		sum += VirtualCost(i, 0, c)
+	}
+	if want := c * math.Log(9.0/3.0); !numeric.AlmostEqual(sum, want) {
+		t.Errorf("telescoped vc = %v, want %v", sum, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("vc with m=0 should panic")
+		}
+	}()
+	VirtualCost(0, 0, 1)
+}
+
+func TestCutSubsidyRange(t *testing.T) {
+	// Whenever the S-condition m ≤ 1/(1−e^{λ−1}) holds, the cut subsidy
+	// is in [0, c], and the residual virtual cost closes the path to
+	// exactly c: vc(T_p)+vc(a,b) = c.
+	c := 3.0
+	for _, lambda := range []float64{0, 0.1, 0.4, 0.8, 0.99} {
+		maxM := int64(1 / (1 - math.Exp(lambda-1)))
+		for m := int64(1); m <= maxM; m++ {
+			b := CutSubsidy(m, lambda, c)
+			if b < -1e-9 || b > c+1e-9 {
+				t.Errorf("λ=%v m=%d: b=%v outside [0,c]", lambda, m, b)
+			}
+			got := lambda*c + VirtualCost(m, b, c)
+			if !numeric.AlmostEqual(got, c) {
+				t.Errorf("λ=%v m=%d: closed path vc = %v, want %v", lambda, m, got, c)
+			}
+		}
+	}
+}
+
+func mstState(t testing.TB, g *graph.Graph, root int) *broadcast.State {
+	t.Helper()
+	bg, err := broadcast.NewGame(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mst, err := graph.MST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := broadcast.NewState(bg, mst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestEnforceCycle(t *testing.T) {
+	// Theorem 11's own instance: the unit cycle. The construction must
+	// enforce the path tree at exactly n/e.
+	for _, n := range []int{2, 5, 10, 40} {
+		g := graph.Cycle(n, 1)
+		bg, err := broadcast.NewGame(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree := make([]int, n)
+		for i := range tree {
+			tree[i] = i
+		}
+		st, err := broadcast.NewState(bg, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, cert, err := Enforce(st)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if want := float64(n) / math.E; !numeric.AlmostEqualTol(cert.Total, want, 1e-9) {
+			t.Errorf("n=%d: total %v, want %v", n, cert.Total, want)
+		}
+		if !st.IsEquilibrium(b) {
+			t.Errorf("n=%d: not enforced", n)
+		}
+	}
+}
+
+func TestEnforceRandomMSTs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(12)
+		g := graph.RandomConnected(rng, n, 0.4, 0.5, 4)
+		// Mix of duplicated weights to exercise multi-edge levels.
+		if trial%2 == 0 {
+			for id := 0; id < g.M(); id++ {
+				g.SetWeight(id, float64(1+rng.Intn(4)))
+			}
+		}
+		st := mstState(t, g, rng.Intn(n))
+		b, cert, err := Enforce(st)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sne.VerifyBroadcast(st, b); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want := st.Weight() / math.E; !numeric.AlmostEqualTol(cert.Total, want, 1e-7) {
+			t.Fatalf("trial %d: certificate total %v ≠ wgt/e %v", trial, cert.Total, want)
+		}
+		if !numeric.AlmostEqualTol(b.Cost(), cert.Total, 1e-7) {
+			t.Fatalf("trial %d: subsidy cost %v ≠ certificate %v", trial, b.Cost(), cert.Total)
+		}
+	}
+}
+
+func TestEnforceWithMultiplicities(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(6)
+		g := graph.RandomConnected(rng, n, 0.5, 1, 3)
+		root := rng.Intn(n)
+		mult := make([]int64, n)
+		for v := range mult {
+			if v != root {
+				mult[v] = 1 + int64(rng.Intn(5))
+			}
+		}
+		bg, err := broadcast.NewGameMult(g, root, mult)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mst, err := graph.MST(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := broadcast.NewState(bg, mst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := Enforce(st)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !st.IsEquilibrium(b) {
+			t.Fatalf("trial %d: not enforced with multiplicities", trial)
+		}
+	}
+}
+
+func TestEnforceDominatesLP(t *testing.T) {
+	// The LP optimum can never exceed the Theorem-6 spend (the LP is
+	// optimal; the construction is the universal bound).
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(8)
+		g := graph.RandomConnected(rng, n, 0.4, 0.5, 2)
+		st := mstState(t, g, 0)
+		b, cert, err := Enforce(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpRes, err := sne.SolveBroadcastLP(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lpRes.Cost > cert.Total+1e-7 {
+			t.Fatalf("trial %d: LP optimum %v exceeds Theorem-6 cost %v", trial, lpRes.Cost, cert.Total)
+		}
+		_ = b
+	}
+}
+
+func TestEnforceRejectsNonMST(t *testing.T) {
+	// Triangle with a clearly suboptimal spanning tree.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 10)
+	bg, err := broadcast.NewGame(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := broadcast.NewState(bg, []int{0, 2}) // uses the weight-10 edge
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Enforce(st); err != ErrNotMST {
+		t.Errorf("err = %v, want ErrNotMST", err)
+	}
+}
+
+func TestEnforceZeroWeightEdges(t *testing.T) {
+	// Zero-weight tree edges are light in every copy and need no subsidy.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 2)
+	g.AddEdge(0, 3, 2)
+	bg, err := broadcast.NewGame(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := broadcast.NewState(bg, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, cert, err := Enforce(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 {
+		t.Error("zero-weight edge subsidized")
+	}
+	if want := st.Weight() / math.E; !numeric.AlmostEqualTol(cert.Total, want, 1e-9) {
+		t.Errorf("total %v, want %v", cert.Total, want)
+	}
+}
+
+func BenchmarkEnforce(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomConnected(rng, 300, 0.05, 0.5, 5)
+	st := mstState(b, g, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Enforce(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package weighted
+
+import (
+	"errors"
+	"fmt"
+
+	"netdesign/internal/game"
+	"netdesign/internal/lp"
+	"netdesign/internal/numeric"
+)
+
+// SolveSNE computes minimum-cost subsidies enforcing the weighted state
+// st, by row generation over the weighted equilibrium constraints. For a
+// player i with demand d and deviation path p, the constraint
+//
+//	Σ_{a∈T_i} (w_a−b_a)·d/load_a ≤ Σ_{a∈p} (w_a−b_a)·d/load'_a
+//
+// (load'_a = load_a + d when i is not already on a) is linear in b, so
+// Theorem 1's LP approach carries over verbatim; the demands only change
+// the coefficients. Full subsidies always enforce, so the LP is feasible
+// even for games with no unsubsidized equilibrium — subsidies can create
+// stability where none exists.
+func SolveSNE(st *State, maxIters int) (*game.Subsidy, float64, int, error) {
+	if maxIters <= 0 {
+		maxIters = 10000
+	}
+	g := st.game.G
+	// Variables on established edges only.
+	varOf := map[int]int{}
+	model := lp.NewModel()
+	for id, l := range st.load {
+		if l > 0 {
+			varOf[id] = model.AddVar(1, g.Weight(id))
+		}
+	}
+	b := game.ZeroSubsidy(g)
+	iters := 0
+	for iters < maxIters {
+		iters++
+		viol := st.FindViolation(b)
+		if viol == nil {
+			for id := range b {
+				b[id] = numeric.Clamp(b[id], 0, g.Weight(id))
+			}
+			if !st.IsEquilibrium(b) {
+				return nil, 0, iters, errors.New("weighted: SNE result failed verification")
+			}
+			return &b, b.Cost(), iters, nil
+		}
+		i, p := viol.Player, viol.Path
+		d := st.game.Players[i].Demand
+		onPath := map[int]bool{}
+		for _, id := range p {
+			onPath[id] = true
+		}
+		coefs := map[int]float64{}
+		rhs := 0.0
+		for _, id := range st.Paths[i] {
+			if onPath[id] {
+				continue // identical share on both sides — cancels
+			}
+			share := d / st.load[id]
+			coefs[varOf[id]] += share
+			rhs += g.Weight(id) * share
+		}
+		for _, id := range p {
+			if st.uses[i][id] {
+				continue
+			}
+			share := d / (st.load[id] + d)
+			if j, ok := varOf[id]; ok {
+				coefs[j] -= share
+			}
+			rhs -= g.Weight(id) * share
+		}
+		model.AddConstraint(coefs, lp.GE, rhs)
+		sol, err := model.Solve()
+		if err != nil {
+			return nil, 0, iters, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, 0, iters, fmt.Errorf("weighted: SNE LP status %v", sol.Status)
+		}
+		for id, j := range varOf {
+			b[id] = numeric.Clamp(sol.X[j], 0, g.Weight(id))
+		}
+	}
+	return nil, 0, iters, errors.New("weighted: SNE row generation exceeded budget")
+}

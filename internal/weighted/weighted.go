@@ -1,0 +1,279 @@
+// Package weighted implements network design games with player demands —
+// the variation the paper's Section 6 lists as future work ("players with
+// different demands [1, 14]", citing Albers and Chen–Roughgarden). Each
+// player i carries a demand d_i > 0 and pays a proportional share of
+// every edge she uses:
+//
+//	cost_i(T) = Σ_{a∈T_i} (w_a − b_a) · d_i / load_a(T),
+//
+// where load_a is the total demand on the edge. Unlike the unweighted
+// game, this is not a potential game: pure Nash equilibria can fail to
+// exist and best-response dynamics can cycle (Chen & Roughgarden). The
+// enforcement question, however, remains perfectly well-posed — the
+// equilibrium constraints for a *fixed* target state are still linear in
+// the subsidies, so SNE is solvable by the same row-generation scheme,
+// and full subsidies always enforce. Subsidies can therefore create
+// stability in games that have none.
+package weighted
+
+import (
+	"errors"
+	"fmt"
+
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// Player is a demand-weighted terminal pair.
+type Player struct {
+	S, T   int
+	Demand float64
+}
+
+// Game is a weighted network design game.
+type Game struct {
+	G       *graph.Graph
+	Players []Player
+}
+
+// New validates and returns a weighted game.
+func New(g *graph.Graph, players []Player) (*Game, error) {
+	for i, p := range players {
+		if p.S < 0 || p.S >= g.N() || p.T < 0 || p.T >= g.N() {
+			return nil, fmt.Errorf("weighted: player %d terminals out of range", i)
+		}
+		if p.S == p.T {
+			return nil, fmt.Errorf("weighted: player %d has equal terminals", i)
+		}
+		if !(p.Demand > 0) {
+			return nil, fmt.Errorf("weighted: player %d demand %v must be positive", i, p.Demand)
+		}
+	}
+	if len(players) == 0 {
+		return nil, errors.New("weighted: no players")
+	}
+	return &Game{G: g, Players: players}, nil
+}
+
+// N returns the number of players.
+func (wg *Game) N() int { return len(wg.Players) }
+
+// State is a strategy profile with cached edge loads.
+type State struct {
+	game  *Game
+	Paths [][]int
+	load  []float64 // total demand per edge
+	uses  [][]bool
+}
+
+// NewState validates paths (simple S→T walks) and caches loads.
+func NewState(wg *Game, paths [][]int) (*State, error) {
+	if len(paths) != wg.N() {
+		return nil, fmt.Errorf("weighted: %d paths for %d players", len(paths), wg.N())
+	}
+	st := &State{game: wg, Paths: paths, load: make([]float64, wg.G.M()), uses: make([][]bool, wg.N())}
+	for i, p := range paths {
+		if err := validateWalk(wg.G, wg.Players[i], p); err != nil {
+			return nil, fmt.Errorf("weighted: player %d: %w", i, err)
+		}
+		st.uses[i] = make([]bool, wg.G.M())
+		for _, id := range p {
+			st.uses[i][id] = true
+			st.load[id] += wg.Players[i].Demand
+		}
+	}
+	return st, nil
+}
+
+func validateWalk(g *graph.Graph, pl Player, p []int) error {
+	if len(p) == 0 {
+		return errors.New("empty path")
+	}
+	cur := pl.S
+	visited := map[int]bool{cur: true}
+	for _, id := range p {
+		if id < 0 || id >= g.M() {
+			return fmt.Errorf("edge %d out of range", id)
+		}
+		e := g.Edge(id)
+		switch cur {
+		case e.U:
+			cur = e.V
+		case e.V:
+			cur = e.U
+		default:
+			return fmt.Errorf("edge %d does not continue the path", id)
+		}
+		if visited[cur] {
+			return fmt.Errorf("path revisits node %d", cur)
+		}
+		visited[cur] = true
+	}
+	if cur != pl.T {
+		return fmt.Errorf("path ends at %d, want %d", cur, pl.T)
+	}
+	return nil
+}
+
+// Load returns the total demand on an edge.
+func (st *State) Load(edgeID int) float64 { return st.load[edgeID] }
+
+// EstablishedWeight is the social cost: total weight of used edges.
+func (st *State) EstablishedWeight() float64 {
+	sum := 0.0
+	for id, l := range st.load {
+		if l > 0 {
+			sum += st.game.G.Weight(id)
+		}
+	}
+	return sum
+}
+
+// PlayerCost returns player i's proportional cost under subsidies b.
+func (st *State) PlayerCost(i int, b game.Subsidy) float64 {
+	g := st.game.G
+	d := st.game.Players[i].Demand
+	sum := 0.0
+	for _, id := range st.Paths[i] {
+		sum += (g.Weight(id) - b.At(id)) * d / st.load[id]
+	}
+	return sum
+}
+
+// TotalPlayerCost is Σ_i cost_i = Σ_established (w − b): proportional
+// shares still sum to the full residual edge cost.
+func (st *State) TotalPlayerCost(b game.Subsidy) float64 {
+	sum := 0.0
+	for id, l := range st.load {
+		if l > 0 {
+			sum += st.game.G.Weight(id) - b.At(id)
+		}
+	}
+	return sum
+}
+
+// BestResponse returns player i's cheapest deviation path and its cost:
+// joining edge a costs (w_a − b_a)·d_i/(load_a + d_i·[i not on a]).
+func (st *State) BestResponse(i int, b game.Subsidy) ([]int, float64) {
+	g := st.game.G
+	d := st.game.Players[i].Demand
+	wf := func(id int) float64 {
+		l := st.load[id]
+		if !st.uses[i][id] {
+			l += d
+		}
+		return (g.Weight(id) - b.At(id)) * d / l
+	}
+	sp := graph.Dijkstra(g, st.game.Players[i].S, wf)
+	t := st.game.Players[i].T
+	return sp.PathTo(t), sp.Dist[t]
+}
+
+// Violation is a profitable unilateral deviation.
+type Violation struct {
+	Player  int
+	Path    []int
+	Current float64
+	Better  float64
+}
+
+// FindViolation returns a profitable deviation or nil at equilibrium.
+func (st *State) FindViolation(b game.Subsidy) *Violation {
+	for i := range st.Paths {
+		cur := st.PlayerCost(i, b)
+		path, cost := st.BestResponse(i, b)
+		if path != nil && numeric.Less(cost, cur) {
+			return &Violation{Player: i, Path: path, Current: cur, Better: cost}
+		}
+	}
+	return nil
+}
+
+// IsEquilibrium reports whether no player can profitably deviate.
+func (st *State) IsEquilibrium(b game.Subsidy) bool { return st.FindViolation(b) == nil }
+
+// Replace returns a copy with player i on path p.
+func (st *State) Replace(i int, p []int) (*State, error) {
+	paths := make([][]int, len(st.Paths))
+	copy(paths, st.Paths)
+	paths[i] = p
+	return NewState(st.game, paths)
+}
+
+// ErrMayCycle is returned when weighted best-response dynamics exhaust
+// their step budget: without a potential function this is a real
+// possibility, not a numerical failure.
+var ErrMayCycle = errors.New("weighted: best-response dynamics did not converge (weighted games may cycle)")
+
+// BestResponseDynamics runs round-robin improving moves for at most
+// maxSteps (≤ 0: 10·players·edges). Unlike the unweighted engine there is
+// no convergence guarantee.
+func BestResponseDynamics(st *State, b game.Subsidy, maxSteps int) (*State, int, error) {
+	if maxSteps <= 0 {
+		maxSteps = 10 * len(st.Paths) * st.game.G.M()
+	}
+	steps := 0
+	for steps < maxSteps {
+		v := st.FindViolation(b)
+		if v == nil {
+			return st, steps, nil
+		}
+		next, err := st.Replace(v.Player, v.Path)
+		if err != nil {
+			return nil, steps, err
+		}
+		st = next
+		steps++
+	}
+	return st, steps, ErrMayCycle
+}
+
+// HasPureEquilibrium exhaustively decides whether the game admits any
+// pure Nash equilibrium without subsidies (tiny instances only — the
+// state space is the product of players' simple-path sets, capped at
+// stateLimit).
+func (wg *Game) HasPureEquilibrium(stateLimit int) (bool, *State, error) {
+	pools := make([][][]int, wg.N())
+	total := 1
+	for i, pl := range wg.Players {
+		var paths [][]int
+		graph.SimplePaths(wg.G, pl.S, pl.T, 0, func(p []int) bool {
+			paths = append(paths, p)
+			return true
+		})
+		if len(paths) == 0 {
+			return false, nil, errors.New("weighted: player has no path")
+		}
+		pools[i] = paths
+		total *= len(paths)
+		if stateLimit > 0 && total > stateLimit {
+			return false, nil, game.ErrTooManyStates
+		}
+	}
+	choice := make([]int, wg.N())
+	for {
+		paths := make([][]int, wg.N())
+		for i, c := range choice {
+			paths[i] = pools[i][c]
+		}
+		st, err := NewState(wg, paths)
+		if err != nil {
+			return false, nil, err
+		}
+		if st.IsEquilibrium(nil) {
+			return true, st, nil
+		}
+		i := 0
+		for ; i < wg.N(); i++ {
+			choice[i]++
+			if choice[i] < len(pools[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == wg.N() {
+			return false, nil, nil
+		}
+	}
+}
