@@ -1,8 +1,11 @@
 // Top-level benchmark harness: one benchmark per reproduced paper
-// artifact (experiments E1–E10; see DESIGN.md §4 and EXPERIMENTS.md) plus
+// artifact (experiments E1–E19; see DESIGN.md §4 and EXPERIMENTS.md) plus
 // micro-benchmarks for the substrates they exercise. Run with
 //
 //	go test -bench=. -benchmem
+//
+// scripts/bench.sh runs the quick substrate suite and records a
+// BENCH_<date>.json snapshot for cross-PR trajectory comparison.
 package netdesign_test
 
 import (
@@ -64,6 +67,16 @@ func BenchmarkFullSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkFullSuiteParallel runs the same registry fanned out over the
+// worker pool (one worker per CPU) — the cmd/experiments -parallel path.
+func BenchmarkFullSuiteParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAllParallel(quickCfg, io.Discard, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func randomState(b *testing.B, n int) *broadcast.State {
@@ -85,9 +98,17 @@ func randomState(b *testing.B, n int) *broadcast.State {
 	return st
 }
 
-func BenchmarkMSTKruskal400(b *testing.B) {
+// benchGraph returns a random connected graph with m ≈ n(n−1)p/2 extra
+// edges; p shrinks with n so the large-n variants stay sparse (m = Θ(n)).
+func benchGraph(n int, p float64) *graph.Graph {
 	rng := rand.New(rand.NewSource(3))
-	g := graph.RandomConnected(rng, 400, 0.05, 0.5, 3)
+	return graph.RandomConnected(rng, n, p, 0.5, 3)
+}
+
+func benchMSTKruskal(b *testing.B, n int, p float64) {
+	b.Helper()
+	g := benchGraph(n, p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := graph.MST(g); err != nil {
@@ -96,20 +117,77 @@ func BenchmarkMSTKruskal400(b *testing.B) {
 	}
 }
 
-func BenchmarkDijkstra400(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
-	g := graph.RandomConnected(rng, 400, 0.05, 0.5, 3)
+func BenchmarkMSTKruskal400(b *testing.B)  { benchMSTKruskal(b, 400, 0.05) }
+func BenchmarkMSTKruskal2000(b *testing.B) { benchMSTKruskal(b, 2000, 0.01) }
+func BenchmarkMSTKruskal5000(b *testing.B) { benchMSTKruskal(b, 5000, 0.004) }
+
+func benchDijkstra(b *testing.B, n int, p float64) {
+	b.Helper()
+	g := benchGraph(n, p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		graph.Dijkstra(g, 0, nil)
 	}
 }
 
-func BenchmarkEquilibriumCheck200(b *testing.B) {
-	st := randomState(b, 200)
+func BenchmarkDijkstra400(b *testing.B)  { benchDijkstra(b, 400, 0.05) }
+func BenchmarkDijkstra2000(b *testing.B) { benchDijkstra(b, 2000, 0.01) }
+func BenchmarkDijkstra5000(b *testing.B) { benchDijkstra(b, 5000, 0.004) }
+
+// BenchmarkDijkstraScratch400 is the steady-state sweep shape: frozen
+// CSR + reused workspace. Must report 0 allocs/op.
+func BenchmarkDijkstraScratch400(b *testing.B) {
+	g := benchGraph(400, 0.05)
+	c := g.Freeze()
+	var s graph.Scratch
+	s.Dijkstra(c, 0, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Dijkstra(c, 0, nil)
+	}
+}
+
+func BenchmarkMSTPrim400(b *testing.B) {
+	g := benchGraph(400, 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.MSTPrim(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEquilibriumCheck(b *testing.B, n int) {
+	b.Helper()
+	st := randomState(b, n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.IsEquilibrium(nil)
+	}
+}
+
+func BenchmarkEquilibriumCheck200(b *testing.B)  { benchEquilibriumCheck(b, 200) }
+func BenchmarkEquilibriumCheck2000(b *testing.B) { benchEquilibriumCheck(b, 2000) }
+
+// BenchmarkLCA400 isolates the O(1) Euler-tour query on a frozen tree.
+func BenchmarkLCA400(b *testing.B) {
+	g := benchGraph(400, 0.05)
+	mst, err := graph.MST(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := graph.NewRootedTree(g, 0, mst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.LCA(i%400, (i*7+3)%400)
 	}
 }
 

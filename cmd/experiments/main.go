@@ -5,32 +5,95 @@
 //
 // Usage:
 //
-//	experiments [-id E6] [-seed 1] [-quick] [-markdown]
+//	experiments [-id E6] [-seed 1] [-quick] [-markdown] [-parallel N]
+//	            [-cpuprofile f] [-memprofile f]
+//
+// -parallel N runs the experiments on N workers (0 = one per CPU); the
+// tables are still printed in registry order. The pprof flags write
+// standard runtime/pprof profiles so performance regressions can be
+// diagnosed without editing code:
+//
+//	experiments -quick -parallel 0 -cpuprofile cpu.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"netdesign/internal/experiments"
 )
 
 func main() {
-	id := flag.String("id", "", "run a single experiment by ID (default: all)")
-	seed := flag.Int64("seed", 1, "RNG seed")
-	quick := flag.Bool("quick", false, "smaller sweeps")
-	markdown := flag.Bool("markdown", false, "emit markdown tables")
-	flag.Parse()
-
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
-	if err := run(cfg, *id, *markdown); err != nil {
+	if err := realMain(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
+// realMain carries the whole run so deferred cleanups (notably
+// pprof.StopCPUProfile, which flushes the profile) execute on every
+// exit path before main decides the process status.
+func realMain() error {
+	id := flag.String("id", "", "run a single experiment by ID (default: all)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	workers := flag.Int("parallel", 1, "experiment workers (0 or less = one per CPU, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	runErr := runParallel(cfg, *id, *markdown, *workers)
+
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			if runErr != nil {
+				return fmt.Errorf("%w (additionally: %v)", runErr, err)
+			}
+			return err
+		}
+	}
+	return runErr
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize the steady-state heap
+	return pprof.WriteHeapProfile(f)
+}
+
+// run executes a single experiment (or all, sequentially) and renders to
+// stdout. Kept for tests; runParallel generalizes it.
 func run(cfg experiments.Config, id string, markdown bool) error {
+	return runParallel(cfg, id, markdown, 1)
+}
+
+// runParallel renders the selected experiments to stdout in registry
+// order while executing them on up to `workers` goroutines (sequential
+// runs stream each table as it completes and fail fast).
+func runParallel(cfg experiments.Config, id string, markdown bool, workers int) error {
 	var list []experiments.Experiment
 	if id != "" {
 		e, ok := experiments.Get(id)
@@ -41,16 +104,13 @@ func run(cfg experiments.Config, id string, markdown bool) error {
 	} else {
 		list = experiments.Registry()
 	}
-	for _, e := range list {
-		tb, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		if markdown {
-			fmt.Print(tb.Markdown())
-		} else {
+	return experiments.RunEach(cfg, list, workers,
+		func(_ experiments.Experiment, tb *experiments.Table, _ time.Duration) error {
+			if markdown {
+				_, err := fmt.Print(tb.Markdown())
+				return err
+			}
 			tb.Render(os.Stdout)
-		}
-	}
-	return nil
+			return nil
+		})
 }

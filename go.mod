@@ -1,0 +1,3 @@
+module netdesign
+
+go 1.24

@@ -76,10 +76,25 @@ func (bg *Game) NumPlayers() int64 {
 func (bg *Game) MST() ([]int, error) { return graph.MST(bg.G) }
 
 // State is a spanning-tree strategy profile of a broadcast game.
+//
+// A State memoizes the Lemma-2 prefix sums (costs-to-root and deviation
+// sums) keyed on the subsidy vector they were computed under, so repeated
+// equilibrium checks with an unchanged subsidy — the inner loop of
+// subsidy.Enforce, sne.SolveAON and every gadget verification — recompute
+// nothing and allocate nothing. The cache makes a State unsafe for
+// concurrent use; give each goroutine its own (NewState is cheap).
 type State struct {
 	BG   *Game
 	Tree *graph.RootedTree
 	NA   []int64 // NA[edgeID] = players using the edge (0 off tree)
+
+	// Prefix-sum cache: upC/devC are valid iff cacheOK and the subsidy
+	// b satisfies b.At(id) == bSeen[id] for every edge. bSeenNil
+	// fast-paths the ubiquitous nil-subsidy case.
+	upC, devC []float64
+	bSeen     []float64
+	bSeenNil  bool
+	cacheOK   bool
 }
 
 // NewState roots the given spanning-tree edge set and caches usage counts.
@@ -106,32 +121,77 @@ func (st *State) Weight() float64 { return st.Tree.Weight() }
 
 // CostsToRoot returns, for every node u, the cost a player at u pays on
 // her tree path under subsidies b: Σ_{a∈T_u} (w_a − b_a)/n_a.
+// The returned slice is a copy the caller owns.
 func (st *State) CostsToRoot(b game.Subsidy) []float64 {
-	g := st.BG.G
-	up := make([]float64, g.N())
-	for _, v := range st.Tree.Order {
-		if v == st.BG.Root {
-			continue
-		}
-		id := st.Tree.ParEdge[v]
-		up[v] = up[st.Tree.Parent[v]] + (g.Weight(id)-b.At(id))/float64(st.NA[id])
-	}
-	return up
+	up, _ := st.prefixSums(b)
+	return append([]float64(nil), up...)
 }
 
 // deviationSums returns, for every node v, Σ_{a∈T_v} (w_a − b_a)/(n_a+1):
 // what a newcomer would pay joining v's path to the root.
 func (st *State) deviationSums(b game.Subsidy) []float64 {
+	_, dev := st.prefixSums(b)
+	return append([]float64(nil), dev...)
+}
+
+// prefixSums returns the memoized Lemma-2 prefix sums under b. The
+// returned slices belong to the cache: they are valid until the next
+// call with a different subsidy and must not be modified.
+func (st *State) prefixSums(b game.Subsidy) (up, dev []float64) {
+	if st.cacheOK && st.subsidyUnchanged(b) {
+		return st.upC, st.devC
+	}
 	g := st.BG.G
-	dev := make([]float64, g.N())
+	if st.upC == nil {
+		st.upC = make([]float64, g.N())
+		st.devC = make([]float64, g.N())
+		st.bSeen = make([]float64, g.M())
+	}
+	up, dev = st.upC, st.devC
 	for _, v := range st.Tree.Order {
 		if v == st.BG.Root {
 			continue
 		}
 		id := st.Tree.ParEdge[v]
-		dev[v] = dev[st.Tree.Parent[v]] + (g.Weight(id)-b.At(id))/float64(st.NA[id]+1)
+		p := st.Tree.Parent[v]
+		wb := g.Weight(id) - b.At(id)
+		na := st.NA[id]
+		up[v] = up[p] + wb/float64(na)
+		dev[v] = dev[p] + wb/float64(na+1)
 	}
-	return dev
+	st.bSeenNil = b == nil
+	if !st.bSeenNil {
+		for id := range st.bSeen {
+			st.bSeen[id] = b.At(id)
+		}
+	}
+	st.cacheOK = true
+	return up, dev
+}
+
+// subsidyUnchanged reports whether b agrees entry-wise with the subsidy
+// the cache was filled under (nil counts as all-zero).
+func (st *State) subsidyUnchanged(b game.Subsidy) bool {
+	if b == nil {
+		return st.bSeenNil
+	}
+	if st.bSeenNil {
+		for _, v := range b {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if len(b) != len(st.bSeen) {
+		return false
+	}
+	for id, v := range b {
+		if v != st.bSeen[id] {
+			return false
+		}
+	}
+	return true
 }
 
 // PlayerCost returns the cost of a player at node u under subsidies b.

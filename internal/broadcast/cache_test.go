@@ -1,0 +1,116 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+)
+
+func randomCachedState(t *testing.T, seed int64, n int) *State {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomConnected(rng, n, 0.15, 0.5, 3)
+	bg, err := NewGame(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mst, err := graph.MST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(bg, mst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestIsEquilibriumZeroAllocs: repeated equilibrium checks with an
+// unchanged subsidy must allocate nothing — the acceptance criterion for
+// the prefix-sum cache. Checked both on a non-equilibrium state (early
+// exit) and under full subsidies (complete scan of every non-tree edge).
+func TestIsEquilibriumZeroAllocs(t *testing.T) {
+	st := randomCachedState(t, 9, 120)
+
+	st.IsEquilibrium(nil) // warm the cache
+	if allocs := testing.AllocsPerRun(50, func() { st.IsEquilibrium(nil) }); allocs != 0 {
+		t.Errorf("IsEquilibrium(nil) allocated %v times per run, want 0", allocs)
+	}
+
+	// Full subsidies make every state an equilibrium, so the scan visits
+	// every non-tree edge — the worst case must be allocation-free too.
+	full := game.ZeroSubsidy(st.BG.G)
+	for id := range full {
+		full[id] = st.BG.G.Weight(id)
+	}
+	if !st.IsEquilibrium(full) {
+		t.Fatal("fully subsidized state must be an equilibrium")
+	}
+	if allocs := testing.AllocsPerRun(50, func() { st.IsEquilibrium(full) }); allocs != 0 {
+		t.Errorf("IsEquilibrium(full) allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestCacheInvalidationOnSubsidyChange: mutating the subsidy vector
+// between checks must invalidate the memoized prefix sums — results must
+// match a fresh, cache-cold State every time.
+func TestCacheInvalidationOnSubsidyChange(t *testing.T) {
+	st := randomCachedState(t, 21, 60)
+	rng := rand.New(rand.NewSource(4))
+	b := game.ZeroSubsidy(st.BG.G)
+	for round := 0; round < 40; round++ {
+		// Mutate a random entry in place — the hardest case for the
+		// cache, since the slice header the State saw last time is
+		// unchanged.
+		id := rng.Intn(len(b))
+		b[id] = rng.Float64() * st.BG.G.Weight(id)
+		fresh, err := NewState(st.BG, st.Tree.EdgeIDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := st.IsEquilibrium(b), fresh.IsEquilibrium(b); got != want {
+			t.Fatalf("round %d: cached verdict %v ≠ fresh verdict %v", round, got, want)
+		}
+		if got, want := len(st.Violations(b)), len(fresh.Violations(b)); got != want {
+			t.Fatalf("round %d: cached found %d violations, fresh %d", round, got, want)
+		}
+	}
+}
+
+// TestCacheNilVsZeroSubsidy: nil and an all-zero vector are the same
+// subsidy and must share cache validity in both directions.
+func TestCacheNilVsZeroSubsidy(t *testing.T) {
+	st := randomCachedState(t, 33, 40)
+	zero := game.ZeroSubsidy(st.BG.G)
+	a := st.IsEquilibrium(nil)
+	bv := st.IsEquilibrium(zero)
+	c := st.IsEquilibrium(nil)
+	if a != bv || bv != c {
+		t.Fatalf("nil/zero subsidy verdicts diverge: %v %v %v", a, bv, c)
+	}
+	fresh, err := NewState(st.BG, st.Tree.EdgeIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != fresh.IsEquilibrium(nil) {
+		t.Fatal("cached verdict diverges from fresh state")
+	}
+}
+
+// TestCostsToRootReturnsCopy: callers own the returned slice; mutating
+// it must not corrupt the cache.
+func TestCostsToRootReturnsCopy(t *testing.T) {
+	st := randomCachedState(t, 5, 30)
+	up1 := st.CostsToRoot(nil)
+	for i := range up1 {
+		up1[i] = -1
+	}
+	up2 := st.CostsToRoot(nil)
+	for i, v := range up2 {
+		if v == -1 && i != st.BG.Root {
+			t.Fatal("CostsToRoot returned the cache's backing array")
+		}
+	}
+}

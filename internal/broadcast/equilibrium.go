@@ -35,7 +35,11 @@ func (v *Violation) String() string {
 //
 // Returns nil if T is an equilibrium.
 func (st *State) FindViolation(b game.Subsidy) *Violation {
-	return st.scanViolations(b, nil)
+	if viol, found := st.scanViolations(b, nil); found {
+		v := viol
+		return &v
+	}
+	return nil
 }
 
 // Violations returns every violated LP (3) constraint (useful for
@@ -46,18 +50,30 @@ func (st *State) Violations(b game.Subsidy) []Violation {
 	return all
 }
 
-func (st *State) scanViolations(b game.Subsidy, collect *[]Violation) *Violation {
+// scanViolations walks every non-tree edge once. The prefix sums come
+// from the State's memoized cache (one fused pass when the subsidy
+// changed, free otherwise) and each constraint costs O(1): two
+// Euler-tour LCA lookups and a handful of float compares. With collect
+// == nil it stops at — and returns by value — the first violation, so
+// the equilibrium fast path performs zero allocations. With collect !=
+// nil every violation is appended and the return value is meaningless.
+func (st *State) scanViolations(b game.Subsidy, collect *[]Violation) (Violation, bool) {
 	g := st.BG.G
-	up := st.CostsToRoot(b)
-	dev := st.deviationSums(b)
-	for _, e := range g.Edges() {
+	up, dev := st.prefixSums(b)
+	root := st.BG.Root
+	edges := g.Edges()
+	for i := range edges {
+		e := &edges[i]
 		if st.Tree.Contains(e.ID) {
 			continue
 		}
 		we := e.W - b.At(e.ID)
-		for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
-			u, v := dir[0], dir[1]
-			if u == st.BG.Root {
+		for dir := 0; dir < 2; dir++ {
+			u, v := e.U, e.V
+			if dir == 1 {
+				u, v = v, u
+			}
+			if u == root {
 				continue // the root hosts no player
 			}
 			x := st.Tree.LCA(u, v)
@@ -66,19 +82,21 @@ func (st *State) scanViolations(b game.Subsidy, collect *[]Violation) *Violation
 			if numeric.Less(rhs, lhs) {
 				viol := Violation{Node: u, ViaEdge: e.ID, Current: lhs, Better: rhs}
 				if collect == nil {
-					return &viol
+					return viol, true
 				}
 				*collect = append(*collect, viol)
 			}
 		}
 	}
-	return nil
+	return Violation{}, false
 }
 
 // IsEquilibrium reports whether T is a Nash equilibrium of the broadcast
-// game extended with subsidies b.
+// game extended with subsidies b. On a warmed-up State (same subsidy as
+// the previous check) it allocates nothing.
 func (st *State) IsEquilibrium(b game.Subsidy) bool {
-	return st.FindViolation(b) == nil
+	_, found := st.scanViolations(b, nil)
+	return !found
 }
 
 // ToGeneral expands the broadcast state into the general game engine:

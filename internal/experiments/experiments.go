@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"netdesign/internal/parallel"
 )
 
 // Config tunes an experiment run.
@@ -63,16 +65,72 @@ func Get(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment, rendering each table to w.
-func RunAll(cfg Config, w io.Writer) error {
-	for _, e := range Registry() {
-		start := time.Now()
-		tb, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+// RunEach executes the given experiments and invokes emit once per
+// experiment, in list order. With one worker it runs sequentially,
+// emitting each result as soon as it completes and failing fast on the
+// first error. With more workers it fans out over the pool (workers ≤ 0
+// means one per CPU), runs everything, and then emits in list order;
+// the first error in list order is returned after the results preceding
+// it have been emitted. Experiments are independent — each derives its
+// randomness from cfg alone — so parallel results equal sequential ones.
+func RunEach(cfg Config, list []Experiment, workers int, emit func(e Experiment, tb *Table, elapsed time.Duration) error) error {
+	if parallel.Workers(workers) == 1 || len(list) <= 1 {
+		for _, e := range list {
+			start := time.Now()
+			tb, err := e.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			if err := emit(e, tb, time.Since(start)); err != nil {
+				return err
+			}
 		}
-		tb.Render(w)
-		fmt.Fprintf(w, "  [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	tables := make([]*Table, len(list))
+	elapsed := make([]time.Duration, len(list))
+	errs := make([]error, len(list))
+	parallel.ForEach(len(list), workers, func(i int) {
+		start := time.Now()
+		tb, err := list[i].Run(cfg)
+		if err != nil {
+			errs[i] = fmt.Errorf("%s: %w", list[i].ID, err)
+			return
+		}
+		tables[i] = tb
+		elapsed[i] = time.Since(start)
+	})
+	for i := range list {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if err := emit(list[i], tables[i], elapsed[i]); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// renderEmit is the RunAll/RunAllParallel output shape: the table plus a
+// timing line.
+func renderEmit(w io.Writer) func(Experiment, *Table, time.Duration) error {
+	return func(e Experiment, tb *Table, elapsed time.Duration) error {
+		tb.Render(w)
+		_, err := fmt.Fprintf(w, "  [%s completed in %v]\n\n", e.ID, elapsed.Round(time.Millisecond))
+		return err
+	}
+}
+
+// RunAll executes every experiment sequentially, rendering each table to
+// w as soon as it completes and stopping at the first failure.
+func RunAll(cfg Config, w io.Writer) error {
+	return RunEach(cfg, Registry(), 1, renderEmit(w))
+}
+
+// RunAllParallel executes every experiment on a worker pool (workers ≤ 0
+// means one per CPU) and writes the rendered tables in registry order,
+// so the output matches a sequential run regardless of completion order
+// (modulo the measured timing lines each table embeds).
+func RunAllParallel(cfg Config, w io.Writer, workers int) error {
+	return RunEach(cfg, Registry(), workers, renderEmit(w))
 }

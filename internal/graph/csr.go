@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// CSR is a frozen compressed-sparse-row view of a Graph: flat int32
+// adjacency arrays plus a weight table and a cached weight-sorted edge
+// order. Building it once and querying it many times is the backbone of
+// every hot path in this library — Dijkstra, Prim and Kruskal all walk
+// the CSR arrays instead of the pointer-heavy [][]Half adjacency, and a
+// reusable Scratch workspace makes repeated runs allocation-free.
+//
+// A CSR is immutable. It is obtained from Graph.Freeze, which caches the
+// view on the graph and invalidates it automatically when the graph
+// mutates (AddNode, AddEdge, SetWeight), so callers can freeze eagerly
+// and never worry about staleness.
+type CSR struct {
+	n int
+	m int
+
+	// Half-edge arrays: the adjacency of node u is the index range
+	// [off[u], off[u+1]) into to/eid. Insertion order is preserved.
+	off []int32
+	to  []int32
+	eid []int32
+
+	// Per-edge tables indexed by edge ID.
+	w  []float64
+	us []int32
+	vs []int32
+
+	// sorted lists edge IDs in ascending (weight, ID) order — the
+	// Kruskal scan order, computed once at freeze time so repeated MST
+	// calls skip the O(m log m) sort.
+	sorted []int32
+}
+
+// N returns the number of nodes.
+func (c *CSR) N() int { return c.n }
+
+// M returns the number of edges.
+func (c *CSR) M() int { return c.m }
+
+// Weight returns the weight of the edge with the given ID, as of the
+// freeze.
+func (c *CSR) Weight(id int) float64 { return c.w[id] }
+
+// Endpoints returns the two endpoints of the edge with the given ID.
+func (c *CSR) Endpoints(id int) (u, v int) { return int(c.us[id]), int(c.vs[id]) }
+
+// Degree returns the number of half-edges at node u.
+func (c *CSR) Degree(u int) int { return int(c.off[u+1] - c.off[u]) }
+
+// SortedEdgeIDs returns the frozen (weight, ID)-ascending edge order.
+// The returned slice must not be modified.
+func (c *CSR) SortedEdgeIDs() []int32 { return c.sorted }
+
+// Freeze returns the CSR view of g, building it on first use and caching
+// it until the next mutation. Concurrent callers may race to build the
+// view; every built view is equivalent, so the race is benign. Freeze
+// itself is safe for concurrent use, but must not race with mutations
+// (the Graph has never been safe for concurrent mutation).
+func (g *Graph) Freeze() *CSR {
+	if c := g.frozen.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g)
+	g.frozen.Store(c)
+	return c
+}
+
+// invalidate drops the cached CSR view after a mutation.
+func (g *Graph) invalidate() { g.frozen.Store(nil) }
+
+func buildCSR(g *Graph) *CSR {
+	n, m := g.n, len(g.edges)
+	c := &CSR{
+		n:   n,
+		m:   m,
+		off: make([]int32, n+1),
+		to:  make([]int32, 2*m),
+		eid: make([]int32, 2*m),
+		w:   make([]float64, m),
+		us:  make([]int32, m),
+		vs:  make([]int32, m),
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		c.off[e.U+1]++
+		c.off[e.V+1]++
+		c.w[i] = e.W
+		c.us[i] = int32(e.U)
+		c.vs[i] = int32(e.V)
+	}
+	for u := 0; u < n; u++ {
+		c.off[u+1] += c.off[u]
+	}
+	// Fill half-edges in insertion order per node (stable counting sort).
+	next := make([]int32, n)
+	copy(next, c.off[:n])
+	for i := range g.edges {
+		e := &g.edges[i]
+		k := next[e.U]
+		c.to[k], c.eid[k] = int32(e.V), int32(i)
+		next[e.U]++
+		k = next[e.V]
+		c.to[k], c.eid[k] = int32(e.U), int32(i)
+		next[e.V]++
+	}
+	c.sorted = make([]int32, m)
+	for i := range c.sorted {
+		c.sorted[i] = int32(i)
+	}
+	sort.Slice(c.sorted, func(a, b int) bool {
+		ia, ib := c.sorted[a], c.sorted[b]
+		if c.w[ia] != c.w[ib] {
+			return c.w[ia] < c.w[ib]
+		}
+		return ia < ib
+	})
+	return c
+}
+
+// frozenCache wraps the atomic CSR pointer so Graph stays copyable by
+// composite literal (the atomic value itself is never copied: Graph is
+// only ever used through a pointer).
+type frozenCache struct {
+	p atomic.Pointer[CSR]
+}
+
+func (f *frozenCache) Load() *CSR   { return f.p.Load() }
+func (f *frozenCache) Store(c *CSR) { f.p.Store(c) }

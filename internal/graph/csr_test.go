@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCSRStructure checks the frozen view against the adjacency lists.
+func TestCSRStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomConnected(rng, 40, 0.2, 0.1, 5)
+	c := g.Freeze()
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatalf("CSR dims (%d,%d) ≠ graph dims (%d,%d)", c.N(), c.M(), g.N(), g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		adj := g.Adj(u)
+		if c.Degree(u) != len(adj) {
+			t.Fatalf("node %d: CSR degree %d ≠ %d", u, c.Degree(u), len(adj))
+		}
+		for k, half := range adj {
+			i := int(c.off[u]) + k
+			if int(c.to[i]) != half.To || int(c.eid[i]) != half.Edge {
+				t.Fatalf("node %d half %d: CSR (%d,%d) ≠ (%d,%d)",
+					u, k, c.to[i], c.eid[i], half.To, half.Edge)
+			}
+		}
+	}
+	for id := 0; id < g.M(); id++ {
+		e := g.Edge(id)
+		u, v := c.Endpoints(id)
+		if u != e.U || v != e.V || c.Weight(id) != e.W {
+			t.Fatalf("edge %d mismatch", id)
+		}
+	}
+	sorted := c.SortedEdgeIDs()
+	if len(sorted) != g.M() {
+		t.Fatalf("sorted length %d ≠ %d", len(sorted), g.M())
+	}
+	for i := 1; i < len(sorted); i++ {
+		wa, wb := c.w[sorted[i-1]], c.w[sorted[i]]
+		if wa > wb || (wa == wb && sorted[i-1] > sorted[i]) {
+			t.Fatalf("sorted order broken at %d", i)
+		}
+	}
+}
+
+// TestFreezeInvalidation: mutations must drop the cached view.
+func TestFreezeInvalidation(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	c1 := g.Freeze()
+	if c2 := g.Freeze(); c2 != c1 {
+		t.Fatal("Freeze did not cache")
+	}
+	g.SetWeight(0, 5)
+	c3 := g.Freeze()
+	if c3 == c1 {
+		t.Fatal("SetWeight did not invalidate the frozen view")
+	}
+	if c3.Weight(0) != 5 {
+		t.Fatalf("stale weight %v after SetWeight", c3.Weight(0))
+	}
+	g.AddEdge(0, 2, 3)
+	if c4 := g.Freeze(); c4 == c3 || c4.M() != 3 {
+		t.Fatal("AddEdge did not invalidate the frozen view")
+	}
+	id := g.AddNode()
+	g.AddEdge(id, 0, 1)
+	if c5 := g.Freeze(); c5.N() != 4 {
+		t.Fatal("AddNode did not invalidate the frozen view")
+	}
+}
+
+// TestScratchDijkstraReuse: one Scratch across graphs of different sizes.
+func TestScratchDijkstraReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Scratch
+	for _, n := range []int{5, 60, 12, 33} {
+		g := RandomConnected(rng, n, 0.3, 0.1, 4)
+		c := g.Freeze()
+		s.Dijkstra(c, 0, nil)
+		want := DijkstraNaive(g, 0, nil)
+		for v := 0; v < n; v++ {
+			if math.Abs(s.Dist[v]-want.Dist[v]) > 1e-12 {
+				t.Fatalf("n=%d node %d: dist %v ≠ %v", n, v, s.Dist[v], want.Dist[v])
+			}
+		}
+	}
+}
+
+// TestDijkstraZeroAllocs: a warmed-up Scratch on a frozen graph must not
+// allocate — the acceptance criterion for the hot-path rewrite.
+func TestDijkstraZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := RandomConnected(rng, 150, 0.1, 0.5, 3)
+	c := g.Freeze()
+	var s Scratch
+	s.Dijkstra(c, 0, nil) // warm up the workspace
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Dijkstra(c, 0, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("Dijkstra allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestLCAZeroAllocs: the O(1) Euler-tour LCA must not allocate.
+func TestLCAZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := RandomConnected(rng, 150, 0.1, 0.5, 3)
+	ids, err := MST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewRootedTree(g, 0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for u := 0; u < g.N(); u += 7 {
+			for v := 0; v < g.N(); v += 11 {
+				tr.LCA(u, v)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LCA allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestScratchPathTo: reconstruction matches the naive result.
+func TestScratchPathTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := RandomConnected(rng, 30, 0.2, 0.1, 5)
+	c := g.Freeze()
+	var s Scratch
+	s.Dijkstra(c, 3, nil)
+	want := DijkstraNaive(g, 3, nil)
+	var buf []int
+	for v := 0; v < g.N(); v++ {
+		buf = s.PathTo(v, buf)
+		// Paths may differ when shortest paths tie; lengths of weights
+		// must agree.
+		sum := 0.0
+		for _, id := range buf {
+			sum += g.Weight(id)
+		}
+		if math.Abs(sum-want.Dist[v]) > 1e-9 {
+			t.Fatalf("node %d: path weight %v ≠ dist %v", v, sum, want.Dist[v])
+		}
+	}
+}

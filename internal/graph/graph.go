@@ -46,9 +46,10 @@ type Half struct {
 
 // Graph is an undirected weighted multigraph with a fixed node count.
 type Graph struct {
-	n     int
-	edges []Edge
-	adj   [][]Half
+	n      int
+	edges  []Edge
+	adj    [][]Half
+	frozen frozenCache // cached CSR view; dropped on mutation
 }
 
 // New creates a graph with n nodes and no edges.
@@ -69,6 +70,7 @@ func (g *Graph) M() int { return len(g.edges) }
 func (g *Graph) AddNode() int {
 	g.adj = append(g.adj, nil)
 	g.n++
+	g.invalidate()
 	return g.n - 1
 }
 
@@ -88,6 +90,7 @@ func (g *Graph) AddEdge(u, v int, w float64) int {
 	g.edges = append(g.edges, Edge{ID: id, U: u, V: v, W: w})
 	g.adj[u] = append(g.adj[u], Half{To: v, Edge: id})
 	g.adj[v] = append(g.adj[v], Half{To: u, Edge: id})
+	g.invalidate()
 	return id
 }
 
@@ -115,6 +118,7 @@ func (g *Graph) SetWeight(id int, w float64) {
 		panic(fmt.Sprintf("graph: invalid edge weight %v", w))
 	}
 	g.edges[id].W = w
+	g.invalidate()
 }
 
 // TotalWeight returns the sum of all edge weights.

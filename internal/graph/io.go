@@ -118,6 +118,11 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		}
 		ng.AddEdge(u, v, w)
 	}
-	*g = *ng
+	// Field-wise so the frozen-CSR cache (which contains an atomic and
+	// must not be copied) is simply invalidated on the receiver.
+	g.n = ng.n
+	g.edges = ng.edges
+	g.adj = ng.adj
+	g.invalidate()
 	return nil
 }

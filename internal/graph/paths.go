@@ -15,7 +15,7 @@ func DefaultWeights(g *Graph) WeightFunc {
 	return func(id int) float64 { return g.Weight(id) }
 }
 
-// spItem is a heap entry for Dijkstra's algorithm.
+// spItem is a heap entry for the naive Dijkstra oracle.
 type spItem struct {
 	node int
 	dist float64
@@ -47,7 +47,34 @@ type ShortestPaths struct {
 // weight function (nil means raw edge weights). All weights must be
 // non-negative; the game layer guarantees this because subsidies never
 // exceed edge weights.
+//
+// It runs on the graph's frozen CSR view with an indexed 4-ary heap; the
+// few allocations that remain are the result slices. Callers in tight
+// loops (sweeps, best-response dynamics) should freeze the graph once and
+// use (*Scratch).Dijkstra directly, which allocates nothing in steady
+// state.
 func Dijkstra(g *Graph, src int, w WeightFunc) *ShortestPaths {
+	c := g.Freeze()
+	var s Scratch
+	s.Dijkstra(c, src, w)
+	n := c.n
+	sp := &ShortestPaths{
+		Source:  src,
+		Dist:    s.Dist, // owned by the throwaway scratch, safe to hand out
+		ParEdge: make([]int, n),
+		ParNode: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		sp.ParEdge[i] = int(s.ParEdge[i])
+		sp.ParNode[i] = int(s.ParNode[i])
+	}
+	return sp
+}
+
+// DijkstraNaive is the original container/heap implementation (lazy
+// deletion, interface boxing). It is retained as the differential-test
+// oracle for the CSR fast path.
+func DijkstraNaive(g *Graph, src int, w WeightFunc) *ShortestPaths {
 	if w == nil {
 		w = DefaultWeights(g)
 	}

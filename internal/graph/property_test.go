@@ -115,6 +115,124 @@ func TestPropertySubtreeSumsLinear(t *testing.T) {
 	}
 }
 
+// TestPropertyDijkstraMatchesNaive: the CSR indexed-heap Dijkstra must
+// agree with the retained container/heap oracle — equal distances and a
+// consistent shortest-path tree — on random graphs.
+func TestPropertyDijkstraMatchesNaive(t *testing.T) {
+	f := func(seed int64, n, p uint8, s uint8) bool {
+		g := genGraph(seed, n, p)
+		src := int(s) % g.N()
+		fast := Dijkstra(g, src, nil)
+		naive := DijkstraNaive(g, src, nil)
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(fast.Dist[v]-naive.Dist[v]) > 1e-9 {
+				return false
+			}
+			if v == src {
+				continue
+			}
+			// The parent pointers may pick a different (equally short)
+			// tree; each must be internally consistent.
+			pe, pn := fast.ParEdge[v], fast.ParNode[v]
+			if pe < 0 || pn < 0 {
+				return false
+			}
+			if math.Abs(fast.Dist[pn]+g.Weight(pe)-fast.Dist[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMSTMatchesNaive: the frozen-order Kruskal must return the
+// exact same edge set as the re-sorting oracle (both deterministic with
+// (weight, ID) tie-breaks), and Prim's indexed-heap MST the same weight.
+func TestPropertyMSTMatchesNaive(t *testing.T) {
+	f := func(seed int64, n, p uint8) bool {
+		g := genGraph(seed, n, p)
+		fast, err1 := MST(g)
+		naive, err2 := MSTNaive(g)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(fast) != len(naive) {
+			return false
+		}
+		for i := range fast {
+			if fast[i] != naive[i] {
+				return false
+			}
+		}
+		prim, err := MSTPrim(g)
+		if err != nil {
+			return false
+		}
+		primNaive, err := MSTPrimNaive(g)
+		if err != nil {
+			return false
+		}
+		return math.Abs(g.WeightOf(prim)-g.WeightOf(naive)) < 1e-9 &&
+			math.Abs(g.WeightOf(primNaive)-g.WeightOf(naive)) < 1e-9 &&
+			g.IsSpanningTree(prim)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLCAMatchesNaive: the Euler-tour O(1) LCA must agree with
+// binary lifting on every pair of nodes of random spanning trees.
+func TestPropertyLCAMatchesNaive(t *testing.T) {
+	f := func(seed int64, n, p uint8, r uint8) bool {
+		g := genGraph(seed, n, p)
+		ids, err := MST(g)
+		if err != nil {
+			return false
+		}
+		tr, err := NewRootedTree(g, int(r)%g.N(), ids)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if tr.LCA(u, v) != tr.LCANaive(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDijkstraWeightFunc: the fast path must honor a custom
+// WeightFunc (the game layer's marginal-cost pricing) identically to the
+// oracle.
+func TestPropertyDijkstraWeightFunc(t *testing.T) {
+	f := func(seed int64, n, p uint8, s uint8) bool {
+		g := genGraph(seed, n, p)
+		src := int(s) % g.N()
+		wf := func(id int) float64 { return g.Weight(id) / float64(1+id%3) }
+		fast := Dijkstra(g, src, wf)
+		naive := DijkstraNaive(g, src, wf)
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(fast.Dist[v]-naive.Dist[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestPropertyDijkstraTriangle: shortest distances satisfy the triangle
 // inequality over every edge.
 func TestPropertyDijkstraTriangle(t *testing.T) {

@@ -6,8 +6,8 @@ import (
 )
 
 // RootedTree is a spanning tree of a graph rooted at a designated node,
-// with precomputed parents, depths, children, a bottom-up ordering and a
-// binary-lifting table for O(log n) lowest-common-ancestor queries.
+// with precomputed parents, depths, children, a bottom-up ordering and an
+// Euler-tour sparse table for O(1) lowest-common-ancestor queries.
 //
 // In broadcast games a state *is* a rooted spanning tree: player u's
 // strategy is the tree path from u to the root, so almost every quantity
@@ -22,7 +22,17 @@ type RootedTree struct {
 	Order    []int   // BFS order from the root (parents precede children)
 	EdgeIDs  []int   // the n-1 tree edge IDs, ascending
 	inTree   []bool  // indexed by edge ID
-	up       [][]int // binary lifting: up[k][v] = 2^k-th ancestor (-1 past root)
+
+	// Euler-tour RMQ structure for O(1) LCA: eulerNode/eulerDepth record
+	// the DFS tour (length 2n−1), eulerFirst[v] the first occurrence of
+	// v, and sparse[k][i] the tour index of the minimum depth in
+	// [i, i+2^k).
+	eulerFirst []int32
+	eulerNode  []int32
+	eulerDepth []int32
+	sparse     [][]int32
+
+	up [][]int // binary lifting for LCANaive; built lazily
 }
 
 // NewRootedTree builds a rooted tree from a spanning edge set. It returns
@@ -80,11 +90,68 @@ func NewRootedTree(g *Graph, root int, treeEdges []int) (*RootedTree, error) {
 			t.EdgeIDs = append(t.EdgeIDs, id)
 		}
 	}
-	t.buildLifting()
+	t.buildEuler()
 	return t, nil
 }
 
-// buildLifting fills the binary-lifting ancestor table.
+// buildEuler records the DFS Euler tour and its sparse min-depth table.
+func (t *RootedTree) buildEuler() {
+	n := t.G.N()
+	tourLen := 2*n - 1
+	t.eulerFirst = make([]int32, n)
+	t.eulerNode = make([]int32, 0, tourLen)
+	t.eulerDepth = make([]int32, 0, tourLen)
+	type frame struct {
+		node int
+		next int // index of the next child to descend into
+	}
+	stack := make([]frame, 1, n)
+	stack[0] = frame{node: t.Root}
+	t.eulerFirst[t.Root] = 0
+	t.eulerNode = append(t.eulerNode, int32(t.Root))
+	t.eulerDepth = append(t.eulerDepth, 0)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(t.Children[f.node]) {
+			c := t.Children[f.node][f.next]
+			f.next++
+			t.eulerFirst[c] = int32(len(t.eulerNode))
+			t.eulerNode = append(t.eulerNode, int32(c))
+			t.eulerDepth = append(t.eulerDepth, int32(t.Depth[c]))
+			stack = append(stack, frame{node: c})
+		} else {
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := stack[len(stack)-1].node
+				t.eulerNode = append(t.eulerNode, int32(p))
+				t.eulerDepth = append(t.eulerDepth, int32(t.Depth[p]))
+			}
+		}
+	}
+	L := len(t.eulerNode)
+	levels := bits.Len(uint(L))
+	t.sparse = make([][]int32, 0, levels)
+	row0 := make([]int32, L)
+	for i := range row0 {
+		row0[i] = int32(i)
+	}
+	t.sparse = append(t.sparse, row0)
+	for k := 1; 1<<k <= L; k++ {
+		half := 1 << (k - 1)
+		prev := t.sparse[k-1]
+		row := make([]int32, L-1<<k+1)
+		for i := range row {
+			a, b := prev[i], prev[i+half]
+			if t.eulerDepth[b] < t.eulerDepth[a] {
+				a = b
+			}
+			row[i] = a
+		}
+		t.sparse = append(t.sparse, row)
+	}
+}
+
+// buildLifting fills the binary-lifting ancestor table (LCANaive only).
 func (t *RootedTree) buildLifting() {
 	n := t.G.N()
 	levels := 1
@@ -109,8 +176,30 @@ func (t *RootedTree) buildLifting() {
 // Contains reports whether edge id belongs to the tree.
 func (t *RootedTree) Contains(id int) bool { return t.inTree[id] }
 
-// LCA returns the lowest common ancestor of u and v.
+// LCA returns the lowest common ancestor of u and v in O(1) via the
+// Euler-tour sparse table. It performs no allocations, which keeps the
+// Lemma-2 violation scan allocation-free.
 func (t *RootedTree) LCA(u, v int) int {
+	l, r := t.eulerFirst[u], t.eulerFirst[v]
+	if l > r {
+		l, r = r, l
+	}
+	k := bits.Len(uint(r-l+1)) - 1
+	a := t.sparse[k][l]
+	b := t.sparse[k][int(r)-1<<k+1]
+	if t.eulerDepth[b] < t.eulerDepth[a] {
+		a = b
+	}
+	return int(t.eulerNode[a])
+}
+
+// LCANaive answers the same query by binary lifting in O(log n). It is
+// retained as the differential-test oracle for LCA; the lifting table is
+// built lazily on first use (and is not safe to race on first use).
+func (t *RootedTree) LCANaive(u, v int) int {
+	if t.up == nil {
+		t.buildLifting()
+	}
 	if t.Depth[u] < t.Depth[v] {
 		u, v = v, u
 	}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — snapshot the quick benchmark suite for cross-PR comparison.
+#
+# Runs the substrate micro-benchmarks (plus anything matching $BENCH_PATTERN)
+# and writes BENCH_<date>.json in the repo root: an array of
+# {name, ns_op, bytes_op, allocs_op} records, newest file per day.
+#
+# Usage:
+#   scripts/bench.sh                    # default quick substrate suite
+#   BENCH_PATTERN='.' scripts/bench.sh  # everything (slow)
+#   BENCH_TIME=2s scripts/bench.sh      # longer per-benchmark budget
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-Dijkstra|MSTKruskal|MSTPrim|EquilibriumCheck|LCA400|Theorem6Enforce|BroadcastLP|WaterFill}"
+TIME="${BENCH_TIME:-1s}"
+OUT="${BENCH_OUT:-BENCH_$(date +%Y-%m-%d).json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running: go test -run=NONE -bench='${PATTERN}' -benchtime=${TIME} -benchmem ." >&2
+go test -run=NONE -bench="${PATTERN}" -benchtime="${TIME}" -benchmem . | tee "$RAW" >&2
+
+awk '
+  /^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    ns = ""; bytes = "0"; allocs = "0"
+    for (i = 2; i <= NF; i++) {
+      if ($(i+1) == "ns/op")     ns = $i
+      if ($(i+1) == "B/op")      bytes = $i
+      if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}", name, ns, bytes, allocs
+  }
+  BEGIN { printf "[\n" }
+  END   { printf "\n]\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
