@@ -16,10 +16,13 @@ import (
 	"netdesign/internal/broadcast"
 	"netdesign/internal/experiments"
 	"netdesign/internal/gadgets"
+	"netdesign/internal/game"
 	"netdesign/internal/graph"
+	"netdesign/internal/multicast"
 	"netdesign/internal/reductions"
 	"netdesign/internal/sne"
 	"netdesign/internal/subsidy"
+	"netdesign/internal/weighted"
 )
 
 // quickCfg keeps experiment benchmarks at quick-sweep sizes.
@@ -327,3 +330,275 @@ func BenchmarkE17_ParetoFrontier(b *testing.B) { benchExperiment(b, "E17") }
 
 func BenchmarkE18_DirectedHn(b *testing.B) { benchExperiment(b, "E18") }
 func BenchmarkE19_Arrival(b *testing.B)    { benchExperiment(b, "E19") }
+
+// --- incremental swap engine vs rebuild (PR 2) ---
+
+// benchSwapPairs returns a warmed broadcast MST state plus k valid
+// (remove, add) swap pairs against its tree.
+func benchSwapPairs(b *testing.B, n, k int) (*broadcast.State, [][2]int) {
+	b.Helper()
+	st := randomState(b, n)
+	rng := rand.New(rand.NewSource(17))
+	g := st.BG.G
+	var nonTree []int
+	for id := 0; id < g.M(); id++ {
+		if !st.Tree.Contains(id) {
+			nonTree = append(nonTree, id)
+		}
+	}
+	var pairs [][2]int
+	for len(pairs) < k && len(nonTree) > 0 {
+		add := nonTree[rng.Intn(len(nonTree))]
+		e := g.Edge(add)
+		cycle := st.Tree.TreePath(e.U, e.V)
+		pairs = append(pairs, [2]int{cycle[rng.Intn(len(cycle))], add})
+	}
+	if len(pairs) == 0 {
+		b.Skip("no valid swaps")
+	}
+	return st, pairs
+}
+
+// benchSwapUpdate measures the incremental candidate-state update:
+// ApplySwap patches the tree, NA and the warm Lemma-2 sums; Revert
+// restores them. Steady state must be 0 allocs/op.
+func benchSwapUpdate(b *testing.B, n int) {
+	st, pairs := benchSwapPairs(b, n, 64)
+	st.IsEquilibrium(nil) // warm the prefix-sum cache
+	if err := st.ApplySwap(pairs[0][0], pairs[0][1]); err != nil {
+		b.Fatal(err)
+	}
+	st.Revert()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := pairs[i%len(pairs)]
+		if err := st.ApplySwap(pr[0], pr[1]); err != nil {
+			b.Fatal(err)
+		}
+		st.Revert()
+	}
+}
+
+func BenchmarkSwapUpdate400(b *testing.B)  { benchSwapUpdate(b, 400) }
+func BenchmarkSwapUpdate2000(b *testing.B) { benchSwapUpdate(b, 2000) }
+
+// benchSwapRebuild is the baseline the swap engine replaces: a full
+// NewRootedTree + NewState rebuild per candidate tree (the rebuild does
+// strictly less — it leaves the Lemma-2 sums cold, which ApplySwap
+// patches warm).
+func benchSwapRebuild(b *testing.B, n int) {
+	st, pairs := benchSwapPairs(b, n, 64)
+	trees := make([][]int, len(pairs))
+	for i, pr := range pairs {
+		tr := append([]int(nil), st.Tree.EdgeIDs...)
+		for j, id := range tr {
+			if id == pr[0] {
+				tr[j] = pr[1]
+				break
+			}
+		}
+		trees[i] = tr
+	}
+	bg := st.BG
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := broadcast.NewState(bg, trees[i%len(trees)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSwapRebuild400(b *testing.B)  { benchSwapRebuild(b, 400) }
+func BenchmarkSwapRebuild2000(b *testing.B) { benchSwapRebuild(b, 2000) }
+
+// BenchmarkSwapEvalCheck400 is the full candidate evaluation — apply,
+// Lemma-2 equilibrium check, revert — against rebuild-and-check.
+func BenchmarkSwapEvalCheck400(b *testing.B) {
+	st, pairs := benchSwapPairs(b, 400, 64)
+	st.IsEquilibrium(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := pairs[i%len(pairs)]
+		if err := st.ApplySwap(pr[0], pr[1]); err != nil {
+			b.Fatal(err)
+		}
+		st.IsEquilibrium(nil)
+		st.Revert()
+	}
+}
+
+func BenchmarkSwapRebuildCheck400(b *testing.B) {
+	st, pairs := benchSwapPairs(b, 400, 64)
+	trees := make([][]int, len(pairs))
+	for i, pr := range pairs {
+		tr := append([]int(nil), st.Tree.EdgeIDs...)
+		for j, id := range tr {
+			if id == pr[0] {
+				tr[j] = pr[1]
+				break
+			}
+		}
+		trees[i] = tr
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st2, err := broadcast.NewState(st.BG, trees[i%len(trees)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		st2.IsEquilibrium(nil)
+	}
+}
+
+// --- best-response dynamics: incremental walk vs rebuild-per-step ---
+
+func benchDynamicsState(b *testing.B) *game.State {
+	b.Helper()
+	st := randomState(b, 40)
+	_, gst, err := st.ToGeneral(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gst
+}
+
+func BenchmarkBestResponseIncremental(b *testing.B) {
+	gst := benchDynamicsState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := game.BestResponseDynamics(gst, nil, game.RoundRobin, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestResponseRebuild(b *testing.B) {
+	gst := benchDynamicsState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := game.BestResponseDynamicsNaive(gst, nil, game.RoundRobin, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwapDynamics100 runs the broadcast-native tree-swap descent
+// (Lemma-2 violations applied as incremental swaps).
+func BenchmarkSwapDynamics100(b *testing.B) {
+	st := randomState(b, 100)
+	mst := append([]int(nil), st.Tree.EdgeIDs...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		run, err := broadcast.NewState(st.BG, mst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := broadcast.SwapDynamics(run, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- weighted/multicast fast paths (PR 2 port) ---
+
+func benchWeightedState(b *testing.B, n, players int) *weighted.State {
+	b.Helper()
+	rng := rand.New(rand.NewSource(23))
+	g := graph.RandomConnected(rng, n, 0.05, 0.5, 3)
+	pls := make([]weighted.Player, players)
+	paths := make([][]int, players)
+	for i := range pls {
+		s := rng.Intn(n)
+		d := rng.Intn(n)
+		for d == s {
+			d = rng.Intn(n)
+		}
+		pls[i] = weighted.Player{S: s, T: d, Demand: 0.5 + rng.Float64()*2}
+		paths[i] = graph.Dijkstra(g, s, nil).PathTo(d)
+	}
+	wg, err := weighted.New(g, pls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := weighted.NewState(wg, paths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func BenchmarkWeightedBestResponse400(b *testing.B) {
+	st := benchWeightedState(b, 400, 8)
+	st.BestResponse(0, nil) // warm scratch + freeze
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.BestResponse(i%8, nil)
+	}
+}
+
+func BenchmarkWeightedBestResponseNaive400(b *testing.B) {
+	st := benchWeightedState(b, 400, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.BestResponseNaive(i%8, nil)
+	}
+}
+
+func BenchmarkSteinerTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	g := graph.RandomConnected(rng, 40, 0.15, 0.5, 3)
+	terms := []int{0, 7, 13, 21, 30, 38}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := multicast.SteinerTree(g, terms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- AnalyzeTrees: swap walk vs rebuild per tree ---
+
+func benchAnalyzeGame(b *testing.B) *broadcast.Game {
+	b.Helper()
+	rng := rand.New(rand.NewSource(41))
+	g := graph.RandomConnected(rng, 8, 0.6, 0.5, 2)
+	bg, err := broadcast.NewGame(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bg
+}
+
+func BenchmarkAnalyzeTreesSwapWalk(b *testing.B) {
+	bg := benchAnalyzeGame(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := broadcast.AnalyzeTrees(bg, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeTreesRebuild(b *testing.B) {
+	bg := benchAnalyzeGame(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := broadcast.AnalyzeTreesNaive(bg, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -95,6 +95,18 @@ type State struct {
 	bSeen     []float64
 	bSeenNil  bool
 	cacheOK   bool
+
+	// Pending-swap bookkeeping (see swap.go): the detached subtree's
+	// player mass and the patch anchors needed to undo NA and refresh
+	// the cache on Revert.
+	swpS                 int64
+	swpX                 int
+	swpPChild, swpVChild int
+	dfsStack             []int32 // cache-patch DFS scratch
+
+	// MorphTo scratch (reused across calls).
+	morphMark             []bool
+	morphRemove, morphAdd []int
 }
 
 // NewState roots the given spanning-tree edge set and caches usage counts.
@@ -148,16 +160,30 @@ func (st *State) prefixSums(b game.Subsidy) (up, dev []float64) {
 		st.bSeen = make([]float64, g.M())
 	}
 	up, dev = st.upC, st.devC
-	for _, v := range st.Tree.Order {
-		if v == st.BG.Root {
-			continue
+	if !st.Tree.Pending() {
+		// Inline the common committed-tree pass (no closure, no
+		// allocation).
+		for _, v := range st.Tree.Order {
+			if v == st.BG.Root {
+				continue
+			}
+			id := st.Tree.ParEdge[v]
+			p := st.Tree.Parent[v]
+			wb := g.Weight(id) - b.At(id)
+			na := st.NA[id]
+			up[v] = up[p] + wb/float64(na)
+			dev[v] = dev[p] + wb/float64(na+1)
 		}
-		id := st.Tree.ParEdge[v]
-		p := st.Tree.Parent[v]
-		wb := g.Weight(id) - b.At(id)
-		na := st.NA[id]
-		up[v] = up[p] + wb/float64(na)
-		dev[v] = dev[p] + wb/float64(na+1)
+	} else {
+		// ForEachTopDown keeps the pass correct under a pending swap.
+		st.Tree.ForEachTopDown(func(v int) {
+			id := st.Tree.ParEdge[v]
+			p := st.Tree.Parent[v]
+			wb := g.Weight(id) - b.At(id)
+			na := st.NA[id]
+			up[v] = up[p] + wb/float64(na)
+			dev[v] = dev[p] + wb/float64(na+1)
+		})
 	}
 	st.bSeenNil = b == nil
 	if !st.bSeenNil {

@@ -26,9 +26,13 @@ type TreeAnalysis struct {
 func (a *TreeAnalysis) PoS() float64 { return a.BestEq / a.OptWeight }
 
 // AnalyzeTrees enumerates all spanning trees (erroring beyond limit; ≤ 0
-// means unlimited) and checks each for equilibrium under subsidies b. The
-// equilibrium checks run on a worker pool: enumeration first collects the
-// trees, then the Lemma-2 checks — the expensive part — fan out.
+// means unlimited) and checks each for equilibrium under subsidies b.
+// Enumeration first collects the trees, then the Lemma-2 checks — the
+// expensive part — fan out over a worker pool. Each worker owns a single
+// State and walks its contiguous chunk of the enumeration through the
+// swap graph: consecutive trees of the contraction/deletion recursion
+// share most edges, so MorphTo applies a handful of incremental swaps
+// per tree instead of a full NewRootedTree/NewState rebuild.
 func AnalyzeTrees(bg *Game, b game.Subsidy, limit int) (*TreeAnalysis, error) {
 	var trees [][]int
 	if _, err := graph.EnumerateSpanningTrees(bg.G, limit, func(tr []int) bool {
@@ -37,18 +41,66 @@ func AnalyzeTrees(bg *Game, b game.Subsidy, limit int) (*TreeAnalysis, error) {
 	}); err != nil {
 		return nil, err
 	}
-	type verdict struct {
-		weight float64
-		eq     bool
-		err    error
+	verdicts := make([]treeVerdict, len(trees))
+	workers := parallel.Workers(0)
+	chunk := (len(trees) + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
 	}
-	verdicts := parallel.Map(trees, 0, func(tr []int) verdict {
+	numChunks := (len(trees) + chunk - 1) / chunk
+	parallel.ForEach(numChunks, 0, func(ci int) {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > len(trees) {
+			hi = len(trees)
+		}
+		var st *State
+		for i := lo; i < hi; i++ {
+			var err error
+			if st == nil {
+				st, err = NewState(bg, trees[i])
+			} else if err = st.MorphTo(trees[i]); err != nil {
+				// A failed morph leaves the walker mid-swap; restart it.
+				st, err = NewState(bg, trees[i])
+			}
+			if err != nil {
+				verdicts[i] = treeVerdict{err: err}
+				st = nil
+				continue
+			}
+			verdicts[i] = treeVerdict{weight: st.Weight(), eq: st.IsEquilibrium(b)}
+		}
+	})
+	return summarizeTrees(trees, verdicts)
+}
+
+// AnalyzeTreesNaive is the rebuild-per-tree implementation, retained as
+// the differential-test oracle for the swap-walking fast path.
+func AnalyzeTreesNaive(bg *Game, b game.Subsidy, limit int) (*TreeAnalysis, error) {
+	var trees [][]int
+	if _, err := graph.EnumerateSpanningTrees(bg.G, limit, func(tr []int) bool {
+		trees = append(trees, tr)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	verdicts := parallel.Map(trees, 0, func(tr []int) treeVerdict {
 		st, err := NewState(bg, tr)
 		if err != nil {
-			return verdict{err: err}
+			return treeVerdict{err: err}
 		}
-		return verdict{weight: st.Weight(), eq: st.IsEquilibrium(b)}
+		return treeVerdict{weight: st.Weight(), eq: st.IsEquilibrium(b)}
 	})
+	return summarizeTrees(trees, verdicts)
+}
+
+type treeVerdict struct {
+	weight float64
+	eq     bool
+	err    error
+}
+
+func summarizeTrees(trees [][]int, verdicts []treeVerdict) (*TreeAnalysis, error) {
 	a := &TreeAnalysis{
 		Trees:   len(trees),
 		BestEq:  math.Inf(1),
@@ -88,12 +140,19 @@ func MSTEquilibrium(bg *Game, limit int) (bool, []int, error) {
 	}
 	optW := bg.G.WeightOf(mst)
 	var found []int
+	var st *State // swap-walks across candidate minimum trees
 	_, err = graph.EnumerateSpanningTrees(bg.G, limit, func(tr []int) bool {
 		if bg.G.WeightOf(tr) > optW+1e-9*(1+optW) {
 			return true
 		}
-		st, serr := NewState(bg, tr)
+		var serr error
+		if st == nil {
+			st, serr = NewState(bg, tr)
+		} else if serr = st.MorphTo(tr); serr != nil {
+			st, serr = NewState(bg, tr)
+		}
 		if serr != nil {
+			st = nil
 			return true
 		}
 		if st.IsEquilibrium(nil) {

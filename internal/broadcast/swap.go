@@ -1,0 +1,320 @@
+package broadcast
+
+import (
+	"errors"
+	"fmt"
+
+	"netdesign/internal/game"
+	"netdesign/internal/numeric"
+)
+
+// This file carries the broadcast side of the incremental tree-swap
+// engine (graph.RootedTree.ApplySwap). A swap reroutes every player of
+// the detached subtree D through the added edge, so exactly three groups
+// of edges change usage:
+//
+//   - the base path P→x loses the subtree's S players (x = lca(P, V));
+//   - the base path V→x gains them;
+//   - the reversed path U→C inside D flips orientation: an edge formerly
+//     carrying n_a players now carries S − n_a.
+//
+// The Lemma-2 prefix sums are patched in the same sweep: only nodes whose
+// root path crosses a changed edge — the two branches below x plus D —
+// are recomputed, keyed to the subsidy the cache was filled under. The
+// patch uses the identical per-node recurrence as the full pass, so
+// patched values are bit-for-bit equal to a from-scratch rebuild.
+
+// ApplySwap applies the single-edge swap to the state: the tree is
+// re-hung incrementally, usage counts NA are patched along the three
+// affected paths, and — when warm — the prefix-sum cache is refreshed
+// only on the touched subtrees. O(affected subtree), allocation-free in
+// steady state. Revert undoes it; Commit makes it permanent.
+func (st *State) ApplySwap(removeID, addID int) error {
+	t := st.Tree
+	if t.Pending() {
+		return errors.New("broadcast: a swap is already pending")
+	}
+	if err := t.ApplySwap(removeID, addID); err != nil {
+		return err
+	}
+	info := t.PendingSwap()
+	S := st.NA[removeID]
+	st.swpS = S
+	// Both P and V lie outside the detached subtree, so the overlay LCA
+	// answers with the base-tree x even while the swap is pending.
+	x := t.LCA(info.P, info.V)
+	pChild, vChild := -1, -1
+	for w := info.P; w != x; w = t.Parent[w] {
+		st.NA[t.ParEdge[w]] -= S
+		pChild = w
+	}
+	for w := info.V; w != x; w = t.Parent[w] {
+		st.NA[t.ParEdge[w]] += S
+		vChild = w
+	}
+	// Reversed path inside D: the new parent chain C→…→U. An edge that
+	// carried the n_a players below it now carries the S − n_a on the
+	// other side. (Self-inverse, which Revert exploits.)
+	for w := info.C; w != info.U; w = t.Parent[w] {
+		id := t.ParEdge[w]
+		st.NA[id] = S - st.NA[id]
+	}
+	st.NA[removeID] = 0
+	st.NA[addID] = S
+	st.swpX, st.swpPChild, st.swpVChild = x, pChild, vChild
+	if st.cacheOK {
+		st.refreshSubtreeBase(pChild, info.C)
+		st.refreshSubtreeBase(vChild, -1)
+		for _, w := range t.PendingNodes() {
+			st.refreshNode(int(w))
+		}
+	}
+	return nil
+}
+
+// Revert undoes the pending swap, restoring NA and the prefix-sum cache
+// to the base tree exactly. No-op when nothing is pending.
+func (st *State) Revert() {
+	t := st.Tree
+	if !t.Pending() {
+		return
+	}
+	info := t.PendingSwap()
+	S := st.swpS
+	// Undo in reverse: the D-path flip is self-inverse but needs the
+	// swapped parent chain, so it runs before the tree reverts.
+	for w := info.C; w != info.U; w = t.Parent[w] {
+		id := t.ParEdge[w]
+		st.NA[id] = S - st.NA[id]
+	}
+	for w := info.P; w != st.swpX; w = t.Parent[w] {
+		st.NA[t.ParEdge[w]] += S
+	}
+	for w := info.V; w != st.swpX; w = t.Parent[w] {
+		st.NA[t.ParEdge[w]] -= S
+	}
+	st.NA[info.RemoveID] = S
+	st.NA[info.AddID] = 0
+	t.Revert()
+	if st.cacheOK {
+		if st.swpPChild >= 0 {
+			// The restored subtree D hangs below pChild again, so one
+			// DFS refreshes both the branch and D.
+			st.refreshSubtreeBase(st.swpPChild, -1)
+		} else {
+			st.refreshSubtreeBase(info.C, -1)
+		}
+		st.refreshSubtreeBase(st.swpVChild, -1)
+	}
+}
+
+// Commit makes the pending swap permanent. NA and the cache were already
+// patched by ApplySwap; only the tree's derived structures rebuild.
+func (st *State) Commit() { st.Tree.Commit() }
+
+// refreshNode recomputes the cached prefix sums of one non-root node from
+// its parent's, under the subsidy the cache was filled with.
+func (st *State) refreshNode(v int) {
+	t := st.Tree
+	id := t.ParEdge[v]
+	p := t.Parent[v]
+	wb := st.BG.G.Weight(id)
+	if !st.bSeenNil {
+		wb -= st.bSeen[id]
+	}
+	na := st.NA[id]
+	st.upC[v] = st.upC[p] + wb/float64(na)
+	st.devC[v] = st.devC[p] + wb/float64(na+1)
+}
+
+// refreshSubtreeBase refreshes the cached sums over the base subtree
+// rooted at top (−1: none), descending via the base Children arrays and
+// never entering the subtree of skip (−1: none). Parents are refreshed
+// before children, as the recurrence requires.
+func (st *State) refreshSubtreeBase(top, skip int) {
+	if top < 0 {
+		return
+	}
+	t := st.Tree
+	stack := append(st.dfsStack[:0], int32(top))
+	for len(stack) > 0 {
+		w := int(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		st.refreshNode(w)
+		for _, ch := range t.Children[w] {
+			if ch != skip {
+				stack = append(stack, int32(ch))
+			}
+		}
+	}
+	st.dfsStack = stack[:0]
+}
+
+// SwapPotentialDelta returns Φ(T′) − Φ(T) under subsidies b for the tree
+// T′ = T − removeID + addID, without applying the swap. O(path length),
+// allocation-free.
+func (st *State) SwapPotentialDelta(removeID, addID int, b game.Subsidy) (float64, error) {
+	t := st.Tree
+	if t.Pending() {
+		return 0, errors.New("broadcast: potential delta needs a committed tree")
+	}
+	g := st.BG.G
+	if removeID < 0 || removeID >= g.M() || addID < 0 || addID >= g.M() ||
+		removeID == addID || !t.Contains(removeID) || t.Contains(addID) {
+		return 0, fmt.Errorf("broadcast: invalid swap (−%d,+%d)", removeID, addID)
+	}
+	re := g.Edge(removeID)
+	c := re.U
+	if t.ParEdge[re.V] == removeID {
+		c = re.V
+	}
+	ae := g.Edge(addID)
+	uIn := t.LCA(c, ae.U) == c
+	vIn := t.LCA(c, ae.V) == c
+	if uIn == vIn {
+		return 0, fmt.Errorf("broadcast: swap (−%d,+%d) does not reconnect the tree", removeID, addID)
+	}
+	u, v := ae.U, ae.V
+	if vIn {
+		u, v = v, u
+	}
+	S := int(st.NA[removeID])
+	h := numeric.Harmonic
+	delta := (g.Weight(addID) - b.At(addID) - g.Weight(removeID) + b.At(removeID)) * h(S)
+	p := t.Parent[c]
+	x := t.LCA(p, v)
+	for w := p; w != x; w = t.Parent[w] {
+		id := t.ParEdge[w]
+		na := int(st.NA[id])
+		delta += (g.Weight(id) - b.At(id)) * (h(na-S) - h(na))
+	}
+	for w := v; w != x; w = t.Parent[w] {
+		id := t.ParEdge[w]
+		na := int(st.NA[id])
+		delta += (g.Weight(id) - b.At(id)) * (h(na+S) - h(na))
+	}
+	for w := u; w != c; w = t.Parent[w] {
+		id := t.ParEdge[w]
+		na := int(st.NA[id])
+		delta += (g.Weight(id) - b.At(id)) * (h(S-na) - h(na))
+	}
+	return delta, nil
+}
+
+// MorphTo walks the state from its current tree to the target spanning
+// tree through a sequence of committed single-edge swaps, pairing each
+// surplus edge with a target edge that reconnects the cut (the matroid
+// exchange property guarantees one exists). Each step patches NA and the
+// cached sums incrementally — no NewRootedTree/NewState rebuild. On
+// error the state may be left mid-morph; callers should rebuild.
+func (st *State) MorphTo(target []int) error {
+	t := st.Tree
+	if t.Pending() {
+		return errors.New("broadcast: cannot morph with a pending swap")
+	}
+	g := st.BG.G
+	if len(target) != g.N()-1 {
+		return fmt.Errorf("broadcast: %d edges cannot span %d nodes", len(target), g.N())
+	}
+	if cap(st.morphMark) < g.M() {
+		st.morphMark = make([]bool, g.M())
+	}
+	mark := st.morphMark[:g.M()]
+	for _, id := range target {
+		if id < 0 || id >= g.M() || mark[id] {
+			for _, j := range target {
+				if j >= 0 && j < g.M() {
+					mark[j] = false
+				}
+			}
+			return fmt.Errorf("broadcast: invalid target edge %d", id)
+		}
+		mark[id] = true
+	}
+	st.morphRemove = st.morphRemove[:0]
+	st.morphAdd = st.morphAdd[:0]
+	for _, id := range t.EdgeIDs {
+		if !mark[id] {
+			st.morphRemove = append(st.morphRemove, id)
+		}
+	}
+	for _, id := range target {
+		mark[id] = false // reset for the next call
+		if !t.Contains(id) {
+			st.morphAdd = append(st.morphAdd, id)
+		}
+	}
+	for _, e := range st.morphRemove {
+		swapped := false
+		for j, f := range st.morphAdd {
+			if f < 0 {
+				continue // already used
+			}
+			if err := st.ApplySwap(e, f); err == nil {
+				st.Commit()
+				st.morphAdd[j] = -1
+				swapped = true
+				break
+			}
+		}
+		if !swapped {
+			return fmt.Errorf("broadcast: no target edge reconnects after removing %d (target is not a spanning tree)", e)
+		}
+	}
+	return nil
+}
+
+// ErrSwapBudget is returned when SwapDynamics exceeds its step budget.
+var ErrSwapBudget = errors.New("broadcast: swap dynamics exceeded step budget")
+
+// SwapDynamicsResult records a tree-swap descent run.
+type SwapDynamicsResult struct {
+	Steps      int
+	Potentials []float64 // potential after each step (including start)
+	Converged  bool      // true iff the final tree is a Lemma-2 equilibrium
+}
+
+// SwapDynamics runs best-response descent directly on the spanning-tree
+// swap graph: while the state has a Lemma-2 violation whose swap strictly
+// decreases the Rosenthal potential, apply and commit it. Unlike the
+// player-level dynamics in package game, a swap moves the deviator's
+// whole subtree, so a violating swap is not guaranteed to lower Φ; the
+// potential guard keeps the walk strictly descending (hence terminating),
+// and Converged reports whether a true equilibrium was reached rather
+// than a swap-graph local minimum. The state is modified in place.
+func SwapDynamics(st *State, b game.Subsidy, maxSteps int) (*SwapDynamicsResult, error) {
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	res := &SwapDynamicsResult{Potentials: []float64{st.Potential(b)}}
+	var viols []Violation
+	for res.Steps < maxSteps {
+		viols = viols[:0]
+		st.scanViolations(b, &viols)
+		if len(viols) == 0 {
+			res.Converged = true
+			return res, nil
+		}
+		applied := false
+		for i := range viols {
+			v := &viols[i]
+			removeID := st.Tree.ParEdge[v.Node]
+			delta, err := st.SwapPotentialDelta(removeID, v.ViaEdge, b)
+			if err != nil || delta >= -numeric.Eps {
+				continue
+			}
+			if err := st.ApplySwap(removeID, v.ViaEdge); err != nil {
+				return res, err
+			}
+			st.Commit()
+			applied = true
+			break
+		}
+		if !applied {
+			return res, nil // swap-graph local minimum; Converged stays false
+		}
+		res.Steps++
+		res.Potentials = append(res.Potentials, st.Potential(b))
+	}
+	return res, ErrSwapBudget
+}

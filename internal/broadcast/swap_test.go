@@ -1,0 +1,346 @@
+package broadcast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// randomSwapState builds a random broadcast state (random multiplicities
+// exercise the weighted NA arithmetic) plus a random valid swap pair.
+func randomSwapState(t *testing.T, rng *rand.Rand, n int) (*State, int, int, bool) {
+	t.Helper()
+	g := graph.RandomConnected(rng, n, 0.25+rng.Float64()*0.5, 0.5, 3)
+	root := rng.Intn(n)
+	mult := make([]int64, n)
+	for v := range mult {
+		if v != root {
+			mult[v] = 1 + int64(rng.Intn(3))
+		}
+	}
+	bg, err := NewGameMult(g, root, mult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random spanning tree: Kruskal over a shuffled edge order.
+	dsu := graph.NewUnionFind(n)
+	var tree []int
+	for _, id := range rng.Perm(g.M()) {
+		e := g.Edge(id)
+		if dsu.Union(e.U, e.V) {
+			tree = append(tree, id)
+		}
+	}
+	st, err := NewState(bg, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonTree []int
+	for id := 0; id < g.M(); id++ {
+		if !st.Tree.Contains(id) {
+			nonTree = append(nonTree, id)
+		}
+	}
+	if len(nonTree) == 0 {
+		return st, 0, 0, false
+	}
+	addID := nonTree[rng.Intn(len(nonTree))]
+	e := g.Edge(addID)
+	cycle := st.Tree.TreePath(e.U, e.V)
+	removeID := cycle[rng.Intn(len(cycle))]
+	return st, removeID, addID, true
+}
+
+// randomSubsidy places a partial subsidy on a random subset of edges.
+func randomSubsidy(rng *rand.Rand, g *graph.Graph) game.Subsidy {
+	b := game.ZeroSubsidy(g)
+	for id := 0; id < g.M(); id++ {
+		if rng.Intn(2) == 0 {
+			b[id] = g.Weight(id) * rng.Float64()
+		}
+	}
+	return b
+}
+
+// assertStateMatches compares every observable of st against a fresh
+// NewState over the same edge set, under subsidy b.
+func assertStateMatches(t *testing.T, st *State, b game.Subsidy, ctx string) {
+	t.Helper()
+	fresh, err := NewState(st.BG, st.Tree.EdgeIDs)
+	if err != nil {
+		t.Fatalf("%s: fresh rebuild failed: %v", ctx, err)
+	}
+	g := st.BG.G
+	for id := 0; id < g.M(); id++ {
+		if st.NA[id] != fresh.NA[id] {
+			t.Fatalf("%s: NA[%d] = %d, want %d", ctx, id, st.NA[id], fresh.NA[id])
+		}
+	}
+	up, dev := st.prefixSums(b)
+	upF, devF := fresh.prefixSums(b)
+	for v := 0; v < g.N(); v++ {
+		if !numeric.AlmostEqualTol(up[v], upF[v], 1e-12) {
+			t.Fatalf("%s: up[%d] = %v, want %v", ctx, v, up[v], upF[v])
+		}
+		if !numeric.AlmostEqualTol(dev[v], devF[v], 1e-12) {
+			t.Fatalf("%s: dev[%d] = %v, want %v", ctx, v, dev[v], devF[v])
+		}
+	}
+	if got, want := st.IsEquilibrium(b), fresh.IsEquilibrium(b); got != want {
+		t.Fatalf("%s: IsEquilibrium = %v, want %v", ctx, got, want)
+	}
+	if !numeric.AlmostEqual(st.Weight(), fresh.Weight()) {
+		t.Fatalf("%s: Weight = %v, want %v", ctx, st.Weight(), fresh.Weight())
+	}
+	if !numeric.AlmostEqualTol(st.Potential(b), fresh.Potential(b), 1e-9) {
+		t.Fatalf("%s: Potential = %v, want %v", ctx, st.Potential(b), fresh.Potential(b))
+	}
+}
+
+// TestStateSwapDifferential: on 120 random instances, the incrementally
+// swapped State must match a from-scratch rebuild — NA, both prefix sums
+// under a warm partial subsidy, equilibrium verdicts, weight, potential —
+// at the pending, reverted and committed stages.
+func TestStateSwapDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 120; trial++ {
+		st, removeID, addID, ok := randomSwapState(t, rng, 4+rng.Intn(12))
+		if !ok {
+			continue
+		}
+		var b game.Subsidy
+		if trial%3 != 0 {
+			b = randomSubsidy(rng, st.BG.G)
+		}
+		// Warm the cache so ApplySwap takes the patch path.
+		st.IsEquilibrium(b)
+		baseNA := append([]int64(nil), st.NA...)
+		delta, derr := st.SwapPotentialDelta(removeID, addID, b)
+		potBefore := st.Potential(b)
+
+		if err := st.ApplySwap(removeID, addID); err != nil {
+			t.Fatalf("trial %d: ApplySwap(−%d,+%d): %v", trial, removeID, addID, err)
+		}
+		assertStateMatches(t, st, b, "pending")
+		if derr != nil {
+			t.Fatalf("trial %d: SwapPotentialDelta: %v", trial, derr)
+		}
+		if got := st.Potential(b) - potBefore; !numeric.AlmostEqualTol(got, delta, 1e-9) {
+			t.Fatalf("trial %d: potential delta %v, predicted %v", trial, got, delta)
+		}
+
+		st.Revert()
+		for id, na := range st.NA {
+			if na != baseNA[id] {
+				t.Fatalf("trial %d: revert left NA[%d] = %d, want %d", trial, id, na, baseNA[id])
+			}
+		}
+		assertStateMatches(t, st, b, "reverted")
+
+		if err := st.ApplySwap(removeID, addID); err != nil {
+			t.Fatalf("trial %d: re-ApplySwap: %v", trial, err)
+		}
+		st.Commit()
+		assertStateMatches(t, st, b, "committed")
+	}
+}
+
+// TestStateSwapColdCache: applying a swap before the prefix-sum cache was
+// ever filled must still produce a consistent state (the full pass runs
+// under the pending swap).
+func TestStateSwapColdCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		st, removeID, addID, ok := randomSwapState(t, rng, 4+rng.Intn(10))
+		if !ok {
+			continue
+		}
+		if err := st.ApplySwap(removeID, addID); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertStateMatches(t, st, nil, "cold pending")
+	}
+}
+
+// TestMorphToDifferential: morphing between two random spanning trees
+// must land exactly on a fresh state of the target.
+func TestMorphToDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(10)
+		g := graph.RandomConnected(rng, n, 0.4+rng.Float64()*0.4, 0.5, 2)
+		bg, err := NewGame(g, rng.Intn(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomTree := func() []int {
+			dsu := graph.NewUnionFind(n)
+			var tree []int
+			for _, id := range rng.Perm(g.M()) {
+				e := g.Edge(id)
+				if dsu.Union(e.U, e.V) {
+					tree = append(tree, id)
+				}
+			}
+			return tree
+		}
+		st, err := NewState(bg, randomTree())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.IsEquilibrium(nil) // warm cache so morph patches it throughout
+		target := randomTree()
+		if err := st.MorphTo(target); err != nil {
+			t.Fatalf("trial %d: MorphTo: %v", trial, err)
+		}
+		inTarget := make(map[int]bool, len(target))
+		for _, id := range target {
+			inTarget[id] = true
+		}
+		for _, id := range st.Tree.EdgeIDs {
+			if !inTarget[id] {
+				t.Fatalf("trial %d: morph landed on edge %d not in target", trial, id)
+			}
+		}
+		assertStateMatches(t, st, nil, "morphed")
+		// Morphing to the current tree is a no-op.
+		if err := st.MorphTo(st.Tree.EdgeIDs); err != nil {
+			t.Fatalf("trial %d: identity morph: %v", trial, err)
+		}
+	}
+}
+
+// TestAnalyzeTreesSwapWalkVsNaive: the swap-walking enumeration analysis
+// must agree with the rebuild-per-tree oracle on counts, extremes and the
+// best equilibrium tree, with and without subsidies.
+func TestAnalyzeTreesSwapWalkVsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(4)
+		g := graph.RandomConnected(rng, n, 0.5+rng.Float64()*0.3, 0.5, 2)
+		bg, err := NewGame(g, rng.Intn(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b game.Subsidy
+		if trial%2 == 0 {
+			b = randomSubsidy(rng, g)
+		}
+		fast, err := AnalyzeTrees(bg, b, 5000)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		slow, err := AnalyzeTreesNaive(bg, b, 5000)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if fast.Trees != slow.Trees || fast.Equilibria != slow.Equilibria {
+			t.Fatalf("trial %d: trees/equilibria %d/%d, want %d/%d",
+				trial, fast.Trees, fast.Equilibria, slow.Trees, slow.Equilibria)
+		}
+		if !numeric.AlmostEqual(fast.OptWeight, slow.OptWeight) {
+			t.Fatalf("trial %d: OptWeight %v vs %v", trial, fast.OptWeight, slow.OptWeight)
+		}
+		if fast.Equilibria > 0 {
+			if !numeric.AlmostEqual(fast.BestEq, slow.BestEq) || !numeric.AlmostEqual(fast.WorstEq, slow.WorstEq) {
+				t.Fatalf("trial %d: eq extremes (%v,%v) vs (%v,%v)",
+					trial, fast.BestEq, fast.WorstEq, slow.BestEq, slow.WorstEq)
+			}
+		}
+	}
+}
+
+// TestSwapDynamicsDescends: swap dynamics terminate, strictly descend in
+// potential, and either reach a Lemma-2 equilibrium or stop at a
+// swap-graph local minimum (in which case the guard must have found no
+// descending violation).
+func TestSwapDynamicsDescends(t *testing.T) {
+	rng := rand.New(rand.NewSource(424))
+	converged := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(10)
+		g := graph.RandomConnected(rng, n, 0.3+rng.Float64()*0.4, 0.5, 2)
+		bg, err := NewGame(g, rng.Intn(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mst, err := graph.MST(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewState(bg, mst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SwapDynamics(st, nil, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 1; i < len(res.Potentials); i++ {
+			if res.Potentials[i] >= res.Potentials[i-1]+numeric.Eps {
+				t.Fatalf("trial %d: potential rose at step %d: %v → %v",
+					trial, i, res.Potentials[i-1], res.Potentials[i])
+			}
+		}
+		if res.Converged {
+			converged++
+			if !st.IsEquilibrium(nil) {
+				t.Fatalf("trial %d: converged but not an equilibrium", trial)
+			}
+			assertStateMatches(t, st, nil, "post-dynamics")
+		}
+	}
+	if converged == 0 {
+		t.Fatal("swap dynamics never converged on 60 random instances")
+	}
+}
+
+// TestSwapUpdateAllocFree: the steady-state candidate-evaluation loop —
+// apply, check, revert — performs zero allocations with a warm cache.
+func TestSwapUpdateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	st, removeID, addID, ok := randomSwapState(t, rng, 150)
+	if !ok {
+		t.Skip("no non-tree edge")
+	}
+	st.IsEquilibrium(nil)
+	if err := st.ApplySwap(removeID, addID); err != nil {
+		t.Fatal(err)
+	}
+	st.Revert()
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := st.ApplySwap(removeID, addID); err != nil {
+			t.Fatal(err)
+		}
+		st.IsEquilibrium(nil)
+		st.Revert()
+	})
+	if allocs != 0 {
+		t.Fatalf("swap evaluation allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSwapPotentialDeltaRejects mirrors the tree-level validation.
+func TestSwapPotentialDeltaRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	st, removeID, addID, ok := randomSwapState(t, rng, 10)
+	if !ok {
+		t.Skip("no non-tree edge")
+	}
+	if _, err := st.SwapPotentialDelta(addID, addID, nil); err == nil {
+		t.Fatal("equal edges must fail")
+	}
+	if _, err := st.SwapPotentialDelta(addID, removeID, nil); err == nil {
+		t.Fatal("reversed roles must fail")
+	}
+	if _, err := st.SwapPotentialDelta(removeID, addID, nil); err != nil {
+		t.Fatalf("valid swap rejected: %v", err)
+	}
+	if math.IsNaN(func() float64 { d, _ := st.SwapPotentialDelta(removeID, addID, nil); return d }()) {
+		t.Fatal("delta is NaN")
+	}
+}

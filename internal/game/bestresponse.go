@@ -99,7 +99,91 @@ type DynamicsResult struct {
 // player can improve, under the given order (rng may be nil unless
 // order == Random). The Rosenthal potential strictly decreases each step,
 // which both proves termination and is recorded for analysis.
+//
+// The walk is incremental: the start state is cloned once, each accepted
+// move patches usage counts in place (O(path)), and best responses run
+// on the graph's frozen CSR view with a reused Scratch workspace — no
+// per-step state rebuild and no per-step allocations beyond the recorded
+// potential. st itself is never modified; Final is the mutated clone.
 func BestResponseDynamics(st *State, b Subsidy, order Order, rng *rand.Rand, maxSteps int) (*DynamicsResult, error) {
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	cur := st.Clone()
+	res := &DynamicsResult{Final: cur, Potentials: []float64{cur.Potential(b)}}
+	g := cur.game.G
+	c := g.Freeze()
+	var s graph.Scratch
+	player := 0
+	wf := func(id int) float64 {
+		den := cur.usage[id] + 1
+		if cur.uses[player][id] {
+			den--
+		}
+		return (g.Weight(id) - b.At(id)) / float64(den)
+	}
+	// improving runs player i's best response; on improvement it returns
+	// the gain, leaving the path retrievable from the scratch workspace.
+	improving := func(i int) (float64, bool) {
+		player = i
+		s.Dijkstra(c, cur.game.Terminals[i].S, wf)
+		t := cur.game.Terminals[i].T
+		cost := s.Dist[t]
+		curCost := cur.PlayerCost(i, b)
+		if !numeric.Less(cost, curCost) {
+			return 0, false
+		}
+		return curCost - cost, true
+	}
+	var bestBuf []int
+	var cands []int
+	for res.Steps < maxSteps {
+		move := -1
+		switch order {
+		case RoundRobin:
+			for i := range cur.Paths {
+				if _, ok := improving(i); ok {
+					move = i
+					bestBuf = s.PathTo(cur.game.Terminals[i].T, bestBuf[:0])
+					break
+				}
+			}
+		case MaxGain:
+			bestGain := 0.0
+			for i := range cur.Paths {
+				if gain, ok := improving(i); ok && (move == -1 || gain > bestGain) {
+					move = i
+					bestGain = gain
+					bestBuf = s.PathTo(cur.game.Terminals[i].T, bestBuf[:0])
+				}
+			}
+		case Random:
+			cands = cands[:0]
+			for i := range cur.Paths {
+				if _, ok := improving(i); ok {
+					cands = append(cands, i)
+				}
+			}
+			if len(cands) > 0 {
+				move = cands[rng.Intn(len(cands))]
+				improving(move) // recompute the chosen player's response
+				bestBuf = s.PathTo(cur.game.Terminals[move].T, bestBuf[:0])
+			}
+		}
+		if move == -1 {
+			return res, nil
+		}
+		cur.applyMove(move, bestBuf)
+		res.Steps++
+		res.Potentials = append(res.Potentials, cur.Potential(b))
+	}
+	return res, ErrNoConvergence
+}
+
+// BestResponseDynamicsNaive is the original rebuild-per-step
+// implementation (Replace → NewState, allocating Dijkstra). It is
+// retained as the differential-test oracle for the incremental walk.
+func BestResponseDynamicsNaive(st *State, b Subsidy, order Order, rng *rand.Rand, maxSteps int) (*DynamicsResult, error) {
 	if maxSteps <= 0 {
 		maxSteps = 100000
 	}

@@ -1,0 +1,132 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// randomGameState builds a random multi-terminal game with every player
+// on some simple path (a shortest path, for validity).
+func randomGameState(t *testing.T, rng *rand.Rand, n, players int) *State {
+	t.Helper()
+	g := graph.RandomConnected(rng, n, 0.4, 0.5, 2)
+	terms := make([]Terminal, players)
+	paths := make([][]int, players)
+	for i := range terms {
+		s := rng.Intn(n)
+		d := rng.Intn(n)
+		for d == s {
+			d = rng.Intn(n)
+		}
+		terms[i] = Terminal{S: s, T: d}
+		sp := graph.Dijkstra(g, s, nil)
+		paths[i] = sp.PathTo(d)
+	}
+	gm, err := New(g, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(gm, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDynamicsIncrementalVsNaive: the incremental walk and the
+// rebuild-per-step oracle must both reach Nash equilibria with strictly
+// descending potentials; with deterministic orders they must take the
+// same number of steps and land on the same potential (the two Dijkstra
+// variants may break exact-cost ties differently, so paths are compared
+// through their costs, not edge by edge).
+func TestDynamicsIncrementalVsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		st := randomGameState(t, rng, 5+rng.Intn(6), 2+rng.Intn(3))
+		for _, order := range []Order{RoundRobin, MaxGain} {
+			fast, err := BestResponseDynamics(st, nil, order, nil, 0)
+			if err != nil {
+				t.Fatalf("trial %d: incremental: %v", trial, err)
+			}
+			slow, err := BestResponseDynamicsNaive(st, nil, order, nil, 0)
+			if err != nil {
+				t.Fatalf("trial %d: naive: %v", trial, err)
+			}
+			if !fast.Final.IsEquilibrium(nil) {
+				t.Fatalf("trial %d: incremental final is not an equilibrium", trial)
+			}
+			if !slow.Final.IsEquilibrium(nil) {
+				t.Fatalf("trial %d: naive final is not an equilibrium", trial)
+			}
+			for i := 1; i < len(fast.Potentials); i++ {
+				if fast.Potentials[i] >= fast.Potentials[i-1] {
+					t.Fatalf("trial %d: incremental potential did not descend at step %d", trial, i)
+				}
+			}
+			if fast.Steps != slow.Steps {
+				t.Fatalf("trial %d order %d: steps %d vs naive %d", trial, order, fast.Steps, slow.Steps)
+			}
+			last := len(fast.Potentials) - 1
+			if !numeric.AlmostEqualTol(fast.Potentials[last], slow.Potentials[last], 1e-9) {
+				t.Fatalf("trial %d order %d: final potential %v vs naive %v",
+					trial, order, fast.Potentials[last], slow.Potentials[last])
+			}
+		}
+	}
+}
+
+// TestDynamicsDoesNotMutateInput: the incremental walk must leave the
+// start state untouched (it clones).
+func TestDynamicsDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st := randomGameState(t, rng, 8, 3)
+	before := make([][]int, len(st.Paths))
+	for i, p := range st.Paths {
+		before[i] = append([]int(nil), p...)
+	}
+	pot := st.Potential(nil)
+	if _, err := BestResponseDynamics(st, nil, RoundRobin, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range st.Paths {
+		if len(p) != len(before[i]) {
+			t.Fatalf("player %d path changed", i)
+		}
+		for j := range p {
+			if p[j] != before[i][j] {
+				t.Fatalf("player %d path changed", i)
+			}
+		}
+	}
+	if st.Potential(nil) != pot {
+		t.Fatal("input state potential changed")
+	}
+}
+
+// TestCloneIndependence: mutating a clone's paths must not leak into the
+// original's usage counts or path storage.
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	st := randomGameState(t, rng, 8, 3)
+	cp := st.Clone()
+	path, cost := cp.BestResponse(0, nil)
+	if path == nil {
+		t.Skip("no path")
+	}
+	_ = cost
+	cp.applyMove(0, path)
+	total := 0
+	for _, u := range st.usage {
+		total += u
+	}
+	want := 0
+	for _, p := range st.Paths {
+		want += len(p)
+	}
+	if total != want {
+		t.Fatalf("original usage corrupted: %d units for %d path edges", total, want)
+	}
+}

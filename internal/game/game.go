@@ -146,3 +146,42 @@ func (st *State) Replace(i int, p []int) (*State, error) {
 	paths[i] = p
 	return NewState(st.game, paths)
 }
+
+// Clone returns a deep copy of st that owns all of its path storage, so
+// in-place moves on the clone never alias the original's slices. The
+// incremental best-response dynamics clone their start state once and
+// then mutate only the copy.
+func (st *State) Clone() *State {
+	cp := &State{
+		game:  st.game,
+		Paths: make([][]int, len(st.Paths)),
+		usage: append([]int(nil), st.usage...),
+		uses:  make([][]bool, len(st.uses)),
+	}
+	for i, p := range st.Paths {
+		cp.Paths[i] = append([]int(nil), p...)
+	}
+	for i, u := range st.uses {
+		cp.uses[i] = append([]bool(nil), u...)
+	}
+	return cp
+}
+
+// applyMove switches player i onto path p in place: usage counts and the
+// per-player edge sets are patched along the old and new paths only —
+// O(|old| + |new|), no state rebuild. p is copied into storage owned by
+// the state, so callers may reuse its backing array. The caller must
+// guarantee p is a valid simple path for player i (best responses from
+// Dijkstra are); the state must own its path storage (see Clone).
+func (st *State) applyMove(i int, p []int) {
+	old := st.Paths[i]
+	for _, id := range old {
+		st.uses[i][id] = false
+		st.usage[id]--
+	}
+	st.Paths[i] = append(old[:0], p...)
+	for _, id := range st.Paths[i] {
+		st.uses[i][id] = true
+		st.usage[id]++
+	}
+}

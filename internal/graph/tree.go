@@ -33,6 +33,21 @@ type RootedTree struct {
 	sparse     [][]int32
 
 	up [][]int // binary lifting for LCANaive; built lazily
+
+	// swp holds the state of a pending single-edge swap (see swap.go).
+	// While a swap is pending, Parent/ParEdge/Depth/inTree/EdgeIDs
+	// describe the swapped tree, whereas Children, Order and the Euler
+	// structures still describe the base tree; LCA answers queries for
+	// the swapped tree by overlaying the swap on the base structures.
+	swp swapOverlay
+
+	eulerStack []eulerFrame // DFS scratch reused across rebuilds
+}
+
+// eulerFrame is a DFS stack record for buildEuler.
+type eulerFrame struct {
+	node int
+	next int // index of the next child to descend into
 }
 
 // NewRootedTree builds a rooted tree from a spanning edge set. It returns
@@ -95,18 +110,21 @@ func NewRootedTree(g *Graph, root int, treeEdges []int) (*RootedTree, error) {
 }
 
 // buildEuler records the DFS Euler tour and its sparse min-depth table.
+// All buffers are reused across rebuilds (Commit re-bases the tour after
+// a swap), so steady-state rebuilds allocate nothing.
 func (t *RootedTree) buildEuler() {
 	n := t.G.N()
 	tourLen := 2*n - 1
-	t.eulerFirst = make([]int32, n)
-	t.eulerNode = make([]int32, 0, tourLen)
-	t.eulerDepth = make([]int32, 0, tourLen)
-	type frame struct {
-		node int
-		next int // index of the next child to descend into
+	if cap(t.eulerFirst) < n {
+		t.eulerFirst = make([]int32, n)
+		t.eulerNode = make([]int32, 0, tourLen)
+		t.eulerDepth = make([]int32, 0, tourLen)
+		t.eulerStack = make([]eulerFrame, 0, n)
 	}
-	stack := make([]frame, 1, n)
-	stack[0] = frame{node: t.Root}
+	t.eulerFirst = t.eulerFirst[:n]
+	t.eulerNode = t.eulerNode[:0]
+	t.eulerDepth = t.eulerDepth[:0]
+	stack := append(t.eulerStack[:0], eulerFrame{node: t.Root})
 	t.eulerFirst[t.Root] = 0
 	t.eulerNode = append(t.eulerNode, int32(t.Root))
 	t.eulerDepth = append(t.eulerDepth, 0)
@@ -118,7 +136,7 @@ func (t *RootedTree) buildEuler() {
 			t.eulerFirst[c] = int32(len(t.eulerNode))
 			t.eulerNode = append(t.eulerNode, int32(c))
 			t.eulerDepth = append(t.eulerDepth, int32(t.Depth[c]))
-			stack = append(stack, frame{node: c})
+			stack = append(stack, eulerFrame{node: c})
 		} else {
 			stack = stack[:len(stack)-1]
 			if len(stack) > 0 {
@@ -128,18 +146,22 @@ func (t *RootedTree) buildEuler() {
 			}
 		}
 	}
+	t.eulerStack = stack[:0]
 	L := len(t.eulerNode)
 	levels := bits.Len(uint(L))
-	t.sparse = make([][]int32, 0, levels)
-	row0 := make([]int32, L)
+	for len(t.sparse) < levels {
+		t.sparse = append(t.sparse, nil)
+	}
+	t.sparse = t.sparse[:levels]
+	row0 := growRow(t.sparse[0], L)
 	for i := range row0 {
 		row0[i] = int32(i)
 	}
-	t.sparse = append(t.sparse, row0)
+	t.sparse[0] = row0
 	for k := 1; 1<<k <= L; k++ {
 		half := 1 << (k - 1)
 		prev := t.sparse[k-1]
-		row := make([]int32, L-1<<k+1)
+		row := growRow(t.sparse[k], L-1<<k+1)
 		for i := range row {
 			a, b := prev[i], prev[i+half]
 			if t.eulerDepth[b] < t.eulerDepth[a] {
@@ -147,8 +169,17 @@ func (t *RootedTree) buildEuler() {
 			}
 			row[i] = a
 		}
-		t.sparse = append(t.sparse, row)
+		t.sparse[k] = row
 	}
+}
+
+// growRow returns row resliced to length l, reallocating only when the
+// capacity is insufficient.
+func growRow(row []int32, l int) []int32 {
+	if cap(row) < l {
+		return make([]int32, l)
+	}
+	return row[:l]
 }
 
 // buildLifting fills the binary-lifting ancestor table (LCANaive only).
@@ -178,8 +209,19 @@ func (t *RootedTree) Contains(id int) bool { return t.inTree[id] }
 
 // LCA returns the lowest common ancestor of u and v in O(1) via the
 // Euler-tour sparse table. It performs no allocations, which keeps the
-// Lemma-2 violation scan allocation-free.
+// Lemma-2 violation scan allocation-free. With a pending swap it answers
+// for the swapped tree by overlaying the swap on the base structures
+// (a constant number of base queries, still O(1) and allocation-free).
 func (t *RootedTree) LCA(u, v int) int {
+	if !t.swp.active {
+		return t.lcaBase(u, v)
+	}
+	return t.lcaOverlay(u, v)
+}
+
+// lcaBase answers the query on the base tree (the tree as of the last
+// Commit or construction), ignoring any pending swap.
+func (t *RootedTree) lcaBase(u, v int) int {
 	l, r := t.eulerFirst[u], t.eulerFirst[v]
 	if l > r {
 		l, r = r, l
@@ -193,10 +235,29 @@ func (t *RootedTree) LCA(u, v int) int {
 	return int(t.eulerNode[a])
 }
 
+// baseDepth returns a node's depth in the base tree (Depth itself is
+// rewritten for detached-subtree nodes while a swap is pending).
+func (t *RootedTree) baseDepth(w int) int32 { return t.eulerDepth[t.eulerFirst[w]] }
+
 // LCANaive answers the same query by binary lifting in O(log n). It is
 // retained as the differential-test oracle for LCA; the lifting table is
 // built lazily on first use (and is not safe to race on first use).
+// With a pending swap it falls back to an O(depth) two-pointer walk over
+// the live Parent/Depth arrays — exactly the oracle the overlay fast
+// path is tested against.
 func (t *RootedTree) LCANaive(u, v int) int {
+	if t.swp.active {
+		for t.Depth[u] > t.Depth[v] {
+			u = t.Parent[u]
+		}
+		for t.Depth[v] > t.Depth[u] {
+			v = t.Parent[v]
+		}
+		for u != v {
+			u, v = t.Parent[u], t.Parent[v]
+		}
+		return u
+	}
 	if t.up == nil {
 		t.buildLifting()
 	}
@@ -264,13 +325,10 @@ func (t *RootedTree) TreePath(u, v int) []int {
 // subtree rooted at v (including v).
 func (t *RootedTree) SubtreeSizes() []int {
 	sizes := make([]int, t.G.N())
-	for i := len(t.Order) - 1; i >= 0; i-- {
-		v := t.Order[i]
-		sizes[v] = 1
-		for _, c := range t.Children[v] {
-			sizes[v] += sizes[c]
-		}
+	for i := range sizes {
+		sizes[i] = 1
 	}
+	t.forEachBottomUp(func(v int) { sizes[t.Parent[v]] += sizes[v] })
 	return sizes
 }
 
@@ -278,27 +336,86 @@ func (t *RootedTree) SubtreeSizes() []int {
 // at v is the sum of vals over the subtree rooted at v. Usage counts n_a
 // of a broadcast state are SubtreeSums over player multiplicities.
 func (t *RootedTree) SubtreeSums(vals []int64) []int64 {
-	sums := make([]int64, t.G.N())
-	for i := len(t.Order) - 1; i >= 0; i-- {
-		v := t.Order[i]
-		sums[v] = vals[v]
-		for _, c := range t.Children[v] {
-			sums[v] += sums[c]
-		}
+	return t.SubtreeSumsInto(vals, nil)
+}
+
+// SubtreeSumsInto is SubtreeSums writing into dst (grown as needed), so
+// repeated aggregations — the Theorem-6 per-level packing — reuse one
+// buffer and allocate nothing in steady state.
+func (t *RootedTree) SubtreeSumsInto(vals []int64, dst []int64) []int64 {
+	n := t.G.N()
+	if cap(dst) < n {
+		dst = make([]int64, n)
 	}
-	return sums
+	dst = dst[:n]
+	copy(dst, vals)
+	t.forEachBottomUp(func(v int) { dst[t.Parent[v]] += dst[v] })
+	return dst
 }
 
 // Leaves returns the nodes with no children.
 func (t *RootedTree) Leaves() []int {
+	hasChild := make([]bool, t.G.N())
+	for v := 0; v < t.G.N(); v++ {
+		if v != t.Root {
+			hasChild[t.Parent[v]] = true
+		}
+	}
 	var leaves []int
 	for v := 0; v < t.G.N(); v++ {
-		if len(t.Children[v]) == 0 && v != t.Root {
+		if !hasChild[v] && v != t.Root {
 			leaves = append(leaves, v)
 		}
 	}
 	// A root with no children (n == 1) has no leaves below it.
 	return leaves
+}
+
+// ForEachTopDown invokes fn for every non-root node in an order where
+// parents precede children. Unlike iterating the public Order slice, it
+// stays correct while a swap is pending: base-tree nodes keep their BFS
+// order and the detached subtree is visited last, in its re-rooted BFS
+// order.
+func (t *RootedTree) ForEachTopDown(fn func(v int)) {
+	if !t.swp.active {
+		for _, v := range t.Order {
+			if v != t.Root {
+				fn(v)
+			}
+		}
+		return
+	}
+	for _, v := range t.Order {
+		if v == t.Root || t.InPendingSubtree(v) {
+			continue
+		}
+		fn(v)
+	}
+	for _, w := range t.swp.nodes {
+		fn(int(w))
+	}
+}
+
+// forEachBottomUp is the children-before-parents mirror of ForEachTopDown.
+func (t *RootedTree) forEachBottomUp(fn func(v int)) {
+	if !t.swp.active {
+		for i := len(t.Order) - 1; i >= 0; i-- {
+			if v := t.Order[i]; v != t.Root {
+				fn(v)
+			}
+		}
+		return
+	}
+	for i := len(t.swp.nodes) - 1; i >= 0; i-- {
+		fn(int(t.swp.nodes[i]))
+	}
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		if v == t.Root || t.InPendingSubtree(v) {
+			continue
+		}
+		fn(v)
+	}
 }
 
 // Weight returns the total weight of the tree's edges.

@@ -65,26 +65,27 @@ func (mg *Game) TreeState(treeEdges []int) (*game.State, error) {
 		return nil, err
 	}
 	// Root the forest at mg.Root and read off terminal paths. The edge
-	// set need not span all of G, so build adjacency restricted to it.
-	parent := make([]int, mg.G.N())
-	parEdge := make([]int, mg.G.N())
+	// set need not span all of G, so BFS over the graph's own adjacency
+	// restricted to an in-tree bitset — no per-call adjacency rebuild.
+	n := mg.G.N()
+	parent := make([]int, n)
+	parEdge := make([]int, n)
 	for i := range parent {
 		parent[i] = -1
 		parEdge[i] = -1
 	}
-	adj := make([][]graph.Half, mg.G.N())
+	inTree := make([]bool, mg.G.M())
 	for _, id := range treeEdges {
-		e := mg.G.Edge(id)
-		adj[e.U] = append(adj[e.U], graph.Half{To: e.V, Edge: id})
-		adj[e.V] = append(adj[e.V], graph.Half{To: e.U, Edge: id})
+		inTree[id] = true
 	}
-	queue := []int{mg.Root}
-	visited := map[int]bool{mg.Root: true}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, h := range adj[u] {
-			if !visited[h.To] {
+	visited := make([]bool, n)
+	visited[mg.Root] = true
+	queue := make([]int, 1, n)
+	queue[0] = mg.Root
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, h := range mg.G.Adj(u) {
+			if inTree[h.Edge] && !visited[h.To] {
 				visited[h.To] = true
 				parent[h.To] = u
 				parEdge[h.To] = h.Edge

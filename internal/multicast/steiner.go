@@ -59,13 +59,22 @@ func SteinerTree(g *graph.Graph, terminals []int) ([]int, float64, error) {
 
 	n := g.N()
 	k := len(terms)
-	// All-pairs shortest paths with parent edges, one Dijkstra per node.
-	sp := make([]*graph.ShortestPaths, n)
+	// All-pairs shortest paths with parent edges: one scratch Dijkstra
+	// per source over the frozen CSR view, copied into flat row-major
+	// matrices (three backing arrays instead of ~6 slices per source).
+	c := g.Freeze()
+	var s graph.Scratch
+	dist := make([]float64, n*n)
+	parEdge := make([]int32, n*n)
+	parNode := make([]int32, n*n)
 	for v := 0; v < n; v++ {
-		sp[v] = graph.Dijkstra(g, v, nil)
+		s.Dijkstra(c, v, nil)
+		copy(dist[v*n:(v+1)*n], s.Dist)
+		copy(parEdge[v*n:(v+1)*n], s.ParEdge)
+		copy(parNode[v*n:(v+1)*n], s.ParNode)
 	}
 	for _, t := range terms[1:] {
-		if math.IsInf(sp[terms[0]].Dist[t], 1) {
+		if math.IsInf(dist[terms[0]*n+t], 1) {
 			return nil, 0, graph.ErrDisconnected
 		}
 	}
@@ -87,8 +96,8 @@ func SteinerTree(g *graph.Graph, terminals []int) ([]int, float64, error) {
 	// Base: singleton subsets {t_i}.
 	for i := 1; i < k; i++ {
 		S := 1 << (i - 1)
+		copy(dp[S], dist[terms[i]*n:(terms[i]+1)*n])
 		for v := 0; v < n; v++ {
-			dp[S][v] = sp[terms[i]].Dist[v]
 			choice[S][v] = terms[i] // path from terminal to v
 		}
 	}
@@ -111,10 +120,15 @@ func SteinerTree(g *graph.Graph, terminals []int) ([]int, float64, error) {
 		// Distance relaxation: dp[S][v] = min_u dp[S][u] + dist(u,v).
 		// A single multi-source Dijkstra pass over precomputed dists is
 		// O(n²) here, fine for the instance sizes this library targets.
-		for v := 0; v < n; v++ {
-			for u := 0; u < n; u++ {
-				if dp[S][u] < inf && !math.IsInf(sp[u].Dist[v], 1) {
-					if c := dp[S][u] + sp[u].Dist[v]; c < dp[S][v]-1e-15 {
+		for u := 0; u < n; u++ {
+			du := dp[S][u]
+			if du >= inf {
+				continue
+			}
+			row := dist[u*n : (u+1)*n]
+			for v := 0; v < n; v++ {
+				if !math.IsInf(row[v], 1) {
+					if c := du + row[v]; c < dp[S][v]-1e-15 {
 						dp[S][v] = c
 						choice[S][v] = u
 					}
@@ -133,7 +147,8 @@ func SteinerTree(g *graph.Graph, terminals []int) ([]int, float64, error) {
 	// walk the connecting shortest path and continue at its far end.
 	// Chains terminate because every extend strictly decreased dp and
 	// every split strictly shrinks S.
-	edgeSet := map[int]bool{}
+	inSet := make([]bool, g.M())
+	var ids []int
 	var emit func(S, v int)
 	emit = func(S, v int) {
 		ch := choice[S][v]
@@ -145,8 +160,14 @@ func SteinerTree(g *graph.Graph, terminals []int) ([]int, float64, error) {
 			emit(T, v)
 			emit(S^T, v)
 		default:
-			for _, id := range sp[ch].PathTo(v) {
-				edgeSet[id] = true
+			// Walk the parent chain of the shortest path ch→…→v.
+			row := ch * n
+			for w := v; parEdge[row+w] >= 0; w = int(parNode[row+w]) {
+				id := int(parEdge[row+w])
+				if !inSet[id] {
+					inSet[id] = true
+					ids = append(ids, id)
+				}
 			}
 			emit(S, ch)
 		}
@@ -155,10 +176,6 @@ func SteinerTree(g *graph.Graph, terminals []int) ([]int, float64, error) {
 
 	// The union of reconstruction paths connects all terminals at cost
 	// ≤ best; prune it to a tree and drop non-terminal leaves.
-	var ids []int
-	for id := range edgeSet {
-		ids = append(ids, id)
-	}
 	tree, w, err := pruneToSteiner(g, ids, terms)
 	if err != nil {
 		return nil, 0, err
@@ -190,29 +207,28 @@ func pruneToSteiner(g *graph.Graph, ids []int, terms []int) ([]int, float64, err
 			return nil, 0, errors.New("multicast: reconstruction does not connect terminals")
 		}
 	}
-	isTerm := map[int]bool{}
+	isTerm := make([]bool, g.N())
 	for _, t := range terms {
 		isTerm[t] = true
 	}
-	// Iteratively strip non-terminal leaves.
+	// Iteratively strip non-terminal leaves, reusing one degree buffer.
+	deg := make([]int, g.N())
 	for {
-		deg := map[int]int{}
+		for i := range deg {
+			deg[i] = 0
+		}
 		for _, id := range forest {
 			e := g.Edge(id)
 			deg[e.U]++
 			deg[e.V]++
 		}
 		removed := false
-		var kept []int
-		drop := map[int]bool{}
+		kept := forest[:0]
 		for _, id := range forest {
 			e := g.Edge(id)
 			if (deg[e.U] == 1 && !isTerm[e.U]) || (deg[e.V] == 1 && !isTerm[e.V]) {
-				if !drop[id] {
-					drop[id] = true
-					removed = true
-					continue
-				}
+				removed = true
+				continue
 			}
 			kept = append(kept, id)
 		}

@@ -54,10 +54,14 @@ func buildBroadcastRows(st *broadcast.State) []broadcastRow {
 			}
 			x := st.Tree.LCA(u, v)
 			coefs := make(map[int]float64)
-			for _, id := range st.Tree.PathUpTo(u, x) {
+			// Walk the two parent chains directly instead of
+			// materializing PathUpTo slices (2 allocations per row).
+			for w := u; w != x; w = st.Tree.Parent[w] {
+				id := st.Tree.ParEdge[w]
 				coefs[id] += 1 / float64(st.NA[id])
 			}
-			for _, id := range st.Tree.PathUpTo(v, x) {
+			for w := v; w != x; w = st.Tree.Parent[w] {
+				id := st.Tree.ParEdge[w]
 				coefs[id] -= 1 / float64(st.NA[id]+1)
 			}
 			rhs := (up0[u] - up0[x]) - e.W - (dev0[v] - dev0[x])

@@ -43,14 +43,26 @@ func WaterFill(st *broadcast.State) (*Result, error) {
 		}
 		return v
 	}
-	// aSide lists the row's positive-coefficient edges, least crowded
-	// (largest coefficient 1/n_a) first.
-	aSide := func(r *broadcastRow) []int {
+	// aSideOf lists row i's positive-coefficient edges, least crowded
+	// (largest coefficient 1/n_a) first. The rows never change, so each
+	// ordering is built and sorted at most once — on the row's first
+	// visit — and revisits (the hot loop) allocate nothing. Unvisited
+	// rows, the overwhelming majority, never pay for a sort.
+	aSides := make([][]int, len(rows))
+	empty := []int{}
+	aSideOf := func(i int) []int {
+		if aSides[i] != nil {
+			return aSides[i]
+		}
+		r := &rows[i]
 		var ids []int
 		for id, c := range r.coefs {
 			if c > 0 {
 				ids = append(ids, id)
 			}
+		}
+		if ids == nil {
+			ids = empty
 		}
 		sort.Slice(ids, func(x, y int) bool {
 			if r.coefs[ids[x]] != r.coefs[ids[y]] {
@@ -58,6 +70,7 @@ func WaterFill(st *broadcast.State) (*Result, error) {
 			}
 			return ids[x] < ids[y]
 		})
+		aSides[i] = ids
 		return ids
 	}
 
@@ -83,7 +96,7 @@ func WaterFill(st *broadcast.State) (*Result, error) {
 		visits[worst]++
 		saturate := visits[worst] > maxVisits
 		need := worstGap
-		for _, id := range aSide(r) {
+		for _, id := range aSideOf(worst) {
 			if need <= 0 && !saturate {
 				break
 			}

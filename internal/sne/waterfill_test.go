@@ -10,6 +10,57 @@ import (
 	"netdesign/internal/numeric"
 )
 
+// TestWaterFillAllocsRegression pins the heuristic's allocation count on
+// a many-iteration instance: with the A-side orderings hoisted out of the
+// pour loop, allocations come from row construction and the result only,
+// not from the per-visit sort the original performed.
+func TestWaterFillAllocsRegression(t *testing.T) {
+	// Scan deterministic random MST instances for one the heuristic
+	// needs several pour iterations on (B-side pours reopening rows).
+	rng := rand.New(rand.NewSource(1))
+	var st *broadcast.State
+	var res *Result
+	for trial := 0; trial < 30 && st == nil; trial++ {
+		n := 8 + rng.Intn(16)
+		g := graph.RandomConnected(rng, n, 0.3, 0.5, 2)
+		bg, err := broadcast.NewGame(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mst, err := graph.MST(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cand, err := broadcast.NewState(bg, mst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := WaterFill(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Iterations >= 5 {
+			st, res = cand, r
+		}
+	}
+	if st == nil {
+		t.Fatal("no multi-iteration instance found; adjust the scan")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := WaterFill(st); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Construction allocates O(rows); the pour loop must add nothing,
+	// so the count cannot scale with iterations × A-side size.
+	rows := len(buildBroadcastRows(st))
+	ceiling := float64(12*rows + 64)
+	if allocs > ceiling {
+		t.Fatalf("WaterFill allocated %.0f times per run (%d rows, %d iterations), want ≤ %.0f",
+			allocs, rows, res.Iterations, ceiling)
+	}
+}
+
 func TestWaterFillEnforcesAndBoundsLP(t *testing.T) {
 	rng := rand.New(rand.NewSource(901))
 	for trial := 0; trial < 40; trial++ {

@@ -1,0 +1,105 @@
+package subsidy
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// enforceState builds the n-node random MST state the Theorem-6
+// benchmark uses (generic weights, so one level per edge).
+func enforceState(t testing.TB, n int) *broadcast.State {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomConnected(rng, n, 0.1, 0.5, 3)
+	bg, err := broadcast.NewGame(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mst, err := graph.MST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := broadcast.NewState(bg, mst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestEnforceWithMatchesEnforce: the workspace variant must reproduce the
+// workspace-free construction exactly.
+func TestEnforceWithMatchesEnforce(t *testing.T) {
+	st := enforceState(t, 60)
+	b1, c1, err := Enforce(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w Workspace
+	b2, c2, err := EnforceWith(st, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run twice: the second pass exercises warmed buffers.
+	b3, c3, err := EnforceWith(st, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range b1 {
+		if b1[id] != b2[id] || b1[id] != b3[id] {
+			t.Fatalf("subsidy[%d] differs: %v / %v / %v", id, b1[id], b2[id], b3[id])
+		}
+	}
+	if c1.Total != c2.Total || c1.Total != c3.Total {
+		t.Fatalf("certificate totals differ: %v / %v / %v", c1.Total, c2.Total, c3.Total)
+	}
+	if len(c1.Levels) != len(c2.Levels) {
+		t.Fatalf("level counts differ: %d vs %d", len(c1.Levels), len(c2.Levels))
+	}
+}
+
+// TestEnforceAllocsRegression pins the allocation count of the warmed
+// Theorem-6 pass. Before the workspace, the n=200 run allocated ~13k
+// times per call (one heavy-player vector + subtree-sum pass + DFS stack
+// per weight level); with it, the per-level loop allocates nothing and
+// the remaining allocations are the returned subsidy/certificate, the
+// MST check and the final verification — independent of the level count.
+func TestEnforceAllocsRegression(t *testing.T) {
+	st := enforceState(t, 200)
+	var w Workspace
+	if _, _, err := EnforceWith(st, &w); err != nil {
+		t.Fatal(err)
+	}
+	levels := len(Decompose(st.BG.G))
+	if levels < 100 {
+		t.Fatalf("instance has only %d levels; the regression needs many", levels)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := EnforceWith(st, &w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Generous ceiling: must stay far below one allocation per level.
+	if allocs > 60 {
+		t.Fatalf("EnforceWith allocated %.0f times per run on a %d-level instance, want ≤ 60", allocs, levels)
+	}
+}
+
+// TestEnforceStillEnforces is a sanity guard after the refactor: the
+// assignment closes every Lemma-2 row and spends wgt(T)/e.
+func TestEnforceStillEnforces(t *testing.T) {
+	st := enforceState(t, 80)
+	b, cert, err := Enforce(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsEquilibrium(b) {
+		t.Fatal("Theorem-6 assignment does not enforce")
+	}
+	if !numeric.AlmostEqualTol(cert.Total, st.Weight()/2.718281828459045, 1e-6) {
+		t.Fatalf("total %v, want wgt(T)/e = %v", cert.Total, st.Weight()/2.718281828459045)
+	}
+}

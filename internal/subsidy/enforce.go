@@ -30,6 +30,28 @@ type Certificate struct {
 	Total  float64 // Σ over levels = wgt(T)/e
 }
 
+// Workspace holds the reusable buffers of the Theorem-6 construction:
+// the weight decomposition, the per-level heavy-player vector and its
+// subtree sums, and the DFS stack. The per-level loop runs once per
+// distinct edge weight — thousands of times on instances with generic
+// weights — so reusing these buffers takes the pass from O(levels)
+// allocations to a constant handful. A zero Workspace is ready to use;
+// it is not safe for concurrent use.
+type Workspace struct {
+	weights []float64
+	levels  []Level
+	heavy   []int64
+	sums    []int64
+	stack   []levelFrame
+}
+
+// levelFrame is a DFS record of the Lemma-7 packing.
+type levelFrame struct {
+	node     int
+	cum      float64
+	belowCut bool
+}
+
 // Enforce computes the Theorem-6 subsidy assignment for the minimum
 // spanning tree state st and returns it with its certificate. With unit
 // multiplicities the assignment costs exactly wgt(T)/e — the theorem's
@@ -38,14 +60,24 @@ type Certificate struct {
 // sne.SolveBroadcastLP to measure the gap). With multiplicities above one
 // it costs at most wgt(T)/e.
 func Enforce(st *broadcast.State) (game.Subsidy, *Certificate, error) {
+	return EnforceWith(st, nil)
+}
+
+// EnforceWith is Enforce with an explicit workspace, for sweeps that
+// run the construction many times (nil allocates a fresh one).
+func EnforceWith(st *broadcast.State, w *Workspace) (game.Subsidy, *Certificate, error) {
+	if w == nil {
+		w = &Workspace{}
+	}
 	g := st.BG.G
 	if !graph.IsMinimumSpanningTree(g, st.Tree.EdgeIDs) {
 		return nil, nil, ErrNotMST
 	}
 	b := game.ZeroSubsidy(g)
-	cert := &Certificate{}
-	for _, lv := range Decompose(g) {
-		rep := enforceLevel(st, lv, b)
+	levels := w.decompose(g)
+	cert := &Certificate{Levels: make([]LevelReport, 0, len(levels))}
+	for _, lv := range levels {
+		rep := enforceLevel(st, lv, b, w)
 		cert.Levels = append(cert.Levels, rep)
 		cert.Total += rep.Spend
 	}
@@ -61,37 +93,38 @@ func Enforce(st *broadcast.State) (game.Subsidy, *Certificate, error) {
 
 // enforceLevel runs the Lemma-7 packing for one copy and accumulates the
 // per-edge subsidies into b.
-func enforceLevel(st *broadcast.State, lv Level, b game.Subsidy) LevelReport {
+func enforceLevel(st *broadcast.State, lv Level, b game.Subsidy, w *Workspace) LevelReport {
 	g := st.BG.G
 	tr := st.Tree
 	heavyEdge := func(id int) bool { return g.Weight(id) >= lv.Threshold }
 
 	// m[v] = heavy players (with multiplicity) in the subtree of v. A
 	// player is heavy iff her node's parent edge is heavy in this copy.
-	heavyPlayers := make([]int64, g.N())
+	if cap(w.heavy) < g.N() {
+		w.heavy = make([]int64, g.N())
+	}
+	heavyPlayers := w.heavy[:g.N()]
 	for v := 0; v < g.N(); v++ {
 		if v != st.BG.Root && heavyEdge(tr.ParEdge[v]) {
 			heavyPlayers[v] = st.BG.Mult[v]
+		} else {
+			heavyPlayers[v] = 0
 		}
 	}
-	m := tr.SubtreeSums(heavyPlayers)
+	w.sums = tr.SubtreeSumsInto(heavyPlayers, w.sums)
+	m := w.sums
 
 	rep := LevelReport{Level: lv}
 
 	// Root-down DFS carrying the accumulated zero-subsidy virtual cost;
 	// belowCut flags full subsidies once the path has crossed c_j.
-	type frame struct {
-		node     int
-		cum      float64
-		belowCut bool
-	}
-	stack := []frame{{node: st.BG.Root}}
+	stack := append(w.stack[:0], levelFrame{node: st.BG.Root})
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, child := range tr.Children[f.node] {
 			id := tr.ParEdge[child]
-			nf := frame{node: child, cum: f.cum, belowCut: f.belowCut}
+			nf := levelFrame{node: child, cum: f.cum, belowCut: f.belowCut}
 			if heavyEdge(id) {
 				rep.HeavyEdges++
 				switch {
@@ -115,6 +148,7 @@ func enforceLevel(st *broadcast.State, lv Level, b game.Subsidy) LevelReport {
 			stack = append(stack, nf)
 		}
 	}
+	w.stack = stack[:0]
 	return rep
 }
 

@@ -39,22 +39,31 @@ type Level struct {
 // Decompose returns the weight levels of g, in increasing threshold order.
 // The number of levels is the number of distinct positive edge weights.
 func Decompose(g *graph.Graph) []Level {
-	seen := map[float64]bool{}
-	var ds []float64
+	var w Workspace
+	return w.decompose(g)
+}
+
+// decompose is Decompose writing into the workspace's reusable buffers.
+// Sort-and-dedupe replaces the map of the original, so a warmed
+// workspace allocates nothing. The returned slice is owned by the
+// workspace and valid until its next use.
+func (w *Workspace) decompose(g *graph.Graph) []Level {
+	w.weights = w.weights[:0]
 	for _, e := range g.Edges() {
-		if e.W > 0 && !seen[e.W] {
-			seen[e.W] = true
-			ds = append(ds, e.W)
+		if e.W > 0 {
+			w.weights = append(w.weights, e.W)
 		}
 	}
-	sort.Float64s(ds)
-	levels := make([]Level, len(ds))
+	sort.Float64s(w.weights)
+	w.levels = w.levels[:0]
 	prev := 0.0
-	for j, d := range ds {
-		levels[j] = Level{Threshold: d, C: d - prev}
-		prev = d
+	for _, d := range w.weights {
+		if d != prev {
+			w.levels = append(w.levels, Level{Threshold: d, C: d - prev})
+			prev = d
+		}
 	}
-	return levels
+	return w.levels
 }
 
 // VirtualCost returns vc for a heavy edge used by m heavy players carrying

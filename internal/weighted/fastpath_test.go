@@ -1,0 +1,156 @@
+package weighted
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/graph"
+	"netdesign/internal/numeric"
+)
+
+// randomWeightedState builds a random weighted game with players on
+// shortest paths.
+func randomWeightedState(t *testing.T, rng *rand.Rand, n, players int) *State {
+	t.Helper()
+	g := graph.RandomConnected(rng, n, 0.4, 0.5, 2)
+	pls := make([]Player, players)
+	paths := make([][]int, players)
+	for i := range pls {
+		s := rng.Intn(n)
+		d := rng.Intn(n)
+		for d == s {
+			d = rng.Intn(n)
+		}
+		pls[i] = Player{S: s, T: d, Demand: 0.5 + rng.Float64()*2}
+		paths[i] = graph.Dijkstra(g, s, nil).PathTo(d)
+	}
+	wg, err := New(g, pls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(wg, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestBestResponseScratchVsNaive: the CSR fast path must return the same
+// deviation cost as the per-call Dijkstra oracle (paths may differ on
+// exact ties, so the deviation costs are compared).
+func TestBestResponseScratchVsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		st := randomWeightedState(t, rng, 5+rng.Intn(8), 1+rng.Intn(4))
+		for i := range st.Paths {
+			fastPath, fastCost := st.BestResponse(i, nil)
+			slowPath, slowCost := st.BestResponseNaive(i, nil)
+			if (fastPath == nil) != (slowPath == nil) {
+				t.Fatalf("trial %d player %d: reachability mismatch", trial, i)
+			}
+			if !numeric.AlmostEqualTol(fastCost, slowCost, 1e-9) {
+				t.Fatalf("trial %d player %d: cost %v vs naive %v", trial, i, fastCost, slowCost)
+			}
+			if fastPath != nil {
+				if got := st.deviationCostOf(i, fastPath, nil); !numeric.AlmostEqualTol(got, fastCost, 1e-9) {
+					t.Fatalf("trial %d player %d: path cost %v disagrees with reported %v", trial, i, got, fastCost)
+				}
+			}
+		}
+	}
+}
+
+// deviationCostOf prices path p for player i against the current loads.
+func (st *State) deviationCostOf(i int, p []int, b interface{ At(int) float64 }) float64 {
+	g := st.game.G
+	d := st.game.Players[i].Demand
+	sum := 0.0
+	for _, id := range p {
+		l := st.load[id]
+		if !st.uses[i][id] {
+			l += d
+		}
+		w := g.Weight(id)
+		if b != nil {
+			w -= b.At(id)
+		}
+		sum += w * d / l
+	}
+	return sum
+}
+
+// TestWeightedDynamicsIncrementalVsNaive: both walks must reach Nash
+// equilibria, and the incremental walk's patched loads must match a
+// from-scratch rebuild of its own final profile. (Weighted games have no
+// potential, so near-tie float accumulation differences between in-place
+// patching and per-step rebuilds may legitimately steer the two walks to
+// different equilibria — trajectories are not compared.)
+func TestWeightedDynamicsIncrementalVsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 30; trial++ {
+		st := randomWeightedState(t, rng, 5+rng.Intn(6), 2+rng.Intn(3))
+		fast, _, fastErr := BestResponseDynamics(st, nil, 500)
+		slow, _, slowErr := BestResponseDynamicsNaive(st, nil, 500)
+		if fastErr != nil && fastErr != ErrMayCycle {
+			t.Fatalf("trial %d: incremental: %v", trial, fastErr)
+		}
+		if slowErr != nil && slowErr != ErrMayCycle {
+			t.Fatalf("trial %d: naive: %v", trial, slowErr)
+		}
+		if fastErr == nil && !fast.IsEquilibrium(nil) {
+			t.Fatalf("trial %d: incremental final is not an equilibrium", trial)
+		}
+		if slowErr == nil && !slow.IsEquilibrium(nil) {
+			t.Fatalf("trial %d: naive final is not an equilibrium", trial)
+		}
+		// The incremental state must be internally consistent: patched
+		// loads equal a fresh rebuild of the same profile.
+		rebuilt, err := NewState(fast.game, fast.Paths)
+		if err != nil {
+			t.Fatalf("trial %d: final profile invalid: %v", trial, err)
+		}
+		for id := range rebuilt.load {
+			if !numeric.AlmostEqualTol(fast.load[id], rebuilt.load[id], 1e-9) {
+				t.Fatalf("trial %d: load[%d] = %v, rebuild %v", trial, id, fast.load[id], rebuilt.load[id])
+			}
+		}
+	}
+}
+
+// TestWeightedDynamicsDoesNotMutateInput guards the clone semantics.
+func TestWeightedDynamicsDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	st := randomWeightedState(t, rng, 8, 3)
+	before := make([][]int, len(st.Paths))
+	for i, p := range st.Paths {
+		before[i] = append([]int(nil), p...)
+	}
+	if _, _, err := BestResponseDynamics(st, nil, 500); err != nil && err != ErrMayCycle {
+		t.Fatal(err)
+	}
+	for i, p := range st.Paths {
+		if len(p) != len(before[i]) {
+			t.Fatalf("player %d path mutated", i)
+		}
+		for j := range p {
+			if p[j] != before[i][j] {
+				t.Fatalf("player %d path mutated", i)
+			}
+		}
+	}
+}
+
+// TestWeightedBestResponseAllocs: a warmed-up scratch best response must
+// stay within a handful of allocations (the returned copy, the closure
+// and nothing proportional to n).
+func TestWeightedBestResponseAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	st := randomWeightedState(t, rng, 120, 4)
+	st.BestResponse(0, nil) // warm scratch + freeze
+	allocs := testing.AllocsPerRun(50, func() {
+		st.bestResponseScratch(0, nil)
+	})
+	if allocs > 2 {
+		t.Fatalf("scratch best response allocated %.1f times per run, want ≤ 2", allocs)
+	}
+}

@@ -59,12 +59,19 @@ func New(g *graph.Graph, players []Player) (*Game, error) {
 // N returns the number of players.
 func (wg *Game) N() int { return len(wg.Players) }
 
-// State is a strategy profile with cached edge loads.
+// State is a strategy profile with cached edge loads. Best responses run
+// on the graph's frozen CSR view with a per-state Scratch workspace, so
+// repeated equilibrium checks — the row-generation inner loop of SolveSNE
+// and every dynamics step — allocate only the returned path copy. A
+// State is not safe for concurrent use; give each goroutine its own.
 type State struct {
 	game  *Game
 	Paths [][]int
 	load  []float64 // total demand per edge
 	uses  [][]bool
+
+	scratch graph.Scratch
+	pathBuf []int
 }
 
 // NewState validates paths (simple S→T walks) and caches loads.
@@ -155,7 +162,20 @@ func (st *State) TotalPlayerCost(b game.Subsidy) float64 {
 
 // BestResponse returns player i's cheapest deviation path and its cost:
 // joining edge a costs (w_a − b_a)·d_i/(load_a + d_i·[i not on a]).
+// It runs on the frozen CSR view with the state's reused workspace; the
+// returned path is a fresh copy the caller owns (nil if unreachable).
 func (st *State) BestResponse(i int, b game.Subsidy) ([]int, float64) {
+	p, cost := st.bestResponseScratch(i, b)
+	if p == nil {
+		return nil, cost
+	}
+	return append([]int(nil), p...), cost
+}
+
+// BestResponseNaive is the original per-call graph.Dijkstra
+// implementation, retained as the differential-test oracle for the
+// scratch-backed fast path.
+func (st *State) BestResponseNaive(i int, b game.Subsidy) ([]int, float64) {
 	g := st.game.G
 	d := st.game.Players[i].Demand
 	wf := func(id int) float64 {
@@ -168,6 +188,25 @@ func (st *State) BestResponse(i int, b game.Subsidy) ([]int, float64) {
 	sp := graph.Dijkstra(g, st.game.Players[i].S, wf)
 	t := st.game.Players[i].T
 	return sp.PathTo(t), sp.Dist[t]
+}
+
+// bestResponseScratch is BestResponse without the defensive path copy:
+// the returned slice aliases the state's buffer and is valid only until
+// the next best-response call. The dynamics loop consumes it immediately.
+func (st *State) bestResponseScratch(i int, b game.Subsidy) ([]int, float64) {
+	g := st.game.G
+	d := st.game.Players[i].Demand
+	wf := func(id int) float64 {
+		l := st.load[id]
+		if !st.uses[i][id] {
+			l += d
+		}
+		return (g.Weight(id) - b.At(id)) * d / l
+	}
+	st.scratch.Dijkstra(g.Freeze(), st.game.Players[i].S, wf)
+	t := st.game.Players[i].T
+	st.pathBuf = st.scratch.PathTo(t, st.pathBuf[:0])
+	return st.pathBuf, st.scratch.Dist[t]
 }
 
 // Violation is a profitable unilateral deviation.
@@ -201,6 +240,64 @@ func (st *State) Replace(i int, p []int) (*State, error) {
 	return NewState(st.game, paths)
 }
 
+// Clone returns a deep copy owning all path storage (the workspace is
+// not shared — each copy warms its own).
+func (st *State) Clone() *State {
+	cp := &State{
+		game:  st.game,
+		Paths: make([][]int, len(st.Paths)),
+		load:  append([]float64(nil), st.load...),
+		uses:  make([][]bool, len(st.uses)),
+	}
+	for i, p := range st.Paths {
+		cp.Paths[i] = append([]int(nil), p...)
+	}
+	for i, u := range st.uses {
+		cp.uses[i] = append([]bool(nil), u...)
+	}
+	return cp
+}
+
+// applyMove switches player i onto path p in place, patching loads along
+// the old and new paths only. p is copied into state-owned storage. The
+// caller guarantees p is a valid simple S→T walk (best responses are)
+// and that the state owns its path storage (see Clone).
+func (st *State) applyMove(i int, p []int) {
+	d := st.game.Players[i].Demand
+	old := st.Paths[i]
+	for _, id := range old {
+		st.uses[i][id] = false
+		st.load[id] -= d
+	}
+	st.Paths[i] = append(old[:0], p...)
+	for _, id := range st.Paths[i] {
+		st.uses[i][id] = true
+		st.load[id] += d
+	}
+}
+
+// resetPaths repoints the state at a new strategy profile, recomputing
+// loads in place without validation or allocation. The paths must be
+// valid simple walks for their players (exhaustive enumerators produce
+// them); the slices are referenced, not copied.
+func (st *State) resetPaths(paths [][]int) {
+	for id := range st.load {
+		st.load[id] = 0
+	}
+	for i, p := range paths {
+		u := st.uses[i]
+		for id := range u {
+			u[id] = false
+		}
+		d := st.game.Players[i].Demand
+		for _, id := range p {
+			u[id] = true
+			st.load[id] += d
+		}
+	}
+	st.Paths = paths
+}
+
 // ErrMayCycle is returned when weighted best-response dynamics exhaust
 // their step budget: without a potential function this is a real
 // possibility, not a numerical failure.
@@ -208,8 +305,37 @@ var ErrMayCycle = errors.New("weighted: best-response dynamics did not converge 
 
 // BestResponseDynamics runs round-robin improving moves for at most
 // maxSteps (≤ 0: 10·players·edges). Unlike the unweighted engine there is
-// no convergence guarantee.
+// no convergence guarantee. The walk is incremental: the start state is
+// cloned once and each accepted move patches loads in place — no
+// per-step state rebuild. The input state is never modified.
 func BestResponseDynamics(st *State, b game.Subsidy, maxSteps int) (*State, int, error) {
+	if maxSteps <= 0 {
+		maxSteps = 10 * len(st.Paths) * st.game.G.M()
+	}
+	cur := st.Clone()
+	steps := 0
+	for steps < maxSteps {
+		move := -1
+		for i := range cur.Paths {
+			curCost := cur.PlayerCost(i, b)
+			path, cost := cur.bestResponseScratch(i, b)
+			if path != nil && numeric.Less(cost, curCost) {
+				move = i
+				break
+			}
+		}
+		if move == -1 {
+			return cur, steps, nil
+		}
+		cur.applyMove(move, cur.pathBuf)
+		steps++
+	}
+	return cur, steps, ErrMayCycle
+}
+
+// BestResponseDynamicsNaive is the original rebuild-per-step
+// implementation, retained as the differential-test oracle.
+func BestResponseDynamicsNaive(st *State, b game.Subsidy, maxSteps int) (*State, int, error) {
 	if maxSteps <= 0 {
 		maxSteps = 10 * len(st.Paths) * st.game.G.M()
 	}
@@ -252,15 +378,22 @@ func (wg *Game) HasPureEquilibrium(stateLimit int) (bool, *State, error) {
 		}
 	}
 	choice := make([]int, wg.N())
+	// One reusable state sweeps the whole product space: loads are reset
+	// in place per profile instead of rebuilding (and re-validating) a
+	// State per combination.
+	paths := make([][]int, wg.N())
+	for i := range paths {
+		paths[i] = pools[i][0]
+	}
+	st, err := NewState(wg, paths)
+	if err != nil {
+		return false, nil, err
+	}
 	for {
-		paths := make([][]int, wg.N())
 		for i, c := range choice {
 			paths[i] = pools[i][c]
 		}
-		st, err := NewState(wg, paths)
-		if err != nil {
-			return false, nil, err
-		}
+		st.resetPaths(paths)
 		if st.IsEquilibrium(nil) {
 			return true, st, nil
 		}
