@@ -1,5 +1,5 @@
 // Top-level benchmark harness: one benchmark per reproduced paper
-// artifact (experiments E1–E19; see DESIGN.md §4 and EXPERIMENTS.md) plus
+// artifact (experiments E1–E21; see DESIGN.md §4 and EXPERIMENTS.md) plus
 // micro-benchmarks for the substrates they exercise. Run with
 //
 //	go test -bench=. -benchmem
@@ -11,6 +11,9 @@ package netdesign_test
 import (
 	"io"
 	"math/rand"
+	"path/filepath"
+	"strconv"
+	"sync"
 	"testing"
 
 	"netdesign/internal/broadcast"
@@ -22,6 +25,7 @@ import (
 	"netdesign/internal/reductions"
 	"netdesign/internal/sne"
 	"netdesign/internal/subsidy"
+	"netdesign/internal/sweep"
 	"netdesign/internal/weighted"
 )
 
@@ -331,6 +335,9 @@ func BenchmarkE17_ParetoFrontier(b *testing.B) { benchExperiment(b, "E17") }
 func BenchmarkE18_DirectedHn(b *testing.B) { benchExperiment(b, "E18") }
 func BenchmarkE19_Arrival(b *testing.B)    { benchExperiment(b, "E19") }
 
+func BenchmarkE20_SwapPoS(b *testing.B)      { benchExperiment(b, "E20") }
+func BenchmarkE21_EnforceSweep(b *testing.B) { benchExperiment(b, "E21") }
+
 // --- incremental swap engine vs rebuild (PR 2) ---
 
 // benchSwapPairs returns a warmed broadcast MST state plus k valid
@@ -598,6 +605,155 @@ func BenchmarkAnalyzeTreesRebuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := broadcast.AnalyzeTreesNaive(bg, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- sweep engine: dispatch, checkpoint codec, shard/resume I/O ---
+
+// benchNoop isolates engine dispatch: a registered scenario whose
+// per-instance work is free.
+var benchNoopOnce sync.Once
+
+func benchNoopSpec(count int) sweep.Spec {
+	benchNoopOnce.Do(func() {
+		sweep.Register(&sweep.Scenario{
+			Name:    "bench-noop",
+			TableID: "B0",
+			Title:   "bench dispatch probe",
+			Headers: []string{"-"},
+			Run: func(spec sweep.Spec, idx int, rng *rand.Rand) (sweep.Record, error) {
+				return sweep.Record{}, nil
+			},
+		})
+	})
+	return sweep.Spec{Scenario: "bench-noop", Seed: 9, Count: count}
+}
+
+func benchEnforceSpec(count int) sweep.Spec {
+	return sweep.Spec{Scenario: "enforce", Seed: 7, Count: count, Size: 10, Params: map[string]float64{"spread": 4}}
+}
+
+// BenchmarkSweepDispatch256: per-instance engine overhead alone (256
+// no-op instances through the full RunTable path).
+func BenchmarkSweepDispatch256(b *testing.B) {
+	spec := benchNoopSpec(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.RunTable(spec, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerialEnforce16: the serial oracle over a real scenario.
+func BenchmarkSweepSerialEnforce16(b *testing.B) {
+	spec := benchEnforceSpec(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.RunSerial(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSharded4x16: the same family through 4 checkpointed
+// shards plus merge — the full distribution-layer overhead.
+func BenchmarkSweepSharded4x16(b *testing.B) {
+	spec := benchEnforceSpec(16)
+	root := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := filepath.Join(root, strconv.Itoa(i))
+		if _, err := sweep.Run(spec, dir, 4, sweep.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepResumeScan: cost of resuming a fully checkpointed shard
+// (scan, skip everything, write nothing).
+func BenchmarkSweepResumeScan(b *testing.B) {
+	spec := benchEnforceSpec(16)
+	dir := b.TempDir()
+	if _, err := sweep.Run(spec, dir, 1, sweep.Options{Workers: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := sweep.RunShard(spec, dir, 0, 1, sweep.Options{})
+		if err != nil || n != 0 {
+			b.Fatalf("resume recomputed %d records: %v", n, err)
+		}
+	}
+}
+
+func BenchmarkSweepCheckpointEncode(b *testing.B) {
+	rec := sweep.Record{Index: 123, Cells: []string{"24", "31.4159", "0.3679", "true"}, Vals: []float64{0.36787944117144233}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.EncodeRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepCheckpointDecode(b *testing.B) {
+	line, err := sweep.EncodeRecord(sweep.Record{Index: 123, Cells: []string{"24", "31.4159", "0.3679", "true"}, Vals: []float64{0.36787944117144233}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.DecodeRecord(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- weighted PNE decision: pruned vs exhaustive product sweep ---
+
+func benchPNEGame(b *testing.B) *weighted.Game {
+	// n=7 at this seed: the raw product space takes the naive sweep
+	// ~1000× longer than the constraint-propagated search.
+	rng := rand.New(rand.NewSource(23))
+	g := graph.RandomConnected(rng, 7, 0.5, 0.5, 3)
+	players := []weighted.Player{
+		{S: 0, T: 6, Demand: 1},
+		{S: 1, T: 5, Demand: 2.5},
+		{S: 2, T: 6, Demand: 0.7},
+	}
+	wg, err := weighted.New(g, players)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wg
+}
+
+func BenchmarkWeightedPNEPruned(b *testing.B) {
+	wg := benchPNEGame(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wg.HasPureEquilibrium(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeightedPNENaive(b *testing.B) {
+	wg := benchPNEGame(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wg.HasPureEquilibriumNaive(0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,74 @@
+package broadcast
+
+import (
+	"math"
+	"math/rand"
+
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+)
+
+// PoSEstimate summarizes a multi-start swap-descent search for good
+// equilibria — the large-n stand-in for exhaustive AnalyzeTrees, whose
+// spanning-tree enumeration is hopeless beyond a few dozen trees.
+type PoSEstimate struct {
+	Starts    int     // descent runs launched
+	Converged int     // runs that ended at a true Lemma-2 equilibrium
+	Steps     int     // committed swaps across all runs
+	OptWeight float64 // MST weight (the social optimum)
+	BestEq    float64 // lightest converged equilibrium (+Inf if none)
+}
+
+// PoS returns the price-of-stability estimate BestEq/OptWeight. It is an
+// upper bound on the true PoS whenever Converged > 0 (some equilibrium
+// of that weight exists) and +Inf otherwise.
+func (e *PoSEstimate) PoS() float64 { return e.BestEq / e.OptWeight }
+
+// EstimatePoS estimates the price of stability of bg under subsidies b by
+// multi-start local search on the spanning-tree swap graph: the MST plus
+// starts−1 random spanning trees each descend via SwapDynamics (the
+// potential guard guarantees termination), and every run that converges
+// to a genuine equilibrium contributes an upper-bound candidate. One
+// State walks all starts through MorphTo, so the search stays on the
+// incremental swap engine with no per-start rebuild. Deterministic for a
+// given rng.
+func EstimatePoS(bg *Game, b game.Subsidy, starts, maxSteps int, rng *rand.Rand) (*PoSEstimate, error) {
+	if starts < 1 {
+		starts = 1
+	}
+	mst, err := bg.MST()
+	if err != nil {
+		return nil, err
+	}
+	est := &PoSEstimate{Starts: starts, OptWeight: bg.G.WeightOf(mst), BestEq: math.Inf(1)}
+	st, err := NewState(bg, mst)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < starts; s++ {
+		if s > 0 {
+			start, err := graph.RandomSpanningTree(bg.G, rng)
+			if err != nil {
+				return nil, err
+			}
+			if err := st.MorphTo(start); err != nil {
+				// A failed morph leaves the walker mid-swap; rebuild.
+				if st, err = NewState(bg, start); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res, err := SwapDynamics(st, b, maxSteps)
+		if err != nil && err != ErrSwapBudget {
+			return nil, err
+		}
+		est.Steps += res.Steps
+		if res.Converged {
+			est.Converged++
+			if w := st.Weight(); w < est.BestEq {
+				est.BestEq = w
+			}
+		}
+	}
+	return est, nil
+}

@@ -1,0 +1,100 @@
+package broadcast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/graph"
+)
+
+// TestEstimatePoSAgainstExhaustive cross-checks the local-search
+// estimator on instances small enough for exhaustive tree enumeration:
+// every converged run is a real equilibrium, so the estimate must sit at
+// or above the exact best equilibrium and never below 1.
+func TestEstimatePoSAgainstExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	found := 0
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(4)
+		g := graph.RandomConnected(rng, n, 0.45, 0.3, 2)
+		bg, err := NewGame(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := AnalyzeTrees(bg, nil, 20000)
+		if err == graph.ErrTooManyTrees {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := EstimatePoS(bg, nil, 5, 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.OptWeight-exact.OptWeight) > 1e-9 {
+			t.Fatalf("OptWeight %v ≠ exhaustive %v", est.OptWeight, exact.OptWeight)
+		}
+		if est.Converged == 0 {
+			if exact.Equilibria > 0 && math.IsInf(est.BestEq, 1) {
+				continue // descent may dead-end in a swap-graph local minimum
+			}
+			continue
+		}
+		found++
+		if exact.Equilibria == 0 {
+			t.Fatalf("estimator converged but exhaustive search found no equilibrium")
+		}
+		if est.BestEq < exact.BestEq-1e-9 {
+			t.Fatalf("estimate %v below exact best equilibrium %v", est.BestEq, exact.BestEq)
+		}
+		if est.PoS() < 1-1e-9 {
+			t.Fatalf("PoS estimate %v < 1", est.PoS())
+		}
+	}
+	if found == 0 {
+		t.Fatal("estimator never converged on any instance — descent is broken")
+	}
+}
+
+// TestEstimatePoSLargeInstance exercises the regime the estimator exists
+// for: n far beyond exhaustive enumeration.
+func TestEstimatePoSLargeInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomConnected(rng, 60, 0.1, 0.5, 3)
+	bg, err := NewGame(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimatePoS(bg, nil, 4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Starts != 4 {
+		t.Fatalf("Starts = %d", est.Starts)
+	}
+	if est.Converged > 0 && (est.PoS() < 1-1e-9 || math.IsInf(est.PoS(), 1)) {
+		t.Fatalf("implausible PoS estimate %v", est.PoS())
+	}
+}
+
+// TestEstimatePoSDeterministic: same seed, same estimate.
+func TestEstimatePoSDeterministic(t *testing.T) {
+	g := graph.RandomConnected(rand.New(rand.NewSource(2)), 20, 0.2, 0.5, 3)
+	bg, err := NewGame(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := EstimatePoS(bg, nil, 6, 0, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimatePoS(bg, nil, 6, 0, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("nondeterministic estimate: %+v vs %+v", a, b)
+	}
+}

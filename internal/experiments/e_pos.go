@@ -1,60 +1,27 @@
 package experiments
 
 import (
-	"math/rand"
-
-	"netdesign/internal/broadcast"
-	"netdesign/internal/graph"
-	"netdesign/internal/numeric"
+	"netdesign/internal/sweep"
 )
 
 // RunE9PoS maps the price-of-stability landscape the paper's introduction
 // builds on: on random broadcast games small enough for exhaustive
 // spanning-tree enumeration, the measured PoS always sits within the
-// Anshelevich et al. H_n bound (and far below it, consistent with the
-// O(log log n) upper and 1.818 lower bounds the paper cites for
-// broadcast games).
+// Anshelevich et al. H_n bound (and far below it, and within the
+// Mamageishvili–Mihalák–Montemezzani H_{n/2}-style refinement the table
+// also reports). The instance family lives in the sweep registry
+// ("pos-trees"), so the same experiment fans out over checkpointed
+// shards via cmd/sweep with bit-identical output.
 func RunE9PoS(cfg Config) (*Table, error) {
-	rng := rand.New(rand.NewSource(cfg.seed()))
-	tb := &Table{
-		ID:      "E9",
-		Title:   "Exact PoS of random broadcast games (tree enumeration)",
-		Claim:   "Context (§1): PoS ≤ H_n in general; best known broadcast bounds are [1.818, O(log log n)]",
-		Headers: []string{"n", "trees", "equilibria", "OPT", "best eq", "PoS", "H_n bound", "within"},
-	}
-	trials := 8
+	return sweep.RunTable(E9Spec(cfg), 1)
+}
+
+// E9Spec is the sweep spec RunE9PoS executes serially: the single
+// source of truth for the E9 instance family, shared with cmd/sweep.
+func E9Spec(cfg Config) sweep.Spec {
+	count := 8
 	if cfg.Quick {
-		trials = 3
+		count = 3
 	}
-	maxPoS := 1.0
-	for k := 0; k < trials; k++ {
-		n := 4 + rng.Intn(4)
-		g := graph.RandomConnected(rng, n, 0.45, 0.3, 2)
-		bg, err := broadcast.NewGame(g, 0)
-		if err != nil {
-			return nil, err
-		}
-		a, err := broadcast.AnalyzeTrees(bg, nil, 20000)
-		if err == graph.ErrTooManyTrees {
-			continue
-		}
-		if err != nil {
-			return nil, err
-		}
-		if a.Equilibria == 0 {
-			// Possible over tree states only when the best equilibria use
-			// non-tree states with zero-weight cycles; none here (weights
-			// are positive), so flag it.
-			tb.Note("n=%d: no spanning-tree equilibrium found (unexpected for positive weights)", n)
-			continue
-		}
-		hn := numeric.Harmonic(int(bg.NumPlayers()))
-		pos := a.PoS()
-		if pos > maxPoS {
-			maxPoS = pos
-		}
-		tb.AddRow(n, a.Trees, a.Equilibria, a.OptWeight, a.BestEq, pos, hn, pos <= hn+1e-9)
-	}
-	tb.Note("maximum PoS observed: %.4f (paper's broadcast lower bound: 1.818)", maxPoS)
-	return tb, nil
+	return sweep.Spec{Scenario: "pos-trees", Seed: cfg.seed(), Count: count, Size: 4}
 }

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"netdesign/internal/sweep"
+)
+
+// The sweep-backed heavy experiments: each wraps a scenario from the
+// internal/sweep registry, so the serial registry run here and a
+// sharded, checkpointed cmd/sweep run merge to bit-identical tables.
+
+// RunE20SwapPoS estimates the price of stability at instance sizes far
+// beyond exhaustive spanning-tree enumeration: multi-start local search
+// on the swap graph (broadcast.EstimatePoS over SwapDynamics with the
+// exact SwapPotentialDelta guard). Every converged descent certifies an
+// upper bound weight/OPT ≥ PoS — the paper's context bounds say far
+// below H_n, which the sweep confirms at n the E9 enumeration cannot
+// touch.
+func RunE20SwapPoS(cfg Config) (*Table, error) {
+	return sweep.RunTable(E20Spec(cfg), 1)
+}
+
+// E20Spec is the sweep spec behind RunE20SwapPoS, shared with cmd/sweep.
+func E20Spec(cfg Config) sweep.Spec {
+	count, size := 8, 40
+	if cfg.Quick {
+		count, size = 3, 16
+	}
+	return sweep.Spec{Scenario: "pos-swap", Seed: cfg.seed(), Count: count, Size: size}
+}
+
+// RunE21EnforceSweep measures the Theorem-6 enforcement construction at
+// sweep scale: on every random instance the spend must be exactly
+// wgt(T)/e (unit multiplicities) and the MST must end up enforced.
+func RunE21EnforceSweep(cfg Config) (*Table, error) {
+	return sweep.RunTable(E21Spec(cfg), 1)
+}
+
+// E21Spec is the sweep spec behind RunE21EnforceSweep, shared with
+// cmd/sweep.
+func E21Spec(cfg Config) sweep.Spec {
+	count, size := 10, 24
+	if cfg.Quick {
+		count, size = 4, 10
+	}
+	return sweep.Spec{Scenario: "enforce", Seed: cfg.seed(), Count: count, Size: size}
+}

@@ -52,6 +52,8 @@ func Registry() []Experiment {
 		{ID: "E17", Title: "SND budget–weight Pareto frontier", Artifact: "Section 1 (budgeted design question)", Run: RunE17Pareto},
 		{ID: "E18", Title: "Directed games: H_n tightness, cheap enforcement", Artifact: "Section 1 context (directed adaptation)", Run: RunE18DirectedHn},
 		{ID: "E19", Title: "Online arrival + convergence quality", Artifact: "Related work [12,13]", Run: RunE19Arrival},
+		{ID: "E20", Title: "Large-n PoS estimation via swap-descent local search", Artifact: "Section 1 context at sweep scale (swap engine)", Run: RunE20SwapPoS},
+		{ID: "E21", Title: "Theorem-6 enforcement cost at sweep scale", Artifact: "Theorem 6 (sharded sweep family)", Run: RunE21EnforceSweep},
 	}
 }
 

@@ -6,97 +6,10 @@
 // suite; EXPERIMENTS.md records paper-vs-measured for every artifact.
 package experiments
 
-import (
-	"fmt"
-	"io"
-	"strings"
-)
+import "netdesign/internal/table"
 
-// Table is a rendered experiment result.
-type Table struct {
-	ID      string
-	Title   string
-	Claim   string // the paper's quantitative claim being reproduced
-	Headers []string
-	Rows    [][]string
-	Notes   []string
-}
-
-// AddRow appends a row, formatting each cell with %v.
-func (t *Table) AddRow(cells ...interface{}) {
-	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.4f", v)
-		case string:
-			row[i] = v
-		default:
-			row[i] = fmt.Sprintf("%v", c)
-		}
-	}
-	t.Rows = append(t.Rows, row)
-}
-
-// Note appends a free-form observation under the table.
-func (t *Table) Note(format string, args ...interface{}) {
-	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
-}
-
-// Render writes an aligned plain-text rendering.
-func (t *Table) Render(w io.Writer) {
-	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
-	if t.Claim != "" {
-		fmt.Fprintf(w, "paper claim: %s\n", t.Claim)
-	}
-	widths := make([]int, len(t.Headers))
-	for i, h := range t.Headers {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	line := func(cells []string) {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
-		}
-		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
-	}
-	line(t.Headers)
-	sep := make([]string, len(t.Headers))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, row := range t.Rows {
-		line(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(w, "  note: %s\n", n)
-	}
-	fmt.Fprintln(w)
-}
-
-// Markdown renders the table as GitHub-flavored markdown.
-func (t *Table) Markdown() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "### %s: %s\n\n", t.ID, t.Title)
-	if t.Claim != "" {
-		fmt.Fprintf(&sb, "*Paper claim:* %s\n\n", t.Claim)
-	}
-	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
-	sb.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
-	for _, row := range t.Rows {
-		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&sb, "\n*Note:* %s\n", n)
-	}
-	sb.WriteString("\n")
-	return sb.String()
-}
+// Table is a rendered experiment result. It is an alias for table.Table —
+// the concrete type lives in internal/table so the sweep engine
+// (internal/sweep) can assemble the identical tables from checkpointed
+// shard records without importing this package.
+type Table = table.Table

@@ -121,6 +121,32 @@ func RandomConnected(rng *rand.Rand, n int, p, minW, maxW float64) *Graph {
 	return g
 }
 
+// RandomSpanningTree returns a uniformly-shuffled Kruskal spanning tree
+// of g: edge IDs are permuted by rng and greedily accepted while they
+// join distinct components. Not uniform over all spanning trees, but
+// cheap, deterministic for a given rng, and diverse enough to seed
+// multi-start local search (broadcast.EstimatePoS). g must be connected.
+func RandomSpanningTree(g *Graph, rng *rand.Rand) ([]int, error) {
+	if !g.Connected() {
+		return nil, ErrDisconnected
+	}
+	if g.N() <= 1 {
+		return []int{}, nil // trivially spanned, no edges to choose
+	}
+	uf := NewUnionFind(g.N())
+	tree := make([]int, 0, g.N()-1)
+	for _, id := range rng.Perm(g.M()) {
+		e := g.Edge(id)
+		if uf.Union(e.U, e.V) {
+			tree = append(tree, id)
+			if len(tree) == g.N()-1 {
+				break
+			}
+		}
+	}
+	return tree, nil
+}
+
 // RandomRegular returns a random d-regular simple graph on n nodes via the
 // pairing model with restarts (requires n·d even and d < n). Used to feed
 // the Theorem 5 reduction, which consumes 3-regular graphs.

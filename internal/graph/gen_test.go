@@ -89,3 +89,46 @@ func TestRandomRegular(t *testing.T) {
 		t.Error("d >= n should fail")
 	}
 }
+
+func TestRandomSpanningTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		g := RandomConnected(rng, n, 0.4, 0.5, 2)
+		tree, err := RandomSpanningTree(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsSpanningTree(tree) {
+			t.Fatalf("n=%d: not a spanning tree: %v", n, tree)
+		}
+	}
+	// Disconnected input errors.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	if _, err := RandomSpanningTree(g, rng); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	// Determinism for a fixed rng state.
+	g = RandomConnected(rand.New(rand.NewSource(3)), 12, 0.5, 1, 2)
+	t1, _ := RandomSpanningTree(g, rand.New(rand.NewSource(9)))
+	t2, _ := RandomSpanningTree(g, rand.New(rand.NewSource(9)))
+	if len(t1) != len(t2) {
+		t.Fatal("nondeterministic tree size")
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("nondeterministic tree")
+		}
+	}
+}
+
+func TestRandomSpanningTreeDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n <= 1; n++ {
+		tree, err := RandomSpanningTree(New(n), rng)
+		if err != nil || len(tree) != 0 {
+			t.Errorf("n=%d: tree %v, err %v; want empty tree", n, tree, err)
+		}
+	}
+}

@@ -57,11 +57,23 @@ func Write(w io.Writer, in *Instance) error {
 	return bw.Flush()
 }
 
+// NewScanner returns a line scanner sized for instance-scale inputs: a
+// 64 KiB initial buffer growable to 4 MiB, enough for the longest 'tree'
+// lines the gadget generators emit. The sweep spec parser
+// (internal/sweep.ParseSpec) shares it, so the repo's scanner-based
+// line codecs tolerate the same line lengths. (The sweep *checkpoint*
+// reader is not scanner-based — it reads whole files to recover torn
+// tails by byte offset.)
+func NewScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return sc
+}
+
 // Read parses an instance. Missing tree lines default to a minimum
 // spanning tree; missing mult lines default to one player per node.
 func Read(r io.Reader) (*Instance, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	sc := NewScanner(r)
 	var g *graph.Graph
 	root := -1
 	var tree []int

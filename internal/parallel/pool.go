@@ -53,6 +53,43 @@ func ForEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachChunk splits [0, n) into one contiguous chunk per worker and
+// invokes fn(worker, lo, hi) concurrently, one call per non-empty chunk
+// (≤ 0 workers means GOMAXPROCS; never more workers than items). Unlike
+// ForEach it hands each goroutine its identity and whole range at once,
+// so callers can hold per-worker state — the sweep engine's dispatch
+// loop (internal/sweep.runIndices) owns one reseeded rng per worker this
+// way. fn must be safe for concurrent invocation on disjoint ranges.
+func ForEachChunk(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			lo, hi := k*chunk, (k+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo < hi {
+				fn(k, lo, hi)
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
 // Map applies fn to every item concurrently and returns the results in
 // input order.
 func Map[T, R any](items []T, workers int, fn func(T) R) []R {

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -56,5 +57,61 @@ func TestWorkers(t *testing.T) {
 	}
 	if Workers(0) < 1 || Workers(-1) < 1 {
 		t.Error("default worker count must be positive")
+	}
+}
+
+func TestForEachChunkCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 1, 2, 7, 100} {
+		n := 237
+		var hits [237]int32
+		var calls atomic.Int32
+		ForEachChunk(n, workers, func(worker, lo, hi int) {
+			calls.Add(1)
+			if lo >= hi || lo < 0 || hi > n {
+				t.Errorf("workers=%d: bad chunk [%d,%d)", workers, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+		if workers >= 1 && workers <= n && int(calls.Load()) > workers {
+			t.Fatalf("workers=%d: %d chunk calls", workers, calls.Load())
+		}
+	}
+}
+
+func TestForEachChunkWorkerIdentity(t *testing.T) {
+	// Chunks are disjoint, contiguous, and each worker id appears at most
+	// once — the property per-worker state (sweep's reseeded rngs) needs.
+	var mu sync.Mutex
+	seen := map[int][2]int{}
+	ForEachChunk(10, 3, func(worker, lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := seen[worker]; dup {
+			t.Errorf("worker %d invoked twice", worker)
+		}
+		seen[worker] = [2]int{lo, hi}
+	})
+	total := 0
+	for _, r := range seen {
+		total += r[1] - r[0]
+	}
+	if total != 10 {
+		t.Fatalf("chunks cover %d of 10 indices", total)
+	}
+}
+
+func TestForEachChunkEmpty(t *testing.T) {
+	called := false
+	ForEachChunk(0, 4, func(int, int, int) { called = true })
+	ForEachChunk(-3, 4, func(int, int, int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
 	}
 }

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/table"
+)
+
+// noopScenario is a scenario whose per-instance work is free, isolating
+// the engine's own dispatch cost (seed derivation, shard routing, rng
+// reuse, record plumbing) for the alloc regression tests and the
+// BenchmarkSweepDispatch family.
+func noopScenario() *Scenario {
+	return &Scenario{
+		Name:    "noop",
+		TableID: "T0",
+		Title:   "dispatch-overhead probe",
+		Claim:   "none",
+		Headers: []string{"-"},
+		Run: func(spec Spec, idx int, rng *rand.Rand) (Record, error) {
+			return Record{}, nil
+		},
+		Finalize: func(spec Spec, recs []Record, tb *table.Table) {},
+	}
+}
+
+func init() { Register(noopScenario()) }
+
+// TestDispatchPrimitivesAllocFree pins the per-instance routing
+// primitives at zero allocations: they run once per instance per shard
+// on every sweep, including resumes that skip millions of done indices.
+func TestDispatchPrimitivesAllocFree(t *testing.T) {
+	done := newDoneSet(4096)
+	sink := int64(0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		sink += InstanceSeed(42, 977)
+		sink += int64(ShardOf(977, 7))
+		if done.has(977) {
+			sink++
+		}
+		done.add(977)
+	}); avg != 0 {
+		t.Errorf("dispatch primitives allocate %.1f/op, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestDispatchAllocsPerInstance bounds the engine's whole per-instance
+// dispatch path: running 256 no-op instances must cost a small constant
+// number of allocations for the entire batch (worker setup), i.e. zero
+// per instance — per-call allocations in the dispatch loop would show up
+// 256-fold here.
+func TestDispatchAllocsPerInstance(t *testing.T) {
+	sc, ok := GetScenario("noop")
+	if !ok {
+		t.Fatal("noop scenario not registered")
+	}
+	spec := Spec{Scenario: "noop", Seed: 9, Count: 256}
+	indices := make([]int, spec.Count)
+	for i := range indices {
+		indices[i] = i
+	}
+	sink := func(rec Record) error { return nil }
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := runIndices(sc, spec, indices, 1, 0, sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Fixed setup (rng source + error slot bookkeeping) is allowed; one
+	// alloc per instance would read ≥ 256 here.
+	if avg > 16 {
+		t.Errorf("serial dispatch of 256 instances allocates %.1f per batch — a per-instance allocation crept in", avg)
+	}
+}

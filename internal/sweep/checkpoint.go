@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Record is the unit a shard checkpoints: one instance's contribution to
+// the final table. Cells (when non-empty) become one preformatted row —
+// use table.FormatCells so checkpointed rows match direct AddRow output
+// byte for byte. Notes are emitted under the table in index order. Vals
+// carries the raw numbers aggregate Finalize hooks need (maxima, means);
+// they round-trip through the codec bit-exactly.
+type Record struct {
+	Index int
+	Cells []string
+	Vals  []float64
+	Notes []string
+}
+
+// recordJSON is the JSONL wire form. Float64s travel as hex-float
+// strings: bit-exact round-trips including ±Inf and NaN, which
+// encoding/json's number encoding cannot represent.
+type recordJSON struct {
+	I int      `json:"i"`
+	C []string `json:"c,omitempty"`
+	V []string `json:"v,omitempty"`
+	N []string `json:"n,omitempty"`
+}
+
+// EncodeRecord renders one checkpoint line (no trailing newline).
+func EncodeRecord(rec Record) ([]byte, error) {
+	if rec.Index < 0 {
+		return nil, fmt.Errorf("sweep: record index %d < 0", rec.Index)
+	}
+	rj := recordJSON{I: rec.Index, C: rec.Cells, N: rec.Notes}
+	if len(rec.Vals) > 0 {
+		rj.V = make([]string, len(rec.Vals))
+		for i, v := range rec.Vals {
+			rj.V[i] = strconv.FormatFloat(v, 'x', -1, 64)
+		}
+	}
+	return json.Marshal(rj)
+}
+
+// DecodeRecord parses one checkpoint line.
+func DecodeRecord(line []byte) (Record, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var rj recordJSON
+	if err := dec.Decode(&rj); err != nil {
+		return Record{}, fmt.Errorf("sweep: bad checkpoint line: %w", err)
+	}
+	if dec.More() {
+		return Record{}, fmt.Errorf("sweep: trailing data after checkpoint record")
+	}
+	if rj.I < 0 {
+		return Record{}, fmt.Errorf("sweep: record index %d < 0", rj.I)
+	}
+	rec := Record{Index: rj.I, Cells: rj.C, Notes: rj.N}
+	if len(rj.V) > 0 {
+		rec.Vals = make([]float64, len(rj.V))
+		for i, s := range rj.V {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return Record{}, fmt.Errorf("sweep: bad checkpoint value %q: %v", s, err)
+			}
+			rec.Vals[i] = v
+		}
+	}
+	return rec, nil
+}
+
+// readCheckpoint parses an append-only checkpoint buffer. A final segment
+// that is unterminated or undecodable is treated as a torn tail from a
+// killed writer: it is dropped and the byte length of the valid prefix is
+// returned so resume can truncate before appending. An undecodable line
+// *before* the last is real corruption and errors.
+func readCheckpoint(data []byte) (recs []Record, validLen int, err error) {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Unterminated tail: at best a record whose newline never made
+			// it to disk. Recomputing one record is cheaper than trusting it.
+			return recs, off, nil
+		}
+		line := data[off : off+nl]
+		rec, derr := DecodeRecord(line)
+		if derr != nil {
+			if off+nl+1 >= len(data) {
+				return recs, off, nil // torn final line
+			}
+			return nil, 0, fmt.Errorf("sweep: checkpoint corrupt at byte %d: %v", off, derr)
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+	}
+	return recs, off, nil
+}
+
+// ReadCheckpointFile loads a shard checkpoint, tolerating a torn tail. A
+// missing file reads as an empty checkpoint. validLen is the length in
+// bytes of the decodable prefix (the resume point).
+func ReadCheckpointFile(path string) (recs []Record, validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	rs, n, err := readCheckpoint(data)
+	return rs, int64(n), err
+}
+
+// checkpointWriter appends records to a shard file, one fully formed line
+// per completed instance, serialized across worker goroutines. Each line
+// is written in a single Write call so a kill can tear at most the final
+// line — exactly what readCheckpoint recovers from.
+type checkpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openCheckpoint opens path for appending after truncating any torn tail
+// at validLen (as reported by ReadCheckpointFile).
+func openCheckpoint(path string, validLen int64) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+func (w *checkpointWriter) append(rec Record) error {
+	line, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err = w.f.Write(line)
+	return err
+}
+
+func (w *checkpointWriter) close() error { return w.f.Close() }

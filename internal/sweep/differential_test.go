@@ -1,0 +1,178 @@
+package sweep
+
+// The differential harness: every sharded, checkpointed, killed-and-
+// resumed execution of a sweep must render byte-identically to the
+// serial single-goroutine oracle (RunSerial). This is the property that
+// makes the distribution layer trustworthy — shard counts, worker
+// counts, kill points and torn checkpoint tails must all be invisible in
+// the merged table.
+
+import (
+	"os"
+	"testing"
+)
+
+// shardCounts are the partitions every differential property is checked
+// under (1 = trivially sharded, 2/7 = uneven, 32 = more shards than
+// instances in some sweeps).
+var shardCounts = []int{1, 2, 7, 32}
+
+// diffSpecs are the sweeps the harness drives: the synthetic engine
+// scenario across seeds plus small instances of every built-in scenario,
+// so the real experiment families are certified too.
+func diffSpecs(t *testing.T) []Spec {
+	t.Helper()
+	specs := []Spec{
+		testSpec(40),
+		{Scenario: "test-sum", Seed: 99, Count: 11, Size: 1},
+		{Scenario: "enforce", Seed: 3, Count: 6, Size: 6, Params: map[string]float64{"spread": 4}},
+		{Scenario: "pos-swap", Seed: 5, Count: 4, Size: 12, Params: map[string]float64{"starts": 2}},
+	}
+	if !testing.Short() {
+		specs = append(specs, Spec{Scenario: "pos-trees", Seed: 7, Count: 4, Size: 4})
+	}
+	return specs
+}
+
+// TestShardMergeMatchesSerial: for every spec and shard count, a clean
+// sharded run merges byte-identically to the serial oracle.
+func TestShardMergeMatchesSerial(t *testing.T) {
+	for _, spec := range diffSpecs(t) {
+		want, err := RunSerial(spec)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", spec.Scenario, err)
+		}
+		wantText := renderTable(t, want)
+		for _, shards := range shardCounts {
+			got, err := Run(spec, t.TempDir(), shards, Options{Workers: 3})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", spec.Scenario, shards, err)
+			}
+			if gotText := renderTable(t, got); gotText != wantText {
+				t.Errorf("%s shards=%d: merged table differs from serial:\n--- serial ---\n%s--- merged ---\n%s",
+					spec.Scenario, shards, wantText, gotText)
+			}
+		}
+	}
+}
+
+// TestKillResumeByteIdentical kills every shard mid-sweep (StopAfter
+// truncates the run after a few records), corrupts one checkpoint with a
+// torn tail the way an interrupted write would, resumes, and requires
+// the merged output byte-identical to an uninterrupted serial run — for
+// multiple shard counts and two kill points each.
+func TestKillResumeByteIdentical(t *testing.T) {
+	for _, spec := range diffSpecs(t) {
+		want, err := RunSerial(spec)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", spec.Scenario, err)
+		}
+		wantText := renderTable(t, want)
+		for _, shards := range shardCounts {
+			for _, killAfter := range []int{1, 3} {
+				dir := t.TempDir()
+				// Phase 1: the killed run. Every shard stops early; with
+				// parallel workers the completed subset is scheduler-
+				// dependent, which is exactly what resume must absorb.
+				killed := 0
+				for shard := 0; shard < shards; shard++ {
+					n, err := RunShard(spec, dir, shard, shards, Options{Workers: 2, StopAfter: killAfter})
+					if err != nil {
+						t.Fatalf("%s shards=%d: killed run: %v", spec.Scenario, shards, err)
+					}
+					killed += n
+				}
+				if killed >= spec.Count && spec.Count > shards*killAfter {
+					t.Fatalf("%s shards=%d: kill switch did not engage (%d records)", spec.Scenario, shards, killed)
+				}
+				// Tear the first shard's checkpoint tail: an interrupted
+				// write leaves half a line.
+				tearCheckpointTail(t, ShardPath(dir, 0, shards))
+				// A merge of the incomplete run must refuse.
+				if killed < spec.Count {
+					if _, err := Merge(spec, dir, shards); err == nil {
+						t.Fatalf("%s shards=%d: merge accepted an incomplete run", spec.Scenario, shards)
+					}
+				}
+				// Phase 2: resume every shard to completion.
+				resumed := 0
+				for shard := 0; shard < shards; shard++ {
+					n, err := RunShard(spec, dir, shard, shards, Options{Workers: 2})
+					if err != nil {
+						t.Fatalf("%s shards=%d: resume: %v", spec.Scenario, shards, err)
+					}
+					resumed += n
+				}
+				got, err := Merge(spec, dir, shards)
+				if err != nil {
+					t.Fatalf("%s shards=%d: merge after resume: %v", spec.Scenario, shards, err)
+				}
+				if gotText := renderTable(t, got); gotText != wantText {
+					t.Errorf("%s shards=%d killAfter=%d: resumed table differs from serial:\n--- serial ---\n%s--- resumed ---\n%s",
+						spec.Scenario, shards, killAfter, wantText, gotText)
+				}
+				// Nothing was both checkpointed and recomputed: the torn
+				// record is the only one a resume may redo.
+				if killed+resumed < spec.Count || killed+resumed > spec.Count+1 {
+					t.Errorf("%s shards=%d killAfter=%d: killed %d + resumed %d ≠ count %d (+1 torn)",
+						spec.Scenario, shards, killAfter, killed, resumed, spec.Count)
+				}
+			}
+		}
+	}
+}
+
+// tearCheckpointTail simulates a writer killed mid-write: the checkpoint
+// loses the tail half of its final line.
+func tearCheckpointTail(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		return // shard never got to write; that's a valid kill state too
+	}
+	end := len(data) - 1 // the final newline
+	start := 0
+	for i := end - 1; i >= 0; i-- {
+		if data[i] == '\n' {
+			start = i + 1
+			break
+		}
+	}
+	cut := start + (end-start)/2 // keep the head half of the final line, lose its newline
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerialSweepMatchesLegacyLoop pins the scenario contract itself:
+// the per-index rng derivation must make instance generation independent
+// of execution order, so running indices in *reverse* through the
+// scenario produces the identical record set.
+func TestSerialSweepMatchesLegacyLoop(t *testing.T) {
+	spec := testSpec(19)
+	sc, _ := GetScenario(spec.Scenario)
+	var forward, backward []Record
+	for idx := 0; idx < spec.Count; idx++ {
+		forward = append(forward, runOne(t, sc, spec, idx))
+	}
+	for idx := spec.Count - 1; idx >= 0; idx-- {
+		backward = append(backward, runOne(t, sc, spec, idx))
+	}
+	for i, fr := range forward {
+		br := backward[spec.Count-1-i]
+		fl, _ := EncodeRecord(fr)
+		bl, _ := EncodeRecord(br)
+		if string(fl) != string(bl) {
+			t.Fatalf("index %d depends on execution order:\n%s\n%s", fr.Index, fl, bl)
+		}
+	}
+}
+
+func runOne(t *testing.T, sc *Scenario, spec Spec, idx int) Record {
+	t.Helper()
+	rec, err := runOneIndex(sc, spec, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}

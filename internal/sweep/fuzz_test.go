@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzCheckpointRoundTrip fuzzes the checkpoint codec from both ends:
+// structured records must survive encode→decode bit-exactly (floats via
+// the hex representation), and arbitrary bytes must never panic the
+// decoder — anything it accepts must re-encode canonically. This mirrors
+// the internal/instancefile fuzz pattern: parse-what-you-print, print-
+// what-you-parse.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add(0, "cell", "note", 1.5, []byte(`{"i":0,"c":["a"],"v":["0x1p+0"]}`))
+	f.Add(7, "", "n=4: skipped", math.Inf(1), []byte(`{"i":3}`))
+	f.Add(1<<30, "0.1250", "", -0.0, []byte("not json"))
+	f.Add(3, "a\nb", "τ", 1e-300, []byte(`{"i":1,"v":["zz"]}`))
+	f.Fuzz(func(t *testing.T, idx int, cell, note string, v float64, raw []byte) {
+		if idx >= 0 && utf8.ValidString(cell) && utf8.ValidString(note) {
+			rec := Record{Index: idx, Cells: []string{cell}, Vals: []float64{v}, Notes: []string{note}}
+			line, err := EncodeRecord(rec)
+			if err != nil {
+				t.Fatalf("encode %+v: %v", rec, err)
+			}
+			if bytes.IndexByte(line, '\n') >= 0 {
+				t.Fatalf("encoded record spans lines: %q", line)
+			}
+			back, err := DecodeRecord(line)
+			if err != nil {
+				t.Fatalf("decode of own encoding %q: %v", line, err)
+			}
+			if back.Index != rec.Index || back.Cells[0] != cell || back.Notes[0] != note ||
+				math.Float64bits(back.Vals[0]) != math.Float64bits(v) {
+				t.Fatalf("round trip changed record: %+v → %+v", rec, back)
+			}
+		}
+		// Decoder robustness on arbitrary input: no panics, and accepted
+		// lines re-encode to a fixed point.
+		rec, err := DecodeRecord(raw)
+		if err != nil {
+			return
+		}
+		line, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("accepted record failed to re-encode: %v", err)
+		}
+		again, err := DecodeRecord(line)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		line2, err := EncodeRecord(again)
+		if err != nil || !bytes.Equal(line, line2) {
+			t.Fatalf("encoding not a fixed point: %q vs %q (%v)", line, line2, err)
+		}
+		// The torn-tail reader must accept any valid line as a whole
+		// checkpoint and recover it.
+		recs, n, rerr := readCheckpoint(append(append([]byte(nil), line...), '\n'))
+		if rerr != nil || len(recs) != 1 || n != len(line)+1 {
+			t.Fatalf("readCheckpoint on single valid line: %d recs, len %d, %v", len(recs), n, rerr)
+		}
+	})
+}
+
+// FuzzSpecParse fuzzes the sweep-spec parser: never panic, and every
+// accepted spec must round-trip through WriteSpec→ParseSpec to an equal
+// spec with a stable serialization.
+func FuzzSpecParse(f *testing.F) {
+	f.Add("sweep pos-trees\nseed 1\ncount 8\nsize 4\n")
+	f.Add("# c\n\nsweep x\nseed -3\ncount 2\nsize 0\nparam p 0.25\nparam q 1e308\n")
+	f.Add("sweep enforce\ncount 1000\nparam spread 8\nparam p 0.3\n")
+	f.Add("count 0\n")
+	f.Add("sweep a b\n")
+	f.Add("param p NaN\nsweep x\ncount 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseSpec(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSpec(&buf, spec); err != nil {
+			t.Fatalf("accepted spec failed to serialize: %+v: %v", spec, err)
+		}
+		first := buf.String()
+		back, err := ParseSpec(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("serialized spec failed to re-parse:\n%s%v", first, err)
+		}
+		if !back.Equal(spec) {
+			t.Fatalf("round trip changed spec: %+v → %+v", spec, back)
+		}
+		buf.Reset()
+		if err := WriteSpec(&buf, back); err != nil || buf.String() != first {
+			t.Fatalf("serialization not stable:\n%s---\n%s", first, buf.String())
+		}
+	})
+}

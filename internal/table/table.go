@@ -1,0 +1,111 @@
+// Package table holds the rendered-result type shared by the experiment
+// registry and the sweep engine: an aligned plain-text/markdown table
+// with free-form notes. It lives below both so the sweep engine can emit
+// the exact tables internal/experiments renders without importing it.
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's quantitative claim being reproduced
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// FormatCells renders row cells the way AddRow does: floats as %.4f,
+// strings verbatim, everything else with %v. The sweep engine formats
+// shard records with it so checkpointed rows are byte-identical to the
+// ones a direct AddRow call would have produced.
+func FormatCells(cells ...interface{}) []string {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	return row
+}
+
+// AddRow appends a row, formatting each cell with FormatCells.
+func (t *Table) AddRow(cells ...interface{}) {
+	t.Rows = append(t.Rows, FormatCells(cells...))
+}
+
+// Note appends a free-form observation under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes an aligned plain-text rendering.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "paper claim: %s\n", t.Claim)
+	}
+	// Column widths and padding count runes, not bytes: headers like
+	// "PoS ≤" and placeholder cells like "—" must not shift columns.
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if n := utf8.RuneCountInString(cell); i < len(widths) && n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = c + strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c))
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s: %s\n\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&sb, "*Paper claim:* %s\n\n", t.Claim)
+	}
+	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n*Note:* %s\n", n)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,230 @@
+package weighted
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"netdesign/internal/game"
+	"netdesign/internal/graph"
+)
+
+// This file replaces the full product-space sweep of
+// HasPureEquilibriumNaive with a constraint-propagation search. Two sound
+// bounds drive all pruning; both follow from proportional sharing:
+//
+//   - upper bound: at equilibrium, player i's cost never exceeds her
+//     lightest path's total weight ub_i = min_p Σ_{a∈p} w_a, because
+//     deviating there costs at most Σ w_a·d_i/(load+d_i) ≤ Σ w_a;
+//   - lower bound: on any profile drawn from the current pools, i's cost
+//     on path p is at least lb_i(p) = Σ_{a∈p} w_a·d_i/maxLoad_a, where
+//     maxLoad_a sums the demands of every player some remaining path of
+//     whom crosses a.
+//
+// A path with lb_i(p) > ub_i can appear in no equilibrium, so it leaves
+// the pool; shrinking pools shrink maxLoad, which raises other players'
+// lower bounds — the filter iterates to a fixpoint (arc consistency).
+// The surviving product space is walked depth-first with the same bound
+// re-evaluated against partial loads plus the unassigned players'
+// maximum possible contribution, and exact Lemma-style equilibrium
+// checks run only at surviving leaves.
+
+// pruneSlack keeps the bounds sound under floating-point noise: the
+// exact checker (IsEquilibrium/numeric.Less) tolerates ~1e-9 slack, so
+// pruning demands a strictly larger margin.
+const pruneSlack = 1e-7
+
+// HasPureEquilibrium decides whether the game admits any pure Nash
+// equilibrium without subsidies. Same contract as the exhaustive
+// HasPureEquilibriumNaive — stateLimit caps the searched product space
+// and ErrTooManyStates signals overflow — but the cap applies after
+// constraint propagation, so instances far beyond the naive sweep
+// resolve. The returned witness (if any) is a verified equilibrium.
+func (wg *Game) HasPureEquilibrium(stateLimit int) (bool, *State, error) {
+	g := wg.G
+	n := wg.N()
+	pools := make([][][]int, n)
+	for i, pl := range wg.Players {
+		var paths [][]int
+		graph.SimplePaths(g, pl.S, pl.T, 0, func(p []int) bool {
+			paths = append(paths, p)
+			return true
+		})
+		if len(paths) == 0 {
+			return false, nil, errors.New("weighted: player has no path")
+		}
+		pools[i] = paths
+	}
+
+	ub := make([]float64, n)
+	for i := range pools {
+		ub[i] = math.Inf(1)
+		for _, p := range pools[i] {
+			if w := g.WeightOf(p); w < ub[i] {
+				ub[i] = w
+			}
+		}
+	}
+	margin := func(i int) float64 { return ub[i] + pruneSlack*(1+math.Abs(ub[i])) }
+
+	// Fixpoint filter.
+	usable := make([][]bool, n)
+	for i := range usable {
+		usable[i] = make([]bool, g.M())
+	}
+	maxLoad := make([]float64, g.M())
+	recompute := func() {
+		for a := range maxLoad {
+			maxLoad[a] = 0
+		}
+		for i := range pools {
+			u := usable[i]
+			for a := range u {
+				u[a] = false
+			}
+			for _, p := range pools[i] {
+				for _, a := range p {
+					u[a] = true
+				}
+			}
+			d := wg.Players[i].Demand
+			for a, ok := range u {
+				if ok {
+					maxLoad[a] += d
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		recompute()
+		for i := range pools {
+			d := wg.Players[i].Demand
+			kept := pools[i][:0]
+			for _, p := range pools[i] {
+				lb := 0.0
+				for _, a := range p {
+					lb += g.Weight(a) * d / maxLoad[a]
+				}
+				if lb <= margin(i) {
+					kept = append(kept, p)
+				}
+			}
+			if len(kept) == 0 {
+				// Every path of player i is too expensive under even the
+				// friendliest sharing: no equilibrium exists at all.
+				return false, nil, nil
+			}
+			if len(kept) != len(pools[i]) {
+				changed = true
+			}
+			pools[i] = kept
+		}
+	}
+
+	total := 1
+	for i := range pools {
+		total *= len(pools[i])
+		if stateLimit > 0 && total > stateLimit {
+			return false, nil, game.ErrTooManyStates
+		}
+	}
+
+	// DFS over the pruned product, tightest pools first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if la, lb := len(pools[order[a]]), len(pools[order[b]]); la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+
+	// remAfter[k][a]: total demand the players at order positions ≥ k
+	// could still place on edge a — the optimistic extra sharing a
+	// partially assigned profile may yet receive.
+	remAfter := make([][]float64, n+1)
+	remAfter[n] = make([]float64, g.M())
+	for k := n - 1; k >= 0; k-- {
+		remAfter[k] = append([]float64(nil), remAfter[k+1]...)
+		i := order[k]
+		d := wg.Players[i].Demand
+		for a, ok := range usable[i] {
+			if ok {
+				remAfter[k][a] += d
+			}
+		}
+	}
+
+	chosen := make([][]int, n)
+	for i := range chosen {
+		chosen[i] = pools[i][0]
+	}
+	scratch, err := NewState(wg, chosen)
+	if err != nil {
+		return false, nil, err
+	}
+	loads := make([]float64, g.M())
+
+	// feasible reports whether assigned player j could still reach
+	// equilibrium cost given current partial loads plus at most the
+	// unassigned demand remAfter[k].
+	feasible := func(j, k int) bool {
+		d := wg.Players[j].Demand
+		lb := 0.0
+		for _, a := range chosen[j] {
+			lb += g.Weight(a) * d / (loads[a] + remAfter[k][a])
+		}
+		return lb <= margin(j)
+	}
+
+	var dfs func(k int) (*State, error)
+	dfs = func(k int) (*State, error) {
+		if k == n {
+			scratch.resetPaths(chosen)
+			if scratch.IsEquilibrium(nil) {
+				witness := make([][]int, n)
+				for i, p := range chosen {
+					witness[i] = append([]int(nil), p...)
+				}
+				return NewState(wg, witness)
+			}
+			return nil, nil
+		}
+		i := order[k]
+		d := wg.Players[i].Demand
+		for _, p := range pools[i] {
+			chosen[i] = p
+			for _, a := range p {
+				loads[a] += d
+			}
+			ok := true
+			for t := 0; t <= k; t++ {
+				if !feasible(order[t], k+1) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				st, err := dfs(k + 1)
+				if st != nil || err != nil {
+					return st, err
+				}
+			}
+			for _, a := range p {
+				loads[a] -= d
+			}
+		}
+		return nil, nil
+	}
+	st, err := dfs(0)
+	if err != nil {
+		return false, nil, err
+	}
+	if st != nil {
+		return true, st, nil
+	}
+	return false, nil, nil
+}

@@ -355,11 +355,13 @@ func BestResponseDynamicsNaive(st *State, b game.Subsidy, maxSteps int) (*State,
 	return st, steps, ErrMayCycle
 }
 
-// HasPureEquilibrium exhaustively decides whether the game admits any
-// pure Nash equilibrium without subsidies (tiny instances only — the
-// state space is the product of players' simple-path sets, capped at
-// stateLimit).
-func (wg *Game) HasPureEquilibrium(stateLimit int) (bool, *State, error) {
+// HasPureEquilibriumNaive exhaustively decides whether the game admits
+// any pure Nash equilibrium without subsidies by sweeping the full
+// product of players' simple-path sets, capped at stateLimit. Retained
+// as the differential-test oracle for the constraint-propagation prune
+// in HasPureEquilibrium, which decides the same question on a far
+// smaller search space.
+func (wg *Game) HasPureEquilibriumNaive(stateLimit int) (bool, *State, error) {
 	pools := make([][][]int, wg.N())
 	total := 1
 	for i, pl := range wg.Players {

@@ -198,8 +198,13 @@ func TestHasPureEquilibrium(t *testing.T) {
 	if err != nil || !has || st == nil {
 		t.Fatalf("expected PNE: %v %v %v", has, st, err)
 	}
-	if _, _, err := wg.HasPureEquilibrium(1); err != game.ErrTooManyStates {
-		t.Errorf("state limit not enforced: %v", err)
+	if _, _, err := wg.HasPureEquilibriumNaive(1); err != game.ErrTooManyStates {
+		t.Errorf("state limit not enforced on the naive sweep: %v", err)
+	}
+	// The prune collapses both pools to the cheap edge (the heavy path
+	// can never beat ub = 1), so even limit 1 resolves the pruned search.
+	if has, _, err := wg.HasPureEquilibrium(1); err != nil || !has {
+		t.Errorf("pruned search under limit 1: %v %v", has, err)
 	}
 }
 
