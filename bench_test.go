@@ -203,9 +203,78 @@ func BenchmarkBroadcastLP64(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sne.SolveBroadcastLP(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastLPDense64 is the dense two-phase tableau oracle on
+// the same instance: the baseline the sparse revised simplex replaced.
+func BenchmarkBroadcastLPDense64(b *testing.B) {
+	st, err := gadgets.CycleInstance(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sne.SolveBroadcastLPNaive(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRowGenState expands the E1/E11 random broadcast family into the
+// general game the row-generation solver consumes.
+func benchRowGenState(b *testing.B, n int) *game.State {
+	b.Helper()
+	st := randomState(b, n)
+	_, gst, err := st.ToGeneral(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gst
+}
+
+// BenchmarkRowGen40 runs the full warm-started constraint-generation
+// loop (Dijkstra separation + AddRow + ResolveFrom per round) on the
+// E1/E11 instance family. PR 3 rebuilt and re-solved a dense tableau
+// every round; the revised simplex re-solves from the incumbent basis.
+func BenchmarkRowGen40(b *testing.B) {
+	gst := benchRowGenState(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sne.SolveRowGeneration(gst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowGen100(b *testing.B) {
+	gst := benchRowGenState(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sne.SolveRowGeneration(gst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWilsonUST400 samples a uniform spanning tree on the sweep-
+// scale random graph (the pos-swap start diversifier).
+func BenchmarkWilsonUST400(b *testing.B) {
+	g := benchGraph(400, 0.05)
+	rng := rand.New(rand.NewSource(31))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.WilsonUST(g, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -337,6 +406,7 @@ func BenchmarkE19_Arrival(b *testing.B)    { benchExperiment(b, "E19") }
 
 func BenchmarkE20_SwapPoS(b *testing.B)      { benchExperiment(b, "E20") }
 func BenchmarkE21_EnforceSweep(b *testing.B) { benchExperiment(b, "E21") }
+func BenchmarkE22_SNELPSweep(b *testing.B)   { benchExperiment(b, "E22") }
 
 // --- incremental swap engine vs rebuild (PR 2) ---
 

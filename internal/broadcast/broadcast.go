@@ -146,6 +146,16 @@ func (st *State) deviationSums(b game.Subsidy) []float64 {
 	return append([]float64(nil), dev...)
 }
 
+// PrefixSums exposes the memoized Lemma-2 prefix sums under b: up[u] is
+// the cost the player at u pays on her tree path, dev[v] what a newcomer
+// would pay joining v's path to the root. The slices belong to the
+// State's cache — they are read-only and valid until the next call with
+// a different subsidy. On a warm cache this allocates nothing; it is the
+// batch substrate the SNE LP row generators emit rows from.
+func (st *State) PrefixSums(b game.Subsidy) (up, dev []float64) {
+	return st.prefixSums(b)
+}
+
 // prefixSums returns the memoized Lemma-2 prefix sums under b. The
 // returned slices belong to the cache: they are valid until the next
 // call with a different subsidy and must not be modified.

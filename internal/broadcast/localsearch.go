@@ -28,8 +28,12 @@ func (e *PoSEstimate) PoS() float64 { return e.BestEq / e.OptWeight }
 // multi-start local search on the spanning-tree swap graph: the MST plus
 // starts−1 random spanning trees each descend via SwapDynamics (the
 // potential guard guarantees termination), and every run that converges
-// to a genuine equilibrium contributes an upper-bound candidate. One
-// State walks all starts through MorphTo, so the search stays on the
+// to a genuine equilibrium contributes an upper-bound candidate. Random
+// starts alternate between shuffled-Kruskal trees (cheap, weight-biased
+// toward light trees) and Wilson uniform spanning trees (exactly uniform
+// over the whole tree landscape), so the search covers both the
+// near-optimal basin and the heavy tail the Kruskal bias under-samples.
+// One State walks all starts through MorphTo, so the search stays on the
 // incremental swap engine with no per-start rebuild. Deterministic for a
 // given rng.
 func EstimatePoS(bg *Game, b game.Subsidy, starts, maxSteps int, rng *rand.Rand) (*PoSEstimate, error) {
@@ -47,7 +51,13 @@ func EstimatePoS(bg *Game, b game.Subsidy, starts, maxSteps int, rng *rand.Rand)
 	}
 	for s := 0; s < starts; s++ {
 		if s > 0 {
-			start, err := graph.RandomSpanningTree(bg.G, rng)
+			var start []int
+			var err error
+			if s%2 == 0 {
+				start, err = graph.WilsonUST(bg.G, rng)
+			} else {
+				start, err = graph.RandomSpanningTree(bg.G, rng)
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -270,14 +270,20 @@ func SolveSNE(st *State, maxIters int) (game.Subsidy, float64, error) {
 		maxIters = 10000
 	}
 	d := st.game.D
-	varOf := map[int]int{}
+	varOf := make([]int, d.M())
 	model := lp.NewModel()
 	for id, u := range st.usage {
 		if u > 0 {
 			varOf[id] = model.AddVar(1, d.Weight(id))
+		} else {
+			varOf[id] = -1
 		}
 	}
 	b := make(game.Subsidy, d.M())
+	onPath := make([]bool, d.M())
+	cols := make([]int, 0, 16)
+	vals := make([]float64, 0, 16)
+	var basis *lp.Basis
 	for iter := 0; iter < maxIters; iter++ {
 		violID := -1
 		var violPath []int
@@ -294,18 +300,18 @@ func SolveSNE(st *State, maxIters int) (game.Subsidy, float64, error) {
 			}
 			return b, b.Cost(), nil
 		}
-		onPath := map[int]bool{}
 		for _, id := range violPath {
 			onPath[id] = true
 		}
-		coefs := map[int]float64{}
+		cols, vals = cols[:0], vals[:0]
 		rhs := 0.0
 		for _, id := range st.Paths[violID] {
 			if onPath[id] {
 				continue
 			}
 			na := float64(st.usage[id])
-			coefs[varOf[id]] += 1 / na
+			cols = append(cols, varOf[id])
+			vals = append(vals, 1/na)
 			rhs += d.Weight(id) / na
 		}
 		for _, id := range violPath {
@@ -313,21 +319,28 @@ func SolveSNE(st *State, maxIters int) (game.Subsidy, float64, error) {
 				continue
 			}
 			den := float64(st.usage[id] + 1)
-			if j, ok := varOf[id]; ok {
-				coefs[j] -= 1 / den
+			if j := varOf[id]; j >= 0 {
+				cols = append(cols, j)
+				vals = append(vals, -1/den)
 			}
 			rhs -= d.Weight(id) / den
 		}
-		model.AddConstraint(coefs, lp.GE, rhs)
-		sol, err := model.Solve()
+		for _, id := range violPath {
+			onPath[id] = false
+		}
+		model.AddRow(cols, vals, lp.GE, rhs)
+		sol, err := model.ResolveFrom(basis)
 		if err != nil {
 			return nil, 0, err
 		}
 		if sol.Status != lp.Optimal {
 			return nil, 0, fmt.Errorf("directed: SNE LP status %v", sol.Status)
 		}
+		basis = sol.Basis
 		for id, j := range varOf {
-			b[id] = numeric.Clamp(sol.X[j], 0, d.Weight(id))
+			if j >= 0 {
+				b[id] = numeric.Clamp(sol.X[j], 0, d.Weight(id))
+			}
 		}
 	}
 	return nil, 0, errors.New("directed: SNE row generation exceeded budget")

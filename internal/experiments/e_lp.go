@@ -3,7 +3,6 @@ package experiments
 import (
 	"math"
 	"math/rand"
-	"time"
 
 	"netdesign/internal/broadcast"
 	"netdesign/internal/graph"
@@ -13,15 +12,19 @@ import (
 // RunE1LPAgreement reproduces Theorem 1: SNE is solvable in polynomial
 // time by linear programming. It solves random broadcast SNE instances
 // with the compact broadcast LP (3), the polynomial general LP (2) and
-// constraint generation over LP (1), reporting the three optima (they
-// must agree), the maximum discrepancy and wall-clock scaling.
+// warm-started constraint generation over LP (1), reporting the three
+// optima (they must agree) and the maximum discrepancy. Work is reported
+// as deterministic simplex pivot counts rather than wall-clock, so the
+// table is byte-for-byte reproducible and golden-pinned (testdata/
+// E1.golden); the wall-clock story lives in BenchmarkE1 and the BENCH
+// trajectory files.
 func RunE1LPAgreement(cfg Config) (*Table, error) {
 	rng := rand.New(rand.NewSource(cfg.seed()))
 	tb := &Table{
 		ID:      "E1",
 		Title:   "SNE optimal subsidies: LP(3) vs LP(2) vs row generation",
 		Claim:   "Theorem 1: SNE ∈ P; all LP formulations share one optimum",
-		Headers: []string{"n", "edges", "LP3 cost", "LP2 cost", "rowgen cost", "max |Δ|", "LP3 time", "LP2 time", "rowgen iters"},
+		Headers: []string{"n", "edges", "LP3 cost", "LP2 cost", "rowgen cost", "max |Δ|", "LP3 pivots", "LP2 pivots", "rowgen iters", "rowgen pivots"},
 	}
 	sizes := []int{4, 6, 8, 10, 12}
 	if cfg.Quick {
@@ -44,22 +47,18 @@ func RunE1LPAgreement(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t0 := time.Now()
 		r3, err := sne.SolveBroadcastLP(st)
 		if err != nil {
 			return nil, err
 		}
-		d3 := time.Since(t0)
 		_, gst, err := st.ToGeneral(1000)
 		if err != nil {
 			return nil, err
 		}
-		t1 := time.Now()
 		r2, err := sne.SolveGeneralLP(gst)
 		if err != nil {
 			return nil, err
 		}
-		d2 := time.Since(t1)
 		r1, err := sne.SolveRowGeneration(gst, 0)
 		if err != nil {
 			return nil, err
@@ -69,7 +68,7 @@ func RunE1LPAgreement(cfg Config) (*Table, error) {
 			worst = delta
 		}
 		tb.AddRow(n, g.M(), r3.Cost, r2.Cost, r1.Cost, delta,
-			d3.Round(time.Microsecond).String(), d2.Round(time.Microsecond).String(), r1.Iterations)
+			r3.Pivots, r2.Pivots, r1.Iterations, r1.Pivots)
 	}
 	tb.Note("maximum cross-formulation discrepancy over the sweep: %.2e", worst)
 	return tb, nil

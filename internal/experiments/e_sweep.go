@@ -44,3 +44,23 @@ func E21Spec(cfg Config) sweep.Spec {
 	}
 	return sweep.Spec{Scenario: "enforce", Seed: cfg.seed(), Count: count, Size: size}
 }
+
+// RunE22SNELPSweep runs the Theorem-1 LP optimum itself as a sweep
+// family (`sne-lp` scenario): per-instance optimal enforcement cost and
+// simplex work through the sparse revised-simplex core, under the same
+// sharded/checkpointed harness as every other heavy experiment. Paired
+// with E21 it reports the gap between the universal 1/e budget and what
+// an optimal designer pays instance by instance.
+func RunE22SNELPSweep(cfg Config) (*Table, error) {
+	return sweep.RunTable(E22Spec(cfg), 1)
+}
+
+// E22Spec is the sweep spec behind RunE22SNELPSweep, shared with
+// cmd/sweep.
+func E22Spec(cfg Config) sweep.Spec {
+	count, size := 10, 24
+	if cfg.Quick {
+		count, size = 4, 10
+	}
+	return sweep.Spec{Scenario: "sne-lp", Seed: cfg.seed(), Count: count, Size: size}
+}

@@ -54,6 +54,7 @@ func Registry() []Experiment {
 		{ID: "E19", Title: "Online arrival + convergence quality", Artifact: "Related work [12,13]", Run: RunE19Arrival},
 		{ID: "E20", Title: "Large-n PoS estimation via swap-descent local search", Artifact: "Section 1 context at sweep scale (swap engine)", Run: RunE20SwapPoS},
 		{ID: "E21", Title: "Theorem-6 enforcement cost at sweep scale", Artifact: "Theorem 6 (sharded sweep family)", Run: RunE21EnforceSweep},
+		{ID: "E22", Title: "Optimal SNE subsidies at sweep scale", Artifact: "Theorem 1 LP optimum (sharded sweep family, revised simplex)", Run: RunE22SNELPSweep},
 	}
 }
 

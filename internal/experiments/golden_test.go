@@ -11,11 +11,13 @@ import (
 var update = flag.Bool("update", false, "rewrite the testdata golden files")
 
 // goldenIDs is the deterministic registry subset pinned by golden files:
-// experiments whose quick-mode tables depend only on the seed (no LP
-// simplex pivoting, no wall-clock), so a byte diff means a real
-// formatting or computation regression. E9/E20/E21 also pin the
-// sweep-scenario output shape end to end.
-var goldenIDs = []string{"E2", "E5b", "E6", "E8", "E9", "E20", "E21"}
+// experiments whose quick-mode tables depend only on the seed (no
+// wall-clock), so a byte diff means a real formatting or computation
+// regression. E9/E20/E21 also pin the sweep-scenario output shape end to
+// end; E1 and E11 pin the sparse revised-simplex LP rebase byte for byte
+// (E1 reports deterministic pivot counts in place of its old wall-clock
+// columns exactly so it can live here).
+var goldenIDs = []string{"E1", "E2", "E5b", "E6", "E8", "E9", "E11", "E20", "E21", "E22"}
 
 // TestGoldenTables renders each pinned experiment at a fixed quick-mode
 // config and compares byte-for-byte against testdata/<ID>.golden.

@@ -1,0 +1,51 @@
+package graph
+
+import "math/rand"
+
+// WilsonUST samples a uniformly random spanning tree of g by Wilson's
+// algorithm: loop-erased random walks from each uncovered node to the
+// growing tree. Unlike RandomSpanningTree (shuffled Kruskal, biased
+// toward short trees on weighted graphs), the output is exactly uniform
+// over all spanning trees — on multigraphs, parallel edges count as
+// distinct trees, which the uniform-neighbor walk handles for free.
+// Deterministic for a given rng; g must be connected.
+//
+// Expected running time is O(mean hitting time), comfortably small on
+// the random graphs the sweeps feed it; it exists to diversify the
+// starts of multi-start local search (broadcast.EstimatePoS and the
+// pos-swap scenario), where the Kruskal bias systematically under-covers
+// the heavy side of the tree landscape.
+func WilsonUST(g *Graph, rng *rand.Rand) ([]int, error) {
+	if !g.Connected() {
+		return nil, ErrDisconnected
+	}
+	n := g.N()
+	if n <= 1 {
+		return []int{}, nil // trivially spanned, no edges to choose
+	}
+	inTree := make([]bool, n)
+	// next[u] is the adjacency slot the current walk last left u through;
+	// loop erasure is implicit — revisiting u overwrites the slot, so the
+	// retraced path is the walk with its loops cut out.
+	next := make([]int, n)
+	inTree[0] = true
+	tree := make([]int, 0, n-1)
+	for start := 1; start < n; start++ {
+		if inTree[start] {
+			continue
+		}
+		u := start
+		for !inTree[u] {
+			k := rng.Intn(g.Degree(u))
+			next[u] = k
+			u = g.Adj(u)[k].To
+		}
+		for u = start; !inTree[u]; {
+			inTree[u] = true
+			h := g.Adj(u)[next[u]]
+			tree = append(tree, h.Edge)
+			u = h.To
+		}
+	}
+	return tree, nil
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestWilsonUSTIsSpanningTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(12)
+		g := RandomConnected(rng, n, 0.4, 0.5, 2)
+		tree, err := WilsonUST(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsSpanningTree(tree) {
+			t.Fatalf("trial %d: %v is not a spanning tree of n=%d", trial, tree, n)
+		}
+	}
+}
+
+func TestWilsonUSTDeterministicPerSeed(t *testing.T) {
+	g := RandomConnected(rand.New(rand.NewSource(3)), 10, 0.5, 0.5, 2)
+	t1, err := WilsonUST(g, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := WilsonUST(g, rand.New(rand.NewSource(7)))
+	if fmt.Sprint(t1) != fmt.Sprint(t2) {
+		t.Fatalf("same seed diverged: %v vs %v", t1, t2)
+	}
+}
+
+func TestWilsonUSTDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 0; n <= 1; n++ {
+		tree, err := WilsonUST(New(n), rng)
+		if err != nil || len(tree) != 0 {
+			t.Fatalf("n=%d: %v %v", n, tree, err)
+		}
+	}
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	if _, err := WilsonUST(g, rng); err != ErrDisconnected {
+		t.Fatalf("disconnected graph: err = %v", err)
+	}
+}
+
+// TestWilsonUSTUniform checks the defining property on K4, which has 16
+// spanning trees: every tree must appear with frequency close to 1/16.
+// (The shuffled-Kruskal sampler fails this test on weighted graphs —
+// that bias is why Wilson exists here.)
+func TestWilsonUSTUniform(t *testing.T) {
+	g := Complete(4, func(i, j int) float64 { return 1 })
+	rng := rand.New(rand.NewSource(99))
+	const samples = 16000
+	counts := map[string]int{}
+	for s := 0; s < samples; s++ {
+		tree, err := WilsonUST(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Ints(tree)
+		counts[fmt.Sprint(tree)]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("K4 has 16 spanning trees; sampled %d distinct", len(counts))
+	}
+	want := float64(samples) / 16
+	for tr, c := range counts {
+		if f := float64(c); f < 0.8*want || f > 1.2*want {
+			t.Errorf("tree %s sampled %d times, want ≈ %.0f (±20%%)", tr, c, want)
+		}
+	}
+}
+
+// TestWilsonUSTParallelEdges: on a two-node multigraph with k parallel
+// edges each edge is its own spanning tree and must be sampled uniformly.
+func TestWilsonUSTParallelEdges(t *testing.T) {
+	g := New(2)
+	for k := 0; k < 4; k++ {
+		g.AddEdge(0, 1, float64(k+1))
+	}
+	rng := rand.New(rand.NewSource(23))
+	counts := make([]int, 4)
+	const samples = 8000
+	for s := 0; s < samples; s++ {
+		tree, err := WilsonUST(g, rng)
+		if err != nil || len(tree) != 1 {
+			t.Fatal(tree, err)
+		}
+		counts[tree[0]]++
+	}
+	for id, c := range counts {
+		if f := float64(c); f < 0.8*samples/4 || f > 1.2*samples/4 {
+			t.Errorf("parallel edge %d sampled %d/%d times, want ≈ 1/4", id, c, samples)
+		}
+	}
+}

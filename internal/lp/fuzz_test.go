@@ -1,0 +1,92 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLPSolve fuzzes the sparse revised simplex against the dense
+// tableau oracle on feasible-by-construction models: a witness point x*
+// is decoded from the fuzz bytes first, and every row's RHS is then
+// offset from a·x* so that x* satisfies it. Both solvers must agree the
+// model is Optimal (it cannot be infeasible, and costs are non-negative
+// so it cannot be unbounded), match objectives, and return points the
+// model's independent Feasible check accepts.
+func FuzzLPSolve(f *testing.F) {
+	f.Add([]byte{3, 200, 10, 30, 50, 2, 0, 7, 120, 1, 1, 3, 200, 90})
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{5, 9, 9, 9, 9, 9, 4, 2, 33, 44, 55, 66, 77, 88, 99, 11, 22})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		nv := 1 + int(next())%6
+		m := NewModel()
+		xs := make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			cost := float64(next()%8) / 2 // ≥ 0: minimization stays bounded
+			ub := math.Inf(1)
+			hi := 8.0
+			if next()%2 == 0 {
+				ub = 0.5 + float64(next()%16)/2
+				hi = ub
+			}
+			m.AddVar(cost, ub)
+			xs[j] = math.Min(hi, float64(next()%16)/2) // witness inside [0, ub]
+		}
+		rows := int(next()) % 10
+		for k := 0; k < rows; k++ {
+			coefs := map[int]float64{}
+			lhs := 0.0
+			for j := 0; j < nv; j++ {
+				if next()%2 == 0 {
+					c := float64(int(next())%9-4) / 2
+					coefs[j] = c
+					lhs += c * xs[j]
+				}
+			}
+			// Margined offsets keep the witness interior, so tolerance
+			// differences between the solvers cannot flip the status.
+			off := 0.25 + float64(next()%8)/4
+			switch next() % 3 {
+			case 0:
+				m.AddConstraint(coefs, LE, lhs+off)
+			case 1:
+				m.AddConstraint(coefs, GE, lhs-off)
+			default:
+				m.AddConstraint(coefs, EQ, lhs)
+			}
+		}
+		if !m.Feasible(xs, 1e-9) {
+			t.Fatalf("witness construction broken: %v", xs)
+		}
+		sp, err := m.Solve()
+		if err != nil {
+			t.Fatalf("sparse: %v", err)
+		}
+		dn, err := m.SolveDense()
+		if err != nil {
+			t.Fatalf("dense: %v", err)
+		}
+		if sp.Status != Optimal || dn.Status != Optimal {
+			t.Fatalf("feasible bounded model: sparse %v dense %v", sp.Status, dn.Status)
+		}
+		if !m.Feasible(sp.X, 1e-6) {
+			t.Fatalf("sparse optimum infeasible: %v", sp.X)
+		}
+		if !m.Feasible(dn.X, 1e-6) {
+			t.Fatalf("dense optimum infeasible: %v", dn.X)
+		}
+		if diff := math.Abs(sp.Objective - dn.Objective); diff > 1e-6*(1+math.Abs(dn.Objective)) {
+			t.Fatalf("objectives diverge: sparse %v dense %v", sp.Objective, dn.Objective)
+		}
+		if sp.Objective > m.Value(xs)+1e-6*(1+math.Abs(m.Value(xs))) {
+			t.Fatalf("witness beats 'optimum': %v < %v", m.Value(xs), sp.Objective)
+		}
+	})
+}

@@ -397,13 +397,14 @@ func TestDualityCertificate(t *testing.T) {
 		}
 		// Complementary slackness: a constraint with strict slack has a
 		// zero multiplier.
-		for i, c := range m.cons {
+		for i := 0; i < m.NumConstraints(); i++ {
+			cols, vals, op, rhs := m.Row(i)
 			lhs := 0.0
-			for j, coef := range c.Coefs {
-				lhs += coef * sol.X[j]
+			for k, j := range cols {
+				lhs += vals[k] * sol.X[j]
 			}
-			slack := math.Abs(c.RHS - lhs)
-			if c.Op != EQ && slack > 1e-5 && math.Abs(sol.Duals[i]) > 1e-6 {
+			slack := math.Abs(rhs - lhs)
+			if op != EQ && slack > 1e-5 && math.Abs(sol.Duals[i]) > 1e-6 {
 				t.Fatalf("trial %d: constraint %d slack %v but dual %v", trial, i, slack, sol.Duals[i])
 			}
 		}

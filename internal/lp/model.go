@@ -1,17 +1,23 @@
-// Package lp implements linear programming from scratch: a model builder
-// and a dense two-phase primal simplex solver with Dantzig pricing and a
-// Bland's-rule fallback for anti-cycling.
+// Package lp implements linear programming from scratch, twice over:
+//
+//   - a sparse revised-simplex core (Solve / ResolveFrom) with a CSR
+//     constraint store, an LU + eta-file basis factorization, native
+//     variable bounds and first-class warm starts — Solve returns a
+//     reusable Basis, and AddRow followed by ResolveFrom re-solves from
+//     the dual-feasible incumbent, which is exactly the shape of the SNE
+//     row-generation loop (Theorem 1);
+//   - the original dense two-phase tableau, retained as SolveDense: the
+//     differential-test oracle every sparse result is held to.
 //
 // The paper's Theorem 1 shows STABLE NETWORK ENFORCEMENT is in P via
 // linear programming; the Go standard library has no LP solver, so this
 // package is the substrate standing in for the paper's LP machinery.
-// Problem sizes here are modest (hundreds of variables/rows), so a dense
-// tableau is the right trade-off: simple, auditable and fast enough.
 package lp
 
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Op is a constraint relation.
@@ -36,31 +42,59 @@ func (o Op) String() string {
 	return "?"
 }
 
-// Constraint is a sparse linear constraint over model variables.
-type Constraint struct {
-	Coefs map[int]float64
-	Op    Op
-	RHS   float64
-}
-
 // Model is a linear program: minimize obj·x subject to constraints, with
 // every variable bounded below by 0 and above by an optional finite upper
 // bound. (Lower bounds other than zero are not needed anywhere in this
 // library — subsidies live in [0, w_a].)
+//
+// Constraints are stored append-only in compressed sparse row form: one
+// flat (cols, vals) arena shared by all rows, so emitting a row costs two
+// slice appends and no per-constraint map.
 type Model struct {
-	obj  []float64
-	ub   []float64 // +Inf when unbounded above
-	cons []Constraint
+	obj []float64
+	ub  []float64 // +Inf when unbounded above
+
+	rowStart []int // len NumConstraints()+1; row i spans [rowStart[i], rowStart[i+1])
+	cols     []int
+	vals     []float64
+	ops      []Op
+	rhs      []float64
 }
 
 // NewModel returns an empty model.
-func NewModel() *Model { return &Model{} }
+func NewModel() *Model { return &Model{rowStart: []int{0}} }
+
+// Grow preallocates capacity for nVars variables, nRows constraints and
+// nnz nonzero coefficients, so batch emitters (the SNE row builders)
+// append without reallocation. Purely an optimization hint.
+func (m *Model) Grow(nVars, nRows, nnz int) {
+	if cap(m.obj)-len(m.obj) < nVars {
+		m.obj = append(make([]float64, 0, len(m.obj)+nVars), m.obj...)
+		m.ub = append(make([]float64, 0, len(m.ub)+nVars), m.ub...)
+	}
+	if cap(m.ops)-len(m.ops) < nRows {
+		m.ops = append(make([]Op, 0, len(m.ops)+nRows), m.ops...)
+		m.rhs = append(make([]float64, 0, len(m.rhs)+nRows), m.rhs...)
+		m.rowStart = append(make([]int, 0, len(m.rowStart)+nRows), m.rowStart...)
+	}
+	if cap(m.cols)-len(m.cols) < nnz {
+		m.cols = append(make([]int, 0, len(m.cols)+nnz), m.cols...)
+		m.vals = append(make([]float64, 0, len(m.vals)+nnz), m.vals...)
+	}
+}
 
 // AddVar appends a variable with the given objective coefficient and upper
-// bound (use math.Inf(1) for none) and returns its index.
+// bound (use math.Inf(1) for none) and returns its index. Finite bounds
+// above 1e100 are normalized to +∞ at entry — they are pseudo-infinities
+// numerically (a bound step of that size overflows downstream
+// arithmetic), and normalizing here guarantees the sparse solver and the
+// dense oracle see the identical model.
 func (m *Model) AddVar(objCoef, ub float64) int {
 	if math.IsNaN(objCoef) || math.IsNaN(ub) || ub < 0 {
 		panic(fmt.Sprintf("lp: invalid variable (obj=%v ub=%v)", objCoef, ub))
+	}
+	if ub > hugeBound {
+		ub = math.Inf(1)
 	}
 	m.obj = append(m.obj, objCoef)
 	m.ub = append(m.ub, ub)
@@ -71,28 +105,78 @@ func (m *Model) AddVar(objCoef, ub float64) int {
 func (m *Model) NumVars() int { return len(m.obj) }
 
 // NumConstraints returns the number of explicit constraints (upper bounds
-// are not counted; they are expanded internally at solve time).
-func (m *Model) NumConstraints() int { return len(m.cons) }
+// are not counted; the solvers handle them natively or expand them).
+func (m *Model) NumConstraints() int { return len(m.ops) }
 
-// AddConstraint appends Σ coefs[i]·x_i  op  rhs. Variables absent from
-// coefs have coefficient zero. Zero coefficients are dropped.
-func (m *Model) AddConstraint(coefs map[int]float64, op Op, rhs float64) {
+// AddRow appends the sparse constraint Σ vals[k]·x_cols[k]  op  rhs.
+// Zero coefficients are dropped. Duplicate column indices are legal and
+// mean summed coefficients (every consumer accumulates row entries);
+// Row exposes the raw entries, so anything reading rows back must
+// accumulate too, never index-assign. This is the allocation-light
+// emission path row generators should use: the caller's slices are
+// copied into the model's CSR arena and may be reused immediately.
+func (m *Model) AddRow(cols []int, vals []float64, op Op, rhs float64) {
+	if len(cols) != len(vals) {
+		panic(fmt.Sprintf("lp: AddRow with %d columns but %d values", len(cols), len(vals)))
+	}
 	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
 		panic("lp: invalid RHS")
 	}
-	clean := make(map[int]float64, len(coefs))
-	for j, c := range coefs {
+	for k, j := range cols {
 		if j < 0 || j >= len(m.obj) {
 			panic(fmt.Sprintf("lp: constraint references unknown variable %d", j))
 		}
-		if math.IsNaN(c) || math.IsInf(c, 0) {
+		v := vals[k]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
 			panic("lp: invalid coefficient")
 		}
-		if c != 0 {
-			clean[j] = c
+		if v != 0 {
+			m.cols = append(m.cols, j)
+			m.vals = append(m.vals, v)
 		}
 	}
-	m.cons = append(m.cons, Constraint{Coefs: clean, Op: op, RHS: rhs})
+	m.rowStart = append(m.rowStart, len(m.cols))
+	m.ops = append(m.ops, op)
+	m.rhs = append(m.rhs, rhs)
+}
+
+// AddConstraint appends Σ coefs[i]·x_i  op  rhs. Variables absent from
+// coefs have coefficient zero. Zero coefficients are dropped. It is the
+// map-based convenience wrapper over AddRow (columns are emitted in
+// sorted order, so models built either way are identical).
+func (m *Model) AddConstraint(coefs map[int]float64, op Op, rhs float64) {
+	cols := make([]int, 0, len(coefs))
+	for j := range coefs {
+		cols = append(cols, j)
+	}
+	sort.Ints(cols)
+	vals := make([]float64, len(cols))
+	for k, j := range cols {
+		vals[k] = coefs[j]
+	}
+	m.AddRow(cols, vals, op, rhs)
+}
+
+// Row returns constraint i as (cols, vals, op, rhs). The slices alias the
+// model's arena and must not be modified.
+func (m *Model) Row(i int) ([]int, []float64, Op, float64) {
+	lo, hi := m.rowStart[i], m.rowStart[i+1]
+	return m.cols[lo:hi], m.vals[lo:hi], m.ops[i], m.rhs[i]
+}
+
+// Clone returns a deep copy of the model. Useful for benchmarking warm
+// starts (clone the base model, append rows, ResolveFrom) and for
+// differential tests that solve the same model twice.
+func (m *Model) Clone() *Model {
+	return &Model{
+		obj:      append([]float64(nil), m.obj...),
+		ub:       append([]float64(nil), m.ub...),
+		rowStart: append([]int(nil), m.rowStart...),
+		cols:     append([]int(nil), m.cols...),
+		vals:     append([]float64(nil), m.vals...),
+		ops:      append([]Op(nil), m.ops...),
+		rhs:      append([]float64(nil), m.rhs...),
+	}
 }
 
 // Status reports the outcome of a solve.
@@ -124,6 +208,11 @@ type Solution struct {
 	Objective float64   // objective value (valid when Status == Optimal)
 	Pivots    int       // simplex pivot count, for benchmarking
 
+	// Basis is the optimal basis of a sparse Solve/ResolveFrom (nil from
+	// SolveDense). Feed it back to ResolveFrom after AddRow to re-solve
+	// from the dual-feasible incumbent instead of from scratch.
+	Basis *Basis
+
 	// Duals holds the shadow price of each user constraint (in the
 	// orientation it was written), valid when Status == Optimal. In the
 	// SNE LPs these measure how binding each deviation constraint is:
@@ -147,24 +236,25 @@ func (m *Model) Feasible(x []float64, tol float64) bool {
 			return false
 		}
 	}
-	for _, c := range m.cons {
+	for i := range m.ops {
 		lhs := 0.0
 		scale := 1.0
-		for j, coef := range c.Coefs {
-			lhs += coef * x[j]
-			scale += math.Abs(coef * x[j])
+		for k := m.rowStart[i]; k < m.rowStart[i+1]; k++ {
+			t := m.vals[k] * x[m.cols[k]]
+			lhs += t
+			scale += math.Abs(t)
 		}
-		switch c.Op {
+		switch m.ops[i] {
 		case LE:
-			if lhs > c.RHS+tol*scale {
+			if lhs > m.rhs[i]+tol*scale {
 				return false
 			}
 		case GE:
-			if lhs < c.RHS-tol*scale {
+			if lhs < m.rhs[i]-tol*scale {
 				return false
 			}
 		case EQ:
-			if math.Abs(lhs-c.RHS) > tol*scale {
+			if math.Abs(lhs-m.rhs[i]) > tol*scale {
 				return false
 			}
 		}

@@ -1,0 +1,813 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file is the sparse revised simplex: the production solver behind
+// Solve and ResolveFrom.
+//
+// The model is brought to the equality form  A·x + s = b  with one
+// logical variable s_i per row (LE: s ∈ [0,∞), GE: s ∈ (−∞,0],
+// EQ: s ∈ [0,0]) and the structural bounds 0 ≤ x ≤ u handled natively by
+// the bounded-variable pivot rules — no bound rows, no artificials. The
+// basis inverse is never formed: a dense LU factorization of the m×m
+// basis (m = user rows only) answers FTRAN/BTRAN, with an eta file of
+// product-form updates between refactorizations.
+//
+// Solve runs dual simplex from the all-logical basis under the shifted
+// cost ĉ = max(c,0) — always dual feasible — then primal simplex under
+// the true cost; when c ≥ 0 (every SNE model) the first phase is already
+// the whole solve. ResolveFrom restores a previous optimal Basis, seats
+// the logicals of freshly added rows, and re-solves with the dual
+// simplex alone: the inherited basis stays dual feasible, so only the
+// primal infeasibility introduced by the new rows has to be repaired.
+// That is the Theorem-1 row-generation loop in basis form.
+
+// hugeBound is the threshold beyond which an upper bound is treated as
+// +∞ (callers occasionally use 1e308 as a stand-in for "unbounded";
+// taken literally, a bound flip of that size would overflow the basic
+// values). Documented on AddVar — the dense oracle takes such bounds
+// literally, so genuinely finite bounds belong far below this.
+const hugeBound = 1e100
+
+// refactorEvery bounds the eta file: after this many product-form
+// updates the basis is refactorized from scratch.
+const refactorEvery = 64
+
+// Nonbasic/basic variable states.
+const (
+	nbLower int8 = iota // nonbasic at lower bound
+	nbUpper             // nonbasic at upper bound
+	inBasis             // basic
+)
+
+// Basis is a reusable snapshot of a revised-simplex basis: which column
+// (structural j < NumVars, logical NumVars+i for row i) is basic in each
+// row, and at which bound every nonbasic column rests. Solve attaches the
+// optimal basis to its Solution; after AddRow, ResolveFrom(basis) warm
+// starts from it.
+type Basis struct {
+	nVars  int
+	nRows  int
+	status []int8
+	basic  []int
+}
+
+// eta is one product-form update: after a pivot on row r with entering
+// tableau column w, B_new = B_old · E where E is the identity with column
+// r replaced by w. Stored sparsely (rows with w_i ≠ 0, i ≠ r).
+type eta struct {
+	r   int
+	pr  float64 // w_r, the pivot element
+	idx []int32
+	val []float64
+}
+
+// sparse is the per-solve state of the revised simplex.
+type sparse struct {
+	model *Model
+	n     int // structural variables
+	mr    int // rows
+	nc    int // n + mr columns
+
+	lo, up []float64 // per-column bounds
+	cost   []float64 // current phase's cost per column
+	real   []float64 // true cost per column
+
+	// CSC of the structural columns (logical columns are implicit e_i).
+	colStart []int
+	colRow   []int
+	colVal   []float64
+
+	status []int8
+	basic  []int     // basic[i] = column basic in row i
+	xB     []float64 // value of the basic variable of each row
+
+	// LU factorization of the basis (row-major, partial pivoting) plus
+	// the eta file of updates since the last refactorization.
+	lu   []float64
+	piv  []int
+	etas []eta
+
+	y    []float64 // duals of the current cost vector
+	d    []float64 // reduced costs per column
+	wcol []float64 // FTRAN scratch
+	rrow []float64 // BTRAN scratch
+
+	pivots int
+}
+
+var errSingularBasis = errors.New("lp: singular basis")
+
+func newSparse(m *Model) *sparse {
+	n := len(m.obj)
+	mr := len(m.ops)
+	s := &sparse{
+		model: m, n: n, mr: mr, nc: n + mr,
+		lo: make([]float64, n+mr), up: make([]float64, n+mr),
+		cost: make([]float64, n+mr), real: make([]float64, n+mr),
+		status: make([]int8, n+mr), basic: make([]int, mr),
+		xB: make([]float64, mr),
+		lu: make([]float64, mr*mr), piv: make([]int, mr),
+		y: make([]float64, mr), d: make([]float64, n+mr),
+		wcol: make([]float64, mr), rrow: make([]float64, mr),
+	}
+	for j := 0; j < n; j++ {
+		s.lo[j] = 0
+		s.up[j] = m.ub[j]
+		if s.up[j] > hugeBound {
+			s.up[j] = math.Inf(1)
+		}
+		s.real[j] = m.obj[j]
+	}
+	for i := 0; i < mr; i++ {
+		c := n + i
+		switch m.ops[i] {
+		case LE:
+			s.lo[c], s.up[c] = 0, math.Inf(1)
+		case GE:
+			s.lo[c], s.up[c] = math.Inf(-1), 0
+		case EQ:
+			s.lo[c], s.up[c] = 0, 0
+		}
+	}
+	s.buildCSC()
+	return s
+}
+
+// buildCSC transposes the model's CSR rows into per-column form, which
+// FTRAN (gathering one column) and pricing need.
+func (s *sparse) buildCSC() {
+	m := s.model
+	nnz := len(m.cols)
+	s.colStart = make([]int, s.n+1)
+	for _, j := range m.cols {
+		s.colStart[j+1]++
+	}
+	for j := 0; j < s.n; j++ {
+		s.colStart[j+1] += s.colStart[j]
+	}
+	s.colRow = make([]int, nnz)
+	s.colVal = make([]float64, nnz)
+	next := make([]int, s.n)
+	copy(next, s.colStart[:s.n])
+	for i := 0; i < s.mr; i++ {
+		for k := m.rowStart[i]; k < m.rowStart[i+1]; k++ {
+			j := m.cols[k]
+			p := next[j]
+			s.colRow[p] = i
+			s.colVal[p] = m.vals[k]
+			next[j]++
+		}
+	}
+}
+
+// initFresh seats the all-logical basis: every row's logical is basic,
+// structurals rest at the bound their cost prefers (a variable that wants
+// to grow and can — negative cost, finite upper bound — starts there).
+func (s *sparse) initFresh() {
+	for j := 0; j < s.n; j++ {
+		if s.real[j] < 0 && !math.IsInf(s.up[j], 1) {
+			s.status[j] = nbUpper
+		} else {
+			s.status[j] = nbLower
+		}
+	}
+	for i := 0; i < s.mr; i++ {
+		s.basic[i] = s.n + i
+		s.status[s.n+i] = inBasis
+	}
+}
+
+// initFromBasis restores a snapshot and seats the logicals of any rows
+// added since it was captured (they enter basic, preserving dual
+// feasibility: the extended basis is block triangular with an identity
+// block, so the old duals are unchanged and the new rows' duals are 0).
+func (s *sparse) initFromBasis(bs *Basis) error {
+	if bs.nVars != s.n {
+		return fmt.Errorf("lp: basis has %d variables, model has %d (add rows, not variables, between warm starts)", bs.nVars, s.n)
+	}
+	if bs.nRows > s.mr {
+		return fmt.Errorf("lp: basis has %d rows, model only %d", bs.nRows, s.mr)
+	}
+	for j := 0; j < s.n; j++ {
+		s.status[j] = bs.status[j]
+	}
+	for i := 0; i < bs.nRows; i++ {
+		// Old logical columns keep their index offset by the unchanged n.
+		s.status[s.n+i] = bs.status[bs.nVars+i]
+		s.basic[i] = bs.basic[i]
+		if s.basic[i] >= bs.nVars {
+			s.basic[i] = s.n + (s.basic[i] - bs.nVars)
+		}
+	}
+	for i := bs.nRows; i < s.mr; i++ {
+		s.basic[i] = s.n + i
+		s.status[s.n+i] = inBasis
+	}
+	// A nonbasic column can only rest at a finite bound.
+	for j := 0; j < s.nc; j++ {
+		if s.status[j] == nbLower && math.IsInf(s.lo[j], -1) {
+			return fmt.Errorf("lp: basis rests column %d at an infinite bound", j)
+		}
+		if s.status[j] == nbUpper && math.IsInf(s.up[j], 1) {
+			return fmt.Errorf("lp: basis rests column %d at an infinite bound", j)
+		}
+	}
+	return nil
+}
+
+func (s *sparse) snapshot() *Basis {
+	return &Basis{
+		nVars:  s.n,
+		nRows:  s.mr,
+		status: append([]int8(nil), s.status...),
+		basic:  append([]int(nil), s.basic...),
+	}
+}
+
+// factorize rebuilds the dense LU of the current basis and clears the eta
+// file.
+func (s *sparse) factorize() error {
+	mr := s.mr
+	for i := range s.lu {
+		s.lu[i] = 0
+	}
+	for i, b := range s.basic {
+		if b < s.n {
+			for k := s.colStart[b]; k < s.colStart[b+1]; k++ {
+				s.lu[s.colRow[k]*mr+i] += s.colVal[k]
+			}
+		} else {
+			s.lu[(b-s.n)*mr+i] += 1
+		}
+	}
+	for k := 0; k < mr; k++ {
+		// Partial pivoting.
+		p, best := k, math.Abs(s.lu[k*mr+k])
+		for i := k + 1; i < mr; i++ {
+			if a := math.Abs(s.lu[i*mr+k]); a > best {
+				p, best = i, a
+			}
+		}
+		if best < 1e-12 {
+			return errSingularBasis
+		}
+		s.piv[k] = p
+		if p != k {
+			rk, rp := s.lu[k*mr:(k+1)*mr], s.lu[p*mr:(p+1)*mr]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		pivInv := 1 / s.lu[k*mr+k]
+		for i := k + 1; i < mr; i++ {
+			f := s.lu[i*mr+k] * pivInv
+			if f == 0 {
+				continue
+			}
+			s.lu[i*mr+k] = f
+			ri, rk := s.lu[i*mr:(i+1)*mr], s.lu[k*mr:(k+1)*mr]
+			for j := k + 1; j < mr; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	s.etas = s.etas[:0]
+	return nil
+}
+
+// ftran solves B·x = v in place (v has length mr).
+func (s *sparse) ftran(v []float64) {
+	mr := s.mr
+	for k := 0; k < mr; k++ {
+		if p := s.piv[k]; p != k {
+			v[k], v[p] = v[p], v[k]
+		}
+	}
+	for k := 0; k < mr; k++ {
+		if v[k] == 0 {
+			continue
+		}
+		for i := k + 1; i < mr; i++ {
+			v[i] -= s.lu[i*mr+k] * v[k]
+		}
+	}
+	for k := mr - 1; k >= 0; k-- {
+		v[k] /= s.lu[k*mr+k]
+		if v[k] == 0 {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			v[i] -= s.lu[i*mr+k] * v[k]
+		}
+	}
+	for e := range s.etas {
+		et := &s.etas[e]
+		t := v[et.r] / et.pr
+		if t != 0 {
+			for k, i := range et.idx {
+				v[i] -= et.val[k] * t
+			}
+		}
+		v[et.r] = t
+	}
+}
+
+// btran solves Bᵀ·y = v in place (v has length mr).
+func (s *sparse) btran(v []float64) {
+	mr := s.mr
+	for e := len(s.etas) - 1; e >= 0; e-- {
+		et := &s.etas[e]
+		t := v[et.r]
+		for k, i := range et.idx {
+			t -= et.val[k] * v[i]
+		}
+		v[et.r] = t / et.pr
+	}
+	// Uᵀ z = v (forward), then Lᵀ w = z (backward), then undo pivoting.
+	for k := 0; k < mr; k++ {
+		for i := 0; i < k; i++ {
+			v[k] -= s.lu[i*mr+k] * v[i]
+		}
+		v[k] /= s.lu[k*mr+k]
+	}
+	for k := mr - 1; k >= 0; k-- {
+		for i := k + 1; i < mr; i++ {
+			v[k] -= s.lu[i*mr+k] * v[i]
+		}
+	}
+	for k := mr - 1; k >= 0; k-- {
+		if p := s.piv[k]; p != k {
+			v[k], v[p] = v[p], v[k]
+		}
+	}
+}
+
+// boundVal returns the resting value of a nonbasic column.
+func (s *sparse) boundVal(j int) float64 {
+	if s.status[j] == nbUpper {
+		return s.up[j]
+	}
+	return s.lo[j]
+}
+
+// computeXB recomputes the basic values from scratch:
+// x_B = B⁻¹(b − N·x_N).
+func (s *sparse) computeXB() {
+	for i := 0; i < s.mr; i++ {
+		s.xB[i] = s.model.rhs[i]
+	}
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == inBasis {
+			continue
+		}
+		v := s.boundVal(j)
+		if v == 0 {
+			continue
+		}
+		for k := s.colStart[j]; k < s.colStart[j+1]; k++ {
+			s.xB[s.colRow[k]] -= s.colVal[k] * v
+		}
+	}
+	// Nonbasic logicals always rest at 0; nothing to subtract.
+	s.ftran(s.xB)
+}
+
+// computeDuals refreshes y = B⁻ᵀ c_B and the reduced costs d = c − AᵀB⁻ᵀc_B
+// for every column (basic columns read ~0, used only as a consistency
+// signal).
+func (s *sparse) computeDuals() {
+	for i, b := range s.basic {
+		s.y[i] = s.cost[b]
+	}
+	s.btran(s.y)
+	for j := 0; j < s.n; j++ {
+		dj := s.cost[j]
+		for k := s.colStart[j]; k < s.colStart[j+1]; k++ {
+			dj -= s.y[s.colRow[k]] * s.colVal[k]
+		}
+		s.d[j] = dj
+	}
+	for i := 0; i < s.mr; i++ {
+		s.d[s.n+i] = s.cost[s.n+i] - s.y[i]
+	}
+}
+
+// ftranColumn gathers column q of [A|I] into wcol and FTRANs it.
+func (s *sparse) ftranColumn(q int) {
+	for i := range s.wcol {
+		s.wcol[i] = 0
+	}
+	if q < s.n {
+		for k := s.colStart[q]; k < s.colStart[q+1]; k++ {
+			s.wcol[s.colRow[k]] += s.colVal[k]
+		}
+	} else {
+		s.wcol[q-s.n] = 1
+	}
+	s.ftran(s.wcol)
+}
+
+// replaceBasis pivots column q into row r (tableau column w = wcol),
+// records the eta, and rests the leaving variable at the bound it hit.
+func (s *sparse) replaceBasis(r, q int, enterVal float64, leaveStatus int8) {
+	lv := s.basic[r]
+	s.status[lv] = leaveStatus
+	s.basic[r] = q
+	s.status[q] = inBasis
+	s.xB[r] = enterVal
+	et := eta{r: r, pr: s.wcol[r]}
+	for i, w := range s.wcol {
+		if i != r && w != 0 {
+			et.idx = append(et.idx, int32(i))
+			et.val = append(et.val, w)
+		}
+	}
+	s.etas = append(s.etas, et)
+	s.pivots++
+}
+
+// refresh refactorizes when the eta file is long (or when forced) and
+// recomputes the basic values; it returns any factorization error.
+func (s *sparse) refresh(force bool) error {
+	if force || len(s.etas) >= refactorEvery {
+		if err := s.factorize(); err != nil {
+			return err
+		}
+		s.computeXB()
+	}
+	return nil
+}
+
+func (s *sparse) maxPivots() int { return 5000 + 200*(s.mr+s.nc) }
+
+// dualSimplex repairs primal feasibility while keeping dual feasibility,
+// under the current cost vector. It returns Optimal when every basic
+// value sits within its bounds, Infeasible when a violated row admits no
+// entering column (dual unbounded ⇒ primal empty).
+func (s *sparse) dualSimplex() (Status, error) {
+	degenerate := 0
+	for {
+		if err := s.refresh(false); err != nil {
+			return 0, err
+		}
+		s.computeDuals()
+		// Leaving row: largest bound violation.
+		r, above, worst := -1, false, 0.0
+		for i := 0; i < s.mr; i++ {
+			b := s.basic[i]
+			if v := s.lo[b] - s.xB[i]; v > worst && v > feasTol*(1+math.Abs(s.lo[b])) {
+				r, above, worst = i, false, v
+			}
+			if v := s.xB[i] - s.up[b]; v > worst && v > feasTol*(1+math.Abs(s.up[b])) {
+				r, above, worst = i, true, v
+			}
+		}
+		if r == -1 {
+			return Optimal, nil
+		}
+		// Pivotal row: ρ = B⁻ᵀe_r, α_j = ρ·A_j.
+		for i := range s.rrow {
+			s.rrow[i] = 0
+		}
+		s.rrow[r] = 1
+		s.btran(s.rrow)
+		sigma := 1.0
+		if !above {
+			sigma = -1
+		}
+		bland := degenerate > 2*s.mr+20
+		enter, bestRatio, bestAbs := -1, math.Inf(1), 0.0
+		for j := 0; j < s.nc; j++ {
+			if s.status[j] == inBasis || s.lo[j] == s.up[j] {
+				continue
+			}
+			var alpha float64
+			if j < s.n {
+				for k := s.colStart[j]; k < s.colStart[j+1]; k++ {
+					alpha += s.rrow[s.colRow[k]] * s.colVal[k]
+				}
+			} else {
+				alpha = s.rrow[j-s.n]
+			}
+			a := sigma * alpha
+			if s.status[j] == nbLower {
+				if a <= pivotTol {
+					continue
+				}
+			} else if a >= -pivotTol {
+				continue
+			}
+			ratio := s.d[j] / a
+			if ratio < 0 {
+				ratio = 0 // dual round-off; treat as a degenerate step
+			}
+			// The dual ratio test always applies — entering a column whose
+			// ratio exceeds the minimum would push another reduced cost
+			// through zero and destroy dual feasibility. Bland mode only
+			// changes the tie-break: smallest index (the ascending scan's
+			// incumbent) instead of the numerically largest pivot.
+			if ratio < bestRatio-optTol || (!bland && ratio < bestRatio+optTol && math.Abs(a) > bestAbs) {
+				enter, bestRatio, bestAbs = j, ratio, math.Abs(a)
+			}
+		}
+		if enter == -1 {
+			return Infeasible, nil
+		}
+		s.ftranColumn(enter)
+		wr := s.wcol[r]
+		if math.Abs(wr) < pivotTol {
+			// The eta-file estimate of the pivot has decayed; refactorize
+			// and retry the iteration with fresh numbers.
+			if err := s.refresh(true); err != nil {
+				return 0, err
+			}
+			s.ftranColumn(enter)
+			wr = s.wcol[r]
+			if math.Abs(wr) < pivotTol {
+				return 0, errSingularBasis
+			}
+		}
+		bound := s.lo[s.basic[r]]
+		leaveStatus := nbLower
+		if above {
+			bound = s.up[s.basic[r]]
+			leaveStatus = nbUpper
+		}
+		dx := (s.xB[r] - bound) / wr
+		for i := range s.xB {
+			if w := s.wcol[i]; w != 0 {
+				s.xB[i] -= dx * w
+			}
+		}
+		enterVal := s.boundVal(enter) + dx
+		s.replaceBasis(r, enter, enterVal, leaveStatus)
+		if bestRatio < optTol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		if s.pivots > s.maxPivots() {
+			return 0, ErrIterationLimit
+		}
+	}
+}
+
+// primalSimplex improves the current cost from a primal-feasible basis.
+// It returns Optimal or Unbounded.
+func (s *sparse) primalSimplex() (Status, error) {
+	degenerate := 0
+	for {
+		if err := s.refresh(false); err != nil {
+			return 0, err
+		}
+		s.computeDuals()
+		bland := degenerate > 2*s.mr+20
+		enter, best := -1, optTol
+		for j := 0; j < s.nc; j++ {
+			if s.status[j] == inBasis || s.lo[j] == s.up[j] {
+				continue
+			}
+			var viol float64
+			if s.status[j] == nbLower {
+				viol = -s.d[j]
+			} else {
+				viol = s.d[j]
+			}
+			if viol > best {
+				enter = j
+				if bland {
+					break
+				}
+				best = viol
+			}
+		}
+		if enter == -1 {
+			return Optimal, nil
+		}
+		s.ftranColumn(enter)
+		sigma := 1.0
+		if s.status[enter] == nbUpper {
+			sigma = -1
+		}
+		// Ratio test: the entering variable moves by t ≥ 0 in direction
+		// sigma; each basic value moves by −t·sigma·w_i until one hits a
+		// bound, or the entering variable flips to its other bound.
+		t := s.up[enter] - s.lo[enter]
+		leave, leaveStatus := -1, nbLower
+		for i := 0; i < s.mr; i++ {
+			a := sigma * s.wcol[i]
+			b := s.basic[i]
+			var ratio float64
+			var hit int8
+			if a > pivotTol {
+				if math.IsInf(s.lo[b], -1) {
+					continue
+				}
+				ratio, hit = (s.xB[i]-s.lo[b])/a, nbLower
+			} else if a < -pivotTol {
+				if math.IsInf(s.up[b], 1) {
+					continue
+				}
+				ratio, hit = (s.up[b]-s.xB[i])/(-a), nbUpper
+			} else {
+				continue
+			}
+			if ratio < 0 {
+				ratio = 0 // feasibility round-off
+			}
+			better := ratio < t-pivotTol
+			if !better && ratio < t+pivotTol && leave != -1 {
+				if bland {
+					better = s.basic[i] < s.basic[leave]
+				} else {
+					better = math.Abs(a) > math.Abs(sigma*s.wcol[leave])
+				}
+			}
+			if better {
+				t, leave, leaveStatus = ratio, i, hit
+			}
+		}
+		if math.IsInf(t, 1) {
+			return Unbounded, nil
+		}
+		dx := sigma * t
+		for i := range s.xB {
+			if w := s.wcol[i]; w != 0 {
+				s.xB[i] -= dx * w
+			}
+		}
+		if leave == -1 {
+			// Bound flip: the entering variable crosses to its other
+			// bound without a basis change.
+			if s.status[enter] == nbLower {
+				s.status[enter] = nbUpper
+			} else {
+				s.status[enter] = nbLower
+			}
+			s.pivots++
+		} else {
+			enterVal := s.boundVal(enter) + dx
+			s.replaceBasis(leave, enter, enterVal, leaveStatus)
+		}
+		if t < pivotTol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		if s.pivots > s.maxPivots() {
+			return 0, ErrIterationLimit
+		}
+	}
+}
+
+// dualFeasible reports whether the current reduced costs satisfy the
+// bounded-variable dual feasibility conditions.
+func (s *sparse) dualFeasible() bool {
+	for j := 0; j < s.nc; j++ {
+		switch s.status[j] {
+		case nbLower:
+			if s.lo[j] != s.up[j] && s.d[j] < -optTol {
+				return false
+			}
+		case nbUpper:
+			if s.lo[j] != s.up[j] && s.d[j] > optTol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// solution extracts the Solution from an Optimal terminal state.
+func (s *sparse) solution() *Solution {
+	sol := &Solution{Status: Optimal, Pivots: s.pivots}
+	sol.X = make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if s.status[j] != inBasis {
+			sol.X[j] = s.boundVal(j)
+		}
+	}
+	for i, b := range s.basic {
+		if b < s.n {
+			sol.X[b] = s.xB[i]
+		}
+	}
+	for j := range sol.X {
+		if sol.X[j] < 0 && sol.X[j] > -feasTol {
+			sol.X[j] = 0
+		}
+	}
+	sol.Objective = s.model.Value(sol.X)
+	// Duals in the user's row orientation (the equality form never
+	// negates rows, so y is already it), plus the bounded-form strong
+	// duality certificate: c·x = y·b + Σ_{j at upper} d_j·u_j (lower
+	// bounds are all 0).
+	sol.Duals = append([]float64(nil), s.y...)
+	dualObj := 0.0
+	for i := 0; i < s.mr; i++ {
+		dualObj += s.y[i] * s.model.rhs[i]
+	}
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == nbUpper {
+			dualObj += s.d[j] * s.up[j]
+		}
+	}
+	sol.DualityGap = math.Abs(dualObj - sol.Objective)
+	sol.Basis = s.snapshot()
+	return sol
+}
+
+// run drives the phases from the current (already seated) basis.
+func (s *sparse) run() (*Solution, error) {
+	if err := s.refresh(true); err != nil {
+		return nil, err
+	}
+	copy(s.cost, s.real)
+	s.computeDuals()
+	if s.dualFeasible() {
+		st, err := s.dualSimplex()
+		if err != nil {
+			return nil, err
+		}
+		if st == Infeasible {
+			return &Solution{Status: Infeasible, Pivots: s.pivots}, nil
+		}
+		s.computeDuals()
+		return s.solution(), nil
+	}
+	// Two-phase from a fresh all-logical basis: dual simplex under the
+	// shifted cost ĉ = max(c,0) (dual feasible by construction) reaches a
+	// primal-feasible basis or proves infeasibility; then the primal
+	// simplex finishes under the true cost.
+	s.initFresh()
+	if err := s.refresh(true); err != nil {
+		return nil, err
+	}
+	for j := 0; j < s.nc; j++ {
+		s.cost[j] = s.real[j]
+		if s.cost[j] < 0 {
+			s.cost[j] = 0
+		}
+	}
+	st, err := s.dualSimplex()
+	if err != nil {
+		return nil, err
+	}
+	if st == Infeasible {
+		return &Solution{Status: Infeasible, Pivots: s.pivots}, nil
+	}
+	copy(s.cost, s.real)
+	st, err = s.primalSimplex()
+	if err != nil {
+		return nil, err
+	}
+	if st == Unbounded {
+		return &Solution{Status: Unbounded, Pivots: s.pivots}, nil
+	}
+	s.computeDuals()
+	return s.solution(), nil
+}
+
+// Solve runs the sparse revised simplex from scratch and returns the
+// solution, including a reusable Basis for warm-started re-solves.
+func (m *Model) Solve() (*Solution, error) {
+	s := newSparse(m)
+	s.initFresh()
+	return s.run()
+}
+
+// ResolveFrom re-solves the model starting from a Basis captured by an
+// earlier Solve/ResolveFrom on the same variable set — typically after
+// AddRow appended violated constraints (row generation). The inherited
+// basis is dual feasible for the extended model, so the dual simplex
+// only has to repair the primal infeasibility the new rows introduced.
+// A nil, stale or unusable basis falls back to a cold Solve.
+func (m *Model) ResolveFrom(bs *Basis) (*Solution, error) {
+	if bs == nil {
+		return m.Solve()
+	}
+	s := newSparse(m)
+	if err := s.initFromBasis(bs); err != nil {
+		return m.Solve()
+	}
+	sol, err := s.run()
+	if err == ErrIterationLimit || err == errSingularBasis {
+		// A degenerate or numerically decayed warm basis: retry cold
+		// rather than surfacing a pathology the caller cannot act on.
+		return m.Solve()
+	}
+	if err == nil && sol.Status != Optimal {
+		// Same reasoning for a warm run that *terminates* wrong: eta-file
+		// decay can make a feasible model read as Infeasible (every
+		// admissible pivot washed out to ~0). A cold solve re-derives the
+		// status from a fresh factorization; if the model truly is
+		// infeasible or unbounded, it says so too.
+		return m.Solve()
+	}
+	return sol, err
+}

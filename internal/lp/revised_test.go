@@ -1,0 +1,355 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomModel builds a random LP mixing ops, finite/infinite bounds and
+// signed costs — the differential workload holding the sparse revised
+// simplex to the dense tableau oracle.
+func randomModel(rng *rand.Rand) *Model {
+	m := NewModel()
+	nv := 1 + rng.Intn(7)
+	for j := 0; j < nv; j++ {
+		ub := math.Inf(1)
+		if rng.Intn(2) == 0 {
+			ub = 0.5 + rng.Float64()*5
+		}
+		m.AddVar(rng.Float64()*6-3, ub)
+	}
+	nc := rng.Intn(8)
+	for k := 0; k < nc; k++ {
+		coefs := map[int]float64{}
+		for j := 0; j < nv; j++ {
+			if rng.Intn(2) == 0 {
+				coefs[j] = rng.Float64()*4 - 2
+			}
+		}
+		m.AddConstraint(coefs, Op(rng.Intn(3)), rng.Float64()*6-2)
+	}
+	return m
+}
+
+// TestSparseMatchesDense holds Solve (sparse revised simplex) to
+// SolveDense (two-phase tableau oracle) across random models: statuses
+// agree, optimal objectives agree to tolerance, and the sparse point is
+// feasible by the model's independent check.
+func TestSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	optimal := 0
+	for trial := 0; trial < 1200; trial++ {
+		m := randomModel(rng)
+		sp, err := m.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: sparse: %v", trial, err)
+		}
+		dn, err := m.SolveDense()
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		if sp.Status != dn.Status {
+			t.Fatalf("trial %d: sparse %v vs dense %v", trial, sp.Status, dn.Status)
+		}
+		if sp.Status != Optimal {
+			continue
+		}
+		optimal++
+		if !m.Feasible(sp.X, 1e-6) {
+			t.Fatalf("trial %d: sparse optimum infeasible: %v", trial, sp.X)
+		}
+		if diff := math.Abs(sp.Objective - dn.Objective); diff > 1e-6*(1+math.Abs(dn.Objective)) {
+			t.Fatalf("trial %d: sparse %v vs dense %v", trial, sp.Objective, dn.Objective)
+		}
+		if sp.DualityGap > 1e-6*(1+math.Abs(sp.Objective)) {
+			t.Fatalf("trial %d: sparse duality gap %v", trial, sp.DualityGap)
+		}
+		if sp.Basis == nil {
+			t.Fatalf("trial %d: sparse solve returned no basis", trial)
+		}
+	}
+	if optimal < 150 {
+		t.Fatalf("only %d optimal instances differentialed", optimal)
+	}
+}
+
+// TestWarmStartRowGeneration drives the AddRow + ResolveFrom loop the SNE
+// row generators use: each round appends a violated cut and re-solves
+// warm; every incumbent must match a cold sparse solve and the dense
+// oracle on the same rows.
+func TestWarmStartRowGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 40; trial++ {
+		nv := 2 + rng.Intn(5)
+		m := NewModel()
+		for j := 0; j < nv; j++ {
+			m.AddVar(0.5+rng.Float64(), 1+rng.Float64()*4)
+		}
+		var basis *Basis
+		cols := make([]int, 0, nv)
+		vals := make([]float64, 0, nv)
+		for round := 0; round < 12; round++ {
+			cols, vals = cols[:0], vals[:0]
+			for j := 0; j < nv; j++ {
+				if rng.Intn(2) == 0 {
+					cols = append(cols, j)
+					vals = append(vals, 0.2+rng.Float64())
+				}
+			}
+			if len(cols) == 0 {
+				cols = append(cols, rng.Intn(nv))
+				vals = append(vals, 1)
+			}
+			m.AddRow(cols, vals, GE, 0.2+rng.Float64())
+			warm, err := m.ResolveFrom(basis)
+			if err != nil {
+				t.Fatalf("trial %d round %d: warm: %v", trial, round, err)
+			}
+			cold, err := m.Solve()
+			if err != nil {
+				t.Fatalf("trial %d round %d: cold: %v", trial, round, err)
+			}
+			dense, err := m.SolveDense()
+			if err != nil {
+				t.Fatalf("trial %d round %d: dense: %v", trial, round, err)
+			}
+			if warm.Status != cold.Status || warm.Status != dense.Status {
+				t.Fatalf("trial %d round %d: statuses warm %v cold %v dense %v",
+					trial, round, warm.Status, cold.Status, dense.Status)
+			}
+			if warm.Status == Infeasible {
+				break // full-subsidy-style rows keep these feasible; just in case
+			}
+			if math.Abs(warm.Objective-dense.Objective) > 1e-7*(1+math.Abs(dense.Objective)) {
+				t.Fatalf("trial %d round %d: warm %v vs dense %v", trial, round, warm.Objective, dense.Objective)
+			}
+			if !m.Feasible(warm.X, 1e-6) {
+				t.Fatalf("trial %d round %d: warm point infeasible", trial, round)
+			}
+			basis = warm.Basis
+		}
+	}
+}
+
+// TestResolveFromUnchangedModel: warm re-solve with no new rows must
+// terminate immediately at the same optimum.
+func TestResolveFromUnchangedModel(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(2, math.Inf(1))
+	y := m.AddVar(3, math.Inf(1))
+	m.AddConstraint(map[int]float64{x: 1, y: 1}, GE, 10)
+	m.AddConstraint(map[int]float64{x: 1}, GE, 2)
+	sol, err := m.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatal(err)
+	}
+	re, err := m.ResolveFrom(sol.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Status != Optimal || math.Abs(re.Objective-sol.Objective) > 1e-9 {
+		t.Fatalf("re-solve drifted: %v vs %v", re.Objective, sol.Objective)
+	}
+	if re.Pivots != 0 {
+		t.Errorf("re-solve of an unchanged model pivoted %d times", re.Pivots)
+	}
+}
+
+// TestResolveFromStaleBasis: a basis captured before AddVar must fall
+// back to a cold solve, not corrupt the answer.
+func TestResolveFromStaleBasis(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, math.Inf(1))
+	m.AddConstraint(map[int]float64{x: 1}, GE, 4)
+	sol, err := m.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatal(err)
+	}
+	y := m.AddVar(1, math.Inf(1))
+	m.AddConstraint(map[int]float64{x: 1, y: 1}, GE, 7)
+	re, err := m.ResolveFrom(sol.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Status != Optimal || math.Abs(re.Objective-7) > 1e-8 {
+		t.Fatalf("stale-basis resolve: %v obj %v, want 7", re.Status, re.Objective)
+	}
+	if re, err = m.ResolveFrom(nil); err != nil || math.Abs(re.Objective-7) > 1e-8 {
+		t.Fatalf("nil-basis resolve: %v %v", re, err)
+	}
+}
+
+// TestWarmStartInfeasibleRows: rows that contradict each other must be
+// detected as Infeasible from a warm basis too.
+func TestWarmStartInfeasibleRows(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, math.Inf(1))
+	m.AddConstraint(map[int]float64{x: 1}, LE, 3)
+	sol, err := m.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatal(err)
+	}
+	m.AddConstraint(map[int]float64{x: 1}, GE, 5)
+	re, err := m.ResolveFrom(sol.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", re.Status)
+	}
+}
+
+// TestDenseMatchesSparseOnSuite replays every named unit model through
+// both solvers, pinning the pair together beyond the random sweep.
+func TestDenseMatchesSparseOnSuite(t *testing.T) {
+	builders := map[string]func() *Model{
+		"beale": func() *Model {
+			m := NewModel()
+			x1 := m.AddVar(-0.75, math.Inf(1))
+			x2 := m.AddVar(150, math.Inf(1))
+			x3 := m.AddVar(-0.02, math.Inf(1))
+			x4 := m.AddVar(6, math.Inf(1))
+			m.AddConstraint(map[int]float64{x1: 0.25, x2: -60, x3: -0.04, x4: 9}, LE, 0)
+			m.AddConstraint(map[int]float64{x1: 0.5, x2: -90, x3: -0.02, x4: 3}, LE, 0)
+			m.AddConstraint(map[int]float64{x3: 1}, LE, 1)
+			return m
+		},
+		"bounded-negative": func() *Model {
+			m := NewModel()
+			m.AddVar(-1, 1.5)
+			m.AddVar(-1, 2.5)
+			return m
+		},
+		"negated-row": func() *Model {
+			m := NewModel()
+			x := m.AddVar(1, math.Inf(1))
+			m.AddConstraint(map[int]float64{x: -1}, LE, -5)
+			return m
+		},
+		"redundant-eq": func() *Model {
+			m := NewModel()
+			x := m.AddVar(1, math.Inf(1))
+			y := m.AddVar(2, math.Inf(1))
+			m.AddConstraint(map[int]float64{x: 1, y: 1}, EQ, 3)
+			m.AddConstraint(map[int]float64{x: 1, y: 1}, EQ, 3)
+			m.AddConstraint(map[int]float64{x: 2, y: 2}, EQ, 6)
+			return m
+		},
+	}
+	for name, build := range builders {
+		m := build()
+		sp, err := m.Solve()
+		if err != nil {
+			t.Fatalf("%s: sparse: %v", name, err)
+		}
+		dn, err := m.SolveDense()
+		if err != nil {
+			t.Fatalf("%s: dense: %v", name, err)
+		}
+		if sp.Status != dn.Status {
+			t.Fatalf("%s: sparse %v vs dense %v", name, sp.Status, dn.Status)
+		}
+		if sp.Status == Optimal && math.Abs(sp.Objective-dn.Objective) > 1e-6*(1+math.Abs(dn.Objective)) {
+			t.Fatalf("%s: sparse %v vs dense %v", name, sp.Objective, dn.Objective)
+		}
+	}
+}
+
+// buildMedium is the shared 40-var/80-row benchmark model.
+func buildMedium() *Model {
+	rng := rand.New(rand.NewSource(123))
+	m := NewModel()
+	nv := 40
+	for j := 0; j < nv; j++ {
+		m.AddVar(1, 1+rng.Float64())
+	}
+	for k := 0; k < 80; k++ {
+		coefs := map[int]float64{}
+		for j := 0; j < nv; j++ {
+			if rng.Intn(3) == 0 {
+				coefs[j] = rng.Float64()
+			}
+		}
+		m.AddConstraint(coefs, GE, rng.Float64()*2)
+	}
+	return m
+}
+
+func BenchmarkSimplexSparseMedium(b *testing.B) {
+	m := buildMedium()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexDenseMedium(b *testing.B) {
+	m := buildMedium()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveDense(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPResolveAppendRow measures the warm-start path: clone the
+// solved base model, append one violated row, ResolveFrom the incumbent
+// basis — the inner step of every row-generation round.
+func BenchmarkLPResolveAppendRow(b *testing.B) {
+	base := buildMedium()
+	sol, err := base.Solve()
+	if err != nil || sol.Status != Optimal {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	cols := make([]int, 0, 8)
+	vals := make([]float64, 0, 8)
+	for j := 0; j < 8; j++ {
+		cols = append(cols, rng.Intn(base.NumVars()))
+		vals = append(vals, 0.5+rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := base.Clone()
+		b.StartTimer()
+		m.AddRow(cols, vals, GE, 3)
+		if _, err := m.ResolveFrom(sol.Basis); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPColdAppendRow is the same step without the warm start: the
+// baseline ResolveFrom replaces.
+func BenchmarkLPColdAppendRow(b *testing.B) {
+	base := buildMedium()
+	if _, err := base.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	cols := make([]int, 0, 8)
+	vals := make([]float64, 0, 8)
+	for j := 0; j < 8; j++ {
+		cols = append(cols, rng.Intn(base.NumVars()))
+		vals = append(vals, 0.5+rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := base.Clone()
+		b.StartTimer()
+		m.AddRow(cols, vals, GE, 3)
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,15 +5,17 @@ import (
 	"math"
 )
 
-// Numerical tolerances for the simplex. pivotTol guards divisions; optTol
-// decides optimality of reduced costs; feasTol decides phase-1 success.
+// Numerical tolerances shared by both solvers. pivotTol guards divisions;
+// optTol decides optimality of reduced costs; feasTol decides primal
+// feasibility (phase-1 success in the dense solver, bound violation in
+// the sparse one).
 const (
 	pivotTol = 1e-9
 	optTol   = 1e-9
 	feasTol  = 1e-7
 )
 
-// ErrIterationLimit is returned when the simplex exceeds its pivot budget,
+// ErrIterationLimit is returned when a simplex exceeds its pivot budget,
 // which for these problem sizes indicates a numerical pathology rather
 // than a legitimate long run.
 var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
@@ -29,22 +31,27 @@ type tableau struct {
 	nArt  int // number of artificial columns (they occupy the last nArt column indices)
 }
 
-// Solve runs two-phase primal simplex and returns the solution.
-func (m *Model) Solve() (*Solution, error) {
+// SolveDense runs the original dense two-phase primal simplex (Dantzig
+// pricing, Bland fallback) and returns the solution. Finite upper bounds
+// are expanded into explicit LE rows, so the tableau is Θ((m+n)·(n+m))
+// even for sparse models — it is retained as the differential-test oracle
+// for the sparse revised simplex, not as a production path.
+func (m *Model) SolveDense() (*Solution, error) {
 	n := len(m.obj)
 	// Expand finite upper bounds into explicit LE rows.
 	type row struct {
-		coefs map[int]float64
-		op    Op
-		rhs   float64
+		lo, hi int // CSR span in m.cols/m.vals, or lo == -1 for a bound row
+		bv     int // bounded variable when lo == -1
+		op     Op
+		rhs    float64
 	}
 	var rows []row
-	for _, c := range m.cons {
-		rows = append(rows, row{c.Coefs, c.Op, c.RHS})
+	for i := range m.ops {
+		rows = append(rows, row{lo: m.rowStart[i], hi: m.rowStart[i+1], op: m.ops[i], rhs: m.rhs[i]})
 	}
 	for j, ub := range m.ub {
 		if !math.IsInf(ub, 1) {
-			rows = append(rows, row{map[int]float64{j: 1}, LE, ub})
+			rows = append(rows, row{lo: -1, bv: j, op: LE, rhs: ub})
 		}
 	}
 
@@ -79,8 +86,12 @@ func (m *Model) Solve() (*Solution, error) {
 	needsArt := make([]bool, nRows)
 	for i, r := range rows {
 		d := make([]float64, artBase) // artificials appended later
-		for j, c := range r.coefs {
-			d[j] = c
+		if r.lo == -1 {
+			d[r.bv] = 1
+		} else {
+			for k := r.lo; k < r.hi; k++ {
+				d[m.cols[k]] += m.vals[k]
+			}
 		}
 		op, rhs := r.op, r.rhs
 		if rhs < 0 {
@@ -226,8 +237,8 @@ func (m *Model) Solve() (*Solution, error) {
 	sol.DualityGap = math.Abs(dualObj - sol.Objective)
 	// Report shadow prices for the user's constraints (upper-bound rows
 	// are internal), in the orientation the user wrote them.
-	sol.Duals = make([]float64, len(m.cons))
-	for i := range m.cons {
+	sol.Duals = make([]float64, m.NumConstraints())
+	for i := range sol.Duals {
 		y := yInt[i]
 		if duals[i].negated {
 			y = -y

@@ -44,11 +44,12 @@ type aonProblem struct {
 // Tree edges appearing in no row are never subsidized and are dropped.
 func buildAONProblem(st *broadcast.State, lightestFirst bool) *aonProblem {
 	g := st.BG.G
-	raw := buildBroadcastRows(st)
+	bl := buildBroadcastLP(st)
 	used := map[int]bool{}
-	for _, r := range raw {
-		for id := range r.coefs {
-			used[id] = true
+	for i := 0; i < bl.model.NumConstraints(); i++ {
+		cols, _, _, _ := bl.model.Row(i)
+		for _, j := range cols {
+			used[bl.edgeOf[j]] = true
 		}
 	}
 	var edges []int
@@ -77,10 +78,14 @@ func buildAONProblem(st *broadcast.State, lightestFirst bool) *aonProblem {
 		p.weights[i] = g.Weight(id)
 	}
 	p.touch = make([][]int, len(edges))
-	for _, r := range raw {
-		row := aonRow{deltas: map[int]float64{}, rhs: r.rhs}
-		for id, c := range r.coefs {
-			row.deltas[pos[id]] = c * g.Weight(id)
+	for i := 0; i < bl.model.NumConstraints(); i++ {
+		cols, vals, _, rhs := bl.model.Row(i)
+		row := aonRow{deltas: map[int]float64{}, rhs: rhs}
+		for k, j := range cols {
+			id := bl.edgeOf[j]
+			// += rather than =: Model.Row may expose duplicate column
+			// entries, whose coefficients sum.
+			row.deltas[pos[id]] += vals[k] * g.Weight(id)
 		}
 		p.rows = append(p.rows, row)
 		ri := len(p.rows) - 1

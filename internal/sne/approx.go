@@ -78,11 +78,21 @@ func SolveBroadcastLPApprox(st *broadcast.State, alpha float64) (*Result, error)
 	}
 	g := st.BG.G
 	model := lp.NewModel()
-	varOf := make(map[int]int, len(st.Tree.EdgeIDs))
+	varOf := make([]int, g.M())
+	for i := range varOf {
+		varOf[i] = -1
+	}
 	for _, id := range st.Tree.EdgeIDs {
 		varOf[id] = model.AddVar(1, g.Weight(id))
 	}
 	up0 := st.CostsToRoot(nil)
+	// Dense coefficient scratch (indexed by LP variable) plus a touched
+	// list: unlike the α = 1 rows, the two path walks overlap above the
+	// LCA, so coefficients must be merged before vacuousness is judged.
+	coef := make([]float64, model.NumVars())
+	touched := make([]int, 0, 16)
+	cols := make([]int, 0, 16)
+	vals := make([]float64, 0, 16)
 	for _, e := range g.Edges() {
 		if st.Tree.Contains(e.ID) {
 			continue
@@ -94,9 +104,13 @@ func SolveBroadcastLPApprox(st *broadcast.State, alpha float64) (*Result, error)
 			}
 			x := st.Tree.LCA(u, v)
 			// Row: Σ_{T_u} b/n − α·Σ_{T_v} b/den ≥ up0[u] − α·dev0.
-			coefs := make(map[int]float64)
+			touched = touched[:0]
 			for _, id := range st.Tree.PathToRoot(u) {
-				coefs[varOf[id]] += 1 / float64(st.NA[id])
+				j := varOf[id]
+				if coef[j] == 0 {
+					touched = append(touched, j)
+				}
+				coef[j] += 1 / float64(st.NA[id])
 			}
 			dev0 := e.W
 			for _, id := range st.Tree.PathToRoot(v) {
@@ -104,20 +118,25 @@ func SolveBroadcastLPApprox(st *broadcast.State, alpha float64) (*Result, error)
 				if onRootSide(st, id, x) {
 					den = float64(st.NA[id])
 				}
-				coefs[varOf[id]] -= alpha / den
+				j := varOf[id]
+				if coef[j] == 0 {
+					touched = append(touched, j)
+				}
+				coef[j] -= alpha / den
 				dev0 += g.Weight(id) / den
 			}
 			rhs := up0[u] - alpha*dev0
-			// Drop vacuous rows (no support after coefficient merging).
-			nonzero := false
-			for _, c := range coefs {
-				if c != 0 {
-					nonzero = true
-					break
+			cols, vals = cols[:0], vals[:0]
+			for _, j := range touched {
+				if coef[j] != 0 {
+					cols = append(cols, j)
+					vals = append(vals, coef[j])
 				}
+				coef[j] = 0
 			}
-			if nonzero || rhs > 0 {
-				model.AddConstraint(coefs, lp.GE, rhs)
+			// Drop vacuous rows (no support after coefficient merging).
+			if len(cols) > 0 || rhs > 0 {
+				model.AddRow(cols, vals, lp.GE, rhs)
 			}
 		}
 	}
@@ -129,8 +148,8 @@ func SolveBroadcastLPApprox(st *broadcast.State, alpha float64) (*Result, error)
 		return nil, fmt.Errorf("sne: approximate LP status %v", sol.Status)
 	}
 	b := game.ZeroSubsidy(g)
-	for id, j := range varOf {
-		b[id] = sol.X[j]
+	for _, id := range st.Tree.EdgeIDs {
+		b[id] = sol.X[varOf[id]]
 	}
 	snap(b, g)
 	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: 1, Pivots: sol.Pivots}

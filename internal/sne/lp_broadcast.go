@@ -9,7 +9,8 @@ import (
 	"netdesign/internal/lp"
 )
 
-// broadcastRow is one LP (3) constraint in subsidy-variable form. The
+// broadcastLP is the LP (3) of a broadcast state in sparse form: one
+// variable per tree edge, one GE row per non-tree edge direction. The
 // paper's row for player u and non-tree edge (u,v) is
 //
 //	Σ_{a∈T_u} (w_a−b_a)/n_a ≤ w_uv − b_uv + Σ_{a∈T_v} (w_a−b_a)/(n_a+1−n_a^u).
@@ -22,96 +23,139 @@ import (
 //	Σ_{a∈T_u\T_x} b_a/n_a − Σ_{a∈T_v\T_x} b_a/(n_a+1) ≥ C_uv,
 //
 // with C_uv = (up0[u]−up0[x]) − w_uv − (dev0[v]−dev0[x]) evaluated at
-// zero subsidies.
-type broadcastRow struct {
-	coefs map[int]float64 // keyed by tree-edge ID
-	rhs   float64
-	u, v  int // deviating player and entry node, for diagnostics
-	edge  int // the non-tree edge
+// zero subsidies. Rows are batched straight off the State's cached
+// Lemma-2 prefix sums into preallocated sparse buffers: no per-row maps,
+// two parent-chain walks and one AddRow per deviation.
+type broadcastLP struct {
+	model  *lp.Model
+	varOf  []int // edge ID → LP variable (tree edges only; -1 otherwise)
+	edgeOf []int // LP variable → edge ID
+
+	// Per-row deviation metadata, for shadow pricing: the deviating
+	// player, the entry node and the non-tree edge of each LP row.
+	rowU, rowV, rowEdge []int
 }
 
-// buildBroadcastRows materializes every LP (3) row of the state.
-func buildBroadcastRows(st *broadcast.State) []broadcastRow {
+// buildBroadcastLP materializes every LP (3) row of the state.
+func buildBroadcastLP(st *broadcast.State) *broadcastLP {
 	g := st.BG.G
-	up0 := st.CostsToRoot(nil)
-	dev0 := make([]float64, g.N())
-	for _, v := range st.Tree.Order {
-		if v == st.BG.Root {
-			continue
-		}
-		id := st.Tree.ParEdge[v]
-		dev0[v] = dev0[st.Tree.Parent[v]] + g.Weight(id)/float64(st.NA[id]+1)
+	bl := &broadcastLP{model: lp.NewModel(), varOf: make([]int, g.M())}
+	for i := range bl.varOf {
+		bl.varOf[i] = -1
 	}
-	var rows []broadcastRow
-	for _, e := range g.Edges() {
+	nTree := len(st.Tree.EdgeIDs)
+	maxRows := 2 * (g.M() - nTree) // two directions per non-tree edge
+	// Nonzero hint: rows hold two disjoint root-path segments, typically
+	// far shorter than the tree, so reserve a modest per-row budget plus
+	// a tree-sized cushion for deep (path-like) topologies rather than
+	// the Θ(rows·n) worst case.
+	bl.model.Grow(nTree, maxRows, 4*maxRows+2*nTree)
+	bl.edgeOf = make([]int, 0, nTree)
+	bl.rowU = make([]int, 0, maxRows)
+	bl.rowV = make([]int, 0, maxRows)
+	bl.rowEdge = make([]int, 0, maxRows)
+	for _, id := range st.Tree.EdgeIDs {
+		bl.varOf[id] = bl.model.AddVar(1, g.Weight(id))
+		bl.edgeOf = append(bl.edgeOf, id)
+	}
+	// The Lemma-2 prefix sums at b = 0 come straight from the State's
+	// memoized cache: up0 prices the tree path, dev0 the deviation
+	// segment, so each row's constant is O(1) on top of the two chain
+	// walks that emit its coefficients.
+	up0, dev0 := st.PrefixSums(nil)
+	cols := make([]int, 0, 16)
+	vals := make([]float64, 0, 16)
+	edges := g.Edges()
+	for i := range edges {
+		e := &edges[i]
 		if st.Tree.Contains(e.ID) {
 			continue
 		}
-		for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
-			u, v := dir[0], dir[1]
+		for dir := 0; dir < 2; dir++ {
+			u, v := e.U, e.V
+			if dir == 1 {
+				u, v = v, u
+			}
 			if u == st.BG.Root {
 				continue
 			}
 			x := st.Tree.LCA(u, v)
-			coefs := make(map[int]float64)
-			// Walk the two parent chains directly instead of
-			// materializing PathUpTo slices (2 allocations per row).
+			cols, vals = cols[:0], vals[:0]
 			for w := u; w != x; w = st.Tree.Parent[w] {
 				id := st.Tree.ParEdge[w]
-				coefs[id] += 1 / float64(st.NA[id])
+				cols = append(cols, bl.varOf[id])
+				vals = append(vals, 1/float64(st.NA[id]))
 			}
 			for w := v; w != x; w = st.Tree.Parent[w] {
 				id := st.Tree.ParEdge[w]
-				coefs[id] -= 1 / float64(st.NA[id]+1)
+				cols = append(cols, bl.varOf[id])
+				vals = append(vals, -1/float64(st.NA[id]+1))
 			}
-			rhs := (up0[u] - up0[x]) - e.W - (dev0[v] - dev0[x])
-			if len(coefs) == 0 {
+			if len(cols) == 0 {
 				// No variables can appear only when u == x (v below u);
 				// then rhs = −w_uv − devseg ≤ 0 and the row is vacuous.
 				continue
 			}
-			rows = append(rows, broadcastRow{coefs: coefs, rhs: rhs, u: u, v: v, edge: e.ID})
+			rhs := (up0[u] - up0[x]) - e.W - (dev0[v] - dev0[x])
+			bl.model.AddRow(cols, vals, lp.GE, rhs)
+			bl.rowU = append(bl.rowU, u)
+			bl.rowV = append(bl.rowV, v)
+			bl.rowEdge = append(bl.rowEdge, e.ID)
 		}
 	}
-	return rows
+	return bl
+}
+
+// subsidy converts an LP point into a subsidy assignment.
+func (bl *broadcastLP) subsidy(g interface{ Weight(int) float64 }, x []float64, m int) game.Subsidy {
+	b := make(game.Subsidy, m)
+	for j, id := range bl.edgeOf {
+		b[id] = x[j]
+	}
+	snap(b, g)
+	return b
+}
+
+// solveBroadcast runs the LP through the chosen solver and verifies the
+// resulting assignment enforces the state.
+func solveBroadcast(st *broadcast.State, dense bool) (*broadcastLP, *lp.Solution, *Result, error) {
+	bl := buildBroadcastLP(st)
+	var sol *lp.Solution
+	var err error
+	if dense {
+		sol, err = bl.model.SolveDense()
+	} else {
+		sol, err = bl.model.Solve()
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, nil, nil, fmt.Errorf("sne: broadcast LP status %v (should be feasible by full subsidy)", sol.Status)
+	}
+	b := bl.subsidy(st.BG.G, sol.X, st.BG.G.M())
+	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: 1, Pivots: sol.Pivots}
+	if err := VerifyBroadcast(st, b); err != nil {
+		return nil, nil, nil, fmt.Errorf("sne: LP(3) produced a non-enforcing assignment: %w", err)
+	}
+	return bl, sol, res, nil
 }
 
 // SolveBroadcastLP computes a minimum-cost subsidy assignment enforcing
-// the broadcast state st, via the paper's LP (3). The LP is always
-// feasible (full subsidies enforce anything), so the result is always
-// Optimal barring numerical failure.
+// the broadcast state st, via the paper's LP (3) on the sparse revised
+// simplex. The LP is always feasible (full subsidies enforce anything),
+// so the result is always Optimal barring numerical failure.
 func SolveBroadcastLP(st *broadcast.State) (*Result, error) {
-	g := st.BG.G
-	model := lp.NewModel()
-	// One variable per tree edge, in tree-edge order.
-	varOf := make(map[int]int, len(st.Tree.EdgeIDs))
-	for _, id := range st.Tree.EdgeIDs {
-		varOf[id] = model.AddVar(1, g.Weight(id))
-	}
-	for _, row := range buildBroadcastRows(st) {
-		coefs := make(map[int]float64, len(row.coefs))
-		for id, c := range row.coefs {
-			coefs[varOf[id]] = c
-		}
-		model.AddConstraint(coefs, lp.GE, row.rhs)
-	}
-	sol, err := model.Solve()
-	if err != nil {
-		return nil, err
-	}
-	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("sne: broadcast LP status %v (should be feasible by full subsidy)", sol.Status)
-	}
-	b := game.ZeroSubsidy(g)
-	for id, j := range varOf {
-		b[id] = sol.X[j]
-	}
-	snap(b, g)
-	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: 1, Pivots: sol.Pivots}
-	if err := VerifyBroadcast(st, b); err != nil {
-		return nil, fmt.Errorf("sne: LP(3) produced a non-enforcing assignment: %w", err)
-	}
-	return res, nil
+	_, _, res, err := solveBroadcast(st, false)
+	return res, err
+}
+
+// SolveBroadcastLPNaive solves the same LP on the dense two-phase
+// tableau. It is the differential-test oracle for SolveBroadcastLP, in
+// the same pattern as the other Naive implementations in this library.
+func SolveBroadcastLPNaive(st *broadcast.State) (*Result, error) {
+	_, _, res, err := solveBroadcast(st, true)
+	return res, err
 }
 
 // MinSubsidyLowerBoundLP returns the LP relaxation value only (no

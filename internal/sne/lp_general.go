@@ -2,6 +2,7 @@ package sne
 
 import (
 	"fmt"
+	"math"
 
 	"netdesign/internal/game"
 	"netdesign/internal/lp"
@@ -18,7 +19,9 @@ import (
 //
 // Θ(n·|V|) variables and Θ(n·|E|) constraints — use it for cross-checks
 // and modest instances; the broadcast LP (3) and row generation scale
-// further.
+// further. Rows are emitted as sparse triples into reused buffers; the
+// potentials are genuinely unbounded above, which the revised simplex
+// handles natively instead of through expanded bound rows.
 func SolveGeneralLP(st *game.State) (*Result, error) {
 	g := st.Game().G
 	n := st.Game().N()
@@ -27,12 +30,14 @@ func SolveGeneralLP(st *game.State) (*Result, error) {
 	// Subsidy variables only on established edges; others are provably 0
 	// at any optimum (they can only strengthen deviations).
 	estab := st.EstablishedEdges()
-	varOf := make(map[int]int, len(estab))
+	varOf := make([]int, g.M())
+	for i := range varOf {
+		varOf[i] = -1
+	}
 	for _, id := range estab {
 		varOf[id] = model.AddVar(1, g.Weight(id))
 	}
 	// Potentials π_i(v) for v ≠ s_i: π_i(s_i) is the constant 0.
-	inf := func() float64 { return 1e308 }
 	piVar := make([][]int, n)
 	for i := 0; i < n; i++ {
 		piVar[i] = make([]int, g.N())
@@ -40,14 +45,17 @@ func SolveGeneralLP(st *game.State) (*Result, error) {
 			if v == st.Game().Terminals[i].S {
 				piVar[i][v] = -1
 			} else {
-				piVar[i][v] = model.AddVar(0, inf())
+				piVar[i][v] = model.AddVar(0, math.Inf(1))
 			}
 		}
 	}
 
-	addPi := func(coefs map[int]float64, i, v int, c float64) {
+	cols := make([]int, 0, 16)
+	vals := make([]float64, 0, 16)
+	addPi := func(i, v int, c float64) {
 		if j := piVar[i][v]; j >= 0 {
-			coefs[j] += c
+			cols = append(cols, j)
+			vals = append(vals, c)
 		}
 	}
 
@@ -61,25 +69,27 @@ func SolveGeneralLP(st *game.State) (*Result, error) {
 			for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
 				u, v := dir[0], dir[1]
 				// π_i(v) − π_i(u) + b_e/den ≤ w_e/den
-				coefs := make(map[int]float64)
-				addPi(coefs, i, v, 1)
-				addPi(coefs, i, u, -1)
-				if j, ok := varOf[e.ID]; ok {
-					coefs[j] += 1 / den
+				cols, vals = cols[:0], vals[:0]
+				addPi(i, v, 1)
+				addPi(i, u, -1)
+				if j := varOf[e.ID]; j >= 0 {
+					cols = append(cols, j)
+					vals = append(vals, 1/den)
 				}
-				model.AddConstraint(coefs, lp.LE, e.W/den)
+				model.AddRow(cols, vals, lp.LE, e.W/den)
 			}
 		}
 		// π_i(t_i) + Σ_{a∈T_i} b_a/n_a ≥ Σ_{a∈T_i} w_a/n_a.
-		coefs := make(map[int]float64)
-		addPi(coefs, i, st.Game().Terminals[i].T, 1)
+		cols, vals = cols[:0], vals[:0]
+		addPi(i, st.Game().Terminals[i].T, 1)
 		rhs := 0.0
 		for _, id := range st.Paths[i] {
 			na := float64(st.Usage(id))
-			coefs[varOf[id]] += 1 / na
+			cols = append(cols, varOf[id])
+			vals = append(vals, 1/na)
 			rhs += g.Weight(id) / na
 		}
-		model.AddConstraint(coefs, lp.GE, rhs)
+		model.AddRow(cols, vals, lp.GE, rhs)
 	}
 
 	sol, err := model.Solve()
@@ -90,8 +100,8 @@ func SolveGeneralLP(st *game.State) (*Result, error) {
 		return nil, fmt.Errorf("sne: general LP status %v (should be feasible by full subsidy)", sol.Status)
 	}
 	b := game.ZeroSubsidy(g)
-	for id, j := range varOf {
-		b[id] = sol.X[j]
+	for _, id := range estab {
+		b[id] = sol.X[varOf[id]]
 	}
 	snap(b, g)
 	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: 1, Pivots: sol.Pivots}

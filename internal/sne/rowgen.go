@@ -22,6 +22,11 @@ var ErrRowGenStalled = errors.New("sne: row generation exceeded iteration budget
 // the row set grows within the finite family of (player, simple-path)
 // constraints, the loop terminates; on exit the incumbent is feasible for
 // the full LP and optimal for a relaxation of it, hence optimal.
+//
+// Each round appends one sparse row (preallocated buffers, no maps) and
+// re-solves warm with lp.ResolveFrom: the previous optimal basis stays
+// dual feasible after AddRow, so the dual simplex only repairs the
+// infeasibility the new cut introduced — it never rebuilds a tableau.
 func SolveRowGeneration(st *game.State, maxIters int) (*Result, error) {
 	if maxIters <= 0 {
 		maxIters = 10000
@@ -29,13 +34,20 @@ func SolveRowGeneration(st *game.State, maxIters int) (*Result, error) {
 	g := st.Game().G
 	model := lp.NewModel()
 	estab := st.EstablishedEdges()
-	varOf := make(map[int]int, len(estab))
+	varOf := make([]int, g.M())
+	for i := range varOf {
+		varOf[i] = -1
+	}
 	for _, id := range estab {
 		varOf[id] = model.AddVar(1, g.Weight(id))
 	}
 
 	res := &Result{}
 	b := game.ZeroSubsidy(g)
+	onPath := make([]bool, g.M())
+	cols := make([]int, 0, 16)
+	vals := make([]float64, 0, 16)
+	var basis *lp.Basis
 	for iter := 0; iter < maxIters; iter++ {
 		res.Iterations++
 		// Separation: find any player with a profitable deviation.
@@ -52,9 +64,8 @@ func SolveRowGeneration(st *game.State, maxIters int) (*Result, error) {
 		// Add the constraint cost_i(T;b) ≤ cost_i(T_{-i}, p; b) for the
 		// violating path p. Shared edges (used by i on both sides) cancel.
 		i, p := viol.Player, viol.Path
-		coefs := make(map[int]float64)
+		cols, vals = cols[:0], vals[:0]
 		rhs := 0.0
-		onPath := make(map[int]bool, len(p))
 		for _, id := range p {
 			onPath[id] = true
 		}
@@ -63,7 +74,8 @@ func SolveRowGeneration(st *game.State, maxIters int) (*Result, error) {
 				continue // denominator n_a on both sides — cancels
 			}
 			na := float64(st.Usage(id))
-			coefs[varOf[id]] += 1 / na
+			cols = append(cols, varOf[id])
+			vals = append(vals, 1/na)
 			rhs += g.Weight(id) / na
 		}
 		for _, id := range p {
@@ -71,24 +83,29 @@ func SolveRowGeneration(st *game.State, maxIters int) (*Result, error) {
 				continue
 			}
 			den := float64(st.Usage(id) + 1)
-			if j, ok := varOf[id]; ok {
-				coefs[j] -= 1 / den
+			if j := varOf[id]; j >= 0 {
+				cols = append(cols, j)
+				vals = append(vals, -1/den)
 			}
 			rhs -= g.Weight(id) / den
 		}
+		for _, id := range p {
+			onPath[id] = false
+		}
 		// Σ_{T_i\p} b/n − Σ_{p\T_i} b/(n+1) ≥ Σ_{T_i\p} w/n − Σ_{p\T_i} w/(n+1)
-		model.AddConstraint(coefs, lp.GE, rhs)
+		model.AddRow(cols, vals, lp.GE, rhs)
 
-		sol, err := model.Solve()
+		sol, err := model.ResolveFrom(basis)
 		if err != nil {
 			return nil, err
 		}
 		if sol.Status != lp.Optimal {
 			return nil, fmt.Errorf("sne: row generation LP status %v", sol.Status)
 		}
+		basis = sol.Basis
 		res.Pivots += sol.Pivots
-		for id, j := range varOf {
-			b[id] = numeric.Clamp(sol.X[j], 0, g.Weight(id))
+		for _, id := range estab {
+			b[id] = numeric.Clamp(sol.X[varOf[id]], 0, g.Weight(id))
 		}
 	}
 	return nil, ErrRowGenStalled

@@ -1,12 +1,9 @@
 package sne
 
 import (
-	"fmt"
 	"sort"
 
 	"netdesign/internal/broadcast"
-	"netdesign/internal/game"
-	"netdesign/internal/lp"
 	"netdesign/internal/numeric"
 )
 
@@ -24,45 +21,21 @@ type BindingDeviation struct {
 // BindingDeviations solves the broadcast SNE LP and returns the
 // constraints that are binding at the optimum, most expensive first,
 // together with the optimal enforcement itself. It answers the practical
-// question "which defection threats are actually costing money?".
+// question "which defection threats are actually costing money?". The
+// shadow prices come straight from the sparse revised simplex's dual
+// vector — one per emitted row, in emission order.
 func BindingDeviations(st *broadcast.State) ([]BindingDeviation, *Result, error) {
-	g := st.BG.G
-	model := lp.NewModel()
-	varOf := make(map[int]int, len(st.Tree.EdgeIDs))
-	for _, id := range st.Tree.EdgeIDs {
-		varOf[id] = model.AddVar(1, g.Weight(id))
-	}
-	rows := buildBroadcastRows(st)
-	for _, row := range rows {
-		coefs := make(map[int]float64, len(row.coefs))
-		for id, c := range row.coefs {
-			coefs[varOf[id]] = c
-		}
-		model.AddConstraint(coefs, lp.GE, row.rhs)
-	}
-	sol, err := model.Solve()
+	bl, sol, res, err := solveBroadcast(st, false)
 	if err != nil {
 		return nil, nil, err
 	}
-	if sol.Status != lp.Optimal {
-		return nil, nil, fmt.Errorf("sne: LP status %v", sol.Status)
-	}
-	b := game.ZeroSubsidy(g)
-	for id, j := range varOf {
-		b[id] = sol.X[j]
-	}
-	snap(b, g)
-	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: 1, Pivots: sol.Pivots}
-	if err := VerifyBroadcast(st, b); err != nil {
-		return nil, nil, err
-	}
 	var binding []BindingDeviation
-	for i, row := range rows {
-		if price := sol.Duals[i]; price > numeric.Eps {
+	for i, price := range sol.Duals {
+		if price > numeric.Eps {
 			binding = append(binding, BindingDeviation{
-				Node:        row.u,
-				ViaEdge:     row.edge,
-				EntryNode:   row.v,
+				Node:        bl.rowU[i],
+				ViaEdge:     bl.rowEdge[i],
+				EntryNode:   bl.rowV[i],
 				ShadowPrice: price,
 			})
 		}

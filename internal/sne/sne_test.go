@@ -411,19 +411,20 @@ func TestBindingDeviationsAreTight(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rows := buildBroadcastRows(st)
+		bl := buildBroadcastLP(st)
 		for _, bd := range binding {
-			for _, row := range rows {
-				if row.u != bd.Node || row.edge != bd.ViaEdge || row.v != bd.EntryNode {
+			for i := 0; i < bl.model.NumConstraints(); i++ {
+				if bl.rowU[i] != bd.Node || bl.rowEdge[i] != bd.ViaEdge || bl.rowV[i] != bd.EntryNode {
 					continue
 				}
+				cols, vals, _, rhs := bl.model.Row(i)
 				lhs := 0.0
-				for id, c := range row.coefs {
-					lhs += c * res.Subsidy.At(id)
+				for k, j := range cols {
+					lhs += vals[k] * res.Subsidy.At(bl.edgeOf[j])
 				}
-				if !numeric.AlmostEqualTol(lhs, row.rhs, 1e-6) {
+				if !numeric.AlmostEqualTol(lhs, rhs, 1e-6) {
 					t.Fatalf("trial %d: binding row (%d via %d) has slack: %v vs %v",
-						trial, bd.Node, bd.ViaEdge, lhs, row.rhs)
+						trial, bd.Node, bd.ViaEdge, lhs, rhs)
 				}
 			}
 		}

@@ -32,87 +32,120 @@ import (
 // gap. Subsidies only ever increase, so the cost is also ≤ wgt(T).
 func WaterFill(st *broadcast.State) (*Result, error) {
 	g := st.BG.G
-	rows := buildBroadcastRows(st)
+	bl := buildBroadcastLP(st)
+	nRows := bl.model.NumConstraints()
 	b := game.ZeroSubsidy(g)
 
-	// rowValue computes the current LHS of row r under b.
-	rowValue := func(r *broadcastRow) float64 {
+	// rowValue computes the current LHS of row i under b, straight off
+	// the model's CSR arena — no per-row map.
+	rowValue := func(i int) float64 {
+		cols, vals, _, _ := bl.model.Row(i)
 		v := 0.0
-		for id, c := range r.coefs {
-			v += c * b[id]
+		for k, j := range cols {
+			v += vals[k] * b[bl.edgeOf[j]]
 		}
 		return v
+	}
+	rowRHS := func(i int) float64 {
+		_, _, _, rhs := bl.model.Row(i)
+		return rhs
 	}
 	// aSideOf lists row i's positive-coefficient edges, least crowded
 	// (largest coefficient 1/n_a) first. The rows never change, so each
 	// ordering is built and sorted at most once — on the row's first
 	// visit — and revisits (the hot loop) allocate nothing. Unvisited
 	// rows, the overwhelming majority, never pay for a sort.
-	aSides := make([][]int, len(rows))
-	empty := []int{}
-	aSideOf := func(i int) []int {
+	type aEntry struct {
+		id   int
+		coef float64
+	}
+	aSides := make([][]aEntry, nRows)
+	empty := []aEntry{}
+	// Reused merge scratch: Model.Row may expose duplicate column
+	// entries whose coefficients sum (the arena contract), so each row
+	// is accumulated per variable before its A-side is read off.
+	coefScratch := make([]float64, bl.model.NumVars())
+	seen := make([]bool, bl.model.NumVars())
+	touched := make([]int, 0, 16)
+	aSideOf := func(i int) []aEntry {
 		if aSides[i] != nil {
 			return aSides[i]
 		}
-		r := &rows[i]
-		var ids []int
-		for id, c := range r.coefs {
-			if c > 0 {
-				ids = append(ids, id)
+		cols, vals, _, _ := bl.model.Row(i)
+		touched = touched[:0]
+		for k, j := range cols {
+			if !seen[j] {
+				seen[j] = true
+				touched = append(touched, j)
+			}
+			coefScratch[j] += vals[k]
+		}
+		npos := 0
+		for _, j := range touched {
+			if coefScratch[j] > 0 {
+				npos++
 			}
 		}
-		if ids == nil {
-			ids = empty
+		ids := empty
+		if npos > 0 {
+			ids = make([]aEntry, 0, npos)
+			for _, j := range touched {
+				if coefScratch[j] > 0 {
+					ids = append(ids, aEntry{id: bl.edgeOf[j], coef: coefScratch[j]})
+				}
+			}
+		}
+		for _, j := range touched {
+			coefScratch[j], seen[j] = 0, false
 		}
 		sort.Slice(ids, func(x, y int) bool {
-			if r.coefs[ids[x]] != r.coefs[ids[y]] {
-				return r.coefs[ids[x]] > r.coefs[ids[y]]
+			if ids[x].coef != ids[y].coef {
+				return ids[x].coef > ids[y].coef
 			}
-			return ids[x] < ids[y]
+			return ids[x].id < ids[y].id
 		})
 		aSides[i] = ids
 		return ids
 	}
 
-	visits := make([]int, len(rows))
-	maxVisits := 2*len(rows) + 8
+	visits := make([]int, nRows)
+	maxVisits := 2*nRows + 8
 	iters := 0
 	for {
 		iters++
-		if iters > 1000*(len(rows)+1) {
+		if iters > 1000*(nRows+1) {
 			return nil, errors.New("sne: water-filling failed to converge")
 		}
 		// Most violated row.
 		worst, worstGap := -1, numeric.Eps
-		for i := range rows {
-			if gap := rows[i].rhs - rowValue(&rows[i]); gap > worstGap {
+		for i := 0; i < nRows; i++ {
+			if gap := rowRHS(i) - rowValue(i); gap > worstGap {
 				worst, worstGap = i, gap
 			}
 		}
 		if worst == -1 {
 			break
 		}
-		r := &rows[worst]
 		visits[worst]++
 		saturate := visits[worst] > maxVisits
 		need := worstGap
-		for _, id := range aSideOf(worst) {
+		for _, a := range aSideOf(worst) {
 			if need <= 0 && !saturate {
 				break
 			}
-			headroom := g.Weight(id) - b[id]
+			headroom := g.Weight(a.id) - b[a.id]
 			if headroom <= 0 {
 				continue
 			}
 			pour := headroom
 			if !saturate {
 				// Raising b_id by δ raises the row value by coef·δ.
-				if want := need / r.coefs[id]; want < pour {
+				if want := need / a.coef; want < pour {
 					pour = want
 				}
 			}
-			b[id] += pour
-			need -= pour * r.coefs[id]
+			b[a.id] += pour
+			need -= pour * a.coef
 		}
 		if need > numeric.Eps && !saturate {
 			// A-side exhausted yet row still open: impossible by the

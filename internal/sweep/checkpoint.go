@@ -14,22 +14,32 @@ import (
 // use table.FormatCells so checkpointed rows match direct AddRow output
 // byte for byte. Notes are emitted under the table in index order. Vals
 // carries the raw numbers aggregate Finalize hooks need (maxima, means);
-// they round-trip through the codec bit-exactly.
+// they round-trip through the codec bit-exactly. WallNS is the
+// instance's measured compute time in nanoseconds — stamped by the
+// engine, ignored by merge and table assembly (so differential runs stay
+// byte-identical), and recorded as groundwork for adaptive shard
+// balancing: a scheduler can weigh shards by checkpointed cost instead
+// of record count. Old checkpoint files without the field decode with
+// WallNS 0.
 type Record struct {
-	Index int
-	Cells []string
-	Vals  []float64
-	Notes []string
+	Index  int
+	Cells  []string
+	Vals   []float64
+	Notes  []string
+	WallNS int64
 }
 
 // recordJSON is the JSONL wire form. Float64s travel as hex-float
 // strings: bit-exact round-trips including ±Inf and NaN, which
-// encoding/json's number encoding cannot represent.
+// encoding/json's number encoding cannot represent. Wall time travels as
+// an integer nanosecond count (omitted when zero, which keeps old and
+// new encoders byte-compatible on timing-free records).
 type recordJSON struct {
 	I int      `json:"i"`
 	C []string `json:"c,omitempty"`
 	V []string `json:"v,omitempty"`
 	N []string `json:"n,omitempty"`
+	W int64    `json:"w,omitempty"`
 }
 
 // EncodeRecord renders one checkpoint line (no trailing newline).
@@ -37,7 +47,10 @@ func EncodeRecord(rec Record) ([]byte, error) {
 	if rec.Index < 0 {
 		return nil, fmt.Errorf("sweep: record index %d < 0", rec.Index)
 	}
-	rj := recordJSON{I: rec.Index, C: rec.Cells, N: rec.Notes}
+	if rec.WallNS < 0 {
+		return nil, fmt.Errorf("sweep: record wall time %dns < 0", rec.WallNS)
+	}
+	rj := recordJSON{I: rec.Index, C: rec.Cells, N: rec.Notes, W: rec.WallNS}
 	if len(rec.Vals) > 0 {
 		rj.V = make([]string, len(rec.Vals))
 		for i, v := range rec.Vals {
@@ -61,7 +74,10 @@ func DecodeRecord(line []byte) (Record, error) {
 	if rj.I < 0 {
 		return Record{}, fmt.Errorf("sweep: record index %d < 0", rj.I)
 	}
-	rec := Record{Index: rj.I, Cells: rj.C, Notes: rj.N}
+	if rj.W < 0 {
+		return Record{}, fmt.Errorf("sweep: record wall time %dns < 0", rj.W)
+	}
+	rec := Record{Index: rj.I, Cells: rj.C, Notes: rj.N, WallNS: rj.W}
 	if len(rj.V) > 0 {
 		rec.Vals = make([]float64, len(rj.V))
 		for i, s := range rj.V {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"netdesign/internal/parallel"
 	"netdesign/internal/table"
@@ -177,6 +178,7 @@ func runIndices(sc *Scenario, spec Spec, indices []int, workers, stopAfter int, 
 			// rng.Read cannot leak bytes across instances and break the
 			// order-independence contract.
 			rng.Seed(InstanceSeed(spec.Seed, idx))
+			t0 := time.Now()
 			rec, err := sc.Run(spec, idx, rng)
 			if err != nil {
 				errs[k] = fmt.Errorf("sweep: %s[%d]: %w", spec.Scenario, idx, err)
@@ -184,6 +186,9 @@ func runIndices(sc *Scenario, spec Spec, indices []int, workers, stopAfter int, 
 				return
 			}
 			rec.Index = idx
+			// Wall-time stamp for adaptive shard balancing; merge and
+			// table assembly ignore it, so determinism is untouched.
+			rec.WallNS = time.Since(t0).Nanoseconds()
 			if err := sink(rec); err != nil {
 				errs[k] = err
 				stop.Store(true)
@@ -203,11 +208,13 @@ func runIndices(sc *Scenario, spec Spec, indices []int, workers, stopAfter int, 
 // runOneIndex computes a single instance exactly as the workers do: a
 // fresh rng seeded with InstanceSeed, index stamped on the record.
 func runOneIndex(sc *Scenario, spec Spec, idx int) (Record, error) {
+	t0 := time.Now()
 	rec, err := sc.Run(spec, idx, rand.New(rand.NewSource(InstanceSeed(spec.Seed, idx))))
 	if err != nil {
 		return Record{}, err
 	}
 	rec.Index = idx
+	rec.WallNS = time.Since(t0).Nanoseconds()
 	return rec, nil
 }
 

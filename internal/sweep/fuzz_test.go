@@ -15,13 +15,14 @@ import (
 // the internal/instancefile fuzz pattern: parse-what-you-print, print-
 // what-you-parse.
 func FuzzCheckpointRoundTrip(f *testing.F) {
-	f.Add(0, "cell", "note", 1.5, []byte(`{"i":0,"c":["a"],"v":["0x1p+0"]}`))
-	f.Add(7, "", "n=4: skipped", math.Inf(1), []byte(`{"i":3}`))
-	f.Add(1<<30, "0.1250", "", -0.0, []byte("not json"))
-	f.Add(3, "a\nb", "τ", 1e-300, []byte(`{"i":1,"v":["zz"]}`))
-	f.Fuzz(func(t *testing.T, idx int, cell, note string, v float64, raw []byte) {
-		if idx >= 0 && utf8.ValidString(cell) && utf8.ValidString(note) {
-			rec := Record{Index: idx, Cells: []string{cell}, Vals: []float64{v}, Notes: []string{note}}
+	f.Add(0, "cell", "note", 1.5, int64(0), []byte(`{"i":0,"c":["a"],"v":["0x1p+0"]}`))
+	f.Add(7, "", "n=4: skipped", math.Inf(1), int64(12345), []byte(`{"i":3}`))
+	f.Add(1<<30, "0.1250", "", -0.0, int64(1), []byte("not json"))
+	f.Add(3, "a\nb", "τ", 1e-300, int64(1)<<60, []byte(`{"i":1,"v":["zz"]}`))
+	f.Add(2, "x", "", 0.5, int64(7), []byte(`{"i":4,"w":250}`))
+	f.Fuzz(func(t *testing.T, idx int, cell, note string, v float64, wall int64, raw []byte) {
+		if idx >= 0 && wall >= 0 && utf8.ValidString(cell) && utf8.ValidString(note) {
+			rec := Record{Index: idx, Cells: []string{cell}, Vals: []float64{v}, Notes: []string{note}, WallNS: wall}
 			line, err := EncodeRecord(rec)
 			if err != nil {
 				t.Fatalf("encode %+v: %v", rec, err)
@@ -34,6 +35,7 @@ func FuzzCheckpointRoundTrip(f *testing.F) {
 				t.Fatalf("decode of own encoding %q: %v", line, err)
 			}
 			if back.Index != rec.Index || back.Cells[0] != cell || back.Notes[0] != note ||
+				back.WallNS != wall ||
 				math.Float64bits(back.Vals[0]) != math.Float64bits(v) {
 				t.Fatalf("round trip changed record: %+v → %+v", rec, back)
 			}

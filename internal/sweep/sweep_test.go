@@ -125,6 +125,7 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 		{Index: 0},
 		{Index: 3, Cells: []string{"a", "", "0.1250"}, Vals: []float64{0.1, math.Inf(1), math.Inf(-1), math.NaN(), -0.0}, Notes: []string{"n1", "n2"}},
 		{Index: 1 << 30, Cells: []string{"x"}},
+		{Index: 5, Cells: []string{"y"}, WallNS: 123456789},
 	}
 	for _, rec := range recs {
 		line, err := EncodeRecord(rec)
@@ -139,7 +140,8 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 			t.Fatalf("decode %s: %v", line, err)
 		}
 		if back.Index != rec.Index || len(back.Cells) != len(rec.Cells) ||
-			len(back.Vals) != len(rec.Vals) || len(back.Notes) != len(rec.Notes) {
+			len(back.Vals) != len(rec.Vals) || len(back.Notes) != len(rec.Notes) ||
+			back.WallNS != rec.WallNS {
 			t.Fatalf("round trip changed shape: %+v → %+v", rec, back)
 		}
 		for i := range rec.Cells {
@@ -156,9 +158,47 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 	if _, err := EncodeRecord(Record{Index: -1}); err == nil {
 		t.Error("negative index encoded")
 	}
-	for _, bad := range []string{"", "{", `{"i":-2}`, `{"i":1,"v":["zzz"]}`, `{"i":1,"bogus":2}`, `{"i":1} extra`} {
+	if _, err := EncodeRecord(Record{Index: 1, WallNS: -5}); err == nil {
+		t.Error("negative wall time encoded")
+	}
+	for _, bad := range []string{"", "{", `{"i":-2}`, `{"i":1,"v":["zzz"]}`, `{"i":1,"bogus":2}`, `{"i":1} extra`, `{"i":1,"w":-9}`} {
 		if _, err := DecodeRecord([]byte(bad)); err == nil {
 			t.Errorf("DecodeRecord accepted %q", bad)
+		}
+	}
+	// Backward compatibility: pre-wall-time lines (no "w" key) decode
+	// with WallNS 0 and re-encode byte-identically (omitempty), so old
+	// checkpoint files resume cleanly under the new codec.
+	old := []byte(`{"i":9,"c":["r"],"v":["0x1p-01"]}`)
+	back, err := DecodeRecord(old)
+	if err != nil || back.WallNS != 0 {
+		t.Fatalf("old-format line: %+v %v", back, err)
+	}
+	again, err := EncodeRecord(back)
+	if err != nil || !bytes.Equal(again, old) {
+		t.Fatalf("old-format line not a fixed point: %s vs %s (%v)", again, old, err)
+	}
+}
+
+// TestRunShardCheckpointsWallTime: every checkpointed record of a real
+// shard run must carry a positive wall-time stamp, and the merged table
+// must be identical to a serial run regardless (merge ignores timing).
+func TestRunShardCheckpointsWallTime(t *testing.T) {
+	spec := Spec{Scenario: "enforce", Seed: 3, Count: 6, Size: 8}
+	dir := t.TempDir()
+	if _, err := RunShard(spec, dir, 0, 1, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ReadCheckpointFile(ShardPath(dir, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != spec.Count {
+		t.Fatalf("checkpointed %d records, want %d", len(recs), spec.Count)
+	}
+	for _, rec := range recs {
+		if rec.WallNS <= 0 {
+			t.Errorf("record %d has wall time %dns, want > 0", rec.Index, rec.WallNS)
 		}
 	}
 }

@@ -19,21 +19,28 @@ import (
 // Theorem 1's LP approach carries over verbatim; the demands only change
 // the coefficients. Full subsidies always enforce, so the LP is feasible
 // even for games with no unsubsidized equilibrium — subsidies can create
-// stability where none exists.
+// stability where none exists. Each round emits one sparse row and
+// re-solves warm from the previous optimal basis (lp.ResolveFrom).
 func SolveSNE(st *State, maxIters int) (*game.Subsidy, float64, int, error) {
 	if maxIters <= 0 {
 		maxIters = 10000
 	}
 	g := st.game.G
 	// Variables on established edges only.
-	varOf := map[int]int{}
+	varOf := make([]int, g.M())
 	model := lp.NewModel()
-	for id, l := range st.load {
-		if l > 0 {
+	for id := range varOf {
+		if st.load[id] > 0 {
 			varOf[id] = model.AddVar(1, g.Weight(id))
+		} else {
+			varOf[id] = -1
 		}
 	}
 	b := game.ZeroSubsidy(g)
+	onPath := make([]bool, g.M())
+	cols := make([]int, 0, 16)
+	vals := make([]float64, 0, 16)
+	var basis *lp.Basis
 	iters := 0
 	for iters < maxIters {
 		iters++
@@ -49,18 +56,18 @@ func SolveSNE(st *State, maxIters int) (*game.Subsidy, float64, int, error) {
 		}
 		i, p := viol.Player, viol.Path
 		d := st.game.Players[i].Demand
-		onPath := map[int]bool{}
 		for _, id := range p {
 			onPath[id] = true
 		}
-		coefs := map[int]float64{}
+		cols, vals = cols[:0], vals[:0]
 		rhs := 0.0
 		for _, id := range st.Paths[i] {
 			if onPath[id] {
 				continue // identical share on both sides — cancels
 			}
 			share := d / st.load[id]
-			coefs[varOf[id]] += share
+			cols = append(cols, varOf[id])
+			vals = append(vals, share)
 			rhs += g.Weight(id) * share
 		}
 		for _, id := range p {
@@ -68,21 +75,28 @@ func SolveSNE(st *State, maxIters int) (*game.Subsidy, float64, int, error) {
 				continue
 			}
 			share := d / (st.load[id] + d)
-			if j, ok := varOf[id]; ok {
-				coefs[j] -= share
+			if j := varOf[id]; j >= 0 {
+				cols = append(cols, j)
+				vals = append(vals, -share)
 			}
 			rhs -= g.Weight(id) * share
 		}
-		model.AddConstraint(coefs, lp.GE, rhs)
-		sol, err := model.Solve()
+		for _, id := range p {
+			onPath[id] = false
+		}
+		model.AddRow(cols, vals, lp.GE, rhs)
+		sol, err := model.ResolveFrom(basis)
 		if err != nil {
 			return nil, 0, iters, err
 		}
 		if sol.Status != lp.Optimal {
 			return nil, 0, iters, fmt.Errorf("weighted: SNE LP status %v", sol.Status)
 		}
+		basis = sol.Basis
 		for id, j := range varOf {
-			b[id] = numeric.Clamp(sol.X[j], 0, g.Weight(id))
+			if j >= 0 {
+				b[id] = numeric.Clamp(sol.X[j], 0, g.Weight(id))
+			}
 		}
 	}
 	return nil, 0, iters, errors.New("weighted: SNE row generation exceeded budget")

@@ -13,14 +13,16 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-Dijkstra|MSTKruskal|MSTPrim|EquilibriumCheck|LCA400|Theorem6Enforce|BroadcastLP|WaterFill|SwapUpdate|SwapRebuild|SwapEval|BestResponse|SwapDynamics|SteinerTree|AnalyzeTrees|Sweep|WeightedPNE}"
+PATTERN="${BENCH_PATTERN:-Dijkstra|MSTKruskal|MSTPrim|EquilibriumCheck|LCA400|Theorem6Enforce|BroadcastLP|WaterFill|SwapUpdate|SwapRebuild|SwapEval|BestResponse|SwapDynamics|SteinerTree|AnalyzeTrees|Sweep|WeightedPNE|RowGen|WilsonUST|Simplex|LPResolve|LPCold}"
 TIME="${BENCH_TIME:-1s}"
 OUT="${BENCH_OUT:-BENCH_$(date +%Y-%m-%d).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "running: go test -run=NONE -bench='${PATTERN}' -benchtime=${TIME} -benchmem ." >&2
-go test -run=NONE -bench="${PATTERN}" -benchtime="${TIME}" -benchmem . | tee "$RAW" >&2
+# The LP solver micro-benchmarks (Simplex*/LPResolve*/LPCold*) live in
+# internal/lp; everything else is in the root harness package.
+echo "running: go test -run=NONE -bench='${PATTERN}' -benchtime=${TIME} -benchmem . ./internal/lp" >&2
+go test -run=NONE -bench="${PATTERN}" -benchtime="${TIME}" -benchmem . ./internal/lp | tee "$RAW" >&2
 
 awk '
   /^Benchmark/ && /ns\/op/ {
