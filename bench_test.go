@@ -266,6 +266,115 @@ func BenchmarkRowGen100(b *testing.B) {
 	}
 }
 
+// BenchmarkRowGen200 is the thousands-of-rows regime the sparse-LU +
+// devex kernel targets: n=200 states generate hundreds of cuts and the
+// basis grows far past the dense-LU comfort zone.
+func BenchmarkRowGen200(b *testing.B) {
+	gst := benchRowGenState(b, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sne.SolveRowGeneration(gst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sneLPJitterFamily prebuilds the E22 jitter family exactly as the
+// sne-lp scenario's jitter mode does: one base graph, every non-tree
+// edge rescaled upward per instance, so the whole family shares one
+// built tree and the LPs differ only in their right-hand sides.
+func sneLPJitterFamily(b *testing.B, count, n int) []*broadcast.State {
+	b.Helper()
+	base := graph.RandomConnected(rand.New(rand.NewSource(9)), n, 0.12, 0.5, 3)
+	mst, err := graph.MST(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	onTree := make([]bool, base.M())
+	for _, id := range mst {
+		onTree[id] = true
+	}
+	sts := make([]*broadcast.State, 0, count)
+	for i := 0; i < count; i++ {
+		g := base.Clone()
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		for id := 0; id < g.M(); id++ {
+			if !onTree[id] {
+				g.SetWeight(id, g.Weight(id)*(1+0.25*rng.Float64()))
+			}
+		}
+		bg, err := broadcast.NewGame(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree, err := bg.MST()
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := broadcast.NewState(bg, tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sts = append(sts, st)
+	}
+	return sts
+}
+
+// BenchmarkSweepSNELPCold solves every instance of the E22 jitter family
+// from scratch: the per-instance cold baseline the warm chain is held
+// against.
+func BenchmarkSweepSNELPCold(b *testing.B) {
+	sts := sneLPJitterFamily(b, 32, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, st := range sts {
+			if _, err := sne.SolveBroadcastLP(st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepSNELPWarm chains the same family through cross-instance
+// basis homotopy (lp.Basis handed instance to instance) — the sne-lp
+// scenario's warm=1 solve path.
+func BenchmarkSweepSNELPWarm(b *testing.B) {
+	sts := sneLPJitterFamily(b, 32, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain := sne.NewBroadcastLPChain()
+		for _, st := range sts {
+			if _, err := chain.Solve(st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchSweepSNELPTable runs the whole scenario end to end (instance
+// construction included) through the sweep engine.
+func benchSweepSNELPTable(b *testing.B, warm bool) {
+	b.Helper()
+	params := map[string]float64{"jitter": 0.25, "p": 0.12}
+	if warm {
+		params["warm"] = 1
+	}
+	spec := sweep.Spec{Scenario: "sne-lp", Seed: 9, Count: 32, Size: 128, Params: params}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.RunTable(spec, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSNELPTableCold(b *testing.B) { benchSweepSNELPTable(b, false) }
+func BenchmarkSweepSNELPTableWarm(b *testing.B) { benchSweepSNELPTable(b, true) }
+
 // BenchmarkWilsonUST400 samples a uniform spanning tree on the sweep-
 // scale random graph (the pos-swap start diversifier).
 func BenchmarkWilsonUST400(b *testing.B) {

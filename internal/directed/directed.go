@@ -266,6 +266,16 @@ func (st *State) Potential(b game.Subsidy) float64 {
 // SolveSNE computes minimum subsidies enforcing st by row generation with
 // the directed Dijkstra oracle — Theorem 1 verbatim on digraphs.
 func SolveSNE(st *State, maxIters int) (game.Subsidy, float64, error) {
+	b, cost, _, err := SolveSNEFrom(st, maxIters, nil)
+	return b, cost, err
+}
+
+// SolveSNEFrom is SolveSNE seeded with a basis from a structurally nearby
+// instance (cross-instance homotopy) and additionally returning the final
+// optimal basis, so a sweep over a family of digraph states can chain
+// warm starts. A nil or incompatible warm basis degrades to a cold first
+// solve.
+func SolveSNEFrom(st *State, maxIters int, warm *lp.Basis) (game.Subsidy, float64, *lp.Basis, error) {
 	if maxIters <= 0 {
 		maxIters = 10000
 	}
@@ -283,7 +293,7 @@ func SolveSNE(st *State, maxIters int) (game.Subsidy, float64, error) {
 	onPath := make([]bool, d.M())
 	cols := make([]int, 0, 16)
 	vals := make([]float64, 0, 16)
-	var basis *lp.Basis
+	basis := warm
 	for iter := 0; iter < maxIters; iter++ {
 		violID := -1
 		var violPath []int
@@ -298,7 +308,7 @@ func SolveSNE(st *State, maxIters int) (game.Subsidy, float64, error) {
 			for id := range b {
 				b[id] = numeric.Clamp(b[id], 0, d.Weight(id))
 			}
-			return b, b.Cost(), nil
+			return b, b.Cost(), basis, nil
 		}
 		for _, id := range violPath {
 			onPath[id] = true
@@ -331,10 +341,10 @@ func SolveSNE(st *State, maxIters int) (game.Subsidy, float64, error) {
 		model.AddRow(cols, vals, lp.GE, rhs)
 		sol, err := model.ResolveFrom(basis)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		if sol.Status != lp.Optimal {
-			return nil, 0, fmt.Errorf("directed: SNE LP status %v", sol.Status)
+			return nil, 0, nil, fmt.Errorf("directed: SNE LP status %v", sol.Status)
 		}
 		basis = sol.Basis
 		for id, j := range varOf {
@@ -343,7 +353,7 @@ func SolveSNE(st *State, maxIters int) (game.Subsidy, float64, error) {
 			}
 		}
 	}
-	return nil, 0, errors.New("directed: SNE row generation exceeded budget")
+	return nil, 0, nil, errors.New("directed: SNE row generation exceeded budget")
 }
 
 // HnInstance builds the classic directed instance showing PoS = H_n is

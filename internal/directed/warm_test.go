@@ -1,0 +1,47 @@
+package directed
+
+import (
+	"math"
+	"testing"
+
+	"netdesign/internal/lp"
+	"netdesign/internal/numeric"
+)
+
+// TestSolveSNEFromChainsAcrossInstances chains warm starts through the
+// H_n family at drifting ε — same digraph structure, perturbed weights —
+// and holds each warm result to the analytic optimum (cost exactly ε)
+// and to the cold solve.
+func TestSolveSNEFromChainsAcrossInstances(t *testing.T) {
+	const n = 6
+	var chain *lp.Basis
+	for k := 0; k < 8; k++ {
+		eps := 0.02 + 0.01*float64(k)
+		inst, err := NewHnInstance(n, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := inst.OptState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw, cw, next, err := SolveSNEFrom(opt, 0, chain)
+		if err != nil {
+			t.Fatalf("inst %d: warm: %v", k, err)
+		}
+		if !opt.IsEquilibrium(bw) {
+			t.Fatalf("inst %d: warm result does not enforce", k)
+		}
+		if !numeric.AlmostEqualTol(cw, eps, 1e-6) {
+			t.Fatalf("inst %d: warm cost %v, want ε = %v", k, cw, eps)
+		}
+		_, cc, err := SolveSNE(opt, 0)
+		if err != nil {
+			t.Fatalf("inst %d: cold: %v", k, err)
+		}
+		if math.Abs(cw-cc) > 1e-6*(1+math.Abs(cc)) {
+			t.Fatalf("inst %d: warm %v vs cold %v", k, cw, cc)
+		}
+		chain = next
+	}
+}

@@ -28,12 +28,15 @@ func RunE11WaterFill(cfg Config) (*Table, error) {
 		Headers: []string{"instance", "wgt(T)", "LP cost", "waterfill cost", "ratio", "enforces"},
 	}
 	worst := 1.0
+	// One pooled workspace across the whole family: instance-to-instance
+	// the heuristic allocates only its result.
+	ws := sne.NewWaterFillWorkspace()
 	add := func(name string, st *broadcast.State) error {
 		lp, err := sne.SolveBroadcastLP(st)
 		if err != nil {
 			return err
 		}
-		wf, err := sne.WaterFill(st)
+		wf, err := sne.WaterFillWith(st, ws)
 		if err != nil {
 			return err
 		}

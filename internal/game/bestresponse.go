@@ -3,27 +3,55 @@ package game
 import (
 	"errors"
 	"math/rand"
+	"sync"
 
 	"netdesign/internal/graph"
 	"netdesign/internal/numeric"
 )
 
-// BestResponse returns a minimum-cost deviation path for player i against
-// the rest of st, together with its cost. The marginal cost of edge a for
-// player i is (w_a − b_a)/(n_a + 1 − n_a^i): this is the separation oracle
-// of the paper's LP (1), implemented with Dijkstra.
-func (st *State) BestResponse(i int, b Subsidy) (path []int, cost float64) {
+// brScratch is the pooled workspace of the separation oracle: a Dijkstra
+// Scratch plus a path-reconstruction buffer. Pooled rather than hung off
+// the State so concurrent FindViolation calls on one State stay safe.
+type brScratch struct {
+	s    graph.Scratch
+	path []int
+}
+
+var brPool = sync.Pool{New: func() any { return new(brScratch) }}
+
+// bestResponseInto runs player i's best-response Dijkstra (early exit at
+// the player's sink) into ws and returns the deviation cost; the path is
+// retrievable from ws afterwards.
+func (st *State) bestResponseInto(ws *brScratch, i int, b Subsidy) float64 {
 	g := st.game.G
+	uses := st.uses[i]
 	wf := func(id int) float64 {
 		den := st.usage[id] + 1
-		if st.uses[i][id] {
+		if uses[id] {
 			den--
 		}
 		return (g.Weight(id) - b.At(id)) / float64(den)
 	}
-	sp := graph.Dijkstra(g, st.game.Terminals[i].S, wf)
+	tm := st.game.Terminals[i]
+	ws.s.DijkstraTo(g.Freeze(), tm.S, tm.T, wf)
+	return ws.s.Dist[tm.T]
+}
+
+// BestResponse returns a minimum-cost deviation path for player i against
+// the rest of st, together with its cost. The marginal cost of edge a for
+// player i is (w_a − b_a)/(n_a + 1 − n_a^i): this is the separation oracle
+// of the paper's LP (1), implemented with Dijkstra (early exit at the
+// player's sink, pooled workspace).
+func (st *State) BestResponse(i int, b Subsidy) (path []int, cost float64) {
+	ws := brPool.Get().(*brScratch)
+	defer brPool.Put(ws)
+	cost = st.bestResponseInto(ws, i, b)
 	t := st.game.Terminals[i].T
-	return sp.PathTo(t), sp.Dist[t]
+	ws.path = ws.s.PathTo(t, ws.path[:0])
+	if ws.path == nil {
+		return nil, cost
+	}
+	return append([]int(nil), ws.path...), cost
 }
 
 // Violation describes a profitable unilateral deviation.
@@ -52,21 +80,26 @@ func (st *State) IsEquilibrium(b Subsidy) bool {
 // bestViolation scans players in order; if maxGain is true it returns the
 // violation with the largest gain, otherwise the first found.
 func (st *State) bestViolation(b Subsidy, maxGain bool) *Violation {
+	ws := brPool.Get().(*brScratch)
+	defer brPool.Put(ws)
 	var best *Violation
 	for i := range st.Paths {
 		cur := st.PlayerCost(i, b)
-		path, cost := st.BestResponse(i, b)
-		if path == nil {
+		cost := st.bestResponseInto(ws, i, b)
+		if !numeric.Less(cost, cur) {
 			continue
 		}
-		if numeric.Less(cost, cur) {
-			v := &Violation{Player: i, Path: path, Current: cur, Better: cost}
-			if !maxGain {
-				return v
-			}
-			if best == nil || v.Gain() > best.Gain() {
-				best = v
-			}
+		t := st.game.Terminals[i].T
+		ws.path = ws.s.PathTo(t, ws.path[:0])
+		if ws.path == nil {
+			continue
+		}
+		v := &Violation{Player: i, Path: append([]int(nil), ws.path...), Current: cur, Better: cost}
+		if !maxGain {
+			return v
+		}
+		if best == nil || v.Gain() > best.Gain() {
+			best = v
 		}
 	}
 	return best
@@ -126,8 +159,8 @@ func BestResponseDynamics(st *State, b Subsidy, order Order, rng *rand.Rand, max
 	// the gain, leaving the path retrievable from the scratch workspace.
 	improving := func(i int) (float64, bool) {
 		player = i
-		s.Dijkstra(c, cur.game.Terminals[i].S, wf)
 		t := cur.game.Terminals[i].T
+		s.DijkstraTo(c, cur.game.Terminals[i].S, t, wf)
 		cost := s.Dist[t]
 		curCost := cur.PlayerCost(i, b)
 		if !numeric.Less(cost, curCost) {

@@ -88,5 +88,66 @@ func FuzzLPSolve(f *testing.F) {
 		if sp.Objective > m.Value(xs)+1e-6*(1+math.Abs(m.Value(xs))) {
 			t.Fatalf("witness beats 'optimum': %v < %v", m.Value(xs), sp.Objective)
 		}
+
+		// Cross-instance homotopy: the optimal basis must warm start a
+		// structurally identical neighbour (all inequalities loosened, so
+		// the witness stays feasible) and a row-truncated one, matching
+		// the dense oracle on each.
+		loose := 0.25 + float64(next()%8)/8
+		nb := m.Clone()
+		for i := 0; i < nb.NumConstraints(); i++ {
+			switch nb.ops[i] {
+			case LE:
+				nb.rhs[i] += loose
+			case GE:
+				nb.rhs[i] -= loose
+			}
+		}
+		warm, err := nb.ResolveFrom(sp.Basis)
+		if err != nil {
+			t.Fatalf("foreign warm: %v", err)
+		}
+		wdn, err := nb.SolveDense()
+		if err != nil {
+			t.Fatalf("foreign dense: %v", err)
+		}
+		if warm.Status != wdn.Status {
+			t.Fatalf("foreign: warm %v vs dense %v", warm.Status, wdn.Status)
+		}
+		if warm.Status == Optimal {
+			if diff := math.Abs(warm.Objective - wdn.Objective); diff > 1e-6*(1+math.Abs(wdn.Objective)) {
+				t.Fatalf("foreign objectives diverge: warm %v dense %v", warm.Objective, wdn.Objective)
+			}
+			if !nb.Feasible(warm.X, 1e-6) {
+				t.Fatalf("foreign warm optimum infeasible: %v", warm.X)
+			}
+		}
+		if rows > 0 {
+			// Truncation direction: basis has more rows than the model.
+			tr := NewModel()
+			for j := 0; j < m.NumVars(); j++ {
+				tr.AddVar(m.obj[j], m.ub[j])
+			}
+			for i := 0; i < m.NumConstraints()-1; i++ {
+				cols, vals, op, rhs := m.Row(i)
+				tr.AddRow(cols, vals, op, rhs)
+			}
+			tw, err := tr.ResolveFrom(sp.Basis)
+			if err != nil {
+				t.Fatalf("truncated warm: %v", err)
+			}
+			tdn, err := tr.SolveDense()
+			if err != nil {
+				t.Fatalf("truncated dense: %v", err)
+			}
+			if tw.Status != tdn.Status {
+				t.Fatalf("truncated: warm %v vs dense %v", tw.Status, tdn.Status)
+			}
+			if tw.Status == Optimal {
+				if diff := math.Abs(tw.Objective - tdn.Objective); diff > 1e-6*(1+math.Abs(tdn.Objective)) {
+					t.Fatalf("truncated objectives diverge: warm %v dense %v", tw.Objective, tdn.Objective)
+				}
+			}
+		}
 	})
 }

@@ -164,6 +164,25 @@ func (m *Model) Row(i int) ([]int, []float64, Op, float64) {
 	return m.cols[lo:hi], m.vals[lo:hi], m.ops[i], m.rhs[i]
 }
 
+// Reset empties the model in place, keeping every arena's capacity. It is
+// the workspace path for callers that rebuild a same-shaped model per
+// instance — the water-fill heuristic and sweep scenario chains emit
+// thousands of models of nearly identical size, and Reset makes each
+// rebuild allocation-free once the arenas have grown.
+func (m *Model) Reset() {
+	m.obj = m.obj[:0]
+	m.ub = m.ub[:0]
+	if m.rowStart == nil {
+		m.rowStart = []int{0}
+	} else {
+		m.rowStart = append(m.rowStart[:0], 0)
+	}
+	m.cols = m.cols[:0]
+	m.vals = m.vals[:0]
+	m.ops = m.ops[:0]
+	m.rhs = m.rhs[:0]
+}
+
 // Clone returns a deep copy of the model. Useful for benchmarking warm
 // starts (clone the base model, append rows, ResolveFrom) and for
 // differential tests that solve the same model twice.
@@ -177,6 +196,39 @@ func (m *Model) Clone() *Model {
 		ops:      append([]Op(nil), m.ops...),
 		rhs:      append([]float64(nil), m.rhs...),
 	}
+}
+
+// StructureFingerprint hashes the model's *shape* — variable count, which
+// upper bounds are finite, row count and row operators — into a 64-bit
+// FNV-1a digest. Coefficient and RHS values are deliberately excluded:
+// two instances of one sweep family (same graph skeleton, perturbed
+// weights) share a fingerprint, which is exactly the compatibility class
+// across which a Basis moves losslessly (cross-instance homotopy). Models
+// with equal fingerprints accept each other's bases without projection;
+// ResolveFrom additionally tolerates differing row blocks by projecting.
+func (m *Model) StructureFingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime64
+	}
+	mix(uint64(len(m.obj)))
+	for _, u := range m.ub {
+		if math.IsInf(u, 1) {
+			mix(1)
+		} else {
+			mix(2)
+		}
+	}
+	mix(uint64(len(m.ops)))
+	for _, op := range m.ops {
+		mix(uint64(op) + 3)
+	}
+	return h
 }
 
 // Status reports the outcome of a solve.

@@ -1,0 +1,262 @@
+package lp
+
+import "math"
+
+// Pricing for the revised simplex: devex reference-framework weights
+// (Forrest–Goldfarb) with rotating-window partial pricing for both loops,
+// and the rank-one reduced-cost update that keeps the duals incremental
+// between refactorizations.
+//
+// Devex approximates steepest-edge at a fraction of the cost: each
+// candidate's violation is scaled by a running estimate of its edge norm
+// relative to a reference framework — the basis at the last weight reset.
+// The weights only steer *which* admissible pivot is taken, never whether
+// one is admissible, so every selection below stays exact about
+// optimality/feasibility; a drifted weight can only cost iterations.
+// Reference-framework reset rules (see DESIGN.md §7): weights reset to 1
+// when a phase starts and whenever the largest weight passes
+// devexWeightCap — past that, the reference basis is too far away for the
+// estimates to mean anything.
+//
+// Partial pricing scans a rotating window (an eighth of the candidates,
+// at least partialWindowMin) and settles for the best devex score in the
+// first non-empty window; only a full empty wrap declares the loop done.
+// Bland mode bypasses both devex and the windows: lowest eligible index,
+// full scan — the anti-cycling fallback must stay deterministic and
+// complete.
+
+const (
+	// devexWeightCap triggers a reference-framework reset.
+	devexWeightCap = 1e8
+
+	// partialWindowMin is the smallest partial-pricing window; tiny
+	// models always price fully.
+	partialWindowMin = 64
+)
+
+func (s *sparse) resetPrimalDevex() {
+	for j := range s.pw {
+		s.pw[j] = 1
+	}
+}
+
+func (s *sparse) resetDualDevex() {
+	for i := range s.dw {
+		s.dw[i] = 1
+	}
+}
+
+// primalViol returns the primal reduced-cost violation of a nonbasic
+// column (positive means entering improves the objective).
+func (s *sparse) primalViol(j int) float64 {
+	if s.status[j] == nbLower {
+		return -s.d[j]
+	}
+	return s.d[j]
+}
+
+// choosePrimalEntering picks the entering column for the primal simplex,
+// or -1 at optimality.
+func (s *sparse) choosePrimalEntering(bland bool) int {
+	if s.nc == 0 {
+		return -1
+	}
+	if bland {
+		for j := 0; j < s.nc; j++ {
+			if s.status[j] == inBasis || s.lo[j] == s.up[j] {
+				continue
+			}
+			if s.primalViol(j) > optTol {
+				return j
+			}
+		}
+		return -1
+	}
+	window := s.nc / 8
+	if window < partialWindowMin {
+		window = partialWindowMin
+	}
+	start := s.pstart % s.nc
+	scanned := 0
+	for scanned < s.nc {
+		best, bestScore := -1, 0.0
+		for w := 0; w < window && scanned < s.nc; w++ {
+			j := start
+			start++
+			if start == s.nc {
+				start = 0
+			}
+			scanned++
+			if s.status[j] == inBasis || s.lo[j] == s.up[j] {
+				continue
+			}
+			viol := s.primalViol(j)
+			if viol <= optTol {
+				continue
+			}
+			if score := viol * viol / s.pw[j]; score > bestScore {
+				best, bestScore = j, score
+			}
+		}
+		if best != -1 {
+			s.pstart = start
+			return best
+		}
+	}
+	return -1
+}
+
+// dualViol returns row i's bound violation and whether the basic value
+// sits above its upper bound (0 when feasible within tolerance).
+func (s *sparse) dualViol(i int) (float64, bool) {
+	b := s.basic[i]
+	if v := s.lo[b] - s.xB[i]; v > feasTol*(1+math.Abs(s.lo[b])) {
+		return v, false
+	}
+	if v := s.xB[i] - s.up[b]; v > feasTol*(1+math.Abs(s.up[b])) {
+		return v, true
+	}
+	return 0, false
+}
+
+// chooseDualLeaving picks the leaving row for the dual simplex, or -1
+// when the basis is primal feasible.
+func (s *sparse) chooseDualLeaving(bland bool) (int, bool) {
+	if s.mr == 0 {
+		return -1, false
+	}
+	if bland {
+		// Worst violation, full scan: the deterministic fallback rule.
+		r, above, worst := -1, false, 0.0
+		for i := 0; i < s.mr; i++ {
+			if v, ab := s.dualViol(i); v > worst {
+				r, above, worst = i, ab, v
+			}
+		}
+		return r, above
+	}
+	window := s.mr / 8
+	if window < partialWindowMin {
+		window = partialWindowMin
+	}
+	start := s.dstart % s.mr
+	scanned := 0
+	for scanned < s.mr {
+		best, bestAbove, bestScore := -1, false, 0.0
+		for w := 0; w < window && scanned < s.mr; w++ {
+			i := start
+			start++
+			if start == s.mr {
+				start = 0
+			}
+			scanned++
+			v, ab := s.dualViol(i)
+			if v == 0 {
+				continue
+			}
+			if score := v * v / s.dw[i]; score > bestScore {
+				best, bestAbove, bestScore = i, ab, score
+			}
+		}
+		if best != -1 {
+			s.dstart = start
+			return best, bestAbove
+		}
+	}
+	return -1, false
+}
+
+// pivotRowAlphas fills s.alpha[j] = ρ·A_j for every column not in the
+// basis, where ρ (s.rrow) is the BTRANed pivot row e_r.
+func (s *sparse) pivotRowAlphas() {
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == inBasis {
+			continue
+		}
+		var a float64
+		for k := s.colStart[j]; k < s.colStart[j+1]; k++ {
+			a += s.rrow[s.colRow[k]] * s.colVal[k]
+		}
+		s.alpha[j] = a
+	}
+	for i := 0; i < s.mr; i++ {
+		s.alpha[s.n+i] = s.rrow[i]
+	}
+}
+
+// updateDualsAfterPivot applies the rank-one update d′ = d − (d_q/α_q)·α
+// for a pivot entering column q and leaving variable lv, using the
+// pivot-row alphas in s.alpha. Must run before replaceBasis (it reads the
+// pre-pivot statuses). The leaving variable's new reduced cost is exactly
+// −d_q/α_q because its tableau-row coefficient is 1.
+func (s *sparse) updateDualsAfterPivot(q, lv int) {
+	delta := s.d[q] / s.alpha[q]
+	for j := 0; j < s.nc; j++ {
+		if j == q || s.status[j] == inBasis {
+			continue
+		}
+		if a := s.alpha[j]; a != 0 {
+			s.d[j] -= delta * a
+		}
+	}
+	s.d[q] = 0
+	s.d[lv] = -delta
+}
+
+// updatePrimalDevex folds a primal pivot (entering q, leaving variable
+// lv, pivot-row alphas in s.alpha with α_q = alphaQ) into the column
+// weights. Must run before replaceBasis.
+func (s *sparse) updatePrimalDevex(q, lv int, alphaQ float64) {
+	wref := s.pw[q]
+	aq2 := alphaQ * alphaQ
+	mx := 1.0
+	for j := 0; j < s.nc; j++ {
+		if j == q || s.status[j] == inBasis {
+			continue
+		}
+		a := s.alpha[j]
+		if a == 0 {
+			continue
+		}
+		if cand := a * a / aq2 * wref; cand > s.pw[j] {
+			s.pw[j] = cand
+		}
+		if s.pw[j] > mx {
+			mx = s.pw[j]
+		}
+	}
+	if w := math.Max(wref/aq2, 1); w > s.pw[lv] {
+		s.pw[lv] = w
+	}
+	if mx > devexWeightCap {
+		s.resetPrimalDevex()
+	}
+}
+
+// updateDualDevex folds a dual pivot on row r (FTRANed entering column
+// in s.wcol) into the row weights.
+func (s *sparse) updateDualDevex(r int) {
+	wr := s.wcol[r]
+	wref := s.dw[r]
+	wr2 := wr * wr
+	mx := 1.0
+	for i := 0; i < s.mr; i++ {
+		if i == r {
+			continue
+		}
+		w := s.wcol[i]
+		if w == 0 {
+			continue
+		}
+		if cand := w * w / wr2 * wref; cand > s.dw[i] {
+			s.dw[i] = cand
+		}
+		if s.dw[i] > mx {
+			mx = s.dw[i]
+		}
+	}
+	s.dw[r] = math.Max(wref/wr2, 1)
+	if mx > devexWeightCap {
+		s.resetDualDevex()
+	}
+}

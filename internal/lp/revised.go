@@ -2,8 +2,8 @@ package lp
 
 import (
 	"errors"
-	"fmt"
 	"math"
+	"sync"
 )
 
 // This file is the sparse revised simplex: the production solver behind
@@ -13,18 +13,24 @@ import (
 // logical variable s_i per row (LE: s ∈ [0,∞), GE: s ∈ (−∞,0],
 // EQ: s ∈ [0,0]) and the structural bounds 0 ≤ x ≤ u handled natively by
 // the bounded-variable pivot rules — no bound rows, no artificials. The
-// basis inverse is never formed: a dense LU factorization of the m×m
-// basis (m = user rows only) answers FTRAN/BTRAN, with an eta file of
-// product-form updates between refactorizations.
+// basis inverse is never formed: a sparse Markowitz LU of the m×m basis
+// (m = user rows only; see sparselu.go) answers FTRAN/BTRAN at a cost
+// proportional to the factor nonzeros, with an eta file of product-form
+// updates between refactorizations. Pricing is devex with partial
+// pricing in both loops and Bland as the anti-cycling fallback
+// (pricing.go); reduced costs are maintained by rank-one updates and
+// recomputed from scratch at every refactorization.
 //
 // Solve runs dual simplex from the all-logical basis under the shifted
 // cost ĉ = max(c,0) — always dual feasible — then primal simplex under
 // the true cost; when c ≥ 0 (every SNE model) the first phase is already
-// the whole solve. ResolveFrom restores a previous optimal Basis, seats
-// the logicals of freshly added rows, and re-solves with the dual
-// simplex alone: the inherited basis stays dual feasible, so only the
-// primal infeasibility introduced by the new rows has to be repaired.
-// That is the Theorem-1 row-generation loop in basis form.
+// the whole solve. ResolveFrom restores a previous optimal Basis — from
+// this model (row generation) or from a structurally compatible *other*
+// model (cross-instance basis homotopy) — projects it onto the current
+// row set, repairs what a bound flip can repair, and re-solves with
+// whichever simplex the projected basis is feasible for. That is the
+// Theorem-1 row-generation loop, and the sweep-family warm-start chain,
+// in basis form.
 
 // hugeBound is the threshold beyond which an upper bound is treated as
 // +∞ (callers occasionally use 1e308 as a stand-in for "unbounded";
@@ -34,7 +40,8 @@ import (
 const hugeBound = 1e100
 
 // refactorEvery bounds the eta file: after this many product-form
-// updates the basis is refactorized from scratch.
+// updates the basis is refactorized from scratch (which also refreshes
+// the incrementally maintained reduced costs).
 const refactorEvery = 64
 
 // Nonbasic/basic variable states.
@@ -47,13 +54,32 @@ const (
 // Basis is a reusable snapshot of a revised-simplex basis: which column
 // (structural j < NumVars, logical NumVars+i for row i) is basic in each
 // row, and at which bound every nonbasic column rests. Solve attaches the
-// optimal basis to its Solution; after AddRow, ResolveFrom(basis) warm
-// starts from it.
+// optimal basis to its Solution; ResolveFrom(basis) warm starts from it —
+// after AddRow on the same model (row generation), or on a different
+// model with the same variable block (cross-instance homotopy: nearby
+// sweep instances hand their optimal basis down the chain). The
+// Fingerprint identifies the structure the snapshot was taken on.
 type Basis struct {
 	nVars  int
 	nRows  int
+	fp     uint64
 	status []int8
 	basic  []int
+}
+
+// Fingerprint returns the structure fingerprint of the model this basis
+// was captured on (see Model.StructureFingerprint). Two models with equal
+// fingerprints have identical variable blocks and row shapes, so a basis
+// moves between them without projection loss; ResolveFrom additionally
+// accepts any basis whose variable block matches (CompatibleWith) and
+// projects away the row differences.
+func (b *Basis) Fingerprint() uint64 { return b.fp }
+
+// CompatibleWith reports whether ResolveFrom can warm start m from this
+// basis: the variable block must match — rows may differ in both number
+// and shape (they are projected).
+func (b *Basis) CompatibleWith(m *Model) bool {
+	return b != nil && b.nVars == m.NumVars()
 }
 
 // eta is one product-form update: after a pivot on row r with entering
@@ -86,35 +112,86 @@ type sparse struct {
 	basic  []int     // basic[i] = column basic in row i
 	xB     []float64 // value of the basic variable of each row
 
-	// LU factorization of the basis (row-major, partial pivoting) plus
-	// the eta file of updates since the last refactorization.
-	lu   []float64
-	piv  []int
+	// Sparse LU factorization of the basis plus the eta file of updates
+	// since the last refactorization.
+	f    luFactor
 	etas []eta
 
-	y    []float64 // duals of the current cost vector
-	d    []float64 // reduced costs per column
-	wcol []float64 // FTRAN scratch
-	rrow []float64 // BTRAN scratch
+	y     []float64 // duals of the current cost vector
+	d     []float64 // reduced costs per column
+	alpha []float64 // pivot-row coefficients per column
+	wcol  []float64 // FTRAN scratch
+	rrow  []float64 // BTRAN scratch
+
+	pw     []float64 // primal devex weights per column
+	dw     []float64 // dual devex weights per row
+	pstart int       // partial-pricing cursor (columns)
+	dstart int       // partial-pricing cursor (rows)
+
+	ltaken  []bool // initFromBasis scratch
+	cscNext []int  // buildCSC scratch
+
+	// warmSeated marks a basis projected from a snapshot (initFromBasis):
+	// run() then earns a cost-shifted dual phase-1 rung before giving up
+	// on the warm start.
+	warmSeated bool
 
 	pivots int
 }
 
 var errSingularBasis = errors.New("lp: singular basis")
 
+// sparsePool recycles solver states across solves: the slices (including
+// the LU workspace) keep their capacity, so the row-generation loop —
+// thousands of ResolveFrom calls on similarly sized models — runs the
+// whole numerical core without steady-state allocation.
+var sparsePool = sync.Pool{New: func() any { return new(sparse) }}
+
 func newSparse(m *Model) *sparse {
+	s := sparsePool.Get().(*sparse)
+	s.init(m)
+	return s
+}
+
+// release returns the state to the pool. Solutions never alias solver
+// storage (solution() copies everything it exports), so releasing after
+// run is safe.
+func (s *sparse) release() {
+	s.model = nil
+	sparsePool.Put(s)
+}
+
+// grown returns s resized to length n, reallocating only when the
+// capacity is insufficient (contents are unspecified — callers
+// overwrite).
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func (s *sparse) init(m *Model) {
 	n := len(m.obj)
 	mr := len(m.ops)
-	s := &sparse{
-		model: m, n: n, mr: mr, nc: n + mr,
-		lo: make([]float64, n+mr), up: make([]float64, n+mr),
-		cost: make([]float64, n+mr), real: make([]float64, n+mr),
-		status: make([]int8, n+mr), basic: make([]int, mr),
-		xB: make([]float64, mr),
-		lu: make([]float64, mr*mr), piv: make([]int, mr),
-		y: make([]float64, mr), d: make([]float64, n+mr),
-		wcol: make([]float64, mr), rrow: make([]float64, mr),
-	}
+	s.model, s.n, s.mr, s.nc = m, n, mr, n+mr
+	s.lo = grown(s.lo, n+mr)
+	s.up = grown(s.up, n+mr)
+	s.cost = grown(s.cost, n+mr)
+	s.real = grown(s.real, n+mr)
+	s.status = grown(s.status, n+mr)
+	s.basic = grown(s.basic, mr)
+	s.xB = grown(s.xB, mr)
+	s.y = grown(s.y, mr)
+	s.d = grown(s.d, n+mr)
+	s.alpha = grown(s.alpha, n+mr)
+	s.wcol = grown(s.wcol, mr)
+	s.rrow = grown(s.rrow, mr)
+	s.pw = grown(s.pw, n+mr)
+	s.dw = grown(s.dw, mr)
+	s.etas = s.etas[:0]
+	s.pstart, s.dstart, s.pivots = 0, 0, 0
+	s.warmSeated = false
 	for j := 0; j < n; j++ {
 		s.lo[j] = 0
 		s.up[j] = m.ub[j]
@@ -125,6 +202,7 @@ func newSparse(m *Model) *sparse {
 	}
 	for i := 0; i < mr; i++ {
 		c := n + i
+		s.real[c] = 0 // logical columns are costless (must not leak a pooled value)
 		switch m.ops[i] {
 		case LE:
 			s.lo[c], s.up[c] = 0, math.Inf(1)
@@ -135,7 +213,6 @@ func newSparse(m *Model) *sparse {
 		}
 	}
 	s.buildCSC()
-	return s
 }
 
 // buildCSC transposes the model's CSR rows into per-column form, which
@@ -143,16 +220,20 @@ func newSparse(m *Model) *sparse {
 func (s *sparse) buildCSC() {
 	m := s.model
 	nnz := len(m.cols)
-	s.colStart = make([]int, s.n+1)
+	s.colStart = grown(s.colStart, s.n+1)
+	for j := range s.colStart {
+		s.colStart[j] = 0
+	}
 	for _, j := range m.cols {
 		s.colStart[j+1]++
 	}
 	for j := 0; j < s.n; j++ {
 		s.colStart[j+1] += s.colStart[j]
 	}
-	s.colRow = make([]int, nnz)
-	s.colVal = make([]float64, nnz)
-	next := make([]int, s.n)
+	s.colRow = grown(s.colRow, nnz)
+	s.colVal = grown(s.colVal, nnz)
+	next := grown(s.cscNext, s.n)
+	s.cscNext = next
 	copy(next, s.colStart[:s.n])
 	for i := 0; i < s.mr; i++ {
 		for k := m.rowStart[i]; k < m.rowStart[i+1]; k++ {
@@ -182,99 +263,124 @@ func (s *sparse) initFresh() {
 	}
 }
 
-// initFromBasis restores a snapshot and seats the logicals of any rows
-// added since it was captured (they enter basic, preserving dual
-// feasibility: the extended basis is block triangular with an identity
-// block, so the old duals are unchanged and the new rows' duals are 0).
-func (s *sparse) initFromBasis(bs *Basis) error {
-	if bs.nVars != s.n {
-		return fmt.Errorf("lp: basis has %d variables, model has %d (add rows, not variables, between warm starts)", bs.nVars, s.n)
+// logicalRest is the finite resting bound of a row's logical variable.
+func logicalRest(op Op) int8 {
+	if op == GE {
+		return nbUpper // (−∞, 0]: only the upper bound is finite
 	}
-	if bs.nRows > s.mr {
-		return fmt.Errorf("lp: basis has %d rows, model only %d", bs.nRows, s.mr)
+	return nbLower // LE: [0, ∞); EQ: [0, 0]
+}
+
+// initFromBasis projects a snapshot onto the current model. The variable
+// blocks match (checked by CompatibleWith before this is called); rows
+// need not:
+//
+//   - rows beyond the snapshot (row generation added them) seat their own
+//     logical, which preserves dual feasibility — the extended basis is
+//     block triangular with an identity block;
+//   - snapshot rows beyond the model (homotopy from a larger instance)
+//     are dropped, and any row left without a basic column — its basic
+//     column belonged only to a dropped row — takes a free logical;
+//   - a nonbasic column resting at a bound the current model makes
+//     infinite is moved to its finite bound.
+//
+// The projection is total: any structural mismatch degrades into a basis
+// the simplex can still start from, and a numerically singular projection
+// is caught by factorize (ResolveFrom then falls back to a cold solve).
+func (s *sparse) initFromBasis(bs *Basis) {
+	n := s.n
+	keep := bs.nRows
+	if keep > s.mr {
+		keep = s.mr
 	}
-	for j := 0; j < s.n; j++ {
-		s.status[j] = bs.status[j]
+	s.ltaken = grown(s.ltaken, s.mr)
+	logicalTaken := s.ltaken
+	for i := range logicalTaken {
+		logicalTaken[i] = false
 	}
-	for i := 0; i < bs.nRows; i++ {
-		// Old logical columns keep their index offset by the unchanged n.
-		s.status[s.n+i] = bs.status[bs.nVars+i]
-		s.basic[i] = bs.basic[i]
-		if s.basic[i] >= bs.nVars {
-			s.basic[i] = s.n + (s.basic[i] - bs.nVars)
+	for i := range s.basic {
+		s.basic[i] = -1
+	}
+	for i := 0; i < keep; i++ {
+		b := bs.basic[i]
+		if b >= bs.nVars {
+			t := b - bs.nVars
+			if t >= s.mr {
+				continue // logical of a dropped row: reseat below
+			}
+			b = n + t
+			logicalTaken[t] = true
 		}
+		s.basic[i] = b
 	}
-	for i := bs.nRows; i < s.mr; i++ {
-		s.basic[i] = s.n + i
-		s.status[s.n+i] = inBasis
+	for i := keep; i < s.mr; i++ {
+		// Fresh rows: own logical. Never taken by a kept row — snapshot
+		// logicals are bounded by the snapshot's (smaller) row count.
+		s.basic[i] = n + i
+		logicalTaken[i] = true
 	}
-	// A nonbasic column can only rest at a finite bound.
-	for j := 0; j < s.nc; j++ {
-		if s.status[j] == nbLower && math.IsInf(s.lo[j], -1) {
-			return fmt.Errorf("lp: basis rests column %d at an infinite bound", j)
+	free := 0
+	for i := 0; i < s.mr; i++ {
+		if s.basic[i] != -1 {
+			continue
 		}
-		if s.status[j] == nbUpper && math.IsInf(s.up[j], 1) {
-			return fmt.Errorf("lp: basis rests column %d at an infinite bound", j)
+		if !logicalTaken[i] {
+			s.basic[i] = n + i
+			logicalTaken[i] = true
+			continue
 		}
+		for logicalTaken[free] {
+			free++ // always terminates: one column per row, mr logicals
+		}
+		s.basic[i] = n + free
+		logicalTaken[free] = true
 	}
-	return nil
+	// Statuses: structural nonbasic columns keep their snapshot bound
+	// where finite; logicals rest at their op's finite bound; everything
+	// seated above is basic.
+	for j := 0; j < n; j++ {
+		st := bs.status[j]
+		if st == inBasis || (st == nbUpper && math.IsInf(s.up[j], 1)) {
+			st = nbLower
+		}
+		s.status[j] = st
+	}
+	for i := 0; i < s.mr; i++ {
+		s.status[n+i] = logicalRest(s.model.ops[i])
+	}
+	for _, b := range s.basic {
+		s.status[b] = inBasis
+	}
+	s.warmSeated = true
 }
 
 func (s *sparse) snapshot() *Basis {
 	return &Basis{
 		nVars:  s.n,
 		nRows:  s.mr,
+		fp:     s.model.StructureFingerprint(),
 		status: append([]int8(nil), s.status...),
 		basic:  append([]int(nil), s.basic...),
 	}
 }
 
-// factorize rebuilds the dense LU of the current basis and clears the eta
-// file.
+// factorize rebuilds the sparse LU of the current basis and clears the
+// eta file.
 func (s *sparse) factorize() error {
-	mr := s.mr
-	for i := range s.lu {
-		s.lu[i] = 0
-	}
+	f := &s.f
+	f.begin(s.mr)
 	for i, b := range s.basic {
 		if b < s.n {
 			for k := s.colStart[b]; k < s.colStart[b+1]; k++ {
-				s.lu[s.colRow[k]*mr+i] += s.colVal[k]
+				f.load(int32(s.colRow[k]), int32(i), s.colVal[k])
 			}
 		} else {
-			s.lu[(b-s.n)*mr+i] += 1
+			f.load(int32(b-s.n), int32(i), 1)
 		}
+		f.endCol()
 	}
-	for k := 0; k < mr; k++ {
-		// Partial pivoting.
-		p, best := k, math.Abs(s.lu[k*mr+k])
-		for i := k + 1; i < mr; i++ {
-			if a := math.Abs(s.lu[i*mr+k]); a > best {
-				p, best = i, a
-			}
-		}
-		if best < 1e-12 {
-			return errSingularBasis
-		}
-		s.piv[k] = p
-		if p != k {
-			rk, rp := s.lu[k*mr:(k+1)*mr], s.lu[p*mr:(p+1)*mr]
-			for j := range rk {
-				rk[j], rp[j] = rp[j], rk[j]
-			}
-		}
-		pivInv := 1 / s.lu[k*mr+k]
-		for i := k + 1; i < mr; i++ {
-			f := s.lu[i*mr+k] * pivInv
-			if f == 0 {
-				continue
-			}
-			s.lu[i*mr+k] = f
-			ri, rk := s.lu[i*mr:(i+1)*mr], s.lu[k*mr:(k+1)*mr]
-			for j := k + 1; j < mr; j++ {
-				ri[j] -= f * rk[j]
-			}
-		}
+	if err := f.eliminate(); err != nil {
+		return err
 	}
 	s.etas = s.etas[:0]
 	return nil
@@ -282,29 +388,7 @@ func (s *sparse) factorize() error {
 
 // ftran solves B·x = v in place (v has length mr).
 func (s *sparse) ftran(v []float64) {
-	mr := s.mr
-	for k := 0; k < mr; k++ {
-		if p := s.piv[k]; p != k {
-			v[k], v[p] = v[p], v[k]
-		}
-	}
-	for k := 0; k < mr; k++ {
-		if v[k] == 0 {
-			continue
-		}
-		for i := k + 1; i < mr; i++ {
-			v[i] -= s.lu[i*mr+k] * v[k]
-		}
-	}
-	for k := mr - 1; k >= 0; k-- {
-		v[k] /= s.lu[k*mr+k]
-		if v[k] == 0 {
-			continue
-		}
-		for i := 0; i < k; i++ {
-			v[i] -= s.lu[i*mr+k] * v[k]
-		}
-	}
+	s.f.ftran(v)
 	for e := range s.etas {
 		et := &s.etas[e]
 		t := v[et.r] / et.pr
@@ -319,7 +403,6 @@ func (s *sparse) ftran(v []float64) {
 
 // btran solves Bᵀ·y = v in place (v has length mr).
 func (s *sparse) btran(v []float64) {
-	mr := s.mr
 	for e := len(s.etas) - 1; e >= 0; e-- {
 		et := &s.etas[e]
 		t := v[et.r]
@@ -328,23 +411,7 @@ func (s *sparse) btran(v []float64) {
 		}
 		v[et.r] = t / et.pr
 	}
-	// Uᵀ z = v (forward), then Lᵀ w = z (backward), then undo pivoting.
-	for k := 0; k < mr; k++ {
-		for i := 0; i < k; i++ {
-			v[k] -= s.lu[i*mr+k] * v[i]
-		}
-		v[k] /= s.lu[k*mr+k]
-	}
-	for k := mr - 1; k >= 0; k-- {
-		for i := k + 1; i < mr; i++ {
-			v[k] -= s.lu[i*mr+k] * v[i]
-		}
-	}
-	for k := mr - 1; k >= 0; k-- {
-		if p := s.piv[k]; p != k {
-			v[k], v[p] = v[p], v[k]
-		}
-	}
+	s.f.btran(v)
 }
 
 // boundVal returns the resting value of a nonbasic column.
@@ -379,7 +446,9 @@ func (s *sparse) computeXB() {
 
 // computeDuals refreshes y = B⁻ᵀ c_B and the reduced costs d = c − AᵀB⁻ᵀc_B
 // for every column (basic columns read ~0, used only as a consistency
-// signal).
+// signal). Between calls, the pivot loops keep d current with rank-one
+// updates (updateDualsAfterPivot); this is the from-scratch anchor they
+// re-sync to at refactorizations.
 func (s *sparse) computeDuals() {
 	for i, b := range s.basic {
 		s.y[i] = s.cost[b]
@@ -420,27 +489,36 @@ func (s *sparse) replaceBasis(r, q int, enterVal float64, leaveStatus int8) {
 	s.basic[r] = q
 	s.status[q] = inBasis
 	s.xB[r] = enterVal
-	et := eta{r: r, pr: s.wcol[r]}
+	// Reuse the eta slot (and its slices) left from a previous solve.
+	if cap(s.etas) > len(s.etas) {
+		s.etas = s.etas[:len(s.etas)+1]
+	} else {
+		s.etas = append(s.etas, eta{})
+	}
+	et := &s.etas[len(s.etas)-1]
+	et.r, et.pr = r, s.wcol[r]
+	et.idx, et.val = et.idx[:0], et.val[:0]
 	for i, w := range s.wcol {
 		if i != r && w != 0 {
 			et.idx = append(et.idx, int32(i))
 			et.val = append(et.val, w)
 		}
 	}
-	s.etas = append(s.etas, et)
 	s.pivots++
 }
 
 // refresh refactorizes when the eta file is long (or when forced) and
-// recomputes the basic values; it returns any factorization error.
-func (s *sparse) refresh(force bool) error {
+// recomputes the basic values; it reports whether it refactorized so the
+// pivot loops can re-anchor their incremental reduced costs.
+func (s *sparse) refresh(force bool) (bool, error) {
 	if force || len(s.etas) >= refactorEvery {
 		if err := s.factorize(); err != nil {
-			return err
+			return false, err
 		}
 		s.computeXB()
+		return true, nil
 	}
-	return nil
+	return false, nil
 }
 
 func (s *sparse) maxPivots() int { return 5000 + 200*(s.mr+s.nc) }
@@ -451,24 +529,40 @@ func (s *sparse) maxPivots() int { return 5000 + 200*(s.mr+s.nc) }
 // entering column (dual unbounded ⇒ primal empty).
 func (s *sparse) dualSimplex() (Status, error) {
 	degenerate := 0
+	s.resetDualDevex()
+	s.computeDuals()
+	fresh := true
 	for {
-		if err := s.refresh(false); err != nil {
+		refactored, err := s.refresh(false)
+		if err != nil {
 			return 0, err
 		}
-		s.computeDuals()
-		// Leaving row: largest bound violation.
-		r, above, worst := -1, false, 0.0
-		for i := 0; i < s.mr; i++ {
-			b := s.basic[i]
-			if v := s.lo[b] - s.xB[i]; v > worst && v > feasTol*(1+math.Abs(s.lo[b])) {
-				r, above, worst = i, false, v
-			}
-			if v := s.xB[i] - s.up[b]; v > worst && v > feasTol*(1+math.Abs(s.up[b])) {
-				r, above, worst = i, true, v
-			}
+		if refactored {
+			s.computeDuals()
+			fresh = true
 		}
+		bland := degenerate > 2*s.mr+20
+		if bland && !fresh {
+			// The anti-cycling rule must act on exact signs, not drifted
+			// increments.
+			s.computeDuals()
+			fresh = true
+		}
+		r, above := s.chooseDualLeaving(bland)
 		if r == -1 {
-			return Optimal, nil
+			if fresh && len(s.etas) == 0 {
+				return Optimal, nil
+			}
+			// Confirm optimality from a fresh factorization: the basic
+			// values feeding the violation scan were incremental.
+			if _, err := s.refresh(true); err != nil {
+				return 0, err
+			}
+			s.computeDuals()
+			fresh = true
+			if r, above = s.chooseDualLeaving(bland); r == -1 {
+				return Optimal, nil
+			}
 		}
 		// Pivotal row: ρ = B⁻ᵀe_r, α_j = ρ·A_j.
 		for i := range s.rrow {
@@ -476,25 +570,17 @@ func (s *sparse) dualSimplex() (Status, error) {
 		}
 		s.rrow[r] = 1
 		s.btran(s.rrow)
+		s.pivotRowAlphas()
 		sigma := 1.0
 		if !above {
 			sigma = -1
 		}
-		bland := degenerate > 2*s.mr+20
 		enter, bestRatio, bestAbs := -1, math.Inf(1), 0.0
 		for j := 0; j < s.nc; j++ {
 			if s.status[j] == inBasis || s.lo[j] == s.up[j] {
 				continue
 			}
-			var alpha float64
-			if j < s.n {
-				for k := s.colStart[j]; k < s.colStart[j+1]; k++ {
-					alpha += s.rrow[s.colRow[k]] * s.colVal[k]
-				}
-			} else {
-				alpha = s.rrow[j-s.n]
-			}
-			a := sigma * alpha
+			a := sigma * s.alpha[j]
 			if s.status[j] == nbLower {
 				if a <= pivotTol {
 					continue
@@ -516,6 +602,17 @@ func (s *sparse) dualSimplex() (Status, error) {
 			}
 		}
 		if enter == -1 {
+			if !fresh {
+				// Entering admissibility read incremental numbers; retry
+				// once from an exact factorization before declaring the
+				// dual unbounded.
+				if _, err := s.refresh(true); err != nil {
+					return 0, err
+				}
+				s.computeDuals()
+				fresh = true
+				continue
+			}
 			return Infeasible, nil
 		}
 		s.ftranColumn(enter)
@@ -523,19 +620,22 @@ func (s *sparse) dualSimplex() (Status, error) {
 		if math.Abs(wr) < pivotTol {
 			// The eta-file estimate of the pivot has decayed; refactorize
 			// and retry the iteration with fresh numbers.
-			if err := s.refresh(true); err != nil {
+			if _, err := s.refresh(true); err != nil {
 				return 0, err
 			}
+			s.computeDuals()
+			fresh = true
 			s.ftranColumn(enter)
 			wr = s.wcol[r]
 			if math.Abs(wr) < pivotTol {
 				return 0, errSingularBasis
 			}
 		}
-		bound := s.lo[s.basic[r]]
+		lv := s.basic[r]
+		bound := s.lo[lv]
 		leaveStatus := nbLower
 		if above {
-			bound = s.up[s.basic[r]]
+			bound = s.up[lv]
 			leaveStatus = nbUpper
 		}
 		dx := (s.xB[r] - bound) / wr
@@ -544,8 +644,11 @@ func (s *sparse) dualSimplex() (Status, error) {
 				s.xB[i] -= dx * w
 			}
 		}
+		s.updateDualsAfterPivot(enter, lv)
+		s.updateDualDevex(r)
 		enterVal := s.boundVal(enter) + dx
 		s.replaceBasis(r, enter, enterVal, leaveStatus)
+		fresh = false
 		if bestRatio < optTol {
 			degenerate++
 		} else {
@@ -561,33 +664,36 @@ func (s *sparse) dualSimplex() (Status, error) {
 // It returns Optimal or Unbounded.
 func (s *sparse) primalSimplex() (Status, error) {
 	degenerate := 0
+	s.resetPrimalDevex()
+	s.computeDuals()
+	fresh := true
 	for {
-		if err := s.refresh(false); err != nil {
+		refactored, err := s.refresh(false)
+		if err != nil {
 			return 0, err
 		}
-		s.computeDuals()
-		bland := degenerate > 2*s.mr+20
-		enter, best := -1, optTol
-		for j := 0; j < s.nc; j++ {
-			if s.status[j] == inBasis || s.lo[j] == s.up[j] {
-				continue
-			}
-			var viol float64
-			if s.status[j] == nbLower {
-				viol = -s.d[j]
-			} else {
-				viol = s.d[j]
-			}
-			if viol > best {
-				enter = j
-				if bland {
-					break
-				}
-				best = viol
-			}
+		if refactored {
+			s.computeDuals()
+			fresh = true
 		}
+		bland := degenerate > 2*s.mr+20
+		if bland && !fresh {
+			s.computeDuals()
+			fresh = true
+		}
+		enter := s.choosePrimalEntering(bland)
 		if enter == -1 {
-			return Optimal, nil
+			if fresh && len(s.etas) == 0 {
+				return Optimal, nil
+			}
+			if _, err := s.refresh(true); err != nil {
+				return 0, err
+			}
+			s.computeDuals()
+			fresh = true
+			if enter = s.choosePrimalEntering(bland); enter == -1 {
+				return Optimal, nil
+			}
 		}
 		s.ftranColumn(enter)
 		sigma := 1.0
@@ -643,7 +749,7 @@ func (s *sparse) primalSimplex() (Status, error) {
 		}
 		if leave == -1 {
 			// Bound flip: the entering variable crosses to its other
-			// bound without a basis change.
+			// bound without a basis change (reduced costs unchanged).
 			if s.status[enter] == nbLower {
 				s.status[enter] = nbUpper
 			} else {
@@ -651,8 +757,31 @@ func (s *sparse) primalSimplex() (Status, error) {
 			}
 			s.pivots++
 		} else {
+			lv := s.basic[leave]
+			// Pivot row for the incremental dual update and the devex
+			// reference weights.
+			for i := range s.rrow {
+				s.rrow[i] = 0
+			}
+			s.rrow[leave] = 1
+			s.btran(s.rrow)
+			s.pivotRowAlphas()
+			updated := false
+			if alphaQ := s.alpha[enter]; math.Abs(alphaQ) >= pivotTol {
+				s.updateDualsAfterPivot(enter, lv)
+				s.updatePrimalDevex(enter, lv, alphaQ)
+				updated = true
+			}
 			enterVal := s.boundVal(enter) + dx
 			s.replaceBasis(leave, enter, enterVal, leaveStatus)
+			if updated {
+				fresh = false
+			} else {
+				// The pivot-row estimate of α_q decayed; re-anchor the
+				// duals on the post-pivot basis instead of updating.
+				s.computeDuals()
+				fresh = true
+			}
 		}
 		if t < pivotTol {
 			degenerate++
@@ -678,6 +807,46 @@ func (s *sparse) dualFeasible() bool {
 			if s.lo[j] != s.up[j] && s.d[j] > optTol {
 				return false
 			}
+		}
+	}
+	return true
+}
+
+// flipToDualFeasible repairs dual infeasibility without pivoting: a
+// nonbasic column whose reduced cost prefers its other bound flips there
+// when that bound is finite. The basis (and therefore y and d) is
+// unchanged, so the repair is exact; it reports whether anything moved
+// (the basic values must then be recomputed). Columns whose preferred
+// bound is infinite stay put — those need a phase-1, not a flip.
+func (s *sparse) flipToDualFeasible() bool {
+	flipped := false
+	for j := 0; j < s.nc; j++ {
+		if s.lo[j] == s.up[j] {
+			continue
+		}
+		switch s.status[j] {
+		case nbLower:
+			if s.d[j] < -optTol && !math.IsInf(s.up[j], 1) {
+				s.status[j] = nbUpper
+				flipped = true
+			}
+		case nbUpper:
+			if s.d[j] > optTol && !math.IsInf(s.lo[j], -1) {
+				s.status[j] = nbLower
+				flipped = true
+			}
+		}
+	}
+	return flipped
+}
+
+// primalFeasibleNow reports whether every basic value sits within its
+// bounds (same tolerance as the dual simplex's violation scan).
+func (s *sparse) primalFeasibleNow() bool {
+	for i, b := range s.basic {
+		if s.xB[i] < s.lo[b]-feasTol*(1+math.Abs(s.lo[b])) ||
+			s.xB[i] > s.up[b]+feasTol*(1+math.Abs(s.up[b])) {
+			return false
 		}
 	}
 	return true
@@ -722,13 +891,19 @@ func (s *sparse) solution() *Solution {
 	return sol
 }
 
-// run drives the phases from the current (already seated) basis.
+// run drives the phases from the current (already seated) basis. The
+// warm-start ladder: dual simplex when the basis is dual feasible (after
+// free bound-flip repairs), primal simplex when it is at least primal
+// feasible, and only then the cold two-phase from the all-logical basis.
 func (s *sparse) run() (*Solution, error) {
-	if err := s.refresh(true); err != nil {
+	if _, err := s.refresh(true); err != nil {
 		return nil, err
 	}
 	copy(s.cost, s.real)
 	s.computeDuals()
+	if !s.dualFeasible() && s.flipToDualFeasible() {
+		s.computeXB() // flipped columns rest at new values
+	}
 	if s.dualFeasible() {
 		st, err := s.dualSimplex()
 		if err != nil {
@@ -740,12 +915,66 @@ func (s *sparse) run() (*Solution, error) {
 		s.computeDuals()
 		return s.solution(), nil
 	}
+	if s.primalFeasibleNow() {
+		// Homotopy middle rung: a projected foreign basis often lands
+		// primal feasible but not dual feasible — the primal simplex
+		// finishes from it without discarding the warm start.
+		st, err := s.primalSimplex()
+		if err != nil {
+			return nil, err
+		}
+		if st == Unbounded {
+			return &Solution{Status: Unbounded, Pivots: s.pivots}, nil
+		}
+		s.computeDuals()
+		return s.solution(), nil
+	}
+	if s.warmSeated {
+		// Homotopy bottom rung: the projected basis is neither dual nor
+		// primal feasible — the typical landing spot when a nearby
+		// instance perturbs both the geometry and the prices. Shift each
+		// offending nonbasic cost by exactly its reduced cost: the basis
+		// becomes dual feasible *by construction* under the shifted
+		// objective (y depends only on basic costs, which are untouched),
+		// the dual simplex then repairs primal feasibility from the warm
+		// basis — for a genuinely nearby instance that is a handful of
+		// pivots — and the primal simplex finishes under the true costs.
+		// An Infeasible verdict here is real: primal feasibility does not
+		// depend on the objective.
+		for j := 0; j < s.nc; j++ {
+			if s.status[j] == inBasis || s.lo[j] == s.up[j] {
+				continue
+			}
+			if s.status[j] == nbLower && s.d[j] < 0 {
+				s.cost[j] -= s.d[j]
+			} else if s.status[j] == nbUpper && s.d[j] > 0 {
+				s.cost[j] -= s.d[j]
+			}
+		}
+		st, err := s.dualSimplex()
+		if err != nil {
+			return nil, err
+		}
+		if st == Infeasible {
+			return &Solution{Status: Infeasible, Pivots: s.pivots}, nil
+		}
+		copy(s.cost, s.real)
+		st, err = s.primalSimplex()
+		if err != nil {
+			return nil, err
+		}
+		if st == Unbounded {
+			return &Solution{Status: Unbounded, Pivots: s.pivots}, nil
+		}
+		s.computeDuals()
+		return s.solution(), nil
+	}
 	// Two-phase from a fresh all-logical basis: dual simplex under the
 	// shifted cost ĉ = max(c,0) (dual feasible by construction) reaches a
 	// primal-feasible basis or proves infeasibility; then the primal
 	// simplex finishes under the true cost.
 	s.initFresh()
-	if err := s.refresh(true); err != nil {
+	if _, err := s.refresh(true); err != nil {
 		return nil, err
 	}
 	for j := 0; j < s.nc; j++ {
@@ -777,24 +1006,26 @@ func (s *sparse) run() (*Solution, error) {
 // solution, including a reusable Basis for warm-started re-solves.
 func (m *Model) Solve() (*Solution, error) {
 	s := newSparse(m)
+	defer s.release()
 	s.initFresh()
 	return s.run()
 }
 
 // ResolveFrom re-solves the model starting from a Basis captured by an
-// earlier Solve/ResolveFrom on the same variable set — typically after
-// AddRow appended violated constraints (row generation). The inherited
-// basis is dual feasible for the extended model, so the dual simplex
-// only has to repair the primal infeasibility the new rows introduced.
-// A nil, stale or unusable basis falls back to a cold Solve.
+// earlier Solve/ResolveFrom — on this model before AddRow appended
+// violated constraints (row generation), or on a different, structurally
+// compatible model (cross-instance basis homotopy: nearby sweep
+// instances chain warm starts instead of cold-solving each one). The
+// snapshot is projected onto the current row set and the solve starts
+// from whichever simplex the projection is feasible for. A nil,
+// incompatible or unusable basis falls back to a cold Solve.
 func (m *Model) ResolveFrom(bs *Basis) (*Solution, error) {
-	if bs == nil {
+	if !bs.CompatibleWith(m) {
 		return m.Solve()
 	}
 	s := newSparse(m)
-	if err := s.initFromBasis(bs); err != nil {
-		return m.Solve()
-	}
+	defer s.release()
+	s.initFromBasis(bs)
 	sol, err := s.run()
 	if err == ErrIterationLimit || err == errSingularBasis {
 		// A degenerate or numerically decayed warm basis: retry cold

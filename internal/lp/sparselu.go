@@ -1,0 +1,527 @@
+package lp
+
+import "math"
+
+// This file is the sparse LU kernel behind the revised simplex: a
+// right-looking Gaussian elimination with Markowitz pivoting under a
+// relative stability threshold, producing sparse triangular factors whose
+// FTRAN/BTRAN cost is proportional to the factor nonzeros, not m². The
+// dense LU it replaces paid O(m²) storage and O(m²) per solve even when
+// the basis was almost entirely logical — which it is for the SNE LPs,
+// where a few structural columns ride on an identity.
+//
+// Pivot selection at each step minimizes the Markowitz count
+// (r_i − 1)·(c_j − 1) — the fill bound of eliminating entry (i, j) — over
+// the candidate columns with the fewest active nonzeros, restricted to
+// entries within markowitzTau of their column's magnitude (threshold
+// partial pivoting, Suhl-style). Factors are stored by elimination step
+// and remapped to step indices after elimination, so the triangular
+// solves run as flat array sweeps with no permutation lookups in the
+// inner loops.
+
+const (
+	// luCandidates caps how many lowest-count columns each pivot search
+	// inspects before settling; the full scan only runs when none of them
+	// offers a numerically admissible entry.
+	luCandidates = 4
+
+	// markowitzTau is the threshold-pivoting stability factor: an entry
+	// qualifies as a pivot only if it is at least this fraction of the
+	// largest entry in its column.
+	markowitzTau = 0.1
+
+	// luAbsTol is the magnitude below which a column counts as
+	// numerically empty; a basis with no admissible pivot left is
+	// reported singular (matching the dense kernel's 1e-12 floor).
+	luAbsTol = 1e-12
+)
+
+// luEnt is one entry of an active row during elimination.
+type luEnt struct {
+	col int32
+	val float64
+}
+
+// luFactor holds the sparse LU factors of one basis plus the elimination
+// workspace, all reusable across refactorizations: steady-state
+// refactorization allocates only when the basis outgrows every previous
+// one.
+type luFactor struct {
+	m int
+
+	// Factors by elimination step k. L is unit lower triangular, stored
+	// as the multiplier entries of each step; U is upper triangular,
+	// stored as each pivot row without its diagonal. After elimination,
+	// lRow/uCol are remapped from original row/slot indices to step
+	// indices, so ftran/btran index the work vector directly.
+	lStart []int32
+	lRow   []int32
+	lVal   []float64
+	uStart []int32
+	uCol   []int32
+	uVal   []float64
+	diag   []float64
+	pivRow []int32 // step -> original row
+	pivCol []int32 // step -> original basis slot
+	rowPos []int32 // original row -> step (-1 while active)
+	colPos []int32 // original slot -> step (-1 while active)
+
+	// Elimination workspace.
+	rows    [][]luEnt // active matrix, row-wise
+	colRows [][]int32 // rows that may hold each column (lazily compacted)
+	colLen  []int32   // exact active nonzero count per column
+	wval    []float64 // scatter values
+	wmark   []int32   // scatter stamps
+	wlist   []int32   // scattered column list
+	stamp   int32
+	work    []float64 // permuted triangular-solve scratch
+
+	// Singleton stacks: lazily verified candidates for the O(nnz)
+	// pre-elimination passes. Simplex bases are dominated by logical
+	// (identity) columns and near-triangular blocks, so most pivots
+	// never reach the Markowitz search at all.
+	csing []int32
+	rsing []int32
+}
+
+// begin resizes the workspace for an m×m basis and clears per-column and
+// per-row state. Columns are then streamed in with load/endCol.
+func (f *luFactor) begin(m int) {
+	f.m = m
+	if cap(f.rows) < m {
+		f.rows = append(f.rows[:cap(f.rows)], make([][]luEnt, m-cap(f.rows))...)
+		f.colRows = append(f.colRows[:cap(f.colRows)], make([][]int32, m-cap(f.colRows))...)
+	}
+	f.rows = f.rows[:m]
+	f.colRows = f.colRows[:m]
+	f.colLen = grown(f.colLen, m)
+	f.wval = grown(f.wval, m)
+	f.wmark = grown(f.wmark, m)
+	f.work = grown(f.work, m)
+	f.rowPos = grown(f.rowPos, m)
+	f.colPos = grown(f.colPos, m)
+	f.pivRow = grown(f.pivRow, m)
+	f.pivCol = grown(f.pivCol, m)
+	f.diag = grown(f.diag, m)
+	for i := 0; i < m; i++ {
+		f.rows[i] = f.rows[i][:0]
+		f.colRows[i] = f.colRows[i][:0]
+		f.colLen[i] = 0
+		f.wmark[i] = 0
+		f.rowPos[i] = -1
+		f.colPos[i] = -1
+	}
+	f.stamp = 1
+	f.lStart = append(f.lStart[:0], 0)
+	f.lRow = f.lRow[:0]
+	f.lVal = f.lVal[:0]
+	f.uStart = append(f.uStart[:0], 0)
+	f.uCol = f.uCol[:0]
+	f.uVal = f.uVal[:0]
+}
+
+// load streams one nonzero of basis column c (duplicate rows within a
+// column accumulate, matching the CSR arena contract). endCol must be
+// called after each column's entries.
+func (f *luFactor) load(r, c int32, v float64) {
+	if f.wmark[r] == f.stamp {
+		row := f.rows[r]
+		row[len(row)-1].val += v
+		return
+	}
+	f.wmark[r] = f.stamp
+	f.rows[r] = append(f.rows[r], luEnt{col: c, val: v})
+	f.colRows[c] = append(f.colRows[c], r)
+	f.colLen[c]++
+}
+
+// endCol closes the current column's duplicate-accumulation scope.
+func (f *luFactor) endCol() { f.stamp++ }
+
+// rowVal returns row r's coefficient in column c (0 when absent).
+func (f *luFactor) rowVal(r, c int32) float64 {
+	for _, e := range f.rows[r] {
+		if e.col == c {
+			return e.val
+		}
+	}
+	return 0
+}
+
+// scanColumn compacts colRows[c] to the active rows still holding column
+// c and returns the largest entry magnitude.
+func (f *luFactor) scanColumn(c int32) float64 {
+	list := f.colRows[c][:0]
+	colmax := 0.0
+	for _, r := range f.colRows[c] {
+		if f.rowPos[r] >= 0 {
+			continue
+		}
+		v := f.rowVal(r, c)
+		if v == 0 {
+			continue
+		}
+		list = append(list, r)
+		if a := math.Abs(v); a > colmax {
+			colmax = a
+		}
+	}
+	f.colRows[c] = list
+	return colmax
+}
+
+// bestInColumn returns the admissible entry of column c minimizing the
+// Markowitz count, or row -1 when the column has no entry within
+// markowitzTau of colmax (or is numerically empty).
+func (f *luFactor) bestInColumn(c int32) (int32, float64, int64) {
+	colmax := f.scanColumn(c)
+	if colmax < luAbsTol {
+		return -1, 0, 0
+	}
+	// colLen may exceed len(colRows[c]) when a loaded duplicate summed to
+	// exactly zero (counted, but skipped by the scan); that only inflates
+	// the Markowitz cost estimate, never correctness.
+	cl := int64(f.colLen[c])
+	bestRow, bestVal := int32(-1), 0.0
+	bestCost := int64(math.MaxInt64)
+	for _, r := range f.colRows[c] {
+		v := f.rowVal(r, c)
+		a := math.Abs(v)
+		if a < markowitzTau*colmax {
+			continue
+		}
+		cost := int64(len(f.rows[r])-1) * (cl - 1)
+		if cost < bestCost || (cost == bestCost && a > math.Abs(bestVal)) {
+			bestRow, bestVal, bestCost = r, v, cost
+		}
+	}
+	return bestRow, bestVal, bestCost
+}
+
+// findPivot picks the next pivot by Markowitz count over the
+// lowest-count candidate columns, falling back to a full column scan
+// before declaring the basis singular.
+func (f *luFactor) findPivot() (int32, int32, float64) {
+	var cand [luCandidates]int32
+	nc := 0
+	for j := int32(0); j < int32(f.m); j++ {
+		if f.colPos[j] >= 0 {
+			continue
+		}
+		if f.colLen[j] == 0 {
+			return -1, -1, 0 // structurally singular
+		}
+		pos := nc
+		if nc < luCandidates {
+			nc++
+		} else if f.colLen[j] >= f.colLen[cand[nc-1]] {
+			continue
+		} else {
+			pos = nc - 1
+		}
+		for pos > 0 && f.colLen[cand[pos-1]] > f.colLen[j] {
+			cand[pos] = cand[pos-1]
+			pos--
+		}
+		cand[pos] = j
+	}
+	bestR, bestC, bestV := int32(-1), int32(-1), 0.0
+	bestCost := int64(math.MaxInt64)
+	for k := 0; k < nc; k++ {
+		c := cand[k]
+		r, v, cost := f.bestInColumn(c)
+		if r < 0 {
+			continue
+		}
+		if cost < bestCost || (cost == bestCost && math.Abs(v) > math.Abs(bestV)) {
+			bestR, bestC, bestV, bestCost = r, c, v, cost
+		}
+		if bestCost == 0 {
+			break
+		}
+	}
+	if bestR >= 0 {
+		return bestR, bestC, bestV
+	}
+	// Every candidate was numerically empty: full sweep before giving up.
+	for j := int32(0); j < int32(f.m); j++ {
+		if f.colPos[j] >= 0 {
+			continue
+		}
+		r, v, cost := f.bestInColumn(j)
+		if r < 0 {
+			continue
+		}
+		if cost < bestCost || (cost == bestCost && math.Abs(v) > math.Abs(bestV)) {
+			bestR, bestC, bestV, bestCost = r, j, v, cost
+		}
+	}
+	return bestR, bestC, bestV
+}
+
+// dropColCount decrements a column's active count, queueing it as a
+// singleton candidate when it reaches one.
+func (f *luFactor) dropColCount(c int32) {
+	f.colLen[c]--
+	if f.colLen[c] == 1 {
+		f.csing = append(f.csing, c)
+	}
+}
+
+// pivotColumnSingleton eliminates a column whose single active entry sits
+// in row p: no multipliers, no fill, O(len(row p)) — and unconditionally
+// stable, since L gains nothing. Every logical basis column starts out in
+// this class.
+func (f *luFactor) pivotColumnSingleton(k int, p, q int32, apq float64) {
+	f.pivRow[k], f.pivCol[k] = p, q
+	f.rowPos[p], f.colPos[q] = int32(k), int32(k)
+	f.diag[k] = apq
+	for _, e := range f.rows[p] {
+		if e.col != q {
+			f.uCol = append(f.uCol, e.col)
+			f.uVal = append(f.uVal, e.val)
+		}
+		f.dropColCount(e.col)
+	}
+	f.uStart = append(f.uStart, int32(len(f.uCol)))
+	f.lStart = append(f.lStart, int32(len(f.lRow)))
+	f.colRows[q] = f.colRows[q][:0]
+	f.colLen[q] = 0
+}
+
+// pivotRowSingleton eliminates a row whose single active entry is column
+// q: the other rows holding q just drop that entry into L — no fill.
+// Only taken when the pivot passes the relative stability threshold.
+func (f *luFactor) pivotRowSingleton(k int, p, q int32, apq float64) {
+	f.pivRow[k], f.pivCol[k] = p, q
+	f.rowPos[p], f.colPos[q] = int32(k), int32(k)
+	f.diag[k] = apq
+	f.uStart = append(f.uStart, int32(len(f.uCol)))
+	for _, r := range f.colRows[q] {
+		if f.rowPos[r] >= 0 {
+			continue
+		}
+		row := f.rows[r]
+		for e := range row {
+			if row[e].col != q {
+				continue
+			}
+			if arq := row[e].val; arq != 0 {
+				f.lRow = append(f.lRow, r)
+				f.lVal = append(f.lVal, arq/apq)
+			}
+			row[e] = row[len(row)-1]
+			f.rows[r] = row[:len(row)-1]
+			if len(row)-1 == 1 {
+				f.rsing = append(f.rsing, r)
+			}
+			break
+		}
+	}
+	f.lStart = append(f.lStart, int32(len(f.lRow)))
+	f.colRows[q] = f.colRows[q][:0]
+	f.colLen[q] = 0
+}
+
+// popSingleton pops a still-valid singleton pivot off the stacks, or
+// returns false when only the general Markowitz search remains. Lazy
+// verification: stack entries may have been invalidated (or upgraded) by
+// later eliminations.
+func (f *luFactor) popSingleton() (p, q int32, apq float64, isCol, ok bool) {
+	for len(f.csing) > 0 {
+		c := f.csing[len(f.csing)-1]
+		f.csing = f.csing[:len(f.csing)-1]
+		if f.colPos[c] >= 0 || f.colLen[c] != 1 {
+			continue
+		}
+		if colmax := f.scanColumn(c); colmax >= luAbsTol && len(f.colRows[c]) == 1 {
+			r := f.colRows[c][0]
+			return r, c, f.rowVal(r, c), true, true
+		}
+	}
+	for len(f.rsing) > 0 {
+		r := f.rsing[len(f.rsing)-1]
+		f.rsing = f.rsing[:len(f.rsing)-1]
+		if f.rowPos[r] >= 0 || len(f.rows[r]) != 1 {
+			continue
+		}
+		c := f.rows[r][0].col
+		arq := f.rows[r][0].val
+		// Stability: the row singleton forms multipliers a_ic/a_rq, so it
+		// must pass the same relative threshold as a Markowitz pivot.
+		if colmax := f.scanColumn(c); math.Abs(arq) >= markowitzTau*colmax && math.Abs(arq) >= luAbsTol {
+			return r, c, arq, false, true
+		}
+	}
+	return 0, 0, 0, false, false
+}
+
+// eliminate runs the elimination over the loaded matrix — singleton
+// pivots first (O(nnz), no fill), general Markowitz pivots for whatever
+// nucleus remains — and leaves the factors in step-indexed form.
+func (f *luFactor) eliminate() error {
+	f.csing = f.csing[:0]
+	f.rsing = f.rsing[:0]
+	for c := int32(0); c < int32(f.m); c++ {
+		if f.colLen[c] == 1 {
+			f.csing = append(f.csing, c)
+		}
+		if len(f.rows[c]) == 1 {
+			f.rsing = append(f.rsing, c)
+		}
+	}
+	for k := 0; k < f.m; k++ {
+		if p, q, apq, isCol, ok := f.popSingleton(); ok {
+			if isCol {
+				f.pivotColumnSingleton(k, p, q, apq)
+			} else {
+				f.pivotRowSingleton(k, p, q, apq)
+			}
+			continue
+		}
+		p, q, apq := f.findPivot()
+		if p < 0 {
+			return errSingularBasis
+		}
+		f.pivRow[k], f.pivCol[k] = p, q
+		f.rowPos[p], f.colPos[q] = int32(k), int32(k)
+		f.diag[k] = apq
+		// U row k: the pivot row minus its diagonal. Row p leaves the
+		// active set, so every column it touches loses one active entry.
+		for _, e := range f.rows[p] {
+			if e.col != q {
+				f.uCol = append(f.uCol, e.col)
+				f.uVal = append(f.uVal, e.val)
+			}
+			f.dropColCount(e.col)
+		}
+		f.uStart = append(f.uStart, int32(len(f.uCol)))
+		// Eliminate column q from the remaining active rows.
+		for _, r := range f.colRows[q] {
+			if f.rowPos[r] >= 0 || r == p {
+				continue
+			}
+			arq := f.rowVal(r, q)
+			if arq == 0 {
+				continue
+			}
+			mult := arq / apq
+			f.lRow = append(f.lRow, r)
+			f.lVal = append(f.lVal, mult)
+			f.updateRow(r, p, q, mult)
+		}
+		f.lStart = append(f.lStart, int32(len(f.lRow)))
+		f.colRows[q] = f.colRows[q][:0]
+		f.colLen[q] = 0
+	}
+	// Remap factor indices to elimination steps so the triangular solves
+	// are direct array sweeps.
+	for e := range f.lRow {
+		f.lRow[e] = f.rowPos[f.lRow[e]]
+	}
+	for e := range f.uCol {
+		f.uCol[e] = f.colPos[f.uCol[e]]
+	}
+	return nil
+}
+
+// updateRow applies row_r ← row_r − mult·row_p, dropping column q and any
+// exactly cancelled entry, and books new fill into the column lists.
+func (f *luFactor) updateRow(r, p, q int32, mult float64) {
+	f.stamp++
+	f.wlist = f.wlist[:0]
+	for _, e := range f.rows[r] {
+		if e.col == q {
+			f.colLen[q]-- // eliminated by construction
+			continue
+		}
+		f.wval[e.col] = e.val
+		f.wmark[e.col] = f.stamp
+		f.wlist = append(f.wlist, e.col)
+	}
+	for _, e := range f.rows[p] {
+		c := e.col
+		if c == q {
+			continue
+		}
+		if f.wmark[c] == f.stamp {
+			f.wval[c] -= mult * e.val
+			continue
+		}
+		f.wmark[c] = f.stamp
+		f.wval[c] = -mult * e.val
+		f.wlist = append(f.wlist, c)
+		f.colLen[c]++
+		f.colRows[c] = append(f.colRows[c], r)
+	}
+	row := f.rows[r][:0]
+	for _, c := range f.wlist {
+		if v := f.wval[c]; v != 0 {
+			row = append(row, luEnt{col: c, val: v})
+		} else {
+			f.dropColCount(c) // exact cancellation
+		}
+	}
+	f.rows[r] = row
+	if len(row) == 1 {
+		f.rsing = append(f.rsing, r)
+	}
+}
+
+// ftran solves B·x = v in place. Cost is proportional to the factor
+// nonzeros plus O(m) for the permutation sweeps.
+func (f *luFactor) ftran(v []float64) {
+	m := f.m
+	w := f.work
+	for k := 0; k < m; k++ {
+		w[k] = v[f.pivRow[k]]
+	}
+	for k := 0; k < m; k++ {
+		t := w[k]
+		if t == 0 {
+			continue
+		}
+		for e := f.lStart[k]; e < f.lStart[k+1]; e++ {
+			w[f.lRow[e]] -= f.lVal[e] * t
+		}
+	}
+	for k := m - 1; k >= 0; k-- {
+		t := w[k]
+		for e := f.uStart[k]; e < f.uStart[k+1]; e++ {
+			t -= f.uVal[e] * w[f.uCol[e]]
+		}
+		w[k] = t / f.diag[k]
+	}
+	for k := 0; k < m; k++ {
+		v[f.pivCol[k]] = w[k]
+	}
+}
+
+// btran solves Bᵀ·y = v in place.
+func (f *luFactor) btran(v []float64) {
+	m := f.m
+	w := f.work
+	for k := 0; k < m; k++ {
+		w[k] = v[f.pivCol[k]]
+	}
+	for k := 0; k < m; k++ {
+		t := w[k] / f.diag[k]
+		w[k] = t
+		if t == 0 {
+			continue
+		}
+		for e := f.uStart[k]; e < f.uStart[k+1]; e++ {
+			w[f.uCol[e]] -= f.uVal[e] * t
+		}
+	}
+	for k := m - 1; k >= 0; k-- {
+		t := w[k]
+		for e := f.lStart[k]; e < f.lStart[k+1]; e++ {
+			t -= f.lVal[e] * w[f.lRow[e]]
+		}
+		w[k] = t
+	}
+	for k := 0; k < m; k++ {
+		v[f.pivRow[k]] = w[k]
+	}
+}

@@ -34,12 +34,32 @@ type broadcastLP struct {
 	// Per-row deviation metadata, for shadow pricing: the deviating
 	// player, the entry node and the non-tree edge of each LP row.
 	rowU, rowV, rowEdge []int
+
+	// Row-emission scratch, pooled with the struct.
+	cols []int
+	vals []float64
 }
 
 // buildBroadcastLP materializes every LP (3) row of the state.
 func buildBroadcastLP(st *broadcast.State) *broadcastLP {
+	return buildBroadcastLPInto(st, nil)
+}
+
+// buildBroadcastLPInto is buildBroadcastLP with workspace reuse: a
+// non-nil bl is reset in place (model arenas and index slices keep their
+// capacity), so rebuilding the LP for instance after instance of a sweep
+// allocates nothing in steady state.
+func buildBroadcastLPInto(st *broadcast.State, bl *broadcastLP) *broadcastLP {
 	g := st.BG.G
-	bl := &broadcastLP{model: lp.NewModel(), varOf: make([]int, g.M())}
+	if bl == nil {
+		bl = &broadcastLP{model: lp.NewModel()}
+	} else {
+		bl.model.Reset()
+	}
+	if cap(bl.varOf) < g.M() {
+		bl.varOf = make([]int, g.M())
+	}
+	bl.varOf = bl.varOf[:g.M()]
 	for i := range bl.varOf {
 		bl.varOf[i] = -1
 	}
@@ -50,10 +70,10 @@ func buildBroadcastLP(st *broadcast.State) *broadcastLP {
 	// a tree-sized cushion for deep (path-like) topologies rather than
 	// the Θ(rows·n) worst case.
 	bl.model.Grow(nTree, maxRows, 4*maxRows+2*nTree)
-	bl.edgeOf = make([]int, 0, nTree)
-	bl.rowU = make([]int, 0, maxRows)
-	bl.rowV = make([]int, 0, maxRows)
-	bl.rowEdge = make([]int, 0, maxRows)
+	bl.edgeOf = grow(bl.edgeOf, nTree)
+	bl.rowU = grow(bl.rowU, maxRows)
+	bl.rowV = grow(bl.rowV, maxRows)
+	bl.rowEdge = grow(bl.rowEdge, maxRows)
 	for _, id := range st.Tree.EdgeIDs {
 		bl.varOf[id] = bl.model.AddVar(1, g.Weight(id))
 		bl.edgeOf = append(bl.edgeOf, id)
@@ -63,8 +83,11 @@ func buildBroadcastLP(st *broadcast.State) *broadcastLP {
 	// segment, so each row's constant is O(1) on top of the two chain
 	// walks that emit its coefficients.
 	up0, dev0 := st.PrefixSums(nil)
-	cols := make([]int, 0, 16)
-	vals := make([]float64, 0, 16)
+	if cap(bl.cols) == 0 {
+		bl.cols = make([]int, 0, 16)
+		bl.vals = make([]float64, 0, 16)
+	}
+	cols, vals := bl.cols, bl.vals
 	edges := g.Edges()
 	for i := range edges {
 		e := &edges[i]
@@ -103,7 +126,16 @@ func buildBroadcastLP(st *broadcast.State) *broadcastLP {
 			bl.rowEdge = append(bl.rowEdge, e.ID)
 		}
 	}
+	bl.cols, bl.vals = cols, vals // hand grown scratch back to the pool
 	return bl
+}
+
+// grow returns s emptied with capacity for at least n elements.
+func grow(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, 0, n)
+	}
+	return s[:0]
 }
 
 // subsidy converts an LP point into a subsidy assignment.
@@ -116,29 +148,86 @@ func (bl *broadcastLP) subsidy(g interface{ Weight(int) float64 }, x []float64, 
 	return b
 }
 
+// finishBroadcast converts an Optimal LP solution into a verified Result.
+func finishBroadcast(st *broadcast.State, bl *broadcastLP, sol *lp.Solution) (*Result, error) {
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("sne: broadcast LP status %v (should be feasible by full subsidy)", sol.Status)
+	}
+	b := bl.subsidy(st.BG.G, sol.X, st.BG.G.M())
+	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: 1, Pivots: sol.Pivots, Basis: sol.Basis}
+	if err := VerifyBroadcast(st, b); err != nil {
+		return nil, fmt.Errorf("sne: LP(3) produced a non-enforcing assignment: %w", err)
+	}
+	return res, nil
+}
+
 // solveBroadcast runs the LP through the chosen solver and verifies the
-// resulting assignment enforces the state.
-func solveBroadcast(st *broadcast.State, dense bool) (*broadcastLP, *lp.Solution, *Result, error) {
+// resulting assignment enforces the state. A non-nil warm basis — from an
+// earlier solve of this or a structurally compatible nearby instance —
+// starts the sparse solver from it (lp.ResolveFrom projects and falls
+// back to a cold solve when the basis does not help).
+func solveBroadcast(st *broadcast.State, dense bool, warm *lp.Basis) (*broadcastLP, *lp.Solution, *Result, error) {
 	bl := buildBroadcastLP(st)
 	var sol *lp.Solution
 	var err error
-	if dense {
+	switch {
+	case dense:
 		sol, err = bl.model.SolveDense()
-	} else {
+	case warm != nil:
+		sol, err = bl.model.ResolveFrom(warm)
+	default:
 		sol, err = bl.model.Solve()
 	}
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if sol.Status != lp.Optimal {
-		return nil, nil, nil, fmt.Errorf("sne: broadcast LP status %v (should be feasible by full subsidy)", sol.Status)
-	}
-	b := bl.subsidy(st.BG.G, sol.X, st.BG.G.M())
-	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: 1, Pivots: sol.Pivots}
-	if err := VerifyBroadcast(st, b); err != nil {
-		return nil, nil, nil, fmt.Errorf("sne: LP(3) produced a non-enforcing assignment: %w", err)
+	res, err := finishBroadcast(st, bl, sol)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	return bl, sol, res, nil
+}
+
+// BroadcastLPChain is the cross-instance homotopy driver for LP (3): it
+// pools the LP build workspace (model arenas included) AND hands each
+// instance's optimal basis to the next solve, which is the whole point
+// on a nearby-instance family — identical structure means the projected
+// basis is a few dual pivots from the new optimum, and the pooled build
+// means the model rebuild allocates nothing. Not safe for concurrent
+// use: one chain per worker.
+type BroadcastLPChain struct {
+	bl    *broadcastLP
+	basis *lp.Basis
+}
+
+// NewBroadcastLPChain returns an empty chain.
+func NewBroadcastLPChain() *BroadcastLPChain { return &BroadcastLPChain{} }
+
+// Basis exposes the chain's current warm-start basis (nil before the
+// first solve).
+func (c *BroadcastLPChain) Basis() *lp.Basis { return c.basis }
+
+// Solve computes the LP (3) optimum of st warm-started from the chain's
+// incumbent basis, and advances the chain. The result is identical to
+// SolveBroadcastLP up to pivot path.
+func (c *BroadcastLPChain) Solve(st *broadcast.State) (*Result, error) {
+	c.bl = buildBroadcastLPInto(st, c.bl)
+	var sol *lp.Solution
+	var err error
+	if c.basis != nil {
+		sol, err = c.bl.model.ResolveFrom(c.basis)
+	} else {
+		sol, err = c.bl.model.Solve()
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := finishBroadcast(st, c.bl, sol)
+	if err != nil {
+		return nil, err
+	}
+	c.basis = res.Basis
+	return res, nil
 }
 
 // SolveBroadcastLP computes a minimum-cost subsidy assignment enforcing
@@ -146,7 +235,17 @@ func solveBroadcast(st *broadcast.State, dense bool) (*broadcastLP, *lp.Solution
 // simplex. The LP is always feasible (full subsidies enforce anything),
 // so the result is always Optimal barring numerical failure.
 func SolveBroadcastLP(st *broadcast.State) (*Result, error) {
-	_, _, res, err := solveBroadcast(st, false)
+	_, _, res, err := solveBroadcast(st, false, nil)
+	return res, err
+}
+
+// SolveBroadcastLPFrom is SolveBroadcastLP warm-started from the basis of
+// a nearby instance's solve — the cross-instance homotopy entry point the
+// sne-lp sweep scenario chains through a family. The result is the same
+// optimum (the basis only changes the pivot path), and Result.Basis
+// carries the chain forward.
+func SolveBroadcastLPFrom(st *broadcast.State, warm *lp.Basis) (*Result, error) {
+	_, _, res, err := solveBroadcast(st, false, warm)
 	return res, err
 }
 
@@ -154,7 +253,7 @@ func SolveBroadcastLP(st *broadcast.State) (*Result, error) {
 // tableau. It is the differential-test oracle for SolveBroadcastLP, in
 // the same pattern as the other Naive implementations in this library.
 func SolveBroadcastLPNaive(st *broadcast.State) (*Result, error) {
-	_, _, res, err := solveBroadcast(st, true)
+	_, _, res, err := solveBroadcast(st, true, nil)
 	return res, err
 }
 

@@ -28,6 +28,16 @@ var ErrRowGenStalled = errors.New("sne: row generation exceeded iteration budget
 // dual feasible after AddRow, so the dual simplex only repairs the
 // infeasibility the new cut introduced — it never rebuilds a tableau.
 func SolveRowGeneration(st *game.State, maxIters int) (*Result, error) {
+	return SolveRowGenerationFrom(st, maxIters, nil)
+}
+
+// SolveRowGenerationFrom is SolveRowGeneration seeded with a basis from a
+// nearby instance's solve (cross-instance homotopy): the first re-solve
+// projects warm onto the young model — structural variable statuses carry
+// the previous optimum's bound pattern — and every later round chains
+// within the instance as usual. Result.Basis carries the chain onward. A
+// nil or incompatible warm basis degrades to the cold first solve.
+func SolveRowGenerationFrom(st *game.State, maxIters int, warm *lp.Basis) (*Result, error) {
 	if maxIters <= 0 {
 		maxIters = 10000
 	}
@@ -47,7 +57,7 @@ func SolveRowGeneration(st *game.State, maxIters int) (*Result, error) {
 	onPath := make([]bool, g.M())
 	cols := make([]int, 0, 16)
 	vals := make([]float64, 0, 16)
-	var basis *lp.Basis
+	basis := warm
 	for iter := 0; iter < maxIters; iter++ {
 		res.Iterations++
 		// Separation: find any player with a profitable deviation.
@@ -56,6 +66,7 @@ func SolveRowGeneration(st *game.State, maxIters int) (*Result, error) {
 			snap(b, g)
 			res.Subsidy = b
 			res.Cost = b.Cost()
+			res.Basis = basis
 			if err := VerifyGeneral(st, b); err != nil {
 				return nil, fmt.Errorf("sne: row generation ended non-enforcing: %w", err)
 			}

@@ -1,0 +1,47 @@
+package sne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netdesign/internal/lp"
+)
+
+// TestRowGenerationChainsAcrossInstances chains SolveRowGenerationFrom
+// through a family of nearby broadcast states: each instance seeds its
+// row generation with the previous instance's final basis. Every warm
+// result must enforce and match the cold run's optimal cost.
+func TestRowGenerationChainsAcrossInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(515))
+	var chain *lp.Basis
+	chained := 0
+	for k := 0; k < 12; k++ {
+		st := randomBroadcastState(t, rng, 5+k%3, 0.5)
+		_, gst, err := st.ToGeneral(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := SolveRowGenerationFrom(gst, 0, chain)
+		if err != nil {
+			t.Fatalf("inst %d: warm: %v", k, err)
+		}
+		cold, err := SolveRowGeneration(gst, 0)
+		if err != nil {
+			t.Fatalf("inst %d: cold: %v", k, err)
+		}
+		if err := VerifyGeneral(gst, warm.Subsidy); err != nil {
+			t.Fatalf("inst %d: %v", k, err)
+		}
+		if math.Abs(warm.Cost-cold.Cost) > 1e-6*(1+math.Abs(cold.Cost)) {
+			t.Fatalf("inst %d: warm cost %v vs cold %v", k, warm.Cost, cold.Cost)
+		}
+		if chain != nil {
+			chained++
+		}
+		chain = warm.Basis
+	}
+	if chained < 5 {
+		t.Fatalf("only %d chained instances exercised", chained)
+	}
+}

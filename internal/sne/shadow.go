@@ -25,7 +25,7 @@ type BindingDeviation struct {
 // shadow prices come straight from the sparse revised simplex's dual
 // vector — one per emitted row, in emission order.
 func BindingDeviations(st *broadcast.State) ([]BindingDeviation, *Result, error) {
-	bl, sol, res, err := solveBroadcast(st, false)
+	bl, sol, res, err := solveBroadcast(st, false, nil)
 	if err != nil {
 		return nil, nil, err
 	}

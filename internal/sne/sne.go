@@ -21,6 +21,7 @@ import (
 
 	"netdesign/internal/broadcast"
 	"netdesign/internal/game"
+	"netdesign/internal/lp"
 	"netdesign/internal/numeric"
 )
 
@@ -30,6 +31,12 @@ type Result struct {
 	Cost       float64 // Σ b_a
 	Iterations int     // LP re-solves (row generation) or B&B nodes (AON)
 	Pivots     int     // total simplex pivots
+
+	// Basis is the optimal LP basis of the final solve (nil for the
+	// non-LP solvers and the dense oracle). Hand it to the *From variant
+	// of the same solver on a nearby instance to chain cross-instance
+	// warm starts (basis homotopy) through a sweep family.
+	Basis *lp.Basis
 }
 
 // VerifyBroadcast confirms that b is a valid subsidy assignment enforcing

@@ -31,9 +31,57 @@ import (
 // returned cost is ≥ the LP (3) optimum, and experiment E11 measures the
 // gap. Subsidies only ever increase, so the cost is also ≤ wgt(T).
 func WaterFill(st *broadcast.State) (*Result, error) {
+	return WaterFillWith(st, nil)
+}
+
+// aEntry is one A-side edge of a row, with its accumulated coefficient.
+type aEntry struct {
+	id   int
+	coef float64
+}
+
+// WaterFillWorkspace pools every scratch structure WaterFillWith needs —
+// the LP (3) row store (model arenas included), the per-row A-side
+// orderings and the merge buffers — so a sweep calling the heuristic on
+// instance after instance allocates only each call's Result and subsidy
+// vector. A zero value is ready; buffers grow to the largest instance
+// seen. Not safe for concurrent use: give each worker its own.
+type WaterFillWorkspace struct {
+	bl *broadcastLP
+
+	// A-side orderings, stored as (offset, length) into one shared entry
+	// arena so slices survive the arena's growth.
+	aStart []int32
+	aLen   []int32
+	aEnts  []aEntry
+
+	coef    []float64
+	seen    []bool
+	touched []int
+	visits  []int
+}
+
+// NewWaterFillWorkspace returns an empty reusable workspace.
+func NewWaterFillWorkspace() *WaterFillWorkspace { return &WaterFillWorkspace{} }
+
+func growI32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// WaterFillWith is WaterFill running on a reusable workspace (nil
+// behaves like WaterFill).
+func WaterFillWith(st *broadcast.State, ws *WaterFillWorkspace) (*Result, error) {
+	if ws == nil {
+		ws = NewWaterFillWorkspace()
+	}
 	g := st.BG.G
-	bl := buildBroadcastLP(st)
+	ws.bl = buildBroadcastLPInto(st, ws.bl)
+	bl := ws.bl
 	nRows := bl.model.NumConstraints()
+	nVars := bl.model.NumVars()
 	b := game.ZeroSubsidy(g)
 
 	// rowValue computes the current LHS of row i under b, straight off
@@ -50,27 +98,32 @@ func WaterFill(st *broadcast.State) (*Result, error) {
 		_, _, _, rhs := bl.model.Row(i)
 		return rhs
 	}
-	// aSideOf lists row i's positive-coefficient edges, least crowded
+	// A-side orderings: row i's positive-coefficient edges, least crowded
 	// (largest coefficient 1/n_a) first. The rows never change, so each
 	// ordering is built and sorted at most once — on the row's first
-	// visit — and revisits (the hot loop) allocate nothing. Unvisited
-	// rows, the overwhelming majority, never pay for a sort.
-	type aEntry struct {
-		id   int
-		coef float64
+	// visit — into the workspace's entry arena; revisits (the hot loop)
+	// allocate nothing, and unvisited rows, the overwhelming majority,
+	// never pay for a sort.
+	ws.aStart = growI32s(ws.aStart, nRows)
+	ws.aLen = growI32s(ws.aLen, nRows)
+	for i := range ws.aStart[:nRows] {
+		ws.aStart[i] = -1
 	}
-	aSides := make([][]aEntry, nRows)
-	empty := []aEntry{}
-	// Reused merge scratch: Model.Row may expose duplicate column
-	// entries whose coefficients sum (the arena contract), so each row
-	// is accumulated per variable before its A-side is read off.
-	coefScratch := make([]float64, bl.model.NumVars())
-	seen := make([]bool, bl.model.NumVars())
-	touched := make([]int, 0, 16)
+	ws.aEnts = ws.aEnts[:0]
+	if cap(ws.coef) < nVars {
+		ws.coef = make([]float64, nVars)
+		ws.seen = make([]bool, nVars)
+	}
+	coefScratch := ws.coef[:nVars]
+	seen := ws.seen[:nVars]
+	touched := ws.touched[:0]
 	aSideOf := func(i int) []aEntry {
-		if aSides[i] != nil {
-			return aSides[i]
+		if ws.aStart[i] >= 0 {
+			return ws.aEnts[ws.aStart[i] : ws.aStart[i]+int32(ws.aLen[i])]
 		}
+		// Model.Row may expose duplicate column entries whose
+		// coefficients sum (the arena contract), so accumulate per
+		// variable before reading the A-side off.
 		cols, vals, _, _ := bl.model.Row(i)
 		touched = touched[:0]
 		for k, j := range cols {
@@ -80,35 +133,31 @@ func WaterFill(st *broadcast.State) (*Result, error) {
 			}
 			coefScratch[j] += vals[k]
 		}
-		npos := 0
+		start := int32(len(ws.aEnts))
 		for _, j := range touched {
 			if coefScratch[j] > 0 {
-				npos++
+				ws.aEnts = append(ws.aEnts, aEntry{id: bl.edgeOf[j], coef: coefScratch[j]})
 			}
-		}
-		ids := empty
-		if npos > 0 {
-			ids = make([]aEntry, 0, npos)
-			for _, j := range touched {
-				if coefScratch[j] > 0 {
-					ids = append(ids, aEntry{id: bl.edgeOf[j], coef: coefScratch[j]})
-				}
-			}
-		}
-		for _, j := range touched {
 			coefScratch[j], seen[j] = 0, false
 		}
+		ids := ws.aEnts[start:]
 		sort.Slice(ids, func(x, y int) bool {
 			if ids[x].coef != ids[y].coef {
 				return ids[x].coef > ids[y].coef
 			}
 			return ids[x].id < ids[y].id
 		})
-		aSides[i] = ids
+		ws.aStart[i], ws.aLen[i] = start, int32(len(ids))
 		return ids
 	}
 
-	visits := make([]int, nRows)
+	if cap(ws.visits) < nRows {
+		ws.visits = make([]int, nRows)
+	}
+	visits := ws.visits[:nRows]
+	for i := range visits {
+		visits[i] = 0
+	}
 	maxVisits := 2*nRows + 8
 	iters := 0
 	for {
@@ -153,6 +202,7 @@ func WaterFill(st *broadcast.State) (*Result, error) {
 			visits[worst] = maxVisits + 1
 		}
 	}
+	ws.touched = touched // hand grown scratch back to the workspace
 	snap(b, g)
 	res := &Result{Subsidy: b, Cost: b.Cost(), Iterations: iters}
 	if err := VerifyBroadcast(st, b); err != nil {

@@ -59,6 +59,65 @@ func TestWaterFillAllocsRegression(t *testing.T) {
 		t.Fatalf("WaterFill allocated %.0f times per run (%d rows, %d iterations), want ≤ %.0f",
 			allocs, rows, res.Iterations, ceiling)
 	}
+
+	// With a pooled workspace the per-call count must collapse to a small
+	// constant — result, subsidy vector, per-visited-row sort overhead —
+	// independent of the row count (E11's hot loop).
+	ws := NewWaterFillWorkspace()
+	if _, err := WaterFillWith(st, ws); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	pooled := testing.AllocsPerRun(10, func() {
+		if _, err := WaterFillWith(st, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if pooled > 48 {
+		t.Fatalf("pooled WaterFillWith allocated %.0f times per run (%d rows), want ≤ 48", pooled, rows)
+	}
+	if pooled > allocs {
+		t.Fatalf("workspace made things worse: %.0f pooled vs %.0f fresh", pooled, allocs)
+	}
+
+	// The workspace must not change results: same state, same subsidy.
+	fresh, err := WaterFill(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := WaterFillWith(st, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cost != reused.Cost || fresh.Iterations != reused.Iterations {
+		t.Fatalf("workspace drifted: fresh cost %v/%d iters vs pooled %v/%d",
+			fresh.Cost, fresh.Iterations, reused.Cost, reused.Iterations)
+	}
+}
+
+// TestWaterFillWorkspaceAcrossInstances reuses one workspace over many
+// different states and checks each result against the fresh path — the
+// reuse pattern E11 and sweeps run.
+func TestWaterFillWorkspaceAcrossInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	ws := NewWaterFillWorkspace()
+	for trial := 0; trial < 30; trial++ {
+		st := randomBroadcastState(t, rng, 3+rng.Intn(8), 0.5)
+		pooled, err := WaterFillWith(st, ws)
+		if err != nil {
+			t.Fatalf("trial %d: pooled: %v", trial, err)
+		}
+		fresh, err := WaterFill(st)
+		if err != nil {
+			t.Fatalf("trial %d: fresh: %v", trial, err)
+		}
+		if pooled.Cost != fresh.Cost || pooled.Iterations != fresh.Iterations {
+			t.Fatalf("trial %d: pooled %v/%d vs fresh %v/%d",
+				trial, pooled.Cost, pooled.Iterations, fresh.Cost, fresh.Iterations)
+		}
+		if err := VerifyBroadcast(st, pooled.Subsidy); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
 }
 
 func TestWaterFillEnforcesAndBoundsLP(t *testing.T) {

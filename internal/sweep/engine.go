@@ -166,6 +166,9 @@ func runIndices(sc *Scenario, spec Spec, indices []int, workers, stopAfter int, 
 	errs := make([]error, parallel.Workers(workers))
 	parallel.ForEachChunk(len(indices), workers, func(k, lo, hi int) {
 		rng := rand.New(rand.NewSource(1))
+		// Per-worker carry for chained scenarios (basis homotopy): starts
+		// nil each chunk, flows instance to instance within the chunk.
+		var carry any
 		for _, idx := range indices[lo:hi] {
 			if stop.Load() {
 				return
@@ -179,7 +182,8 @@ func runIndices(sc *Scenario, spec Spec, indices []int, workers, stopAfter int, 
 			// order-independence contract.
 			rng.Seed(InstanceSeed(spec.Seed, idx))
 			t0 := time.Now()
-			rec, err := sc.Run(spec, idx, rng)
+			rec, next, err := sc.runInstance(spec, idx, rng, carry)
+			carry = next
 			if err != nil {
 				errs[k] = fmt.Errorf("sweep: %s[%d]: %w", spec.Scenario, idx, err)
 				stop.Store(true)
@@ -209,7 +213,7 @@ func runIndices(sc *Scenario, spec Spec, indices []int, workers, stopAfter int, 
 // fresh rng seeded with InstanceSeed, index stamped on the record.
 func runOneIndex(sc *Scenario, spec Spec, idx int) (Record, error) {
 	t0 := time.Now()
-	rec, err := sc.Run(spec, idx, rand.New(rand.NewSource(InstanceSeed(spec.Seed, idx))))
+	rec, _, err := sc.runInstance(spec, idx, rand.New(rand.NewSource(InstanceSeed(spec.Seed, idx))), nil)
 	if err != nil {
 		return Record{}, err
 	}

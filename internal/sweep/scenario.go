@@ -28,10 +28,33 @@ type Scenario struct {
 	// record and shard merges can verify completeness.
 	Run func(spec Spec, idx int, rng *rand.Rand) (Record, error)
 
+	// RunChained (optional) is Run plus an opaque carry value threaded
+	// through the consecutive instances one worker executes — the hook
+	// cross-instance warm starts (LP basis homotopy) ride on. carry is
+	// nil for a worker's first instance; the returned carry reaches the
+	// next instance on the same worker and is dropped at chunk
+	// boundaries. The carry must be an accelerator only: any output field
+	// the differential harness pins byte-for-byte has to stay a pure
+	// function of (spec, idx), so scenarios whose chained path perturbs
+	// such fields (pivot counts, say) must gate it behind an opt-in
+	// param that the goldens and resume differentials leave off.
+	RunChained func(spec Spec, idx int, rng *rand.Rand, carry any) (Record, any, error)
+
 	// Finalize (optional) appends aggregate notes derived from the full
 	// record set — it runs after every per-record note and must be a pure
 	// function of (spec, recs).
 	Finalize func(spec Spec, recs []Record, tb *table.Table)
+}
+
+// runInstance dispatches one instance through RunChained when the
+// scenario supports carry threading, or Run otherwise (carry passes
+// through untouched so a mixed registry composes).
+func (sc *Scenario) runInstance(spec Spec, idx int, rng *rand.Rand, carry any) (Record, any, error) {
+	if sc.RunChained != nil {
+		return sc.RunChained(spec, idx, rng, carry)
+	}
+	rec, err := sc.Run(spec, idx, rng)
+	return rec, carry, err
 }
 
 var (

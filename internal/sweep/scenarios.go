@@ -13,6 +13,10 @@ import (
 	"netdesign/internal/table"
 )
 
+// sneLPBaseSeed decorrelates the jitter-family base graph from the
+// per-instance streams (which use InstanceSeed of the same spec seed).
+const sneLPBaseSeed = 0x5eed_ba5e_c0de
+
 // The built-in scenarios: the paper's heavy experiment families, rebased
 // from internal/experiments onto the sharded engine. TableIDs match the
 // experiments registry (E9/E20/E21) so merged sweep output slots into the
@@ -156,7 +160,88 @@ func posSwapScenario() *Scenario {
 //
 // Params: spread (default 8) — n uniform in [Size, Size+spread); p
 // (default 0.3) — extra-edge density.
+//
+// jitter (default 0) — when > 0 the family is "nearby instances": one
+// base graph of exactly Size nodes (derived from the spec seed alone, so
+// every instance regenerates it identically), where each instance
+// rescales every NON-tree edge upward by (1 + jitter·u), u uniform in
+// [0, 1) from the instance rng. Raising non-MST weights provably never
+// changes the MST (cut property), so the whole family shares one built
+// tree: every LP has identical variables and coefficients and only its
+// right-hand sides move — the "same network, drifting deviation prices"
+// family of the Balcan–Pozzi–Sharma subsidy-learning direction, and the
+// exact compatibility class basis homotopy is strongest on. spread is
+// ignored.
+//
+// warm (default 0) — when nonzero each worker chains its LP solves
+// through lp.Basis homotopy (sne.SolveBroadcastLPFrom): instance k warm
+// starts from instance k−1's optimal basis. The optimum — every cost
+// column — is unchanged, but the pivot-count column then depends on the
+// chain, i.e. on the shard layout; leave warm off wherever byte-identical
+// output across layouts matters (the goldens and the resume differential
+// harness run warm=0, and TestSweepSNELPWarmMatchesCold pins warm to
+// cold on everything but pivots).
 func sneLPScenario() *Scenario {
+	run := func(spec Spec, idx int, rng *rand.Rand, carry any) (Record, any, error) {
+		var g *graph.Graph
+		var n int
+		if j := spec.Param("jitter", 0); j > 0 {
+			n = spec.Size
+			g = graph.RandomConnected(rand.New(rand.NewSource(spec.Seed^sneLPBaseSeed)), n, spec.Param("p", 0.3), 0.5, 3)
+			mst, err := graph.MST(g)
+			if err != nil {
+				return Record{}, nil, err
+			}
+			onTree := make([]bool, g.M())
+			for _, id := range mst {
+				onTree[id] = true
+			}
+			for id := 0; id < g.M(); id++ {
+				if !onTree[id] {
+					g.SetWeight(id, g.Weight(id)*(1+j*rng.Float64()))
+				}
+			}
+		} else {
+			spread := int(spec.Param("spread", 8))
+			if spread < 1 {
+				spread = 1
+			}
+			n = spec.Size + rng.Intn(spread)
+			g = graph.RandomConnected(rng, n, spec.Param("p", 0.3), 0.5, 3)
+		}
+		bg, err := broadcast.NewGame(g, 0)
+		if err != nil {
+			return Record{}, nil, err
+		}
+		mst, err := bg.MST()
+		if err != nil {
+			return Record{}, nil, err
+		}
+		st, err := broadcast.NewState(bg, mst)
+		if err != nil {
+			return Record{}, nil, err
+		}
+		var res *sne.Result
+		var next any
+		if spec.Param("warm", 0) != 0 {
+			chain, _ := carry.(*sne.BroadcastLPChain)
+			if chain == nil {
+				chain = sne.NewBroadcastLPChain()
+			}
+			res, err = chain.Solve(st)
+			next = chain
+		} else {
+			res, err = sne.SolveBroadcastLP(st)
+		}
+		if err != nil {
+			return Record{}, nil, err
+		}
+		frac := res.Cost / st.Weight()
+		return Record{
+			Cells: table.FormatCells(n, g.M(), st.Weight(), res.Cost, frac, res.Pivots),
+			Vals:  []float64{frac},
+		}, next, nil
+	}
 	return &Scenario{
 		Name:    "sne-lp",
 		TableID: "E22",
@@ -164,34 +249,10 @@ func sneLPScenario() *Scenario {
 		Claim:   "Theorem 1: min-cost enforcement is an LP; Theorem 6 caps it at wgt(T)/e",
 		Headers: []string{"n", "edges", "wgt(T)", "LP cost", "frac", "pivots"},
 		Run: func(spec Spec, idx int, rng *rand.Rand) (Record, error) {
-			spread := int(spec.Param("spread", 8))
-			if spread < 1 {
-				spread = 1
-			}
-			n := spec.Size + rng.Intn(spread)
-			g := graph.RandomConnected(rng, n, spec.Param("p", 0.3), 0.5, 3)
-			bg, err := broadcast.NewGame(g, 0)
-			if err != nil {
-				return Record{}, err
-			}
-			mst, err := bg.MST()
-			if err != nil {
-				return Record{}, err
-			}
-			st, err := broadcast.NewState(bg, mst)
-			if err != nil {
-				return Record{}, err
-			}
-			res, err := sne.SolveBroadcastLP(st)
-			if err != nil {
-				return Record{}, err
-			}
-			frac := res.Cost / st.Weight()
-			return Record{
-				Cells: table.FormatCells(n, g.M(), st.Weight(), res.Cost, frac, res.Pivots),
-				Vals:  []float64{frac},
-			}, nil
+			rec, _, err := run(spec, idx, rng, nil)
+			return rec, err
 		},
+		RunChained: run,
 		Finalize: func(spec Spec, recs []Record, tb *table.Table) {
 			maxFrac := 0.0
 			for _, rec := range recs {

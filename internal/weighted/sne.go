@@ -22,6 +22,15 @@ import (
 // stability where none exists. Each round emits one sparse row and
 // re-solves warm from the previous optimal basis (lp.ResolveFrom).
 func SolveSNE(st *State, maxIters int) (*game.Subsidy, float64, int, error) {
+	b, cost, iters, _, err := SolveSNEFrom(st, maxIters, nil)
+	return b, cost, iters, err
+}
+
+// SolveSNEFrom is SolveSNE seeded with a basis from a structurally nearby
+// instance (cross-instance homotopy) and additionally returning the final
+// optimal basis so a sweep over a family can chain warm starts. A nil or
+// incompatible warm basis degrades to the cold first solve.
+func SolveSNEFrom(st *State, maxIters int, warm *lp.Basis) (*game.Subsidy, float64, int, *lp.Basis, error) {
 	if maxIters <= 0 {
 		maxIters = 10000
 	}
@@ -40,7 +49,7 @@ func SolveSNE(st *State, maxIters int) (*game.Subsidy, float64, int, error) {
 	onPath := make([]bool, g.M())
 	cols := make([]int, 0, 16)
 	vals := make([]float64, 0, 16)
-	var basis *lp.Basis
+	basis := warm
 	iters := 0
 	for iters < maxIters {
 		iters++
@@ -50,9 +59,9 @@ func SolveSNE(st *State, maxIters int) (*game.Subsidy, float64, int, error) {
 				b[id] = numeric.Clamp(b[id], 0, g.Weight(id))
 			}
 			if !st.IsEquilibrium(b) {
-				return nil, 0, iters, errors.New("weighted: SNE result failed verification")
+				return nil, 0, iters, nil, errors.New("weighted: SNE result failed verification")
 			}
-			return &b, b.Cost(), iters, nil
+			return &b, b.Cost(), iters, basis, nil
 		}
 		i, p := viol.Player, viol.Path
 		d := st.game.Players[i].Demand
@@ -87,10 +96,10 @@ func SolveSNE(st *State, maxIters int) (*game.Subsidy, float64, int, error) {
 		model.AddRow(cols, vals, lp.GE, rhs)
 		sol, err := model.ResolveFrom(basis)
 		if err != nil {
-			return nil, 0, iters, err
+			return nil, 0, iters, nil, err
 		}
 		if sol.Status != lp.Optimal {
-			return nil, 0, iters, fmt.Errorf("weighted: SNE LP status %v", sol.Status)
+			return nil, 0, iters, nil, fmt.Errorf("weighted: SNE LP status %v", sol.Status)
 		}
 		basis = sol.Basis
 		for id, j := range varOf {
@@ -99,5 +108,5 @@ func SolveSNE(st *State, maxIters int) (*game.Subsidy, float64, int, error) {
 			}
 		}
 	}
-	return nil, 0, iters, errors.New("weighted: SNE row generation exceeded budget")
+	return nil, 0, iters, nil, errors.New("weighted: SNE row generation exceeded budget")
 }

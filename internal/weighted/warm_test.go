@@ -1,0 +1,53 @@
+package weighted
+
+import (
+	"math"
+	"testing"
+
+	"netdesign/internal/graph"
+)
+
+// TestSolveSNEFromChainsAcrossInstances drives the cross-instance
+// homotopy entry point: a family of same-structure games with drifting
+// weights, each solve warm-started from the previous instance's final
+// basis. Every chained result must enforce its own state and match the
+// cold solve's cost.
+func TestSolveSNEFromChainsAcrossInstances(t *testing.T) {
+	build := func(w0, w1 float64) *State {
+		g := graph.New(2)
+		e0 := g.AddEdge(0, 1, w0)
+		e1 := g.AddEdge(0, 1, w1)
+		wg, err := New(g, []Player{{S: 0, T: 1, Demand: 1}, {S: 0, T: 1, Demand: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewState(wg, [][]int{{e1}, {e0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	first := build(3, 4)
+	_, _, _, chain, err := SolveSNEFrom(first, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		st := build(3+0.1*float64(k), 4+0.07*float64(k))
+		bw, cw, _, next, err := SolveSNEFrom(st, 0, chain)
+		if err != nil {
+			t.Fatalf("inst %d: warm: %v", k, err)
+		}
+		bc, cc, _, err2 := SolveSNE(st, 0)
+		if err2 != nil {
+			t.Fatalf("inst %d: cold: %v", k, err2)
+		}
+		if !st.IsEquilibrium(*bw) || !st.IsEquilibrium(*bc) {
+			t.Fatalf("inst %d: result does not enforce", k)
+		}
+		if math.Abs(cw-cc) > 1e-6*(1+math.Abs(cc)) {
+			t.Fatalf("inst %d: warm cost %v vs cold %v", k, cw, cc)
+		}
+		chain = next
+	}
+}

@@ -1,0 +1,137 @@
+// Command benchdiff compares two BENCH_*.json snapshots (as written by
+// scripts/bench.sh) and prints per-benchmark deltas, flagging ns/op
+// regressions beyond a threshold.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff [-threshold 0.10] [-strict] OLD.json NEW.json
+//
+// Output is one line per benchmark present in both files (plus summary
+// lines for benchmarks only one side has). By default the exit code is
+// always 0 — CI wires this into the bench-smoke job as a *non-blocking*
+// regression warning, because 1-iteration smoke numbers are noisy;
+// -strict exits 1 when any flagged regression survives, for local runs
+// with real -benchtime budgets.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+type record struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+type delta struct {
+	name      string
+	oldNs     float64
+	newNs     float64
+	ratio     float64 // new/old
+	regressed bool
+}
+
+// diff compares two snapshots; threshold is the fractional ns/op growth
+// (e.g. 0.10 = +10%) beyond which a benchmark counts as regressed.
+func diff(old, new []record, threshold float64) (ds []delta, onlyOld, onlyNew []string) {
+	om := map[string]record{}
+	for _, r := range old {
+		om[r.Name] = r
+	}
+	nm := map[string]record{}
+	for _, r := range new {
+		nm[r.Name] = r
+	}
+	for name, o := range om {
+		n, ok := nm[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		d := delta{name: name, oldNs: o.NsOp, newNs: n.NsOp}
+		if o.NsOp > 0 {
+			d.ratio = n.NsOp / o.NsOp
+			d.regressed = d.ratio > 1+threshold
+		}
+		ds = append(ds, d)
+	}
+	for name := range nm {
+		if _, ok := om[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].ratio > ds[j].ratio })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return ds, onlyOld, onlyNew
+}
+
+func load(path string) ([]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []record
+	if err := json.NewDecoder(f).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func run(w io.Writer, oldPath, newPath string, threshold float64) (regressions int, err error) {
+	old, err := load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return 0, err
+	}
+	ds, onlyOld, onlyNew := diff(old, cur, threshold)
+	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range ds {
+		flag := ""
+		if d.regressed {
+			flag = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-44s %14.1f %14.1f %+7.1f%%%s\n",
+			d.name, d.oldNs, d.newNs, (d.ratio-1)*100, flag)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(w, "%-44s only in %s\n", name, oldPath)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "%-44s only in %s\n", name, newPath)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% ns/op\n", regressions, threshold*100)
+	}
+	return regressions, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "fractional ns/op growth flagged as a regression")
+	strict := flag.Bool("strict", false, "exit 1 when regressions are flagged")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-strict] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	regressions, err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *strict && regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	old := []record{
+		{Name: "BenchmarkA", NsOp: 100},
+		{Name: "BenchmarkB", NsOp: 200},
+		{Name: "BenchmarkGone", NsOp: 5},
+	}
+	cur := []record{
+		{Name: "BenchmarkA", NsOp: 115}, // +15% > 10% threshold
+		{Name: "BenchmarkB", NsOp: 190}, // improvement
+		{Name: "BenchmarkNew", NsOp: 7},
+	}
+	ds, onlyOld, onlyNew := diff(old, cur, 0.10)
+	if len(ds) != 2 {
+		t.Fatalf("got %d shared deltas, want 2", len(ds))
+	}
+	// Sorted by ratio descending: the regression first.
+	if ds[0].name != "BenchmarkA" || !ds[0].regressed {
+		t.Fatalf("regression not flagged first: %+v", ds)
+	}
+	if ds[1].name != "BenchmarkB" || ds[1].regressed {
+		t.Fatalf("improvement misflagged: %+v", ds[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestDiffWithinThreshold(t *testing.T) {
+	old := []record{{Name: "BenchmarkA", NsOp: 100}}
+	cur := []record{{Name: "BenchmarkA", NsOp: 109}}
+	ds, _, _ := diff(old, cur, 0.10)
+	if ds[0].regressed {
+		t.Fatalf("+9%% flagged at a 10%% threshold: %+v", ds[0])
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	os.WriteFile(oldPath, []byte(`[{"name":"BenchmarkX","ns_op":50,"bytes_op":8,"allocs_op":1}]`), 0o644)
+	os.WriteFile(newPath, []byte(`[{"name":"BenchmarkX","ns_op":80,"bytes_op":8,"allocs_op":1}]`), 0o644)
+	var sb strings.Builder
+	regressions, err := run(&sb, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", regressions)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("output missing flag:\n%s", sb.String())
+	}
+}
