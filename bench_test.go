@@ -280,6 +280,20 @@ func BenchmarkRowGen200(b *testing.B) {
 	}
 }
 
+// BenchmarkRowGen400 doubles the player count past the separation
+// oracle's resume gate: here the cursor scan and the warm-started LP
+// re-solves carry essentially all of the round cost.
+func BenchmarkRowGen400(b *testing.B) {
+	gst := benchRowGenState(b, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sne.SolveRowGeneration(gst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // sneLPJitterFamily prebuilds the E22 jitter family exactly as the
 // sne-lp scenario's jitter mode does: one base graph, every non-tree
 // edge rescaled upward per instance, so the whole family shares one

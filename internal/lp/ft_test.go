@@ -1,0 +1,199 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ftLoadDense streams a dense matrix into the factor workspace.
+func ftLoadDense(f *luFactor, a [][]float64) {
+	m := len(a)
+	f.begin(m)
+	for c := 0; c < m; c++ {
+		for r := 0; r < m; r++ {
+			if a[r][c] != 0 {
+				f.load(int32(r), int32(c), a[r][c])
+			}
+		}
+		f.endCol()
+	}
+}
+
+// ftRandomDominant builds a strictly diagonally dominant sparse matrix —
+// well-conditioned under any column replacement drawn the same way, so
+// the update-vs-refactor differential below never hinges on a
+// near-singular basis.
+func ftRandomDominant(rng *rand.Rand, m int) [][]float64 {
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+		a[i][i] = 1 + rng.Float64()
+	}
+	for k := 0; k < 3*m; k++ {
+		i, j := rng.Intn(m), rng.Intn(m)
+		if i != j {
+			a[i][j] = (rng.Float64() - 0.5) / float64(4)
+		}
+	}
+	return a
+}
+
+// TestForrestTomlinZeroUpdateBitIdentical pins the FT representation's
+// contract with the golden tables: before any update is applied, the
+// transcribed solves replay the flat solves' exact operation sequence,
+// so results agree bit for bit.
+func TestForrestTomlinZeroUpdateBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.Intn(30)
+		a := ftRandomDominant(rng, m)
+		var flat, ft luFactor
+		ftLoadDense(&flat, a)
+		if err := flat.eliminate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ftLoadDense(&ft, a)
+		if err := ft.eliminate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ft.initUpdatable()
+		v1 := make([]float64, m)
+		v2 := make([]float64, m)
+		for probe := 0; probe < 4; probe++ {
+			for i := range v1 {
+				v1[i] = rng.NormFloat64()
+				v2[i] = v1[i]
+			}
+			flat.ftran(v1)
+			ft.ftran(v2)
+			for i := range v1 {
+				if v1[i] != v2[i] {
+					t.Fatalf("trial %d: ftran bit mismatch at %d: %v vs %v", trial, i, v1[i], v2[i])
+				}
+			}
+			for i := range v1 {
+				v1[i] = rng.NormFloat64()
+				v2[i] = v1[i]
+			}
+			flat.btran(v1)
+			ft.btran(v2)
+			for i := range v1 {
+				if v1[i] != v2[i] {
+					t.Fatalf("trial %d: btran bit mismatch at %d: %v vs %v", trial, i, v1[i], v2[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForrestTomlinUpdateMatchesRefactor drives chains of FT updates and
+// holds the updated factors to a fresh factorization of the same matrix:
+// FTRAN and BTRAN must agree to numerical tolerance after every update.
+func TestForrestTomlinUpdateMatchesRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		m := 3 + rng.Intn(40)
+		a := ftRandomDominant(rng, m)
+		var f luFactor
+		ftLoadDense(&f, a)
+		if err := f.eliminate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		f.initUpdatable()
+		col := make([]float64, m)
+		v1 := make([]float64, m)
+		v2 := make([]float64, m)
+		for upd := 0; upd < 30; upd++ {
+			slot := rng.Intn(m)
+			// Replacement column: dominant diagonal plus sparse noise, so
+			// the basis stays comfortably nonsingular.
+			for i := range col {
+				col[i] = 0
+			}
+			col[slot] = 1 + rng.Float64()
+			for k := 0; k < 3; k++ {
+				if i := rng.Intn(m); i != slot {
+					col[i] = (rng.Float64() - 0.5) / 4
+				}
+			}
+			// FTRAN the entering column (stashes the spike), then update.
+			copy(v1, col)
+			f.ftran(v1)
+			if !f.update(slot) {
+				t.Fatalf("trial %d update %d: stable update rejected", trial, upd)
+			}
+			for i := range col {
+				a[i][slot] = col[i]
+			}
+			var fresh luFactor
+			ftLoadDense(&fresh, a)
+			if err := fresh.eliminate(); err != nil {
+				t.Fatalf("trial %d update %d: fresh: %v", trial, upd, err)
+			}
+			for probe := 0; probe < 3; probe++ {
+				for i := range v1 {
+					v1[i] = rng.NormFloat64()
+					v2[i] = v1[i]
+				}
+				f.ftran(v1)
+				fresh.ftran(v2)
+				for i := range v1 {
+					if d := math.Abs(v1[i] - v2[i]); d > 1e-7*(1+math.Abs(v2[i])) {
+						t.Fatalf("trial %d update %d: ftran drift at %d: %v vs %v", trial, upd, i, v1[i], v2[i])
+					}
+				}
+				for i := range v1 {
+					v1[i] = rng.NormFloat64()
+					v2[i] = v1[i]
+				}
+				f.btran(v1)
+				fresh.btran(v2)
+				for i := range v1 {
+					if d := math.Abs(v1[i] - v2[i]); d > 1e-7*(1+math.Abs(v2[i])) {
+						t.Fatalf("trial %d update %d: btran drift at %d: %v vs %v", trial, upd, i, v1[i], v2[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolverWithForrestTomlinForced reruns the solver differentials with
+// the FT path forced on for every basis size, so the production gate
+// (ftMinRows) never hides the update machinery from the correctness net.
+func TestSolverWithForrestTomlinForced(t *testing.T) {
+	defer func(v int) { ftMinRows = v }(ftMinRows)
+	ftMinRows = 0
+	t.Run("SparseMatchesDense", TestSparseMatchesDense)
+	t.Run("WarmStartRowGeneration", TestWarmStartRowGeneration)
+	t.Run("Fuzz", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 200; trial++ {
+			m := randomModel(rng)
+			sp, err := m.Solve()
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if sp.Status == Optimal && !m.Feasible(sp.X, 1e-6) {
+				t.Fatalf("trial %d: infeasible optimum", trial)
+			}
+		}
+	})
+}
+
+// TestSolverWithSteepestEdgeForced reruns the solver differentials with
+// exact dual steepest-edge pricing forced on for every basis size —
+// and, in the second leg, combined with forced Forrest–Tomlin updates,
+// the pairing production uses above both gates.
+func TestSolverWithSteepestEdgeForced(t *testing.T) {
+	defer func(v int) { dseMinRows = v }(dseMinRows)
+	dseMinRows = 0
+	t.Run("SparseMatchesDense", TestSparseMatchesDense)
+	t.Run("WarmStartRowGeneration", TestWarmStartRowGeneration)
+	t.Run("WithForrestTomlin", func(t *testing.T) {
+		defer func(v int) { ftMinRows = v }(ftMinRows)
+		ftMinRows = 0
+		t.Run("SparseMatchesDense", TestSparseMatchesDense)
+	})
+}

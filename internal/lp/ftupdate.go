@@ -1,0 +1,244 @@
+package lp
+
+import "math"
+
+// Forrest–Tomlin basis updates: after a simplex pivot replaces basis
+// column `slot`, the LU factors are repaired in place instead of
+// appending a product-form eta. The factored form maintained here is
+//
+//	B = L · R₁⁻¹ · R₂⁻¹ ⋯ R_k⁻¹ · U
+//
+// where L is the (fixed) lower factor of the last refactorization, each
+// R_u is an elementary row transformation recorded by one update, and U
+// is upper triangular under the position permutation uorder/upos. A
+// pivot replaces one column of U with the spike s = R_k ⋯ R₁ L⁻¹ a_q
+// (the entering column after the forward half of FTRAN — stashed by
+// ftranFT on every solve, so the last FTRAN before update is always the
+// entering column). The replaced row/column pair is rotated to the last
+// position and the detached old row is eliminated against the rows it
+// overlaps, which — the Forrest–Tomlin observation — fills in no other
+// row: the elimination only produces the multipliers R_{k+1} and the new
+// bottom-corner diagonal. FTRAN/BTRAN therefore keep costing factor
+// nonzeros plus the accumulated eta multipliers, but unlike the
+// product-form file the U factor itself stays current, so the eta lists
+// here are the short elimination rows, not full tableau columns.
+//
+// The update can fail numerically: a small new diagonal relative to the
+// spike means the rotated elimination is unstable. update reports false
+// and leaves the factor unusable; the caller must refactorize from the
+// (already updated) basis before the next solve.
+
+// ftStabTol rejects an update whose new diagonal is smaller than this
+// fraction of the spike's magnitude: |d| < ftStabTol·‖s‖∞ signals
+// cancellation the rotated elimination cannot see, so the caller
+// refactorizes instead of trusting the updated factor.
+const ftStabTol = 1e-9
+
+// initUpdatable transcribes the flat post-elimination factors into the
+// dynamic row-wise form the Forrest–Tomlin updates rewrite. O(nnz(U) + m);
+// steady state reuses all slices.
+func (f *luFactor) initUpdatable() {
+	m := f.m
+	if cap(f.urows) < m {
+		f.urows = append(f.urows[:cap(f.urows)], make([][]luEnt, m-cap(f.urows))...)
+		f.ucolRows = append(f.ucolRows[:cap(f.ucolRows)], make([][]int32, m-cap(f.ucolRows))...)
+	}
+	f.urows = f.urows[:m]
+	f.ucolRows = f.ucolRows[:m]
+	f.uorder = grown(f.uorder, m)
+	f.upos = grown(f.upos, m)
+	f.spike = grown(f.spike, m)
+	for k := 0; k < m; k++ {
+		f.urows[k] = f.urows[k][:0]
+		f.ucolRows[k] = f.ucolRows[k][:0]
+		f.uorder[k] = int32(k)
+		f.upos[k] = int32(k)
+	}
+	for k := 0; k < m; k++ {
+		for e := f.uStart[k]; e < f.uStart[k+1]; e++ {
+			c := f.uCol[e]
+			f.urows[k] = append(f.urows[k], luEnt{col: c, val: f.uVal[e]})
+			f.ucolRows[c] = append(f.ucolRows[c], int32(k))
+		}
+	}
+	f.nupd = 0
+	f.retaR = f.retaR[:0]
+	f.retaStart = append(f.retaStart[:0], 0)
+	f.retaIdx = f.retaIdx[:0]
+	f.retaVal = f.retaVal[:0]
+	f.updatable = true
+}
+
+// update repairs the factors after basis column `slot` was replaced by
+// the column whose FTRAN ran last (its forward intermediate is in
+// spike). It reports false when the update is numerically unsafe; the
+// factor must then be rebuilt with a fresh factorization.
+func (f *luFactor) update(slot int) bool {
+	m := f.m
+	t := f.colPos[slot] // step owning the replaced column
+	pt := f.upos[t]
+	// Remove the old column t from every row holding it. ucolRows may
+	// list rows whose entry is already gone (detached by an earlier
+	// update) or list a row more than once; the scan tolerates both.
+	for _, k := range f.ucolRows[t] {
+		row := f.urows[k]
+		for e := range row {
+			if row[e].col == t {
+				row[e] = row[len(row)-1]
+				f.urows[k] = row[:len(row)-1]
+				break
+			}
+		}
+	}
+	f.ucolRows[t] = f.ucolRows[t][:0]
+	// Detach the old row t into the scatter workspace; its entries all
+	// sit at positions past pt (upper triangularity), which after the
+	// rotation below is exactly the elimination range.
+	f.stamp++
+	for _, e := range f.urows[t] {
+		f.wval[e.col] = e.val
+		f.wmark[e.col] = f.stamp
+	}
+	f.urows[t] = f.urows[t][:0]
+	// The spike becomes the new column t. Rows at any position keep
+	// their entry above the diagonal once column t rotates to the back;
+	// s_t itself seeds the new bottom-corner diagonal.
+	dacc := f.spike[t]
+	refmag := math.Abs(dacc)
+	for k := 0; k < m; k++ {
+		v := f.spike[k]
+		if v == 0 || k == int(t) {
+			continue
+		}
+		if a := math.Abs(v); a > refmag {
+			refmag = a
+		}
+		f.urows[k] = append(f.urows[k], luEnt{col: t, val: v})
+		f.ucolRows[t] = append(f.ucolRows[t], int32(k))
+	}
+	// Rotate step t from position pt to the last position.
+	for pos := pt; pos < int32(m)-1; pos++ {
+		f.uorder[pos] = f.uorder[pos+1]
+		f.upos[f.uorder[pos]] = pos
+	}
+	f.uorder[m-1] = t
+	f.upos[t] = int32(m) - 1
+	// Eliminate the detached row against the rows now at positions
+	// pt..m−2, in order. Each multiplier becomes one row-eta entry; the
+	// eliminating rows' column-t entries (their spike values) fold into
+	// the bottom-corner diagonal; everything else is scatter-only fill in
+	// the detached row itself — no other row changes.
+	for pos := pt; pos < int32(m)-1; pos++ {
+		j := f.uorder[pos]
+		if f.wmark[j] != f.stamp {
+			continue
+		}
+		z := f.wval[j]
+		if z == 0 {
+			continue
+		}
+		mult := z / f.diag[j]
+		f.retaIdx = append(f.retaIdx, j)
+		f.retaVal = append(f.retaVal, mult)
+		for _, e := range f.urows[j] {
+			if e.col == t {
+				dacc -= mult * e.val
+				continue
+			}
+			if f.wmark[e.col] == f.stamp {
+				f.wval[e.col] -= mult * e.val
+			} else {
+				f.wmark[e.col] = f.stamp
+				f.wval[e.col] = -mult * e.val
+			}
+		}
+	}
+	if a := math.Abs(dacc); a < luAbsTol || a < ftStabTol*refmag {
+		f.updatable = false // factor is torn; caller must refactorize
+		return false
+	}
+	f.diag[t] = dacc
+	f.retaR = append(f.retaR, t)
+	f.retaStart = append(f.retaStart, int32(len(f.retaIdx)))
+	f.nupd++
+	return true
+}
+
+// ftranFT solves B·x = v through the updated factors. With no updates
+// applied it performs the exact operation sequence of the flat ftran —
+// bit-identical results — plus the spike stash.
+func (f *luFactor) ftranFT(v []float64) {
+	m := f.m
+	w := f.work
+	for k := 0; k < m; k++ {
+		w[k] = v[f.pivRow[k]]
+	}
+	for k := 0; k < m; k++ {
+		t := w[k]
+		if t == 0 {
+			continue
+		}
+		for e := f.lStart[k]; e < f.lStart[k+1]; e++ {
+			w[f.lRow[e]] -= f.lVal[e] * t
+		}
+	}
+	for u := 0; u < f.nupd; u++ {
+		t := f.retaR[u]
+		acc := w[t]
+		for e := f.retaStart[u]; e < f.retaStart[u+1]; e++ {
+			acc -= f.retaVal[e] * w[f.retaIdx[e]]
+		}
+		w[t] = acc
+	}
+	copy(f.spike[:m], w[:m])
+	for pos := m - 1; pos >= 0; pos-- {
+		t := f.uorder[pos]
+		acc := w[t]
+		for _, e := range f.urows[t] {
+			acc -= e.val * w[e.col]
+		}
+		w[t] = acc / f.diag[t]
+	}
+	for k := 0; k < m; k++ {
+		v[f.pivCol[k]] = w[k]
+	}
+}
+
+// btranFT solves Bᵀ·y = v through the updated factors (the transposed
+// mirror of ftranFT: Uᵀ first, then the row etas in reverse, then Lᵀ).
+func (f *luFactor) btranFT(v []float64) {
+	m := f.m
+	w := f.work
+	for k := 0; k < m; k++ {
+		w[k] = v[f.pivCol[k]]
+	}
+	for pos := 0; pos < m; pos++ {
+		t := f.uorder[pos]
+		z := w[t] / f.diag[t]
+		w[t] = z
+		if z == 0 {
+			continue
+		}
+		for _, e := range f.urows[t] {
+			w[e.col] -= e.val * z
+		}
+	}
+	for u := f.nupd - 1; u >= 0; u-- {
+		t := f.retaR[u]
+		if z := w[t]; z != 0 {
+			for e := f.retaStart[u]; e < f.retaStart[u+1]; e++ {
+				w[f.retaIdx[e]] -= f.retaVal[e] * z
+			}
+		}
+	}
+	for k := m - 1; k >= 0; k-- {
+		t := w[k]
+		for e := f.lStart[k]; e < f.lStart[k+1]; e++ {
+			t -= f.lVal[e] * w[f.lRow[e]]
+		}
+		w[k] = t
+	}
+	for k := 0; k < m; k++ {
+		v[f.pivRow[k]] = w[k]
+	}
+}

@@ -1,0 +1,546 @@
+package lp
+
+import "math"
+
+// Presolve shrinks a model before solving and maps the solution — primal
+// values, duals, duality gap and the warm-startable basis — back to the
+// original model exactly. The SNE broadcast LPs are full of structure a
+// simplex pays for but never uses: singleton deviation rows that are just
+// bounds in disguise, columns fixed by their bounds, columns no optimal
+// solution moves off a bound, and rows the bounds already satisfy.
+//
+// The reductions applied, in a fixed-point loop (each either removes a
+// row or fixes a column, so the loop terminates in ≤ rows+cols passes):
+//
+//	empty row        0 op rhs holds → drop (dual 0); else Infeasible.
+//	singleton row    a·x_j op rhs → an induced bound on x_j; the row is
+//	                 dropped and its dual is reconstructed in postsolve.
+//	                 Crossed induced bounds prove infeasibility; bounds
+//	                 meeting within round-off fix the column.
+//	fixed column     substituted into every row's RHS and removed.
+//	dominated column c_j ≥ 0 and every live coefficient relaxes its row
+//	                 as x_j decreases (a > 0 in ≤, a < 0 in ≥, none in =)
+//	                 → fix at the lower bound; the mirror image with a
+//	                 finite upper bound fixes there. Exact sign tests
+//	                 keep the fixed value optimal, not just feasible.
+//	redundant row    the bound-implied activity interval already
+//	                 satisfies the row (closed comparison, no tolerance,
+//	                 so the zero dual is exactly admissible) → drop.
+//
+// General implied-bound tightening from multi-entry rows is deliberately
+// NOT emitted: those bounds are only as tight as the other columns'
+// bounds, and their duals cascade — the exact dual reconstruction below
+// relies on every dropped row being either redundant (y = 0) or a
+// singleton (y recovered by complementary slackness in LIFO order).
+//
+// Induced lower bounds are emitted by shifting: the reduced model's
+// variable j' stands for x_j − lo_j, so the reduced model stays in this
+// package's native [0, ub] bound form.
+//
+// Presolve is OPT-IN (SolvePresolved, or Presolve + Postsolve around any
+// solve of Reduced): the reduced model pivots differently, so the default
+// Solve path — whose pivot counts are pinned by golden tables — is
+// untouched.
+
+// presTol is the presolve's own zero threshold: bounds meeting within
+// presTol·scale fix the column, and reconstructed duals below it are
+// left at zero. It sits well under feasTol so presolve never fabricates
+// feasibility the solver would reject.
+const presTol = 1e-9
+
+// presSingleton is one dropped singleton row, recorded for LIFO dual
+// reconstruction: row `row` read a·x_col op rhs at the moment it was
+// dropped (rhs already net of previously fixed columns, whose values
+// never change afterwards — so the binding test in postsolve is exact).
+type presSingleton struct {
+	row, col int
+	a, rhs   float64
+	op       Op
+}
+
+// Presolved is the outcome of Presolve: the reduced model plus the
+// bookkeeping Postsolve needs to map a solution of Reduced back onto the
+// original model.
+type Presolved struct {
+	// Status is Optimal when Reduced is ready to solve, or Infeasible
+	// when the reductions proved the original model infeasible (Reduced
+	// is nil in that case).
+	Status Status
+	// Reduced is the shrunken model. It may have zero variables or zero
+	// rows; Solve handles both.
+	Reduced *Model
+
+	orig *Model
+
+	fixed  []bool    // column j was eliminated
+	val    []float64 // its value in original coordinates
+	lo     []float64 // induced lower bound (shift) of surviving columns
+	ubW    []float64 // working upper bound in original coordinates
+	colMap []int     // original j → reduced j′ (−1 when fixed)
+	invCol []int     // reduced j′ → original j
+	alive  []bool    // row i survived
+	rowMap []int     // original i → reduced i′ (−1 when dropped)
+	invRow []int     // reduced i′ → original i
+	sing   []presSingleton
+}
+
+// presolver is the working state of one Presolve call.
+type presolver struct {
+	m     *Model
+	n, mr int
+
+	rowCols [][]int // deduplicated live row entries (fixed cols skipped on read)
+	rowVals [][]float64
+	colRows [][]int // per-column incidence (rows may be dead; skipped on read)
+	colVals [][]float64
+
+	liveCount []int // per-row entries whose column is not yet fixed
+	rhsW      []float64
+	alive     []bool
+
+	lo, ubW []float64
+	fixed   []bool
+	val     []float64
+
+	sing []presSingleton
+}
+
+// Presolve applies the reductions and returns the reduced model with the
+// postsolve mapping. The receiver is never modified.
+func (m *Model) Presolve() *Presolved {
+	ps := &presolver{m: m, n: m.NumVars(), mr: m.NumConstraints()}
+	ps.build()
+	if !ps.reduce() {
+		return &Presolved{Status: Infeasible, orig: m}
+	}
+	return ps.emit()
+}
+
+// build assembles deduplicated row lists and the column incidence. The
+// CSR arena may hold duplicate (row, col) entries that sum (the AddRow
+// contract); everything downstream needs one coefficient per pair.
+func (ps *presolver) build() {
+	n, mr := ps.n, ps.mr
+	ps.rowCols = make([][]int, mr)
+	ps.rowVals = make([][]float64, mr)
+	ps.colRows = make([][]int, n)
+	ps.colVals = make([][]float64, n)
+	ps.liveCount = make([]int, mr)
+	ps.rhsW = append([]float64(nil), ps.m.rhs...)
+	ps.alive = make([]bool, mr)
+	ps.lo = make([]float64, n)
+	ps.ubW = append([]float64(nil), ps.m.ub...)
+	ps.fixed = make([]bool, n)
+	ps.val = make([]float64, n)
+
+	acc := make([]float64, n)
+	seen := make([]int, n)
+	stamp := 0
+	for i := 0; i < mr; i++ {
+		ps.alive[i] = true
+		stamp++
+		cols, vals, _, _ := ps.m.Row(i)
+		for k, j := range cols {
+			if seen[j] != stamp {
+				seen[j] = stamp
+				acc[j] = 0
+			}
+			acc[j] += vals[k]
+		}
+		for _, j := range cols {
+			if seen[j] != stamp {
+				continue // duplicate already harvested
+			}
+			seen[j] = stamp - 1
+			if acc[j] == 0 {
+				continue // duplicates cancelled exactly
+			}
+			ps.rowCols[i] = append(ps.rowCols[i], j)
+			ps.rowVals[i] = append(ps.rowVals[i], acc[j])
+			ps.colRows[j] = append(ps.colRows[j], i)
+			ps.colVals[j] = append(ps.colVals[j], acc[j])
+		}
+		ps.liveCount[i] = len(ps.rowCols[i])
+	}
+}
+
+// fixColumn eliminates column j at value v: the value folds into every
+// live row's RHS and the column stops counting toward row live sizes.
+func (ps *presolver) fixColumn(j int, v float64) {
+	if v < 0 && v > -presTol {
+		v = 0
+	}
+	ps.fixed[j] = true
+	ps.val[j] = v
+	for k, i := range ps.colRows[j] {
+		if !ps.alive[i] {
+			continue
+		}
+		ps.rhsW[i] -= ps.colVals[j][k] * v
+		ps.liveCount[i]--
+	}
+}
+
+// applyBounds tightens column j to [lo, ub] candidates and reports false
+// on a proven-crossed pair. Bounds that meet within round-off fix the
+// column at their midpoint.
+func (ps *presolver) applyBounds(j int) bool {
+	lo, ub := ps.lo[j], ps.ubW[j]
+	scale := 1 + math.Abs(lo)
+	if !math.IsInf(ub, 1) {
+		scale += math.Abs(ub)
+	}
+	if lo > ub+feasTol*scale {
+		return false
+	}
+	if !math.IsInf(ub, 1) && ub-lo <= presTol*scale {
+		ps.fixColumn(j, (lo+ub)/2)
+	}
+	return true
+}
+
+// dropSingleton removes singleton row i whose single live entry is
+// (j, a), recording it for dual reconstruction and converting it into an
+// induced bound on x_j. Reports false on proven infeasibility.
+func (ps *presolver) dropSingleton(i, j int, a float64) bool {
+	rhs := ps.rhsW[i]
+	op := ps.m.ops[i]
+	ps.alive[i] = false
+	ps.sing = append(ps.sing, presSingleton{row: i, col: j, a: a, rhs: rhs, op: op})
+	v := rhs / a
+	tightLo := op == EQ || (op == GE) == (a > 0)
+	tightUb := op == EQ || (op == LE) == (a > 0)
+	if tightLo && v > ps.lo[j] {
+		ps.lo[j] = v
+	}
+	if tightUb && v < ps.ubW[j] {
+		ps.ubW[j] = v
+	}
+	return ps.applyBounds(j)
+}
+
+// reduce runs the fixed-point loop; false means Infeasible.
+func (ps *presolver) reduce() bool {
+	for changed := true; changed; {
+		changed = false
+		// Rows: empty and singleton.
+		for i := 0; i < ps.mr; i++ {
+			if !ps.alive[i] {
+				continue
+			}
+			switch ps.liveCount[i] {
+			case 0:
+				rhs := ps.rhsW[i]
+				scale := feasTol * (1 + math.Abs(rhs))
+				switch ps.m.ops[i] {
+				case LE:
+					if rhs < -scale {
+						return false
+					}
+				case GE:
+					if rhs > scale {
+						return false
+					}
+				case EQ:
+					if math.Abs(rhs) > scale {
+						return false
+					}
+				}
+				ps.alive[i] = false
+				changed = true
+			case 1:
+				j, a := -1, 0.0
+				for k, c := range ps.rowCols[i] {
+					if !ps.fixed[c] {
+						j, a = c, ps.rowVals[i][k]
+						break
+					}
+				}
+				if !ps.dropSingleton(i, j, a) {
+					return false
+				}
+				changed = true
+			}
+		}
+		// Columns: fixed columns are eliminated inline by fixColumn; here
+		// the dominance tests fix what remains.
+		for j := 0; j < ps.n; j++ {
+			if ps.fixed[j] {
+				continue
+			}
+			c := ps.m.obj[j]
+			atLo := c >= 0
+			atUb := c <= 0 && !math.IsInf(ps.ubW[j], 1)
+			for k, i := range ps.colRows[j] {
+				if !ps.alive[i] {
+					continue
+				}
+				if !atLo && !atUb {
+					break
+				}
+				a := ps.colVals[j][k]
+				down := (ps.m.ops[i] == LE) == (a > 0) && ps.m.ops[i] != EQ
+				if !down {
+					atLo = false
+				}
+				if down || ps.m.ops[i] == EQ {
+					atUb = false
+				}
+			}
+			if atLo {
+				ps.fixColumn(j, ps.lo[j])
+				changed = true
+			} else if atUb {
+				ps.fixColumn(j, ps.ubW[j])
+				changed = true
+			}
+		}
+		// Rows again: redundancy against the tightened bounds. Closed
+		// comparisons only — a row dropped here must admit the exact zero
+		// dual, so no tolerance is spent making it droppable.
+		for i := 0; i < ps.mr; i++ {
+			if !ps.alive[i] || ps.liveCount[i] < 2 {
+				continue
+			}
+			minact, maxact := 0.0, 0.0
+			for k, j := range ps.rowCols[i] {
+				if ps.fixed[j] {
+					continue
+				}
+				a := ps.rowVals[i][k]
+				if a > 0 {
+					minact += a * ps.lo[j]
+					maxact += a * ps.ubW[j]
+				} else {
+					minact += a * ps.ubW[j]
+					maxact += a * ps.lo[j]
+				}
+			}
+			rhs := ps.rhsW[i]
+			scale := feasTol * (1 + math.Abs(rhs))
+			switch ps.m.ops[i] {
+			case LE:
+				if minact > rhs+scale && !math.IsInf(minact, 1) {
+					return false
+				}
+				if maxact <= rhs {
+					ps.alive[i] = false
+					changed = true
+				}
+			case GE:
+				if maxact < rhs-scale && !math.IsInf(maxact, -1) {
+					return false
+				}
+				if minact >= rhs {
+					ps.alive[i] = false
+					changed = true
+				}
+			case EQ:
+				if (minact > rhs+scale && !math.IsInf(minact, 1)) ||
+					(maxact < rhs-scale && !math.IsInf(maxact, -1)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// emit builds the reduced model (shifted to [0, ub−lo] bounds) and the
+// postsolve mapping.
+func (ps *presolver) emit() *Presolved {
+	p := &Presolved{
+		Status: Optimal,
+		orig:   ps.m,
+		fixed:  ps.fixed,
+		val:    ps.val,
+		lo:     ps.lo,
+		ubW:    ps.ubW,
+		alive:  ps.alive,
+		sing:   ps.sing,
+	}
+	red := NewModel()
+	p.colMap = make([]int, ps.n)
+	for j := 0; j < ps.n; j++ {
+		if ps.fixed[j] {
+			p.colMap[j] = -1
+			continue
+		}
+		ub := ps.ubW[j] - ps.lo[j]
+		if ub < 0 {
+			ub = 0 // round-off from a near-tie that stayed unfixed
+		}
+		p.colMap[j] = red.AddVar(ps.m.obj[j], ub)
+		p.invCol = append(p.invCol, j)
+	}
+	p.rowMap = make([]int, ps.mr)
+	var cols []int
+	var vals []float64
+	for i := 0; i < ps.mr; i++ {
+		if !ps.alive[i] {
+			p.rowMap[i] = -1
+			continue
+		}
+		cols = cols[:0]
+		vals = vals[:0]
+		rhs := ps.rhsW[i]
+		for k, j := range ps.rowCols[i] {
+			if ps.fixed[j] {
+				continue
+			}
+			cols = append(cols, p.colMap[j])
+			vals = append(vals, ps.rowVals[i][k])
+			rhs -= ps.rowVals[i][k] * ps.lo[j]
+		}
+		p.rowMap[i] = red.NumConstraints()
+		p.invRow = append(p.invRow, i)
+		red.AddRow(cols, vals, ps.m.ops[i], rhs)
+	}
+	p.Reduced = red
+	return p
+}
+
+// Postsolve maps a solution of Reduced back onto the original model:
+// primal values are unshifted and fixed columns reinstated; duals of
+// dropped rows are reconstructed — zero for redundant/empty rows (they
+// were dropped under closed comparisons exactly so that is admissible),
+// and by complementary slackness for singleton rows, replayed in LIFO
+// order against incrementally maintained original reduced costs; the
+// duality gap is recomputed over the original model; and the basis is
+// rebuilt in original coordinates (dropped rows seat their own logical),
+// so ResolveFrom warm starts work exactly as from a direct Solve.
+func (p *Presolved) Postsolve(sol *Solution) *Solution {
+	if sol.Status != Optimal {
+		return &Solution{Status: sol.Status, Pivots: sol.Pivots}
+	}
+	m := p.orig
+	n, mr := m.NumVars(), m.NumConstraints()
+	out := &Solution{Status: Optimal, Pivots: sol.Pivots}
+
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if p.fixed[j] {
+			x[j] = p.val[j]
+		} else {
+			x[j] = sol.X[p.colMap[j]] + p.lo[j]
+		}
+		if x[j] < 0 && x[j] > -feasTol {
+			x[j] = 0
+		}
+	}
+	out.X = x
+	out.Objective = m.Value(x)
+
+	// Duals: start from the reduced solve's y (dropped rows at zero),
+	// form the original reduced costs d = c − Aᵀy, then assign each
+	// dropped singleton row's dual in LIFO order. Complementary
+	// slackness picks d_j/a exactly when the row is binding and the sign
+	// is admissible for its operator; the assignment zeroes d_j, so an
+	// outer singleton on the same column then correctly reads zero.
+	y := make([]float64, mr)
+	for i := 0; i < mr; i++ {
+		if p.rowMap[i] >= 0 {
+			y[i] = sol.Duals[p.rowMap[i]]
+		}
+	}
+	d := append([]float64(nil), m.obj...)
+	for i := 0; i < mr; i++ {
+		if y[i] == 0 {
+			continue
+		}
+		cols, vals, _, _ := m.Row(i)
+		for k, j := range cols {
+			d[j] -= vals[k] * y[i]
+		}
+	}
+	for k := len(p.sing) - 1; k >= 0; k-- {
+		sg := p.sing[k]
+		dj := d[sg.col]
+		if math.Abs(dj) <= presTol*(1+math.Abs(m.obj[sg.col])) {
+			continue
+		}
+		cand := dj / sg.a
+		if (sg.op == LE && cand > presTol) || (sg.op == GE && cand < -presTol) {
+			continue
+		}
+		act := sg.a * x[sg.col]
+		if math.Abs(act-sg.rhs) > feasTol*(1+math.Abs(act)+math.Abs(sg.rhs)) {
+			continue
+		}
+		y[sg.row] = cand
+		// The new dual hits every column of the ORIGINAL row, not just
+		// the one that was live at drop time: the fixed columns' reduced
+		// costs feed outer singletons and the gap below. d[sg.col] lands
+		// exactly at zero.
+		cols, vals, _, _ := m.Row(sg.row)
+		for kk, j := range cols {
+			d[j] -= vals[kk] * cand
+		}
+	}
+	out.Duals = y
+
+	dualObj := 0.0
+	for i := 0; i < mr; i++ {
+		dualObj += y[i] * m.rhs[i]
+	}
+	for j := 0; j < n; j++ {
+		if d[j] < 0 && !math.IsInf(m.ub[j], 1) {
+			dualObj += d[j] * m.ub[j]
+		}
+	}
+	out.DualityGap = math.Abs(dualObj - out.Objective)
+
+	// Basis in original coordinates. Fixed columns rest at the original
+	// bound nearest their value (a column fixed strictly inside by an
+	// equality sits formally at lower; the warm start recovers it in a
+	// pivot). Dropped rows seat their own logical — exactly the block
+	// ResolveFrom's projection would add, so the basis factorizes.
+	if rb := sol.Basis; rb != nil {
+		bas := &Basis{
+			nVars:  n,
+			nRows:  mr,
+			fp:     m.StructureFingerprint(),
+			status: make([]int8, n+mr),
+			basic:  make([]int, mr),
+		}
+		for j := 0; j < n; j++ {
+			if !p.fixed[j] {
+				bas.status[j] = rb.status[p.colMap[j]]
+			} else if !math.IsInf(m.ub[j], 1) &&
+				math.Abs(p.val[j]-m.ub[j]) <= feasTol*(1+math.Abs(m.ub[j])) {
+				bas.status[j] = nbUpper
+			} else {
+				bas.status[j] = nbLower
+			}
+		}
+		for i := 0; i < mr; i++ {
+			bas.status[n+i] = logicalRest(m.ops[i])
+		}
+		for i := 0; i < mr; i++ {
+			if p.rowMap[i] < 0 {
+				bas.basic[i] = n + i
+			} else if b := rb.basic[p.rowMap[i]]; b < rb.nVars {
+				bas.basic[i] = p.invCol[b]
+			} else {
+				bas.basic[i] = n + p.invRow[b-rb.nVars]
+			}
+			bas.status[bas.basic[i]] = inBasis
+		}
+		out.Basis = bas
+	}
+	return out
+}
+
+// SolvePresolved is Presolve + Solve + Postsolve: the opt-in entry point
+// for callers that want the reductions without managing the mapping.
+func (m *Model) SolvePresolved() (*Solution, error) {
+	p := m.Presolve()
+	if p.Status != Optimal {
+		return &Solution{Status: p.Status}, nil
+	}
+	sol, err := p.Reduced.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return p.Postsolve(sol), nil
+}

@@ -1,0 +1,286 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkPresolveRoundTrip solves m both ways and holds the presolved
+// result to the direct one: status, objective, independent feasibility,
+// duality gap, and a warm start of the ORIGINAL model from the
+// reconstructed basis.
+func checkPresolveRoundTrip(t *testing.T, m *Model, tag string) {
+	t.Helper()
+	direct, err := m.Solve()
+	if err != nil {
+		t.Fatalf("%s: direct: %v", tag, err)
+	}
+	pre, err := m.SolvePresolved()
+	if err != nil {
+		t.Fatalf("%s: presolved: %v", tag, err)
+	}
+	if direct.Status != pre.Status {
+		t.Fatalf("%s: status diverges: direct %v presolved %v", tag, direct.Status, pre.Status)
+	}
+	if pre.Status != Optimal {
+		return
+	}
+	if diff := math.Abs(direct.Objective - pre.Objective); diff > 1e-6*(1+math.Abs(direct.Objective)) {
+		t.Fatalf("%s: objectives diverge: direct %v presolved %v", tag, direct.Objective, pre.Objective)
+	}
+	if !m.Feasible(pre.X, 1e-6) {
+		t.Fatalf("%s: presolved optimum infeasible: %v", tag, pre.X)
+	}
+	if len(pre.Duals) != m.NumConstraints() {
+		t.Fatalf("%s: %d duals for %d rows", tag, len(pre.Duals), m.NumConstraints())
+	}
+	if pre.DualityGap > 1e-6*(1+math.Abs(pre.Objective)) {
+		t.Fatalf("%s: duality gap %v after postsolve", tag, pre.DualityGap)
+	}
+	if pre.Basis == nil {
+		t.Fatalf("%s: no basis reconstructed", tag)
+	}
+	warm, err := m.ResolveFrom(pre.Basis)
+	if err != nil {
+		t.Fatalf("%s: warm from reconstructed basis: %v", tag, err)
+	}
+	if warm.Status != Optimal {
+		t.Fatalf("%s: warm start from reconstructed basis: %v", tag, warm.Status)
+	}
+	if diff := math.Abs(warm.Objective - direct.Objective); diff > 1e-6*(1+math.Abs(direct.Objective)) {
+		t.Fatalf("%s: warm objective diverges: %v vs %v", tag, warm.Objective, direct.Objective)
+	}
+}
+
+// TestPresolveMatchesSolve is the presolve differential: random models
+// (the same generator the sparse-vs-dense differential uses) must come
+// back from presolve+postsolve with the direct answer.
+func TestPresolveMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 1500; trial++ {
+		m := randomModel(rng)
+		checkPresolveRoundTrip(t, m, "trial")
+	}
+}
+
+// TestPresolveSingletonChain exercises the LIFO dual reconstruction on a
+// chain the reductions fully collapse: EQ singletons fix variables one
+// after another (each fix turning the next row into a singleton), so the
+// reduced model is empty and every dual comes from postsolve.
+func TestPresolveSingletonChain(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(3, math.Inf(1))
+	y := m.AddVar(2, math.Inf(1))
+	z := m.AddVar(1, math.Inf(1))
+	m.AddRow([]int{x}, []float64{2}, EQ, 4)        // x = 2
+	m.AddRow([]int{x, y}, []float64{1, 1}, EQ, 5)  // y = 3 once x is fixed
+	m.AddRow([]int{y, z}, []float64{1, -1}, EQ, 1) // z = 2 once y is fixed
+	p := m.Presolve()
+	if p.Status != Optimal {
+		t.Fatalf("presolve status %v", p.Status)
+	}
+	if p.Reduced.NumVars() != 0 || p.Reduced.NumConstraints() != 0 {
+		t.Fatalf("chain not fully collapsed: %d vars %d rows",
+			p.Reduced.NumVars(), p.Reduced.NumConstraints())
+	}
+	checkPresolveRoundTrip(t, m, "chain")
+	sol, err := m.SolvePresolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 2}
+	for j, w := range want {
+		if math.Abs(sol.X[j]-w) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", j, sol.X[j], w)
+		}
+	}
+}
+
+// TestPresolveDetectsInfeasible covers the three infeasibility proofs:
+// crossed induced bounds, an unsatisfiable empty row, and an activity
+// interval that cannot reach the RHS.
+func TestPresolveDetectsInfeasible(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Model
+	}{
+		{"crossed bounds", func() *Model {
+			m := NewModel()
+			x := m.AddVar(1, math.Inf(1))
+			m.AddRow([]int{x}, []float64{1}, LE, -1) // x ≤ −1 vs x ≥ 0
+			return m
+		}},
+		{"empty row", func() *Model {
+			m := NewModel()
+			x := m.AddVar(1, 1)
+			m.AddRow([]int{x}, []float64{0}, GE, 5) // zero coef dropped: 0 ≥ 5
+			return m
+		}},
+		{"activity", func() *Model {
+			m := NewModel()
+			x := m.AddVar(1, 1)
+			y := m.AddVar(1, 1)
+			m.AddRow([]int{x, y}, []float64{1, 1}, GE, 3) // max activity 2
+			return m
+		}},
+	}
+	for _, tc := range cases {
+		m := tc.build()
+		p := m.Presolve()
+		if p.Status != Infeasible {
+			t.Errorf("%s: presolve status %v, want infeasible", tc.name, p.Status)
+		}
+		sol, err := m.SolvePresolved()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if sol.Status != Infeasible {
+			t.Errorf("%s: solve status %v, want infeasible", tc.name, sol.Status)
+		}
+		direct, err := m.Solve()
+		if err != nil {
+			t.Fatalf("%s: direct: %v", tc.name, err)
+		}
+		if direct.Status != Infeasible {
+			t.Errorf("%s: direct disagrees: %v", tc.name, direct.Status)
+		}
+	}
+}
+
+// TestPresolveReductions pins what each rule actually removes on a model
+// built to trip all of them at once.
+func TestPresolveReductions(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, 10)                           // survives
+	y := m.AddVar(2, 10)                           // fixed by an EQ singleton
+	z := m.AddVar(1, 4)                            // dominated: cost ≥ 0, only ≤-rows with a > 0
+	w := m.AddVar(-1, 2)                           // dominated at its upper bound
+	m.AddRow([]int{y}, []float64{1}, EQ, 3)        // singleton: y = 3
+	m.AddRow([]int{x, y}, []float64{1, 1}, GE, 5)  // x ≥ 2 after substitution
+	m.AddRow([]int{x, z}, []float64{1, 1}, LE, 20) // redundant: 10 + 4 ≤ 20
+	m.AddRow([]int{z}, []float64{1}, LE, 9)        // redundant after z fixes at 0
+	m.AddRow([]int{w}, []float64{-1}, GE, -5)      // w ≤ 5, loose: w dominated at ub 2
+	p := m.Presolve()
+	if p.Status != Optimal {
+		t.Fatalf("status %v", p.Status)
+	}
+	if got := p.Reduced.NumVars(); got != 0 {
+		// Even x collapses: x + y ≥ 5 becomes the bound x ≥ 2 after y
+		// substitutes, and x is then dominated at that induced lower bound.
+		t.Errorf("reduced vars = %d, want 0", got)
+	}
+	if got := p.Reduced.NumConstraints(); got != 0 {
+		t.Errorf("reduced rows = %d, want 0", got)
+	}
+	sol, err := m.SolvePresolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	want := []float64{2, 3, 0, 2}
+	for j, v := range want {
+		if math.Abs(sol.X[j]-v) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", j, sol.X[j], v)
+		}
+	}
+	// obj = 1·2 + 2·3 + 1·0 + (−1)·2 = 6
+	if math.Abs(sol.Objective-6) > 1e-9 {
+		t.Errorf("objective = %v, want 6", sol.Objective)
+	}
+	checkPresolveRoundTrip(t, m, "reductions")
+	_, _, _, _ = x, y, z, w
+}
+
+// TestPresolveDegenerate runs transportation polytopes with tied
+// supplies — the classic degenerate-basis family — through the presolve
+// round trip: EQ blocks with massive ties are where sloppy dual
+// reconstruction would show.
+func TestPresolveDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + rng.Intn(3)
+		m := NewModel()
+		v := make([]int, k*k)
+		for i := range v {
+			v[i] = m.AddVar(float64(1+rng.Intn(6)), math.Inf(1))
+		}
+		for r := 0; r < k; r++ {
+			cols := make([]int, k)
+			vals := make([]float64, k)
+			for c := 0; c < k; c++ {
+				cols[c] = v[k*r+c]
+				vals[c] = 1
+			}
+			m.AddRow(cols, vals, EQ, 1)
+		}
+		for c := 0; c < k; c++ {
+			cols := make([]int, k)
+			vals := make([]float64, k)
+			for r := 0; r < k; r++ {
+				cols[r] = v[k*r+c]
+				vals[r] = 1
+			}
+			m.AddRow(cols, vals, EQ, 1)
+		}
+		checkPresolveRoundTrip(t, m, "transport")
+	}
+}
+
+// TestPresolveRankDeficient feeds presolve rows that are exact copies
+// and scalings of each other plus free rows a fresh model never binds —
+// the rank-deficient shapes row generation produces.
+func TestPresolveRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		nv := 2 + rng.Intn(4)
+		m := NewModel()
+		for j := 0; j < nv; j++ {
+			m.AddVar(rng.Float64(), 1+rng.Float64()*3)
+		}
+		cols := make([]int, 0, nv)
+		vals := make([]float64, 0, nv)
+		for r := 0; r < 2+rng.Intn(3); r++ {
+			cols = cols[:0]
+			vals = vals[:0]
+			for j := 0; j < nv; j++ {
+				if rng.Intn(2) == 0 {
+					cols = append(cols, j)
+					vals = append(vals, float64(rng.Intn(5)-2))
+				}
+			}
+			rhs := rng.Float64() * 2
+			m.AddRow(cols, vals, GE, rhs)
+			if rng.Intn(2) == 0 { // exact duplicate
+				m.AddRow(cols, vals, GE, rhs)
+			}
+			if rng.Intn(2) == 0 { // exact scaling
+				sc := 1 + float64(rng.Intn(3))
+				sv := append([]float64(nil), vals...)
+				for k := range sv {
+					sv[k] *= sc
+				}
+				m.AddRow(cols, sv, GE, rhs*sc)
+			}
+		}
+		checkPresolveRoundTrip(t, m, "rankdef")
+	}
+}
+
+// TestPresolveShrinksSparseLP pins that the GE benchmark family actually
+// shrinks: all-positive rows against finite bounds leave dominated
+// columns and (after fixing) satisfied rows behind.
+func TestPresolveShrinksSparseLP(t *testing.T) {
+	m := buildSparseLP(200)
+	p := m.Presolve()
+	if p.Status != Optimal {
+		t.Fatalf("status %v", p.Status)
+	}
+	if p.Reduced.NumVars() >= m.NumVars() && p.Reduced.NumConstraints() >= m.NumConstraints() {
+		t.Skipf("family no longer reducible: %d→%d vars, %d→%d rows",
+			m.NumVars(), p.Reduced.NumVars(), m.NumConstraints(), p.Reduced.NumConstraints())
+	}
+	checkPresolveRoundTrip(t, m, "sparseLP")
+}

@@ -233,6 +233,50 @@ func (s *sparse) updatePrimalDevex(q, lv int, alphaQ float64) {
 	}
 }
 
+// dseFloor keeps the steepest-edge recurrence's weights positive: exact
+// arithmetic guarantees γ_i ≥ 1/‖B‖² > 0, but the rank-one update can
+// round a tiny weight negative, which would corrupt every later score.
+const dseFloor = 1e-10
+
+// updateDualSteepestEdge folds a dual pivot on row r into exact
+// steepest-edge row weights γ_i = ‖B⁻ᵀe_i‖² via the Forrest–Goldfarb
+// recurrence. Inputs: the FTRANed entering column in s.wcol, τ = B⁻¹ρ_r
+// in s.tau (one extra FTRAN per pivot — the price of exactness over
+// devex), and the exactly recomputed γ_r = ‖ρ_r‖² — so the recurrence
+// re-anchors every weight it touches against fresh data and drift never
+// compounds along a row's own history.
+//
+//	γ_i ← γ_i − κ·(2τ_i − κ·γ_r),  κ = w_i/w_r   (i ≠ r)
+//	γ_r ← γ_r / w_r²
+//
+// Unlike devex there is no reference framework and nothing to reset;
+// the weights remain exact for the evolving basis (up to round-off, the
+// floor, and the one stale-τ retry path after a mid-pivot
+// refactorization).
+func (s *sparse) updateDualSteepestEdge(r int, gammaR float64) {
+	wr := s.wcol[r]
+	for i := 0; i < s.mr; i++ {
+		if i == r {
+			continue
+		}
+		w := s.wcol[i]
+		if w == 0 {
+			continue
+		}
+		kappa := w / wr
+		g := s.dw[i] - kappa*(2*s.tau[i]-kappa*gammaR)
+		if g < dseFloor {
+			g = dseFloor
+		}
+		s.dw[i] = g
+	}
+	g := gammaR / (wr * wr)
+	if g < dseFloor {
+		g = dseFloor
+	}
+	s.dw[r] = g
+}
+
 // updateDualDevex folds a dual pivot on row r (FTRANed entering column
 // in s.wcol) into the row weights.
 func (s *sparse) updateDualDevex(r int) {

@@ -82,6 +82,24 @@ type luFactor struct {
 	// never reach the Markowitz search at all.
 	csing []int32
 	rsing []int32
+
+	// Forrest–Tomlin update state (ftupdate.go). When updatable, U lives
+	// in the dynamic row-wise form urows/ucolRows under the position
+	// permutation uorder/upos instead of the flat arrays, update(slot)
+	// rewrites the factors in place after a basis change, and ftran
+	// stashes its post-L, post-eta intermediate into spike — the update's
+	// input — on every call.
+	updatable bool
+	urows     [][]luEnt // U row per step, off-diagonal, col = step index
+	ucolRows  [][]int32 // rows that may hold each U column (lazily pruned)
+	uorder    []int32   // position -> step: current triangular order
+	upos      []int32   // step -> position
+	spike     []float64 // post-L/post-eta FTRAN intermediate, step coords
+	nupd      int       // updates since initUpdatable
+	retaR     []int32   // row eta target step per update
+	retaStart []int32   // row eta group offsets (len nupd+1)
+	retaIdx   []int32   // row eta source steps
+	retaVal   []float64 // row eta multipliers
 }
 
 // begin resizes the workspace for an m×m basis and clears per-column and
@@ -471,6 +489,10 @@ func (f *luFactor) updateRow(r, p, q int32, mult float64) {
 // ftran solves B·x = v in place. Cost is proportional to the factor
 // nonzeros plus O(m) for the permutation sweeps.
 func (f *luFactor) ftran(v []float64) {
+	if f.updatable {
+		f.ftranFT(v)
+		return
+	}
 	m := f.m
 	w := f.work
 	for k := 0; k < m; k++ {
@@ -499,6 +521,10 @@ func (f *luFactor) ftran(v []float64) {
 
 // btran solves Bᵀ·y = v in place.
 func (f *luFactor) btran(v []float64) {
+	if f.updatable {
+		f.btranFT(v)
+		return
+	}
 	m := f.m
 	w := f.work
 	for k := 0; k < m; k++ {

@@ -58,10 +58,16 @@ func SolveRowGenerationFrom(st *game.State, maxIters int, warm *lp.Basis) (*Resu
 	cols := make([]int, 0, 16)
 	vals := make([]float64, 0, 16)
 	basis := warm
+	// The strategy profile is fixed for the whole loop — only b moves —
+	// which is the separation oracle's contract: on large instances it
+	// resumes the scan at the last violator instead of re-proving the
+	// satisfied prefix with a Dijkstra per player per round, and on small
+	// ones it is exactly st.FindViolation.
+	oracle := st.NewSeparationOracle()
 	for iter := 0; iter < maxIters; iter++ {
 		res.Iterations++
 		// Separation: find any player with a profitable deviation.
-		viol := st.FindViolation(b)
+		viol := oracle.FindViolation(b)
 		if viol == nil {
 			snap(b, g)
 			res.Subsidy = b
