@@ -9,8 +9,11 @@
 package netdesign_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"math/rand"
+	"net/http/httptest"
 	"path/filepath"
 	"strconv"
 	"sync"
@@ -21,8 +24,10 @@ import (
 	"netdesign/internal/gadgets"
 	"netdesign/internal/game"
 	"netdesign/internal/graph"
+	"netdesign/internal/instancefile"
 	"netdesign/internal/multicast"
 	"netdesign/internal/reductions"
+	"netdesign/internal/serve"
 	"netdesign/internal/sne"
 	"netdesign/internal/subsidy"
 	"netdesign/internal/sweep"
@@ -388,6 +393,62 @@ func benchSweepSNELPTable(b *testing.B, warm bool) {
 
 func BenchmarkSweepSNELPTableCold(b *testing.B) { benchSweepSNELPTable(b, false) }
 func BenchmarkSweepSNELPTableWarm(b *testing.B) { benchSweepSNELPTable(b, true) }
+
+// --- sned daemon load benchmarks (PR 8) ---
+
+// serveBenchBodies serializes the E22 jitter family into ready-to-POST
+// /v1/sne request bodies — the nearby-instance query stream a long-lived
+// daemon sees.
+func serveBenchBodies(b *testing.B, count, n int) [][]byte {
+	b.Helper()
+	sts := sneLPJitterFamily(b, count, n)
+	bodies := make([][]byte, len(sts))
+	for i, st := range sts {
+		var buf bytes.Buffer
+		if err := instancefile.Write(&buf, &instancefile.Instance{Game: st.BG, Tree: st.Tree.EdgeIDs}); err != nil {
+			b.Fatal(err)
+		}
+		raw, err := json.Marshal(map[string]string{"instance": buf.String()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = raw
+	}
+	return bodies
+}
+
+// benchServeSNE drives the full server path — HTTP round trip, JSON
+// decode, instance parse, LP solve, JSON encode — over the jitter stream.
+// cacheCap < 0 disables the basis cache (every solve cold); the warm
+// variant hits the fingerprint-keyed cache on all but the first instance.
+func benchServeSNE(b *testing.B, cacheCap int) {
+	b.Helper()
+	bodies := serveBenchBodies(b, 32, 192)
+	s := serve.New(serve.Config{CacheCap: cacheCap})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, body := range bodies {
+			resp, err := client.Post(ts.URL+"/v1/sne", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	}
+}
+
+func BenchmarkServeSNECold(b *testing.B) { benchServeSNE(b, -1) }
+func BenchmarkServeSNEWarm(b *testing.B) { benchServeSNE(b, 512) }
 
 // BenchmarkWilsonUST400 samples a uniform spanning tree on the sweep-
 // scale random graph (the pos-swap start diversifier).

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -53,8 +54,11 @@ func run(inPath string, budget float64, exact bool, treeLimit int) error {
 		res, err = snd.SolveExact(bg, budget, treeLimit)
 	} else {
 		res, err = snd.HeuristicMSTLP(bg, budget)
-		if err == snd.ErrBudgetInfeasible {
-			fmt.Println("MST+LP heuristic infeasible at this budget; trying Theorem-6 construction")
+		// errors.Is, not ==: a wrapped sentinel must keep triggering the
+		// Theorem-6 fallback. The diagnostic goes to stderr — stdout is
+		// the machine-readable result channel.
+		if errors.Is(err, snd.ErrBudgetInfeasible) {
+			fmt.Fprintln(os.Stderr, "snd: MST+LP heuristic infeasible at this budget; trying Theorem-6 construction")
 			res, err = snd.HeuristicTheorem6(bg, budget)
 		}
 	}

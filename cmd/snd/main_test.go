@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -36,6 +38,35 @@ func TestRunErrors(t *testing.T) {
 	path := writeInstance(t)
 	if err := run(path, 1, true, 1); err == nil {
 		t.Error("tree limit violation not reported")
+	}
+}
+
+// TestFallbackDiagnosticStaysOffStdout pins the bugfix that routed the
+// "trying Theorem-6" diagnostic to stderr: with a budget below wgt(MST)/e
+// the heuristic path attempts the fallback (and ultimately fails), and
+// stdout — the machine-readable channel — must carry no diagnostic.
+func TestFallbackDiagnosticStaysOffStdout(t *testing.T) {
+	path := writeInstance(t)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	// Budget 1.0 < 4/e: MST+LP is infeasible, the Theorem-6 fallback is
+	// attempted (diagnostic!) and is infeasible too.
+	runErr := run(path, 1.0, false, 0)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr == nil {
+		t.Fatal("budget 1.0 should be infeasible for both heuristics")
+	}
+	if strings.Contains(string(out), "Theorem-6") {
+		t.Errorf("fallback diagnostic leaked onto stdout:\n%s", out)
 	}
 }
 

@@ -1,0 +1,72 @@
+// Command sned is the subsidy-serving daemon: a long-lived HTTP/JSON
+// server answering equilibrium-check, PoS-estimate and
+// subsidy/enforcement queries over submitted broadcast instances.
+//
+// Usage:
+//
+//	sned [-addr :8533] [-timeout 30s] [-maxbody 1048576] [-cache 512] [-cacheshards 16] [-drain 15s]
+//
+// Endpoints: POST /v1/check, /v1/sne, /v1/snd, /v1/pos (JSON bodies with
+// the instance in the CLI text format); GET /healthz, /metrics. Responses
+// are bit-identical to the sne/snd batch CLIs on the same instances;
+// streams of structurally nearby instances are served warm through the
+// fingerprint-keyed basis cache (see internal/serve).
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight solves drain for up to -drain, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netdesign/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8533", "listen address (host:port; :0 picks a free port)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request solve budget")
+	maxBody := flag.Int64("maxbody", 1<<20, "request body size cap in bytes")
+	cacheCap := flag.Int("cache", 512, "basis cache capacity in bases (negative disables caching)")
+	cacheShards := flag.Int("cacheshards", 16, "basis cache lock shards (rounded up to a power of two)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	if err := run(*addr, *timeout, *maxBody, *cacheCap, *cacheShards, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "sned:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, timeout time.Duration, maxBody int64, cacheCap, cacheShards int, drain time.Duration) error {
+	srv := serve.New(serve.Config{
+		MaxBodyBytes: maxBody,
+		Timeout:      timeout,
+		CacheCap:     cacheCap,
+		CacheShards:  cacheShards,
+	})
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	// The bound address goes to stderr so scripts starting `sned -addr :0`
+	// can discover the port without racing the log stream.
+	fmt.Fprintf(os.Stderr, "sned: listening on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "sned: %s — draining in-flight requests (budget %s)\n", got, drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "sned: drained, bye")
+	return nil
+}

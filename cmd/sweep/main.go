@@ -19,6 +19,10 @@
 // and spawned workers need only -dir. Restarting over a non-empty
 // checkpoint requires -resume: completed indices are skipped, a torn
 // final line from a killed writer is truncated and recomputed.
+//
+// Checkpoints are fsynced every -syncevery records (default window; close
+// always syncs), so acknowledged records survive host crashes, not just
+// process kills. -syncevery -1 disables fsync for throughput experiments.
 package main
 
 import (
@@ -78,6 +82,7 @@ func realMain(argv []string, stdout io.Writer) error {
 		shards   = fs.Int("shards", 1, "number of shards")
 		shardArg = fs.String("shard", "", "run a single shard, formatted i/m (worker mode)")
 		workers  = fs.Int("workers", 0, "worker goroutines per shard (0 = one per CPU)")
+		syncEv   = fs.Int("syncevery", 0, "fsync the shard checkpoint every N records (0 = default window, <0 disables fsync)")
 		resume   = fs.Bool("resume", false, "continue from existing shard checkpoints")
 		spawn    = fs.Bool("spawn", false, "execute each shard in a spawned worker process")
 		merge    = fs.Bool("merge", false, "merge completed shards and print; run nothing")
@@ -140,7 +145,7 @@ func realMain(argv []string, stdout io.Writer) error {
 		if err := guardResume(spec, *dir, shard, m, *resume); err != nil {
 			return err
 		}
-		n, err := sweep.RunShard(spec, *dir, shard, m, sweep.Options{Workers: *workers})
+		n, err := sweep.RunShard(spec, *dir, shard, m, sweep.Options{Workers: *workers, SyncEvery: *syncEv})
 		if err != nil {
 			return err
 		}
@@ -168,7 +173,7 @@ func realMain(argv []string, stdout io.Writer) error {
 				perWorker = 1
 			}
 		}
-		if err := spawnShards(*dir, *shards, perWorker); err != nil {
+		if err := spawnShards(*dir, *shards, perWorker, *syncEv); err != nil {
 			return err
 		}
 		tb, err := sweep.Merge(spec, *dir, *shards)
@@ -186,7 +191,7 @@ func realMain(argv []string, stdout io.Writer) error {
 				return err
 			}
 		}
-		tb, err := sweep.Run(spec, *dir, *shards, sweep.Options{Workers: *workers})
+		tb, err := sweep.Run(spec, *dir, *shards, sweep.Options{Workers: *workers, SyncEvery: *syncEv})
 		if err != nil {
 			return err
 		}
@@ -261,14 +266,14 @@ func guardResume(spec sweep.Spec, dir string, shard, m int, resume bool) error {
 // spawnShards runs every shard as a separate worker process of this
 // binary, all concurrently (shard counts are small; each worker's
 // internal parallelism is -workers). Worker stderr passes through.
-func spawnShards(dir string, shards, workers int) error {
+func spawnShards(dir string, shards, workers, syncEvery int) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return err
 	}
 	cmds := make([]*exec.Cmd, shards)
 	for shard := 0; shard < shards; shard++ {
-		cmd := execCommand(exe, workerArgs(dir, shard, shards, workers)...)
+		cmd := execCommand(exe, workerArgs(dir, shard, shards, workers, syncEvery)...)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			return fmt.Errorf("spawn shard %d/%d: %w", shard, shards, err)
@@ -287,11 +292,12 @@ func spawnShards(dir string, shards, workers int) error {
 // workerArgs is the argv a spawned shard worker runs with: the pinned
 // spec in -dir is the source of truth, and -resume lets relaunched
 // fleets pick up checkpoints.
-func workerArgs(dir string, shard, shards, workers int) []string {
+func workerArgs(dir string, shard, shards, workers, syncEvery int) []string {
 	return []string{
 		"-dir", dir,
 		"-shard", fmt.Sprintf("%d/%d", shard, shards),
 		"-workers", strconv.Itoa(workers),
+		"-syncevery", strconv.Itoa(syncEvery),
 		"-resume",
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -85,7 +86,7 @@ func main() {
 	// bill? SND searches heavier-but-cheaper-to-stabilize networks.
 	for _, budget := range []float64{opt.Cost, opt.Cost / 2, 0} {
 		res, err := snd.SolveExact(bg, budget, 2_000_000)
-		if err == snd.ErrBudgetInfeasible {
+		if errors.Is(err, snd.ErrBudgetInfeasible) {
 			fmt.Printf("budget %.3f: no stable design exists\n", budget)
 			continue
 		}

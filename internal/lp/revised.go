@@ -178,6 +178,14 @@ type sparse struct {
 
 var errSingularBasis = errors.New("lp: singular basis")
 
+// warmRetryable reports whether a warm-started run died of a pathology a
+// cold restart cures (pivot-budget exhaustion, singular projected basis).
+// Matched with errors.Is, not ==, so a sentinel that picks up wrapping
+// context on its way out keeps triggering the retry.
+func warmRetryable(err error) bool {
+	return errors.Is(err, ErrIterationLimit) || errors.Is(err, errSingularBasis)
+}
+
 // sparsePool recycles solver states across solves: the slices (including
 // the LU workspace) keep their capacity, so the row-generation loop —
 // thousands of ResolveFrom calls on similarly sized models — runs the
@@ -1196,7 +1204,7 @@ func (m *Model) ResolveFrom(bs *Basis) (*Solution, error) {
 	defer s.release()
 	s.initFromBasis(bs)
 	sol, err := s.run()
-	if err == ErrIterationLimit || err == errSingularBasis {
+	if warmRetryable(err) {
 		// A degenerate or numerically decayed warm basis: retry cold
 		// rather than surfacing a pathology the caller cannot act on.
 		return m.Solve()

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"netdesign/internal/lp"
+)
+
+// basisCache is the server's warm-start store: a bounded, sharded LRU
+// from lp.Model structure fingerprints to the most recent optimal basis
+// seen for that structure. Requests over "nearby" instances — identical
+// network, drifting weights, the E22 jitter family — share a fingerprint,
+// so a hit turns a cold simplex solve into a few dual pivots of
+// ResolveFrom homotopy. Sharding keeps the lock a per-shard affair under
+// concurrent request load; eviction is per shard, so the bound is
+// capacity ± one entry per shard during concurrent inserts.
+type basisCache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[uint64]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	fp uint64
+	b  *lp.Basis
+}
+
+// newBasisCache builds a cache holding up to capacity bases across
+// shardCount shards (rounded up to a power of two). capacity <= 0
+// disables caching entirely: every lookup misses and nothing is stored —
+// the cold-path reference mode the load benchmarks compare against.
+func newBasisCache(capacity, shardCount int) *basisCache {
+	if capacity <= 0 {
+		return nil
+	}
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	c := &basisCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: perShard, m: make(map[uint64]*list.Element, perShard), ll: list.New()}
+	}
+	return c
+}
+
+// shard picks the home shard of a fingerprint. Fingerprints are FNV
+// hashes — well mixed already — but one more multiply decorrelates the
+// low bits the mask keeps from any structure FNV leaves behind.
+func (c *basisCache) shard(fp uint64) *cacheShard {
+	return &c.shards[(fp*0x9e3779b97f4a7c15)>>32&c.mask]
+}
+
+// Get returns the cached basis for fp, or nil. A nil receiver (caching
+// disabled) always misses.
+func (c *basisCache) Get(fp uint64) *lp.Basis {
+	if c == nil {
+		return nil
+	}
+	sh := c.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.m[fp]
+	if !ok {
+		return nil
+	}
+	sh.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).b
+}
+
+// Put stores b as the freshest basis for fp, evicting the least recently
+// used entry of the shard when full. A nil receiver or nil basis is a
+// no-op (the dense oracle and non-LP solvers produce no basis).
+func (c *basisCache) Put(fp uint64, b *lp.Basis) {
+	if c == nil || b == nil {
+		return
+	}
+	sh := c.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[fp]; ok {
+		el.Value.(*cacheEntry).b = b
+		sh.ll.MoveToFront(el)
+		return
+	}
+	if sh.ll.Len() >= sh.cap {
+		if back := sh.ll.Back(); back != nil {
+			sh.ll.Remove(back)
+			delete(sh.m, back.Value.(*cacheEntry).fp)
+		}
+	}
+	sh.m[fp] = sh.ll.PushFront(&cacheEntry{fp: fp, b: b})
+}
+
+// Len reports the number of cached bases across all shards.
+func (c *basisCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Endpoint indices for the per-endpoint counters.
+const (
+	epCheck = iota
+	epSNE
+	epSND
+	epPoS
+	nEndpoints
+)
+
+var endpointNames = [nEndpoints]string{"check", "sne", "snd", "pos"}
+
+// latBuckets is the number of power-of-two latency buckets: bucket i
+// counts requests with latency in [2^i, 2^(i+1)) microseconds, so the
+// histogram spans 1 µs .. ~17 min with zero allocation per observation.
+const latBuckets = 30
+
+// metrics is the server's operational ledger: atomic counters only, so
+// the hot path never takes a lock, and /metrics renders a consistent-
+// enough snapshot by reading them in one pass.
+type metrics struct {
+	reqs [nEndpoints]atomic.Int64
+	errs [nEndpoints]atomic.Int64
+	lat  [nEndpoints][latBuckets]atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	warmSolves  atomic.Int64
+	coldSolves  atomic.Int64
+
+	inflight atomic.Int64
+	started  time.Time
+}
+
+func newMetrics() *metrics { return &metrics{started: time.Now()} }
+
+// observe records one finished request on endpoint ep.
+func (m *metrics) observe(ep int, d time.Duration, failed bool) {
+	m.reqs[ep].Add(1)
+	if failed {
+		m.errs[ep].Add(1)
+	}
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	m.lat[ep][b].Add(1)
+}
+
+// quantile estimates the q-quantile (0 < q < 1) of an endpoint's latency
+// histogram in seconds, by walking the buckets and reporting the upper
+// bound of the one holding the q-th observation. Zero when unobserved.
+func (m *metrics) quantile(ep int, q float64) float64 {
+	var counts [latBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = m.lat[ep][i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total)) + 1
+	if rank > total {
+		rank = total
+	}
+	seen := int64(0)
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return float64(uint64(1)<<(i+1)) / 1e6 // bucket upper bound, µs → s
+		}
+	}
+	return float64(uint64(1)<<latBuckets) / 1e6
+}
+
+// render emits the ledger in the flat `name{labels} value` text form
+// scrapers expect. cacheLen is sampled by the caller (the cache knows its
+// own size; the ledger only counts hits and misses).
+func (m *metrics) render(cacheLen int) string {
+	var b strings.Builder
+	for ep := 0; ep < nEndpoints; ep++ {
+		name := endpointNames[ep]
+		fmt.Fprintf(&b, "sned_requests_total{endpoint=%q} %d\n", name, m.reqs[ep].Load())
+		fmt.Fprintf(&b, "sned_errors_total{endpoint=%q} %d\n", name, m.errs[ep].Load())
+		fmt.Fprintf(&b, "sned_latency_seconds{endpoint=%q,quantile=\"0.5\"} %g\n", name, m.quantile(ep, 0.5))
+		fmt.Fprintf(&b, "sned_latency_seconds{endpoint=%q,quantile=\"0.99\"} %g\n", name, m.quantile(ep, 0.99))
+	}
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	fmt.Fprintf(&b, "sned_basis_cache_hits_total %d\n", hits)
+	fmt.Fprintf(&b, "sned_basis_cache_misses_total %d\n", misses)
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(&b, "sned_basis_cache_hit_rate %g\n", hitRate)
+	fmt.Fprintf(&b, "sned_basis_cache_entries %d\n", cacheLen)
+	fmt.Fprintf(&b, "sned_solves_total{mode=\"warm\"} %d\n", m.warmSolves.Load())
+	fmt.Fprintf(&b, "sned_solves_total{mode=\"cold\"} %d\n", m.coldSolves.Load())
+	fmt.Fprintf(&b, "sned_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(&b, "sned_uptime_seconds %g\n", time.Since(m.started).Seconds())
+	return b.String()
+}

@@ -1,0 +1,516 @@
+// Package serve is the subsidy-as-a-service layer: a concurrent HTTP/JSON
+// daemon (cmd/sned) answering equilibrium-check, PoS-estimate and
+// subsidy/enforcement queries over submitted broadcast instances, at
+// request rates the batch CLIs cannot touch.
+//
+// The speed comes from reusing the sweep stack's warm-start machinery as
+// a serving cache: every LP (3) build is fingerprinted by shape
+// (lp.Model.StructureFingerprint), a bounded sharded LRU maps
+// fingerprints to the freshest optimal basis for that shape, and a hit
+// turns the solve into lp.ResolveFrom basis homotopy — a few dual pivots
+// instead of a cold two-phase simplex. Solver build workspaces
+// (sne.BroadcastLPChain) are pooled per worker, so the steady-state
+// request path allocates only what the answer itself needs.
+//
+// Operationally the server is a long-lived process: per-request solve
+// timeouts, a request-body size cap, /healthz for liveness, /metrics for
+// request counts, p50/p99 latency, cache hit rate and warm-vs-cold solve
+// counts, and graceful shutdown that drains in-flight solves.
+//
+// Endpoints (all bodies JSON; instances travel in the instancefile text
+// format shared with the CLIs):
+//
+//	POST /v1/check  {"instance": ...}                      → equilibrium verdict + violation
+//	POST /v1/sne    {"instance": ..., "method": "lp"}      → minimum enforcing subsidies
+//	POST /v1/snd    {"instance": ..., "budget": B, ...}    → budgeted stable design
+//	POST /v1/pos    {"instance": ..., "starts": k, ...}    → PoS estimate (swap descent)
+//	GET  /healthz                                          → "ok"
+//	GET  /metrics                                          → operational counters
+//
+// Responses are bit-identical to the corresponding batch solvers — the
+// differential suite in serve_test.go holds every endpoint to the exact
+// float64 bits the sne/snd CLI paths produce on the same instances.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/instancefile"
+	"netdesign/internal/snd"
+	"netdesign/internal/sne"
+	"netdesign/internal/subsidy"
+)
+
+// Config tunes the daemon. The zero value serves with sane defaults.
+type Config struct {
+	// MaxBodyBytes caps a request body; larger bodies are rejected with
+	// 413 before any parsing. Default 1 MiB.
+	MaxBodyBytes int64
+
+	// Timeout bounds one request end to end; past it the client gets 503
+	// (the solve finishes in the background and still warms the cache).
+	// Default 30s.
+	Timeout time.Duration
+
+	// CacheCap bounds the basis cache (total bases across shards).
+	// Default 512; negative disables caching — every solve runs cold,
+	// which is the reference mode the load benchmarks compare against.
+	CacheCap int
+
+	// CacheShards is the lock-sharding factor of the basis cache, rounded
+	// up to a power of two. Default 16.
+	CacheShards int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 512
+	}
+	if c.CacheShards == 0 {
+		c.CacheShards = 16
+	}
+	return c
+}
+
+// Server answers subsidy queries over HTTP. Create with New, mount
+// Handler (or Start a listener), stop with Shutdown.
+type Server struct {
+	cfg    Config
+	cache  *basisCache
+	met    *metrics
+	chains sync.Pool // *sne.BroadcastLPChain — pooled solver build state
+
+	// preSolve, when non-nil, runs before every solve; tests inject
+	// latency here to exercise the timeout path deterministically.
+	preSolve func()
+
+	mu   sync.Mutex
+	http *http.Server
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:    cfg,
+		cache:  newBasisCache(cfg.CacheCap, cfg.CacheShards),
+		met:    newMetrics(),
+		chains: sync.Pool{New: func() any { return sne.NewBroadcastLPChain() }},
+	}
+}
+
+// Handler returns the server's full route table with the operational
+// middleware (metrics, body cap, per-request timeout) applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.met.render(s.cache.Len()))
+	})
+	mux.Handle("/v1/check", s.api(epCheck, s.handleCheck))
+	mux.Handle("/v1/sne", s.api(epSNE, s.handleSNE))
+	mux.Handle("/v1/snd", s.api(epSND, s.handleSND))
+	mux.Handle("/v1/pos", s.api(epPoS, s.handlePoS))
+	return mux
+}
+
+// Start listens on addr (host:port; :0 picks a free port) and serves in
+// the background. The bound address is returned so callers — the CLI
+// printing it, tests dialing it — need not guess.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.http = hs
+	s.mu.Unlock()
+	go hs.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Shutdown gracefully drains the listener started by Start: no new
+// connections, in-flight requests run to completion (or ctx expiry).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.http
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
+}
+
+// statusRecorder captures the response code for the error counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// api wraps an endpoint handler with the operational middleware:
+// POST-only, body size cap, per-request timeout (503 on expiry), and the
+// metrics observation (count, latency, error).
+func (s *Server) api(ep int, h http.HandlerFunc) http.Handler {
+	limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	})
+	timed := http.TimeoutHandler(limited, s.cfg.Timeout, `{"error":"request timed out"}`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		timed.ServeHTTP(rec, r)
+		s.met.observe(ep, time.Since(t0), rec.code >= 400)
+	})
+}
+
+// decodeRequest parses the JSON body into req and the embedded instance
+// text into a parsed instance, writing the proper 4xx on failure.
+func decodeRequest(w http.ResponseWriter, r *http.Request, req interface{ instanceText() string }) (*instancefile.Instance, bool) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "bad request JSON: "+err.Error())
+		}
+		return nil, false
+	}
+	text := req.instanceText()
+	if strings.TrimSpace(text) == "" {
+		writeError(w, http.StatusBadRequest, "missing instance")
+		return nil, false
+	}
+	inst, err := instancefile.Read(strings.NewReader(text))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return nil, false
+	}
+	return inst, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// instanceRequest is the common body prefix: the instance in the CLI
+// text format. Endpoint-specific requests embed it.
+type instanceRequest struct {
+	Instance string `json:"instance"`
+}
+
+func (r *instanceRequest) instanceText() string { return r.Instance }
+
+// violationJSON mirrors broadcast.Violation.
+type violationJSON struct {
+	Node    int     `json:"node"`
+	ViaEdge int     `json:"viaEdge"`
+	Current float64 `json:"current"`
+	Better  float64 `json:"better"`
+	Gain    float64 `json:"gain"`
+}
+
+type checkResponse struct {
+	Equilibrium bool           `json:"equilibrium"`
+	Weight      float64        `json:"weight"`
+	Players     int64          `json:"players"`
+	Violation   *violationJSON `json:"violation,omitempty"`
+}
+
+// handleCheck answers: is the submitted target tree an equilibrium of
+// the instance without subsidies, and if not, who defects?
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req instanceRequest
+	inst, ok := decodeRequest(w, r, &req)
+	if !ok {
+		return
+	}
+	st, err := inst.State()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if s.preSolve != nil {
+		s.preSolve()
+	}
+	resp := checkResponse{Weight: st.Weight(), Players: inst.Game.NumPlayers()}
+	if v := st.FindViolation(nil); v != nil {
+		resp.Violation = &violationJSON{Node: v.Node, ViaEdge: v.ViaEdge, Current: v.Current, Better: v.Better, Gain: v.Gain()}
+	} else {
+		resp.Equilibrium = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type sneRequest struct {
+	instanceRequest
+	Method string `json:"method,omitempty"` // lp (default) | theorem6 | aon | greedy | full
+}
+
+type edgeSubsidy struct {
+	Edge    int     `json:"edge"`
+	U       int     `json:"u"`
+	V       int     `json:"v"`
+	Weight  float64 `json:"weight"`
+	Subsidy float64 `json:"subsidy"`
+}
+
+type sneResponse struct {
+	Method     string        `json:"method"`
+	Cost       float64       `json:"cost"`
+	Fraction   float64       `json:"fraction"` // of wgt(T); Theorem 6 caps the optimum at 1/e
+	TreeWeight float64       `json:"treeWeight"`
+	Pivots     int           `json:"pivots,omitempty"`
+	Warm       bool          `json:"warm"` // solved by basis homotopy off the cache
+	Subsidies  []edgeSubsidy `json:"subsidies"`
+}
+
+// handleSNE computes minimum enforcing subsidies for the submitted
+// instance, mirroring the cmd/sne method switch exactly. The lp method is
+// the served hot path: it runs through a pooled build chain and the
+// fingerprint-keyed basis cache, so streams of structurally identical
+// instances resolve warm.
+func (s *Server) handleSNE(w http.ResponseWriter, r *http.Request) {
+	var req sneRequest
+	inst, ok := decodeRequest(w, r, &req)
+	if !ok {
+		return
+	}
+	st, err := inst.State()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if s.preSolve != nil {
+		s.preSolve()
+	}
+	method := req.Method
+	if method == "" {
+		method = "lp"
+	}
+	var res *sne.Result
+	warm := false
+	switch method {
+	case "lp":
+		res, warm, err = s.solveLP(st)
+	case "theorem6":
+		bs, cert, serr := subsidy.Enforce(st)
+		if err = serr; serr == nil {
+			res = &sne.Result{Subsidy: bs, Cost: cert.Total}
+		}
+	case "aon":
+		res, err = sne.SolveAON(st, sne.AONOptions{})
+	case "greedy":
+		res, err = sne.GreedyAON(st)
+	case "full":
+		res = sne.FullSubsidy(st)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q", method))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	// The same verification gate the CLI applies: never serve an
+	// assignment that does not enforce the tree.
+	if err := sne.VerifyBroadcast(st, res.Subsidy); err != nil {
+		writeError(w, http.StatusInternalServerError, "result failed verification: "+err.Error())
+		return
+	}
+	resp := sneResponse{
+		Method:     method,
+		Cost:       res.Cost,
+		Fraction:   res.Cost / st.Weight(),
+		TreeWeight: st.Weight(),
+		Pivots:     res.Pivots,
+		Warm:       warm,
+		Subsidies:  []edgeSubsidy{},
+	}
+	g := inst.Game.G
+	for _, id := range st.Tree.EdgeIDs {
+		if v := res.Subsidy.At(id); v > 0 {
+			e := g.Edge(id)
+			resp.Subsidies = append(resp.Subsidies, edgeSubsidy{Edge: id, U: e.U, V: e.V, Weight: e.W, Subsidy: v})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveLP is the warm-start hot path: prepare the LP on a pooled chain,
+// key the basis cache by the model's structure fingerprint, solve warm on
+// a hit, and put the fresh optimal basis back for the next nearby
+// request.
+func (s *Server) solveLP(st *broadcast.State) (*sne.Result, bool, error) {
+	chain := s.chains.Get().(*sne.BroadcastLPChain)
+	defer s.chains.Put(chain)
+	fp := chain.Prepare(st)
+	warmBasis := s.cache.Get(fp)
+	if warmBasis != nil {
+		s.met.cacheHits.Add(1)
+	} else {
+		s.met.cacheMisses.Add(1)
+	}
+	res, usedWarm, err := chain.SolvePrepared(st, warmBasis)
+	if err != nil {
+		return nil, usedWarm, err
+	}
+	if usedWarm {
+		s.met.warmSolves.Add(1)
+	} else {
+		s.met.coldSolves.Add(1)
+	}
+	s.cache.Put(fp, res.Basis)
+	return res, usedWarm, nil
+}
+
+type sndRequest struct {
+	instanceRequest
+	Budget    float64 `json:"budget"`
+	Exact     bool    `json:"exact,omitempty"`
+	TreeLimit int     `json:"treelimit,omitempty"`
+}
+
+type sndResponse struct {
+	Method      string  `json:"method"`
+	FellBack    bool    `json:"fellBack"` // MST+LP infeasible, Theorem-6 fallback served
+	Weight      float64 `json:"weight"`
+	SubsidyCost float64 `json:"subsidyCost"`
+	Budget      float64 `json:"budget"`
+	Tree        []int   `json:"tree"`
+}
+
+// handleSND answers budgeted STABLE NETWORK DESIGN, mirroring cmd/snd:
+// exact enumeration on request, otherwise the MST+LP heuristic with the
+// Theorem-6 fallback (snd.HeuristicAuto — errors.Is on the wrapped
+// sentinel, the bug this PR fixed).
+func (s *Server) handleSND(w http.ResponseWriter, r *http.Request) {
+	var req sndRequest
+	inst, ok := decodeRequest(w, r, &req)
+	if !ok {
+		return
+	}
+	if s.preSolve != nil {
+		s.preSolve()
+	}
+	bg := inst.Game
+	var res *snd.Result
+	var err error
+	method := snd.MethodExact
+	fellBack := false
+	if req.Exact {
+		limit := req.TreeLimit
+		if limit == 0 {
+			limit = 200000
+		}
+		res, err = snd.SolveExact(bg, req.Budget, limit)
+	} else {
+		res, method, fellBack, err = snd.HeuristicAuto(bg, req.Budget)
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if err := snd.Verify(bg, res, req.Budget); err != nil {
+		writeError(w, http.StatusInternalServerError, "result failed verification: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, sndResponse{
+		Method:      method,
+		FellBack:    fellBack,
+		Weight:      res.Weight,
+		SubsidyCost: res.SubsidyCost,
+		Budget:      req.Budget,
+		Tree:        res.Tree,
+	})
+}
+
+type posRequest struct {
+	instanceRequest
+	Starts   int   `json:"starts,omitempty"`   // default 4
+	MaxSteps int   `json:"maxsteps,omitempty"` // default engine-chosen
+	Seed     int64 `json:"seed,omitempty"`     // default 1; same seed, same estimate
+}
+
+type posResponse struct {
+	OptWeight float64 `json:"optWeight"`
+	BestEq    float64 `json:"bestEq"`    // +Inf serialized as "+Inf" string? no: omitted when unconverged
+	PoS       float64 `json:"pos"`       // upper bound when converged > 0
+	Converged int     `json:"converged"` // descents that reached an equilibrium
+	Starts    int     `json:"starts"`
+	Steps     int     `json:"steps"`
+}
+
+// handlePoS estimates the price of stability of the submitted game by
+// multi-start swap descent (broadcast.EstimatePoS) — deterministic for a
+// given seed, so the answer is reproducible and differential-testable.
+func (s *Server) handlePoS(w http.ResponseWriter, r *http.Request) {
+	var req posRequest
+	inst, ok := decodeRequest(w, r, &req)
+	if !ok {
+		return
+	}
+	if s.preSolve != nil {
+		s.preSolve()
+	}
+	starts := req.Starts
+	if starts == 0 {
+		starts = 4
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	est, err := broadcast.EstimatePoS(inst.Game, nil, starts, req.MaxSteps, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := posResponse{OptWeight: est.OptWeight, Converged: est.Converged, Starts: est.Starts, Steps: est.Steps}
+	if est.Converged > 0 {
+		resp.BestEq = est.BestEq
+		resp.PoS = est.PoS()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

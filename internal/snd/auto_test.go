@@ -1,0 +1,69 @@
+package snd
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"netdesign/internal/broadcast"
+)
+
+// TestHeuristicAutoMSTLPFirst: with a budget that covers the LP-optimal
+// enforcement of the MST, the auto policy stops at MST+LP.
+func TestHeuristicAutoMSTLPFirst(t *testing.T) {
+	bg := cycleGame(t, 5)
+	res, method, fellBack, err := HeuristicAuto(bg, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != MethodMSTLP || fellBack {
+		t.Fatalf("method %q fellBack %v, want %q without fallback", method, fellBack, MethodMSTLP)
+	}
+	if err := Verify(bg, res, 2.0); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeuristicAutoWrappedSentinelStillFallsBack is the regression test
+// for the `err == ErrBudgetInfeasible` bug: when the MST+LP attempt
+// reports infeasibility through a *wrapped* sentinel — exactly what any
+// future error annotation produces — the Theorem-6 fallback must still
+// fire. Before the errors.Is fix this silently disabled the fallback and
+// surfaced the raw error.
+func TestHeuristicAutoWrappedSentinelStillFallsBack(t *testing.T) {
+	old := heuristicMSTLP
+	heuristicMSTLP = func(bg *broadcast.Game, budget float64) (*Result, error) {
+		return nil, fmt.Errorf("design service: mst+lp attempt: %w", ErrBudgetInfeasible)
+	}
+	defer func() { heuristicMSTLP = old }()
+
+	// 5-cycle of unit edges: wgt(MST) = 4, so Theorem 6 costs 4/e ≈ 1.47
+	// and a budget of 2 admits the fallback design.
+	bg := cycleGame(t, 5)
+	res, method, fellBack, err := HeuristicAuto(bg, 2.0)
+	if err != nil {
+		t.Fatalf("fallback did not rescue a wrapped sentinel: %v", err)
+	}
+	if method != MethodTheorem6 || !fellBack {
+		t.Fatalf("method %q fellBack %v, want %q with fallback", method, fellBack, MethodTheorem6)
+	}
+	if err := Verify(bg, res, 2.0); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeuristicAutoForeignErrorNotSwallowed: a failure that is not the
+// budget sentinel must pass through untouched, fallback untried.
+func TestHeuristicAutoForeignErrorNotSwallowed(t *testing.T) {
+	old := heuristicMSTLP
+	boom := errors.New("solver exploded")
+	heuristicMSTLP = func(bg *broadcast.Game, budget float64) (*Result, error) {
+		return nil, boom
+	}
+	defer func() { heuristicMSTLP = old }()
+
+	_, _, fellBack, err := HeuristicAuto(cycleGame(t, 5), 2.0)
+	if !errors.Is(err, boom) || fellBack {
+		t.Fatalf("err %v fellBack %v, want the foreign error without fallback", err, fellBack)
+	}
+}

@@ -34,7 +34,44 @@ type Result struct {
 // ErrBudgetInfeasible is returned when no candidate design fits budget B.
 // With fractional subsidies this can only happen for heuristics: the
 // exact solver always finds the fully-subsidized MST when B ≥ wgt(MST).
+// Callers deciding on a fallback must match it with errors.Is — the
+// sentinel may arrive wrapped.
 var ErrBudgetInfeasible = errors.New("snd: no design enforceable within budget")
+
+// Method names reported by HeuristicAuto (and the serving layer) for
+// which solver produced a design.
+const (
+	MethodExact    = "exact"
+	MethodMSTLP    = "mst+lp"
+	MethodTheorem6 = "theorem6"
+)
+
+// heuristicMSTLP indirects HeuristicAuto's first attempt so the
+// regression suite can hand back a *wrapped* ErrBudgetInfeasible and
+// prove the Theorem-6 fallback still fires.
+var heuristicMSTLP = HeuristicMSTLP
+
+// HeuristicAuto is the polynomial design policy the snd CLI and the sned
+// server share: try MST+LP (optimal enforcement of the MST), and when the
+// budget cannot even cover that, fall back to the Theorem-6 construction
+// (feasible whenever B ≥ wgt(MST)/e). The infeasibility sentinel is
+// matched with errors.Is so wrapped errors keep triggering the fallback.
+// fellBack reports that the fallback was attempted — diagnostics belong
+// on stderr (or a log), never on machine-readable stdout.
+func HeuristicAuto(bg *broadcast.Game, budget float64) (res *Result, method string, fellBack bool, err error) {
+	res, err = heuristicMSTLP(bg, budget)
+	if err == nil {
+		return res, MethodMSTLP, false, nil
+	}
+	if !errors.Is(err, ErrBudgetInfeasible) {
+		return nil, "", false, err
+	}
+	res, err = HeuristicTheorem6(bg, budget)
+	if err != nil {
+		return nil, "", true, err
+	}
+	return res, MethodTheorem6, true, nil
+}
 
 // SolveExact enumerates every spanning tree (error beyond treeLimit;
 // ≤ 0 means unlimited), solves the SNE LP for each in parallel, and

@@ -211,23 +211,48 @@ func (c *BroadcastLPChain) Basis() *lp.Basis { return c.basis }
 // incumbent basis, and advances the chain. The result is identical to
 // SolveBroadcastLP up to pivot path.
 func (c *BroadcastLPChain) Solve(st *broadcast.State) (*Result, error) {
+	c.Prepare(st)
+	res, _, err := c.SolvePrepared(st, c.basis)
+	return res, err
+}
+
+// Prepare builds the LP (3) of st into the chain's pooled workspace —
+// without solving — and returns the model's structure fingerprint. The
+// fingerprint is the key a serving layer uses to look up a warm basis
+// from a structurally identical earlier instance (a basis cache) before
+// committing to a solve; follow with SolvePrepared.
+func (c *BroadcastLPChain) Prepare(st *broadcast.State) uint64 {
 	c.bl = buildBroadcastLPInto(st, c.bl)
+	return c.bl.model.StructureFingerprint()
+}
+
+// SolvePrepared solves the LP built by the immediately preceding Prepare,
+// warm-starting from warm when it is compatible with the prepared model
+// (cold otherwise — lp.ResolveFrom's own projection fallback still
+// applies on top), verifies the assignment and advances the chain. The
+// returned flag reports whether the warm basis was actually attempted:
+// the warm-vs-cold solve counters a server exports come from it.
+func (c *BroadcastLPChain) SolvePrepared(st *broadcast.State, warm *lp.Basis) (*Result, bool, error) {
+	if c.bl == nil {
+		c.bl = buildBroadcastLPInto(st, c.bl)
+	}
+	usedWarm := warm.CompatibleWith(c.bl.model)
 	var sol *lp.Solution
 	var err error
-	if c.basis != nil {
-		sol, err = c.bl.model.ResolveFrom(c.basis)
+	if usedWarm {
+		sol, err = c.bl.model.ResolveFrom(warm)
 	} else {
 		sol, err = c.bl.model.Solve()
 	}
 	if err != nil {
-		return nil, err
+		return nil, usedWarm, err
 	}
 	res, err := finishBroadcast(st, c.bl, sol)
 	if err != nil {
-		return nil, err
+		return nil, usedWarm, err
 	}
 	c.basis = res.Basis
-	return res, nil
+	return res, usedWarm, nil
 }
 
 // SolveBroadcastLP computes a minimum-cost subsidy assignment enforcing

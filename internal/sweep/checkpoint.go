@@ -134,18 +134,54 @@ func ReadCheckpointFile(path string) (recs []Record, validLen int64, err error) 
 	return rs, int64(n), err
 }
 
+// DefaultSyncEvery is the durability window used when Options.SyncEvery
+// is zero: the checkpoint file is fsynced after this many appended
+// records (and always on close). Durability is on by default — a record
+// handed to the coordinator as done must survive a *host* crash, not just
+// a process kill; the kill/resume differential harness only exercises the
+// latter, which is exactly how an unsynced writer hid.
+const DefaultSyncEvery = 32
+
+// resolveSyncEvery maps the Options knob to a window: 0 → default,
+// negative → disabled (no fsync at all, close included).
+func resolveSyncEvery(n int) int {
+	if n == 0 {
+		return DefaultSyncEvery
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// checkpointSyncHook, when non-nil, observes every durability fsync with
+// the byte offset now guaranteed on disk. The differential harness uses
+// it to assert the sync-point invariant: no acknowledged record may sit
+// more than one sync window beyond the last synced offset — the
+// "acknowledged to the coordinator, lost on host crash" hole a
+// process-kill-only harness cannot see.
+var checkpointSyncHook func(synced int64)
+
 // checkpointWriter appends records to a shard file, one fully formed line
 // per completed instance, serialized across worker goroutines. Each line
 // is written in a single Write call so a kill can tear at most the final
-// line — exactly what readCheckpoint recovers from.
+// line — exactly what readCheckpoint recovers from. With syncEvery > 0
+// the file is additionally fsynced every syncEvery records and on close,
+// so the decodable prefix on stable storage trails the acknowledged
+// records by less than one window even if the whole host dies.
 type checkpointWriter struct {
-	mu sync.Mutex
-	f  *os.File
+	mu        sync.Mutex
+	f         *os.File
+	syncEvery int   // fsync window in records; 0 disables
+	unsynced  int   // records appended since the last fsync
+	off       int64 // bytes written (file length)
+	synced    int64 // bytes covered by the last fsync
 }
 
 // openCheckpoint opens path for appending after truncating any torn tail
-// at validLen (as reported by ReadCheckpointFile).
-func openCheckpoint(path string, validLen int64) (*checkpointWriter, error) {
+// at validLen (as reported by ReadCheckpointFile). syncEvery is the
+// already-resolved durability window (see resolveSyncEvery).
+func openCheckpoint(path string, validLen int64, syncEvery int) (*checkpointWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -158,7 +194,7 @@ func openCheckpoint(path string, validLen int64) (*checkpointWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	return &checkpointWriter{f: f}, nil
+	return &checkpointWriter{f: f, syncEvery: syncEvery, off: validLen, synced: validLen}, nil
 }
 
 func (w *checkpointWriter) append(rec Record) error {
@@ -169,8 +205,41 @@ func (w *checkpointWriter) append(rec Record) error {
 	line = append(line, '\n')
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	_, err = w.f.Write(line)
-	return err
+	n, err := w.f.Write(line)
+	w.off += int64(n)
+	if err != nil {
+		return err
+	}
+	if w.syncEvery > 0 {
+		if w.unsynced++; w.unsynced >= w.syncEvery {
+			return w.syncLocked()
+		}
+	}
+	return nil
 }
 
-func (w *checkpointWriter) close() error { return w.f.Close() }
+// syncLocked flushes the file to stable storage; callers hold w.mu.
+func (w *checkpointWriter) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	w.synced = w.off
+	if checkpointSyncHook != nil {
+		checkpointSyncHook(w.synced)
+	}
+	return nil
+}
+
+func (w *checkpointWriter) close() error {
+	w.mu.Lock()
+	var syncErr error
+	if w.syncEvery > 0 && w.unsynced > 0 {
+		syncErr = w.syncLocked()
+	}
+	w.mu.Unlock()
+	if err := w.f.Close(); syncErr == nil {
+		syncErr = err
+	}
+	return syncErr
+}

@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestCheckpointWriterSyncWindow drives the writer record by record and
+// asserts the durability invariant the kill/resume harness (process kill
+// only — the page cache survives) cannot see: at every acknowledgement,
+// the bytes NOT yet covered by an fsync amount to fewer than one sync
+// window of records. A host crash may therefore lose at most the last
+// window minus one — never an arbitrary acknowledged prefix, which is
+// what the pre-fix writer (no fsync at all) risked.
+func TestCheckpointWriterSyncWindow(t *testing.T) {
+	for _, window := range []int{1, 4} {
+		var mu sync.Mutex
+		var synced int64
+		checkpointSyncHook = func(off int64) {
+			mu.Lock()
+			synced = off
+			mu.Unlock()
+		}
+		t.Cleanup(func() { checkpointSyncHook = nil })
+
+		path := filepath.Join(t.TempDir(), "shard.jsonl")
+		w, err := openCheckpoint(path, 0, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		written := int64(0)
+		for i := 0; i < 10; i++ {
+			rec := Record{Index: i, Cells: []string{"x"}, Vals: []float64{float64(i)}}
+			line, err := EncodeRecord(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.append(rec); err != nil {
+				t.Fatal(err)
+			}
+			written += int64(len(line)) + 1
+			mu.Lock()
+			lag := written - synced
+			mu.Unlock()
+			// The acknowledged-but-unsynced span must stay under one
+			// window of records (each line here is < 64 bytes).
+			if maxLag := int64(window) * 64; lag >= maxLag {
+				t.Fatalf("window %d: after ack %d, %d bytes unsynced (>= %d)", window, i, lag, maxLag)
+			}
+		}
+		if err := w.close(); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		finalSynced := synced
+		mu.Unlock()
+		if finalSynced != written {
+			t.Fatalf("window %d: close left %d of %d bytes unsynced", window, finalSynced, written)
+		}
+	}
+}
+
+// TestCheckpointWriterSyncDisabled: a negative Options.SyncEvery resolves
+// to a writer that never fsyncs — the explicit benchmark escape hatch.
+func TestCheckpointWriterSyncDisabled(t *testing.T) {
+	calls := 0
+	checkpointSyncHook = func(int64) { calls++ }
+	t.Cleanup(func() { checkpointSyncHook = nil })
+
+	path := filepath.Join(t.TempDir(), "shard.jsonl")
+	w, err := openCheckpoint(path, 0, resolveSyncEvery(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.append(Record{Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("disabled writer fsynced %d times", calls)
+	}
+}
+
+func TestResolveSyncEvery(t *testing.T) {
+	if got := resolveSyncEvery(0); got != DefaultSyncEvery {
+		t.Errorf("resolveSyncEvery(0) = %d, want default %d", got, DefaultSyncEvery)
+	}
+	if got := resolveSyncEvery(-3); got != 0 {
+		t.Errorf("resolveSyncEvery(-3) = %d, want 0 (disabled)", got)
+	}
+	if got := resolveSyncEvery(7); got != 7 {
+		t.Errorf("resolveSyncEvery(7) = %d, want 7", got)
+	}
+}
+
+// TestRunShardSyncPoints runs a real shard end to end with a one-record
+// sync window and asserts (a) every record was covered by an fsync before
+// the run finished, and (b) the synced prefix always decodes to complete
+// records — i.e. what the coordinator could read back after a host crash
+// at any sync point is a valid checkpoint of acknowledged work.
+func TestRunShardSyncPoints(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Scenario: "enforce", Seed: 3, Count: 6, Size: 8}
+
+	var mu sync.Mutex
+	var offsets []int64
+	checkpointSyncHook = func(off int64) {
+		mu.Lock()
+		offsets = append(offsets, off)
+		mu.Unlock()
+	}
+	t.Cleanup(func() { checkpointSyncHook = nil })
+
+	n, err := RunShard(spec, dir, 0, 1, Options{Workers: 1, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != spec.Count {
+		t.Fatalf("produced %d records, want %d", n, spec.Count)
+	}
+	if len(offsets) < spec.Count {
+		t.Fatalf("only %d fsyncs for %d acknowledged records", len(offsets), spec.Count)
+	}
+	data, err := os.ReadFile(ShardPath(dir, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := offsets[len(offsets)-1]; last != int64(len(data)) {
+		t.Fatalf("final sync covered %d of %d bytes", last, len(data))
+	}
+	// Every sync point must be a clean record boundary: decoding the
+	// synced prefix may drop nothing (no torn tail at a sync point).
+	for _, off := range offsets {
+		recs, validLen, err := readCheckpoint(data[:off])
+		if err != nil {
+			t.Fatalf("synced prefix [0:%d) corrupt: %v", off, err)
+		}
+		if validLen != int(off) {
+			t.Fatalf("sync point %d is not a record boundary (valid prefix %d)", off, validLen)
+		}
+		_ = recs
+	}
+}

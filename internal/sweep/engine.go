@@ -24,6 +24,14 @@ type Options struct {
 	// the bounded-budget knob, and the kill switch the resume
 	// differential tests use to interrupt a shard mid-sweep.
 	StopAfter int
+
+	// SyncEvery controls checkpoint durability: the shard file is fsynced
+	// after every SyncEvery appended records and on close, so records
+	// acknowledged as done survive a host crash, not just a process kill.
+	// 0 means DefaultSyncEvery (durability on); negative disables fsync
+	// entirely (benchmark mode — a host crash may then lose acknowledged
+	// records, which resume would silently recompute differently-ordered).
+	SyncEvery int
 }
 
 // ShardOf returns the shard owning instance idx under a round-robin
@@ -303,7 +311,7 @@ func RunShard(spec Spec, dir string, shard, shards int, opt Options) (int, error
 	if len(remaining) == 0 {
 		return 0, nil
 	}
-	w, err := openCheckpoint(path, validLen)
+	w, err := openCheckpoint(path, validLen, resolveSyncEvery(opt.SyncEvery))
 	if err != nil {
 		return 0, err
 	}
