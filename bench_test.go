@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"netdesign/internal/broadcast"
 	"netdesign/internal/experiments"
@@ -25,9 +26,11 @@ import (
 	"netdesign/internal/game"
 	"netdesign/internal/graph"
 	"netdesign/internal/instancefile"
+	"netdesign/internal/loadgen"
 	"netdesign/internal/multicast"
 	"netdesign/internal/reductions"
 	"netdesign/internal/serve"
+	"netdesign/internal/serve/wire"
 	"netdesign/internal/sne"
 	"netdesign/internal/subsidy"
 	"netdesign/internal/sweep"
@@ -449,6 +452,107 @@ func benchServeSNE(b *testing.B, cacheCap int) {
 
 func BenchmarkServeSNECold(b *testing.B) { benchServeSNE(b, -1) }
 func BenchmarkServeSNEWarm(b *testing.B) { benchServeSNE(b, 512) }
+
+// serveBenchFrames serializes the same jitter family into /v2/sne binary
+// frames — the compact-protocol twin of serveBenchBodies.
+func serveBenchFrames(b *testing.B, count, n int) [][]byte {
+	b.Helper()
+	sts := sneLPJitterFamily(b, count, n)
+	frames := make([][]byte, len(sts))
+	for i, st := range sts {
+		inst := &instancefile.Instance{Game: st.BG, Tree: st.Tree.EdgeIDs}
+		frames[i] = wire.AppendFrame(nil, wire.AppendSNERequest(nil, inst, wire.MethodLP))
+	}
+	return frames
+}
+
+// benchServeSNEBin drives the binary server path — HTTP round trip,
+// frame decode through pooled scratch, LP solve, frame encode — over the
+// same jitter stream benchServeSNE posts as JSON. The allocs/op gap
+// between the two is the point of the /v2 protocol.
+func benchServeSNEBin(b *testing.B, cacheCap int) {
+	b.Helper()
+	frames := serveBenchFrames(b, 32, 192)
+	s := serve.New(serve.Config{CacheCap: cacheCap})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, frame := range frames {
+			resp, err := client.Post(ts.URL+"/v2/sne", "application/octet-stream", bytes.NewReader(frame))
+			if err != nil {
+				b.Fatal(err)
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != 200 || len(raw) < 5 || raw[4] != 0 {
+				b.Fatalf("status %d, frame %x", resp.StatusCode, raw[:min(len(raw), 8)])
+			}
+		}
+	}
+}
+
+func BenchmarkServeSNEBinCold(b *testing.B) { benchServeSNEBin(b, -1) }
+func BenchmarkServeSNEBinWarm(b *testing.B) { benchServeSNEBin(b, 512) }
+
+// benchServeLoad runs the multi-connection load harness against a live
+// server: 8 workers over 8 pooled connections, one benchmark op per
+// request (frame, when pipelined), so ns/op is the inverse of
+// concurrent throughput. The custom req/s and p99-ms metrics land in
+// BENCH_<date>.json for cross-PR comparison.
+func benchServeLoad(b *testing.B, binary bool, mixKind string, pipeline int) {
+	b.Helper()
+	path := "/v1/sne"
+	if binary {
+		path = "/v2/sne"
+	}
+	bodies, err := loadgen.Bodies(mixKind, binary, 24, 32, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	b.ResetTimer()
+	res, err := loadgen.Run(loadgen.Config{
+		URL:       ts.URL + path,
+		Binary:    binary,
+		Bodies:    bodies,
+		Workers:   8,
+		Conns:     8,
+		Total:     b.N,
+		Duration:  10 * time.Minute, // the request budget is the bound
+		DecodeSNE: true,             // charge each protocol its client-side decode
+		Pipeline:  pipeline,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Errors > 0 {
+		b.Fatalf("%d of %d requests failed", res.Errors, res.Requests)
+	}
+	b.ReportMetric(res.ReqPerSec, "req/s")
+	b.ReportMetric(float64(res.P99.Nanoseconds())/1e6, "p99-ms")
+}
+
+func BenchmarkServeLoadJSONJitter(b *testing.B) { benchServeLoad(b, false, loadgen.MixJitter, 1) }
+func BenchmarkServeLoadBinJitter(b *testing.B)  { benchServeLoad(b, true, loadgen.MixJitter, 1) }
+func BenchmarkServeLoadBinAdversarial(b *testing.B) {
+	benchServeLoad(b, true, loadgen.MixAdversarial, 1)
+}
+func BenchmarkServeLoadBinMixed(b *testing.B) { benchServeLoad(b, true, loadgen.MixMixed, 1) }
+
+// BenchmarkServeLoadBinPipelined is the binary protocol at pipeline
+// depth 8: the length-prefixed framing lets one HTTP round trip carry
+// eight solves, amortizing the per-request HTTP machinery both
+// protocols otherwise pay per solve.
+func BenchmarkServeLoadBinPipelined(b *testing.B) { benchServeLoad(b, true, loadgen.MixJitter, 8) }
 
 // BenchmarkWilsonUST400 samples a uniform spanning tree on the sweep-
 // scale random graph (the pos-swap start diversifier).

@@ -1,16 +1,22 @@
-// Command sned is the subsidy-serving daemon: a long-lived HTTP/JSON
-// server answering equilibrium-check, PoS-estimate and
-// subsidy/enforcement queries over submitted broadcast instances.
+// Command sned is the subsidy-serving daemon: a long-lived HTTP server
+// answering equilibrium-check, PoS-estimate and subsidy/enforcement
+// queries over submitted broadcast instances.
 //
 // Usage:
 //
-//	sned [-addr :8533] [-timeout 30s] [-maxbody 1048576] [-cache 512] [-cacheshards 16] [-drain 15s]
+//	sned [-addr :8533] [-timeout 30s] [-maxbody 1048576] [-cache 512] [-cacheshards 16] [-cachettl 10m] [-drain 15s]
 //
 // Endpoints: POST /v1/check, /v1/sne, /v1/snd, /v1/pos (JSON bodies with
-// the instance in the CLI text format); GET /healthz, /metrics. Responses
+// the instance in the CLI text format); POST /v2/check, /v2/sne,
+// /v2/snd, /v2/pos (the compact binary protocol of internal/serve/wire —
+// length-prefixed frames, bit-identical answers to /v1 at a fraction of
+// the cost; cmd/snedload speaks it); GET /healthz, /metrics. Responses
 // are bit-identical to the sne/snd batch CLIs on the same instances;
 // streams of structurally nearby instances are served warm through the
-// fingerprint-keyed basis cache (see internal/serve).
+// fingerprint-keyed basis cache (see internal/serve). Cached bases
+// expire -cachettl after their last refresh (negative disables expiry),
+// and under eviction pressure a new structure is only admitted on its
+// second sighting, so one-shot instances cannot flush the hot set.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // in-flight solves drain for up to -drain, then the process exits 0.
@@ -34,21 +40,23 @@ func main() {
 	maxBody := flag.Int64("maxbody", 1<<20, "request body size cap in bytes")
 	cacheCap := flag.Int("cache", 512, "basis cache capacity in bases (negative disables caching)")
 	cacheShards := flag.Int("cacheshards", 16, "basis cache lock shards (rounded up to a power of two)")
+	cacheTTL := flag.Duration("cachettl", 10*time.Minute, "basis cache entry lifetime (negative disables expiry)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
-	if err := run(*addr, *timeout, *maxBody, *cacheCap, *cacheShards, *drain); err != nil {
+	if err := run(*addr, *timeout, *maxBody, *cacheCap, *cacheShards, *cacheTTL, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "sned:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, timeout time.Duration, maxBody int64, cacheCap, cacheShards int, drain time.Duration) error {
+func run(addr string, timeout time.Duration, maxBody int64, cacheCap, cacheShards int, cacheTTL, drain time.Duration) error {
 	srv := serve.New(serve.Config{
 		MaxBodyBytes: maxBody,
 		Timeout:      timeout,
 		CacheCap:     cacheCap,
 		CacheShards:  cacheShards,
+		CacheTTL:     cacheTTL,
 	})
 	bound, err := srv.Start(addr)
 	if err != nil {

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// NewBulk constructs a graph with n nodes and the given edges in one
+// pass. It is the allocation-lean sibling of New + a loop of AddEdge:
+// instead of growing every adjacency list independently (O(n log deg)
+// slice reallocations for a request-sized instance), it counts degrees
+// once and carves all adjacency records out of a single backing array,
+// so the whole build costs a fixed handful of allocations regardless of
+// edge count. The serving wire decoder sits on this path for every
+// binary request.
+//
+// The edges' ID fields are ignored on input and assigned by index; the
+// slice itself is copied, so callers may reuse their scratch. Validation
+// matches AddEdge exactly (panics on out-of-range endpoints, self-loops
+// and non-finite or negative weights) — callers decoding untrusted bytes
+// must validate first.
+func NewBulk(n int, edges []Edge) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	var es []Edge
+	if len(edges) > 0 {
+		es = make([]Edge, len(edges))
+	}
+	deg := make([]int, n)
+	for i, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			panic(fmt.Sprintf("graph: NewBulk edge %d (%d,%d) out of range [0,%d)", i, e.U, e.V, n))
+		}
+		if e.U == e.V {
+			panic("graph: self-loops are not allowed")
+		}
+		if e.W < 0 || math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			panic(fmt.Sprintf("graph: invalid edge weight %v", e.W))
+		}
+		es[i] = Edge{ID: i, U: e.U, V: e.V, W: e.W}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	adj := make([][]Half, n)
+	backing := make([]Half, 2*len(edges))
+	off := 0
+	for u := 0; u < n; u++ {
+		adj[u] = backing[off : off : off+deg[u]]
+		off += deg[u]
+	}
+	for _, e := range es {
+		adj[e.U] = append(adj[e.U], Half{To: e.V, Edge: e.ID})
+		adj[e.V] = append(adj[e.V], Half{To: e.U, Edge: e.ID})
+	}
+	return &Graph{n: n, edges: es, adj: adj}
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestNewBulkMatchesAddEdge: the bulk constructor must produce a graph
+// indistinguishable from the incremental build — same edge IDs, same
+// adjacency order (insertion order per node), same weights.
+func TestNewBulkMatchesAddEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		m := rng.Intn(80)
+		var es []Edge
+		inc := New(n)
+		for k := 0; k < m; k++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := rng.Float64() * 10
+			es = append(es, Edge{U: u, V: v, W: w})
+			inc.AddEdge(u, v, w)
+		}
+		bulk := NewBulk(n, es)
+		if bulk.N() != inc.N() || bulk.M() != inc.M() {
+			t.Fatalf("trial %d: shape (%d,%d) != (%d,%d)", trial, bulk.N(), bulk.M(), inc.N(), inc.M())
+		}
+		if !reflect.DeepEqual(bulk.Edges(), inc.Edges()) {
+			t.Fatalf("trial %d: edge lists differ", trial)
+		}
+		for u := 0; u < n; u++ {
+			bu, iu := bulk.Adj(u), inc.Adj(u)
+			if len(bu) != len(iu) {
+				t.Fatalf("trial %d: node %d degree %d != %d", trial, u, len(bu), len(iu))
+			}
+			for j := range bu {
+				if bu[j] != iu[j] {
+					t.Fatalf("trial %d: node %d adjacency[%d] %+v != %+v", trial, u, j, bu[j], iu[j])
+				}
+			}
+		}
+	}
+}
+
+// TestNewBulkCopiesInput: mutating the caller's edge scratch after the
+// build must not leak into the graph.
+func TestNewBulkCopiesInput(t *testing.T) {
+	es := []Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}}
+	g := NewBulk(3, es)
+	es[0].W = 99
+	es[1].U = 0
+	if g.Weight(0) != 2 || g.Edge(1).U != 1 {
+		t.Fatalf("NewBulk aliased the caller's slice: %v", g.Edges())
+	}
+}
+
+func TestNewBulkPanicsLikeAddEdge(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		es   []Edge
+	}{
+		{"out of range", 2, []Edge{{U: 0, V: 5, W: 1}}},
+		{"self loop", 2, []Edge{{U: 1, V: 1, W: 1}}},
+		{"negative weight", 2, []Edge{{U: 0, V: 1, W: -1}}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewBulk did not panic", c.name)
+				}
+			}()
+			NewBulk(c.n, c.es)
+		}()
+	}
+}

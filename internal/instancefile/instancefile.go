@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -106,7 +107,8 @@ func Read(r io.Reader) (*Instance, error) {
 			u, e1 := strconv.Atoi(fields[1])
 			v, e2 := strconv.Atoi(fields[2])
 			w, e3 := strconv.ParseFloat(fields[3], 64)
-			if e1 != nil || e2 != nil || e3 != nil || u < 0 || v < 0 || u >= g.N() || v >= g.N() || u == v || w < 0 {
+			if e1 != nil || e2 != nil || e3 != nil || u < 0 || v < 0 || u >= g.N() || v >= g.N() || u == v ||
+				w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 				return nil, fmt.Errorf("instancefile: line %d: malformed edge", lineNo)
 			}
 			g.AddEdge(u, v, w)

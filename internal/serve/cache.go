@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"netdesign/internal/lp"
 )
@@ -18,6 +19,7 @@ import (
 type basisCache struct {
 	shards []cacheShard
 	mask   uint64
+	ttl    time.Duration // <= 0: entries never expire
 }
 
 type cacheShard struct {
@@ -25,18 +27,30 @@ type cacheShard struct {
 	cap int
 	m   map[uint64]*list.Element
 	ll  *list.List // front = most recently used
+
+	// door is the admission doorkeeper: fingerprints seen exactly once
+	// while the shard was full. A new fingerprint only displaces a
+	// resident basis on its second sighting, so a stream of one-shot
+	// structures (an adversarial cold mix) cannot evict the hot
+	// jitter-family bases that actually re-occur. While the shard has
+	// room, everything is admitted immediately — the doorkeeper only
+	// gates eviction.
+	door map[uint64]struct{}
 }
 
 type cacheEntry struct {
 	fp uint64
 	b  *lp.Basis
+	at time.Time // Put time, for TTL expiry
 }
 
 // newBasisCache builds a cache holding up to capacity bases across
 // shardCount shards (rounded up to a power of two). capacity <= 0
 // disables caching entirely: every lookup misses and nothing is stored —
 // the cold-path reference mode the load benchmarks compare against.
-func newBasisCache(capacity, shardCount int) *basisCache {
+// Entries older than ttl are dropped lazily on lookup; ttl <= 0 means
+// no expiry.
+func newBasisCache(capacity, shardCount int, ttl time.Duration) *basisCache {
 	if capacity <= 0 {
 		return nil
 	}
@@ -48,7 +62,7 @@ func newBasisCache(capacity, shardCount int) *basisCache {
 		n <<= 1
 	}
 	perShard := (capacity + n - 1) / n
-	c := &basisCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	c := &basisCache{shards: make([]cacheShard, n), mask: uint64(n - 1), ttl: ttl}
 	for i := range c.shards {
 		c.shards[i] = cacheShard{cap: perShard, m: make(map[uint64]*list.Element, perShard), ll: list.New()}
 	}
@@ -63,7 +77,9 @@ func (c *basisCache) shard(fp uint64) *cacheShard {
 }
 
 // Get returns the cached basis for fp, or nil. A nil receiver (caching
-// disabled) always misses.
+// disabled) always misses. An entry past the TTL is dropped and counts
+// as a miss — expiry is lazy, so a structure that stopped arriving
+// lingers only until its next (failed) lookup or its LRU eviction.
 func (c *basisCache) Get(fp uint64) *lp.Basis {
 	if c == nil {
 		return nil
@@ -75,13 +91,22 @@ func (c *basisCache) Get(fp uint64) *lp.Basis {
 	if !ok {
 		return nil
 	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && time.Since(e.at) > c.ttl {
+		sh.ll.Remove(el)
+		delete(sh.m, fp)
+		return nil
+	}
 	sh.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).b
+	return e.b
 }
 
-// Put stores b as the freshest basis for fp, evicting the least recently
-// used entry of the shard when full. A nil receiver or nil basis is a
-// no-op (the dense oracle and non-LP solvers produce no basis).
+// Put stores b as the freshest basis for fp. A resident fingerprint is
+// always refreshed in place. A new fingerprint is admitted immediately
+// while the shard has room; once full it must pass the doorkeeper — the
+// second sighting admits it and evicts the LRU entry, the first only
+// registers it. A nil receiver or nil basis is a no-op (the dense
+// oracle and non-LP solvers produce no basis).
 func (c *basisCache) Put(fp uint64, b *lp.Basis) {
 	if c == nil || b == nil {
 		return
@@ -90,17 +115,38 @@ func (c *basisCache) Put(fp uint64, b *lp.Basis) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if el, ok := sh.m[fp]; ok {
-		el.Value.(*cacheEntry).b = b
+		e := el.Value.(*cacheEntry)
+		e.b = b
+		e.at = time.Now()
 		sh.ll.MoveToFront(el)
 		return
 	}
 	if sh.ll.Len() >= sh.cap {
+		if _, seen := sh.door[fp]; !seen {
+			// First sighting under pressure: register, don't evict for it.
+			if sh.door == nil || len(sh.door) >= doorCap(sh.cap) {
+				sh.door = make(map[uint64]struct{}, 8)
+			}
+			sh.door[fp] = struct{}{}
+			return
+		}
+		delete(sh.door, fp)
 		if back := sh.ll.Back(); back != nil {
 			sh.ll.Remove(back)
 			delete(sh.m, back.Value.(*cacheEntry).fp)
 		}
 	}
-	sh.m[fp] = sh.ll.PushFront(&cacheEntry{fp: fp, b: b})
+	sh.m[fp] = sh.ll.PushFront(&cacheEntry{fp: fp, b: b, at: time.Now()})
+}
+
+// doorCap bounds the doorkeeper set; past it the set is reset wholesale,
+// which loses pending first-sightings but keeps memory O(capacity) no
+// matter how many distinct structures an adversary streams.
+func doorCap(shardCap int) int {
+	if n := 8 * shardCap; n > 64 {
+		return n
+	}
+	return 64
 }
 
 // Len reports the number of cached bases across all shards.

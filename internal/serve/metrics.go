@@ -3,21 +3,27 @@ package serve
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"time"
 )
 
-// Endpoint indices for the per-endpoint counters.
+// Endpoint indices for the per-endpoint counters. The _v2 rows are the
+// binary-protocol twins of the /v1 endpoints.
 const (
 	epCheck = iota
 	epSNE
 	epSND
 	epPoS
+	epCheckV2
+	epSNEV2
+	epSNDV2
+	epPoSV2
 	nEndpoints
 )
 
-var endpointNames = [nEndpoints]string{"check", "sne", "snd", "pos"}
+var endpointNames = [nEndpoints]string{"check", "sne", "snd", "pos", "check_v2", "sne_v2", "snd_v2", "pos_v2"}
 
 // latBuckets is the number of power-of-two latency buckets: bucket i
 // counts requests with latency in [2^i, 2^(i+1)) microseconds, so the
@@ -89,7 +95,11 @@ func (m *metrics) quantile(ep int, q float64) float64 {
 
 // render emits the ledger in the flat `name{labels} value` text form
 // scrapers expect. cacheLen is sampled by the caller (the cache knows its
-// own size; the ledger only counts hits and misses).
+// own size; the ledger only counts hits and misses). Besides the
+// summary quantiles, each endpoint with traffic exports its full
+// cumulative latency histogram (le = bucket upper bound in seconds), so
+// scrapers can compute any quantile across scrapes instead of trusting
+// the in-process estimate.
 func (m *metrics) render(cacheLen int) string {
 	var b strings.Builder
 	for ep := 0; ep < nEndpoints; ep++ {
@@ -98,6 +108,21 @@ func (m *metrics) render(cacheLen int) string {
 		fmt.Fprintf(&b, "sned_errors_total{endpoint=%q} %d\n", name, m.errs[ep].Load())
 		fmt.Fprintf(&b, "sned_latency_seconds{endpoint=%q,quantile=\"0.5\"} %g\n", name, m.quantile(ep, 0.5))
 		fmt.Fprintf(&b, "sned_latency_seconds{endpoint=%q,quantile=\"0.99\"} %g\n", name, m.quantile(ep, 0.99))
+		cum := int64(0)
+		for i := 0; i < latBuckets; i++ {
+			cum += m.lat[ep][i].Load()
+		}
+		if cum == 0 {
+			continue // no traffic: skip the 30 all-zero bucket rows
+		}
+		cum = 0
+		for i := 0; i < latBuckets; i++ {
+			cum += m.lat[ep][i].Load()
+			fmt.Fprintf(&b, "sned_latency_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, fmt.Sprintf("%g", float64(uint64(1)<<(i+1))/1e6), cum)
+		}
+		fmt.Fprintf(&b, "sned_latency_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "sned_latency_seconds_count{endpoint=%q} %d\n", name, cum)
 	}
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	fmt.Fprintf(&b, "sned_basis_cache_hits_total %d\n", hits)
@@ -112,5 +137,15 @@ func (m *metrics) render(cacheLen int) string {
 	fmt.Fprintf(&b, "sned_solves_total{mode=\"cold\"} %d\n", m.coldSolves.Load())
 	fmt.Fprintf(&b, "sned_inflight_requests %d\n", m.inflight.Load())
 	fmt.Fprintf(&b, "sned_uptime_seconds %g\n", time.Since(m.started).Seconds())
+
+	// Go runtime health: goroutine count and the GC ledger. ReadMemStats
+	// stops the world for microseconds — fine at scrape rates, nowhere
+	// near the request path.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(&b, "sned_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(&b, "sned_gc_runs_total %d\n", ms.NumGC)
+	fmt.Fprintf(&b, "sned_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(&b, "sned_heap_alloc_bytes %d\n", ms.HeapAlloc)
 	return b.String()
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled mirrors the race detector's build tag: allocation pins are
+// meaningless under its instrumentation and are skipped.
+const raceEnabled = true

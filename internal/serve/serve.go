@@ -46,6 +46,7 @@ import (
 
 	"netdesign/internal/broadcast"
 	"netdesign/internal/instancefile"
+	"netdesign/internal/serve/wire"
 	"netdesign/internal/snd"
 	"netdesign/internal/sne"
 	"netdesign/internal/subsidy"
@@ -70,6 +71,12 @@ type Config struct {
 	// CacheShards is the lock-sharding factor of the basis cache, rounded
 	// up to a power of two. Default 16.
 	CacheShards int
+
+	// CacheTTL bounds the age of a cached basis: entries older than it
+	// miss (and are dropped) on lookup, so a structure that stopped
+	// arriving cannot pin a stale basis forever. Default 10m; negative
+	// disables expiry.
+	CacheTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -85,16 +92,21 @@ func (c Config) withDefaults() Config {
 	if c.CacheShards == 0 {
 		c.CacheShards = 16
 	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 10 * time.Minute
+	}
 	return c
 }
 
 // Server answers subsidy queries over HTTP. Create with New, mount
 // Handler (or Start a listener), stop with Shutdown.
 type Server struct {
-	cfg    Config
-	cache  *basisCache
-	met    *metrics
-	chains sync.Pool // *sne.BroadcastLPChain — pooled solver build state
+	cfg      Config
+	cache    *basisCache
+	met      *metrics
+	chains   sync.Pool // *sne.BroadcastLPChain — pooled solver build state
+	decoders sync.Pool // *instancefile.Decoder — pooled text-parse scratch
+	binws    sync.Pool // *binWS — pooled binary request workspaces
 
 	// preSolve, when non-nil, runs before every solve; tests inject
 	// latency here to exercise the timeout path deterministically.
@@ -108,10 +120,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:    cfg,
-		cache:  newBasisCache(cfg.CacheCap, cfg.CacheShards),
-		met:    newMetrics(),
-		chains: sync.Pool{New: func() any { return sne.NewBroadcastLPChain() }},
+		cfg:      cfg,
+		cache:    newBasisCache(cfg.CacheCap, cfg.CacheShards, cfg.CacheTTL),
+		met:      newMetrics(),
+		chains:   sync.Pool{New: func() any { return sne.NewBroadcastLPChain() }},
+		decoders: sync.Pool{New: func() any { return new(instancefile.Decoder) }},
+		binws:    sync.Pool{New: func() any { return new(binWS) }},
 	}
 }
 
@@ -131,6 +145,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/sne", s.api(epSNE, s.handleSNE))
 	mux.Handle("/v1/snd", s.api(epSND, s.handleSND))
 	mux.Handle("/v1/pos", s.api(epPoS, s.handlePoS))
+	mux.Handle("/v2/check", s.binAPI(epCheckV2))
+	mux.Handle("/v2/sne", s.binAPI(epSNEV2))
+	mux.Handle("/v2/snd", s.binAPI(epSNDV2))
+	mux.Handle("/v2/pos", s.binAPI(epPoSV2))
 	return mux
 }
 
@@ -197,8 +215,10 @@ func (s *Server) api(ep int, h http.HandlerFunc) http.Handler {
 }
 
 // decodeRequest parses the JSON body into req and the embedded instance
-// text into a parsed instance, writing the proper 4xx on failure.
-func decodeRequest(w http.ResponseWriter, r *http.Request, req interface{ instanceText() string }) (*instancefile.Instance, bool) {
+// text into a parsed instance (through a pooled byte decoder — the
+// scanner-free twin of instancefile.Read), writing the proper 4xx on
+// failure.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, req interface{ instanceText() string }) (*instancefile.Instance, bool) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
@@ -215,7 +235,9 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, req interface{ instan
 		writeError(w, http.StatusBadRequest, "missing instance")
 		return nil, false
 	}
-	inst, err := instancefile.Read(strings.NewReader(text))
+	td := s.decoders.Get().(*instancefile.Decoder)
+	inst, err := td.DecodeString(text)
+	s.decoders.Put(td)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return nil, false
@@ -242,43 +264,64 @@ type instanceRequest struct {
 
 func (r *instanceRequest) instanceText() string { return r.Instance }
 
-// violationJSON mirrors broadcast.Violation.
-type violationJSON struct {
-	Node    int     `json:"node"`
-	ViaEdge int     `json:"viaEdge"`
-	Current float64 `json:"current"`
-	Better  float64 `json:"better"`
-	Gain    float64 `json:"gain"`
+// The response types are the wire package's structs: /v1 marshals them
+// through encoding/json, /v2 through the binary appenders, so the two
+// protocols render the same value and cannot drift.
+type (
+	violationJSON = wire.Violation
+	checkResponse = wire.CheckResponse
+	edgeSubsidy   = wire.EdgeSubsidy
+	sneResponse   = wire.SNEResponse
+	sndResponse   = wire.SNDResponse
+	posResponse   = wire.PoSResponse
+)
+
+// apiError is a protocol-independent request failure: an HTTP status
+// (the /v1 rendering) that binStatus maps onto a /v2 frame status.
+type apiError struct {
+	code int
+	msg  string
 }
 
-type checkResponse struct {
-	Equilibrium bool           `json:"equilibrium"`
-	Weight      float64        `json:"weight"`
-	Players     int64          `json:"players"`
-	Violation   *violationJSON `json:"violation,omitempty"`
-}
-
-// handleCheck answers: is the submitted target tree an equilibrium of
-// the instance without subsidies, and if not, who defects?
-func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	var req instanceRequest
-	inst, ok := decodeRequest(w, r, &req)
-	if !ok {
-		return
-	}
+// coreCheck answers: is the submitted target tree an equilibrium of the
+// instance without subsidies, and if not, who defects? violScratch,
+// when non-nil, is used as the violation slot so a pooled caller
+// allocates nothing.
+func (s *Server) coreCheck(inst *instancefile.Instance, resp *checkResponse, violScratch *violationJSON) *apiError {
 	st, err := inst.State()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+		return &apiError{http.StatusUnprocessableEntity, err.Error()}
 	}
 	if s.preSolve != nil {
 		s.preSolve()
 	}
-	resp := checkResponse{Weight: st.Weight(), Players: inst.Game.NumPlayers()}
+	resp.Equilibrium = false
+	resp.Weight = st.Weight()
+	resp.Players = inst.Game.NumPlayers()
+	resp.Violation = nil
 	if v := st.FindViolation(nil); v != nil {
-		resp.Violation = &violationJSON{Node: v.Node, ViaEdge: v.ViaEdge, Current: v.Current, Better: v.Better, Gain: v.Gain()}
+		if violScratch == nil {
+			violScratch = &violationJSON{}
+		}
+		*violScratch = violationJSON{Node: v.Node, ViaEdge: v.ViaEdge, Current: v.Current, Better: v.Better, Gain: v.Gain()}
+		resp.Violation = violScratch
 	} else {
 		resp.Equilibrium = true
+	}
+	return nil
+}
+
+// handleCheck is the /v1 rendering of coreCheck.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req instanceRequest
+	inst, ok := s.decodeRequest(w, r, &req)
+	if !ok {
+		return
+	}
+	var resp checkResponse
+	if aerr := s.coreCheck(inst, &resp, nil); aerr != nil {
+		writeError(w, aerr.code, aerr.msg)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -288,44 +331,20 @@ type sneRequest struct {
 	Method string `json:"method,omitempty"` // lp (default) | theorem6 | aon | greedy | full
 }
 
-type edgeSubsidy struct {
-	Edge    int     `json:"edge"`
-	U       int     `json:"u"`
-	V       int     `json:"v"`
-	Weight  float64 `json:"weight"`
-	Subsidy float64 `json:"subsidy"`
-}
-
-type sneResponse struct {
-	Method     string        `json:"method"`
-	Cost       float64       `json:"cost"`
-	Fraction   float64       `json:"fraction"` // of wgt(T); Theorem 6 caps the optimum at 1/e
-	TreeWeight float64       `json:"treeWeight"`
-	Pivots     int           `json:"pivots,omitempty"`
-	Warm       bool          `json:"warm"` // solved by basis homotopy off the cache
-	Subsidies  []edgeSubsidy `json:"subsidies"`
-}
-
-// handleSNE computes minimum enforcing subsidies for the submitted
-// instance, mirroring the cmd/sne method switch exactly. The lp method is
-// the served hot path: it runs through a pooled build chain and the
+// coreSNE computes minimum enforcing subsidies for the submitted
+// instance, mirroring the cmd/sne method switch exactly. The lp method
+// is the served hot path: it runs through a pooled build chain and the
 // fingerprint-keyed basis cache, so streams of structurally identical
-// instances resolve warm.
-func (s *Server) handleSNE(w http.ResponseWriter, r *http.Request) {
-	var req sneRequest
-	inst, ok := decodeRequest(w, r, &req)
-	if !ok {
-		return
-	}
+// instances resolve warm. resp.Subsidies is reused as scratch when
+// already allocated (and left non-nil either way, so /v1 renders []).
+func (s *Server) coreSNE(inst *instancefile.Instance, method string, resp *sneResponse) *apiError {
 	st, err := inst.State()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+		return &apiError{http.StatusUnprocessableEntity, err.Error()}
 	}
 	if s.preSolve != nil {
 		s.preSolve()
 	}
-	method := req.Method
 	if method == "" {
 		method = "lp"
 	}
@@ -346,27 +365,26 @@ func (s *Server) handleSNE(w http.ResponseWriter, r *http.Request) {
 	case "full":
 		res = sne.FullSubsidy(st)
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q", method))
-		return
+		return &apiError{http.StatusBadRequest, fmt.Sprintf("unknown method %q", method)}
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+		return &apiError{http.StatusUnprocessableEntity, err.Error()}
 	}
 	// The same verification gate the CLI applies: never serve an
 	// assignment that does not enforce the tree.
 	if err := sne.VerifyBroadcast(st, res.Subsidy); err != nil {
-		writeError(w, http.StatusInternalServerError, "result failed verification: "+err.Error())
-		return
+		return &apiError{http.StatusInternalServerError, "result failed verification: " + err.Error()}
 	}
-	resp := sneResponse{
-		Method:     method,
-		Cost:       res.Cost,
-		Fraction:   res.Cost / st.Weight(),
-		TreeWeight: st.Weight(),
-		Pivots:     res.Pivots,
-		Warm:       warm,
-		Subsidies:  []edgeSubsidy{},
+	resp.Method = method
+	resp.Cost = res.Cost
+	resp.Fraction = res.Cost / st.Weight()
+	resp.TreeWeight = st.Weight()
+	resp.Pivots = res.Pivots
+	resp.Warm = warm
+	if resp.Subsidies == nil {
+		resp.Subsidies = []edgeSubsidy{}
+	} else {
+		resp.Subsidies = resp.Subsidies[:0]
 	}
 	g := inst.Game.G
 	for _, id := range st.Tree.EdgeIDs {
@@ -374,6 +392,21 @@ func (s *Server) handleSNE(w http.ResponseWriter, r *http.Request) {
 			e := g.Edge(id)
 			resp.Subsidies = append(resp.Subsidies, edgeSubsidy{Edge: id, U: e.U, V: e.V, Weight: e.W, Subsidy: v})
 		}
+	}
+	return nil
+}
+
+// handleSNE is the /v1 rendering of coreSNE.
+func (s *Server) handleSNE(w http.ResponseWriter, r *http.Request) {
+	var req sneRequest
+	inst, ok := s.decodeRequest(w, r, &req)
+	if !ok {
+		return
+	}
+	var resp sneResponse
+	if aerr := s.coreSNE(inst, req.Method, &resp); aerr != nil {
+		writeError(w, aerr.code, aerr.msg)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -412,25 +445,11 @@ type sndRequest struct {
 	TreeLimit int     `json:"treelimit,omitempty"`
 }
 
-type sndResponse struct {
-	Method      string  `json:"method"`
-	FellBack    bool    `json:"fellBack"` // MST+LP infeasible, Theorem-6 fallback served
-	Weight      float64 `json:"weight"`
-	SubsidyCost float64 `json:"subsidyCost"`
-	Budget      float64 `json:"budget"`
-	Tree        []int   `json:"tree"`
-}
-
-// handleSND answers budgeted STABLE NETWORK DESIGN, mirroring cmd/snd:
+// coreSND answers budgeted STABLE NETWORK DESIGN, mirroring cmd/snd:
 // exact enumeration on request, otherwise the MST+LP heuristic with the
 // Theorem-6 fallback (snd.HeuristicAuto — errors.Is on the wrapped
-// sentinel, the bug this PR fixed).
-func (s *Server) handleSND(w http.ResponseWriter, r *http.Request) {
-	var req sndRequest
-	inst, ok := decodeRequest(w, r, &req)
-	if !ok {
-		return
-	}
+// sentinel). A zero treeLimit means the cmd/snd default of 200000.
+func (s *Server) coreSND(inst *instancefile.Instance, budget float64, exact bool, treeLimit int, resp *sndResponse) *apiError {
 	if s.preSolve != nil {
 		s.preSolve()
 	}
@@ -439,31 +458,43 @@ func (s *Server) handleSND(w http.ResponseWriter, r *http.Request) {
 	var err error
 	method := snd.MethodExact
 	fellBack := false
-	if req.Exact {
-		limit := req.TreeLimit
+	if exact {
+		limit := treeLimit
 		if limit == 0 {
 			limit = 200000
 		}
-		res, err = snd.SolveExact(bg, req.Budget, limit)
+		res, err = snd.SolveExact(bg, budget, limit)
 	} else {
-		res, method, fellBack, err = snd.HeuristicAuto(bg, req.Budget)
+		res, method, fellBack, err = snd.HeuristicAuto(bg, budget)
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return &apiError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	if err := snd.Verify(bg, res, budget); err != nil {
+		return &apiError{http.StatusInternalServerError, "result failed verification: " + err.Error()}
+	}
+	resp.Method = method
+	resp.FellBack = fellBack
+	resp.Weight = res.Weight
+	resp.SubsidyCost = res.SubsidyCost
+	resp.Budget = budget
+	resp.Tree = res.Tree
+	return nil
+}
+
+// handleSND is the /v1 rendering of coreSND.
+func (s *Server) handleSND(w http.ResponseWriter, r *http.Request) {
+	var req sndRequest
+	inst, ok := s.decodeRequest(w, r, &req)
+	if !ok {
 		return
 	}
-	if err := snd.Verify(bg, res, req.Budget); err != nil {
-		writeError(w, http.StatusInternalServerError, "result failed verification: "+err.Error())
+	var resp sndResponse
+	if aerr := s.coreSND(inst, req.Budget, req.Exact, req.TreeLimit, &resp); aerr != nil {
+		writeError(w, aerr.code, aerr.msg)
 		return
 	}
-	writeJSON(w, http.StatusOK, sndResponse{
-		Method:      method,
-		FellBack:    fellBack,
-		Weight:      res.Weight,
-		SubsidyCost: res.SubsidyCost,
-		Budget:      req.Budget,
-		Tree:        res.Tree,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type posRequest struct {
@@ -473,44 +504,43 @@ type posRequest struct {
 	Seed     int64 `json:"seed,omitempty"`     // default 1; same seed, same estimate
 }
 
-type posResponse struct {
-	OptWeight float64 `json:"optWeight"`
-	BestEq    float64 `json:"bestEq"`    // +Inf serialized as "+Inf" string? no: omitted when unconverged
-	PoS       float64 `json:"pos"`       // upper bound when converged > 0
-	Converged int     `json:"converged"` // descents that reached an equilibrium
-	Starts    int     `json:"starts"`
-	Steps     int     `json:"steps"`
-}
-
-// handlePoS estimates the price of stability of the submitted game by
+// corePoS estimates the price of stability of the submitted game by
 // multi-start swap descent (broadcast.EstimatePoS) — deterministic for a
 // given seed, so the answer is reproducible and differential-testable.
-func (s *Server) handlePoS(w http.ResponseWriter, r *http.Request) {
-	var req posRequest
-	inst, ok := decodeRequest(w, r, &req)
-	if !ok {
-		return
-	}
+// Zero starts/seed take the served defaults (4 starts, seed 1).
+func (s *Server) corePoS(inst *instancefile.Instance, starts, maxSteps int, seed int64, resp *posResponse) *apiError {
 	if s.preSolve != nil {
 		s.preSolve()
 	}
-	starts := req.Starts
 	if starts == 0 {
 		starts = 4
 	}
-	seed := req.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	est, err := broadcast.EstimatePoS(inst.Game, nil, starts, req.MaxSteps, rand.New(rand.NewSource(seed)))
+	est, err := broadcast.EstimatePoS(inst.Game, nil, starts, maxSteps, rand.New(rand.NewSource(seed)))
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+		return &apiError{http.StatusUnprocessableEntity, err.Error()}
 	}
-	resp := posResponse{OptWeight: est.OptWeight, Converged: est.Converged, Starts: est.Starts, Steps: est.Steps}
+	*resp = posResponse{OptWeight: est.OptWeight, Converged: est.Converged, Starts: est.Starts, Steps: est.Steps}
 	if est.Converged > 0 {
 		resp.BestEq = est.BestEq
 		resp.PoS = est.PoS()
+	}
+	return nil
+}
+
+// handlePoS is the /v1 rendering of corePoS.
+func (s *Server) handlePoS(w http.ResponseWriter, r *http.Request) {
+	var req posRequest
+	inst, ok := s.decodeRequest(w, r, &req)
+	if !ok {
+		return
+	}
+	var resp posResponse
+	if aerr := s.corePoS(inst, req.Starts, req.MaxSteps, req.Seed, &resp); aerr != nil {
+		writeError(w, aerr.code, aerr.msg)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

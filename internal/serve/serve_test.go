@@ -572,18 +572,32 @@ func TestBasisCacheLRUEviction(t *testing.T) {
 		t.Fatal("LP solve returned no basis")
 	}
 
-	c := newBasisCache(2, 1)
+	c := newBasisCache(2, 1, 0)
 	c.Put(1, b)
 	c.Put(2, b)
 	if c.Get(1) == nil { // touch 1 → 2 becomes LRU
 		t.Fatal("fp 1 missing before eviction")
 	}
+	// Admission under pressure: a new fingerprint's first sighting only
+	// registers at the doorkeeper — nothing is evicted for it.
+	c.Put(3, b)
+	if c.Len() != 2 {
+		t.Fatalf("cache len %d after first sighting, want 2", c.Len())
+	}
+	if c.Get(3) != nil {
+		t.Error("fp 3 admitted on first sighting under pressure")
+	}
+	if c.Get(1) == nil || c.Get(2) == nil {
+		t.Error("resident entry evicted by a first sighting")
+	}
+	c.Get(1) // touch 1 again → 2 is LRU
+	// Second sighting admits and evicts the LRU entry.
 	c.Put(3, b)
 	if c.Len() != 2 {
 		t.Fatalf("cache len %d, want 2", c.Len())
 	}
 	if c.Get(2) != nil {
-		t.Error("LRU entry 2 survived eviction")
+		t.Error("LRU entry 2 survived second-sighting eviction")
 	}
 	if c.Get(1) == nil || c.Get(3) == nil {
 		t.Error("recently used entries evicted")
@@ -592,6 +606,78 @@ func TestBasisCacheLRUEviction(t *testing.T) {
 	c.Put(3, b)
 	if c.Len() != 2 {
 		t.Fatalf("update-in-place changed len to %d", c.Len())
+	}
+}
+
+func TestBasisCacheTTL(t *testing.T) {
+	st, err := parse(t, cycle5).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sne.SolveBroadcastLP(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Basis
+
+	c := newBasisCache(4, 1, 5*time.Millisecond)
+	c.Put(1, b)
+	if c.Get(1) == nil {
+		t.Fatal("fresh entry missing")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if c.Get(1) != nil {
+		t.Error("expired entry served")
+	}
+	if c.Len() != 0 {
+		t.Errorf("expired entry still resident: len %d", c.Len())
+	}
+	// Re-putting after expiry restores service.
+	c.Put(1, b)
+	if c.Get(1) == nil {
+		t.Error("re-put after expiry missing")
+	}
+}
+
+func TestBasisCacheAdmissionAdversarialMix(t *testing.T) {
+	// The scenario the doorkeeper exists for: a hot jitter family (one
+	// fingerprint, recurring) interleaved with a stream of one-shot
+	// structures, against a cache too small to hold them all. Plain LRU
+	// would evict the hot basis on every burst of singles — hit rate
+	// collapses to ~0. With admission, singles are never seen twice, so
+	// they never displace the resident basis: every jitter revisit after
+	// the first must hit.
+	st, err := parse(t, cycle5).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sne.SolveBroadcastLP(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Basis
+
+	c := newBasisCache(2, 1, 0)
+	const hotFP = uint64(7)
+	hits, lookups := 0, 0
+	oneShot := uint64(1000)
+	for round := 0; round < 50; round++ {
+		if c.Get(hotFP) != nil {
+			hits++
+		}
+		lookups++
+		c.Put(hotFP, b)
+		// Burst of never-repeating structures between hot touches.
+		for j := 0; j < 3; j++ {
+			oneShot++
+			if c.Get(oneShot) != nil {
+				t.Fatalf("one-shot fingerprint %d hit", oneShot)
+			}
+			c.Put(oneShot, b)
+		}
+	}
+	if hits < lookups-1 {
+		t.Fatalf("hot fingerprint hit %d/%d lookups; admission failed to protect it", hits, lookups)
 	}
 }
 
@@ -604,7 +690,7 @@ func TestBasisCacheDisabled(t *testing.T) {
 	if c.Len() != 0 {
 		t.Error("nil cache has entries")
 	}
-	if newBasisCache(0, 4) != nil || newBasisCache(-1, 4) != nil {
+	if newBasisCache(0, 4, 0) != nil || newBasisCache(-1, 4, 0) != nil {
 		t.Error("capacity <= 0 should disable the cache")
 	}
 }

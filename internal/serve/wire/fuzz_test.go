@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzWireRoundTrip throws arbitrary bytes at every request decoder
+// (truncated frames, lying length fields and hostile counts must fail
+// cleanly, never panic, never over-allocate) and checks two round-trip
+// laws: an accepted request re-encodes and re-decodes to the same
+// instance, and response structs built from the fuzzer's float bits —
+// NaN and ±Inf included — survive the codec bit for bit.
+func FuzzWireRoundTrip(f *testing.F) {
+	in := randomInstance(f, rand.New(rand.NewSource(11)), 6)
+	f.Add(AppendSNERequest(nil, in, MethodLP))
+	f.Add(AppendCheckRequest(nil, in))
+	f.Add(AppendSNDRequest(nil, in, 2.5, true, 1000))
+	f.Add(AppendPoSRequest(nil, in, 4, 0, 9))
+	f.Add(AppendSNERequest(nil, in, MethodFull)[:10])
+	f.Add([]byte{Version, MethodLP, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add(append(AppendError(nil, StatusUnavailable, "timed out"), 1, 2, 3))
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0xFFFFFFFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d ReqDecoder
+
+		// Frame reader: arbitrary bytes, small cap — must not panic and
+		// must respect the cap.
+		if payload, err := ReadFrame(bytes.NewReader(data), nil, 1<<16); err == nil && len(payload) > 1<<16 {
+			t.Fatalf("ReadFrame returned %d bytes past the cap", len(payload))
+		}
+
+		// Every request decoder must survive the raw input.
+		if inst, err := d.Check(data); err == nil {
+			enc := AppendCheckRequest(nil, inst)
+			if _, err := d.Check(enc); err != nil {
+				t.Fatalf("accepted check request failed to re-decode: %v", err)
+			}
+		}
+		if inst, method, err := d.SNE(data); err == nil {
+			code, ok := MethodCode(method)
+			if !ok {
+				t.Fatalf("decoder produced unknown method %q", method)
+			}
+			enc := AppendSNERequest(nil, inst, code)
+			inst2, method2, err := d.SNE(enc)
+			if err != nil || method2 != method {
+				t.Fatalf("accepted sne request failed to re-decode: %v (method %q)", err, method2)
+			}
+			if inst2.Game.G.N() != inst.Game.G.N() || inst2.Game.G.M() != inst.Game.G.M() {
+				t.Fatal("sne round trip changed the graph shape")
+			}
+			for id := 0; id < inst.Game.G.M(); id++ {
+				if math.Float64bits(inst2.Game.G.Weight(id)) != math.Float64bits(inst.Game.G.Weight(id)) {
+					t.Fatalf("sne round trip changed weight bits of edge %d", id)
+				}
+			}
+		}
+		if _, _, _, _, err := d.SND(data); err == nil { //nolint:dogsled // probing for panics
+			_ = err
+		}
+		if _, _, _, _, err := d.PoS(data); err == nil {
+			_ = err
+		}
+
+		// Response statuses decode or fail cleanly on anything.
+		if status, body, _, err := DecodeStatus(data); err == nil && status == StatusOK {
+			var c CheckResponse
+			var s SNEResponse
+			var n SNDResponse
+			var p PoSResponse
+			_ = DecodeCheckResponse(body, &c)
+			_ = DecodeSNEResponse(body, &s)
+			_ = DecodeSNDResponse(body, &n)
+			_ = DecodePoSResponse(body, &p)
+		}
+
+		// Response round trip with the fuzzer's float bits: carve the
+		// input into float64s (NaN/Inf arise naturally) and require exact
+		// bit preservation through encode → decode.
+		floats := make([]float64, 0, len(data)/8)
+		for off := 0; off+8 <= len(data) && len(floats) < 16; off += 8 {
+			floats = append(floats, math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+		}
+		if len(floats) >= 3 {
+			sne := SNEResponse{Method: "lp", Cost: floats[0], Fraction: floats[1], TreeWeight: floats[2], Pivots: len(data), Warm: len(data)%2 == 0}
+			for j := 3; j < len(floats); j++ {
+				sne.Subsidies = append(sne.Subsidies, EdgeSubsidy{Edge: j, U: j, V: j + 1, Weight: floats[j], Subsidy: floats[j]})
+			}
+			var got SNEResponse
+			_, body, _, err := DecodeStatus(AppendSNEResponse(nil, &sne))
+			if err != nil {
+				t.Fatalf("encoded sne response failed status decode: %v", err)
+			}
+			if err := DecodeSNEResponse(body, &got); err != nil {
+				t.Fatalf("encoded sne response failed decode: %v", err)
+			}
+			if math.Float64bits(got.Cost) != math.Float64bits(sne.Cost) ||
+				math.Float64bits(got.Fraction) != math.Float64bits(sne.Fraction) ||
+				math.Float64bits(got.TreeWeight) != math.Float64bits(sne.TreeWeight) ||
+				len(got.Subsidies) != len(sne.Subsidies) {
+				t.Fatalf("sne response drifted: %+v != %+v", got, sne)
+			}
+			for j := range sne.Subsidies {
+				if math.Float64bits(got.Subsidies[j].Subsidy) != math.Float64bits(sne.Subsidies[j].Subsidy) {
+					t.Fatalf("subsidy %d bits drifted", j)
+				}
+			}
+
+			pos := PoSResponse{OptWeight: floats[0], BestEq: floats[1], PoS: floats[2], Converged: len(data) % 7, Starts: 1, Steps: len(data)}
+			var gotPoS PoSResponse
+			_, body, _, err = DecodeStatus(AppendPoSResponse(nil, &pos))
+			if err != nil {
+				t.Fatalf("encoded pos response failed status decode: %v", err)
+			}
+			if err := DecodePoSResponse(body, &gotPoS); err != nil {
+				t.Fatalf("encoded pos response failed decode: %v", err)
+			}
+			if math.Float64bits(gotPoS.OptWeight) != math.Float64bits(pos.OptWeight) ||
+				math.Float64bits(gotPoS.BestEq) != math.Float64bits(pos.BestEq) {
+				t.Fatalf("pos response drifted: %+v != %+v", gotPoS, pos)
+			}
+		}
+	})
+}

@@ -1,0 +1,528 @@
+// Package wire is the compact binary protocol of the sned /v2 endpoints:
+// length-prefixed frames carrying varint/fixed64-coded instances,
+// solutions and subsidy vectors. It exists because the /v1 JSON path
+// dominates the served hot loop — text parse plus encoding/json costs
+// thousands of allocations per request — while a binary request decodes
+// through reusable scratch into the same instancefile.Assemble funnel
+// the text parser uses, and a response encodes by appending to a pooled
+// byte slice.
+//
+// Framing: every message is one frame — a 4-byte little-endian uint32
+// payload length followed by the payload. Request payloads open with a
+// version byte (Version); response payloads open with a status byte
+// (StatusOK or an error status followed by a uvarint-length message).
+//
+// Scalars: unsigned fields are uvarints, signed fields are zigzag
+// varints (encoding/binary), and every float64 travels as its exact
+// IEEE bits in 8 little-endian bytes — NaN and ±Inf round-trip bit for
+// bit, and a decoded response is bit-identical to the JSON rendering of
+// the same struct (Go's JSON float encoding round-trips too, so the
+// /v1-vs-/v2 differential suite can hold both to math.Float64bits
+// equality).
+//
+// The response structs in this package are shared with the JSON layer:
+// internal/serve marshals the very same values through encoding/json on
+// /v1 and through the appenders here on /v2, which is what pins the two
+// protocols to each other by construction.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"netdesign/internal/graph"
+	"netdesign/internal/instancefile"
+)
+
+// Version is the request payload format version. A request opening with
+// any other byte is rejected, so the format can evolve.
+const Version = 1
+
+// Response status bytes. Every non-OK status is followed by a
+// uvarint-length error message; the serve layer maps them onto the same
+// HTTP codes the JSON endpoints use.
+const (
+	StatusOK            byte = 0
+	StatusBadRequest    byte = 1 // malformed frame or request (HTTP 400)
+	StatusUnprocessable byte = 2 // well-formed but unsolvable (HTTP 422)
+	StatusUnavailable   byte = 3 // solve budget exceeded (HTTP 503)
+	StatusInternal      byte = 4 // verification failure (HTTP 500)
+	StatusTooLarge      byte = 5 // frame exceeds the body cap (HTTP 413)
+)
+
+// SNE method codes, mirroring the /v1 "method" strings.
+const (
+	MethodLP byte = iota
+	MethodTheorem6
+	MethodAON
+	MethodGreedy
+	MethodFull
+	nMethods
+)
+
+var methodNames = [nMethods]string{"lp", "theorem6", "aon", "greedy", "full"}
+
+// MethodName maps an SNE method code to its /v1 string.
+func MethodName(code byte) (string, bool) {
+	if code >= nMethods {
+		return "", false
+	}
+	return methodNames[code], true
+}
+
+// MethodCode maps a /v1 SNE method string to its wire code.
+func MethodCode(name string) (byte, bool) {
+	for c, n := range methodNames {
+		if n == name {
+			return byte(c), true
+		}
+	}
+	return 0, false
+}
+
+// SND method codes, mirroring snd.MethodExact/MethodMSTLP/MethodTheorem6.
+const (
+	SNDExact byte = iota
+	SNDMSTLP
+	SNDTheorem6
+	nSNDMethods
+)
+
+var sndMethodNames = [nSNDMethods]string{"exact", "mst+lp", "theorem6"}
+
+// SNDMethodName maps an SND method code to its /v1 string.
+func SNDMethodName(code byte) (string, bool) {
+	if code >= nSNDMethods {
+		return "", false
+	}
+	return sndMethodNames[code], true
+}
+
+// SNDMethodCode maps a /v1 SND method string to its wire code.
+func SNDMethodCode(name string) (byte, bool) {
+	for c, n := range sndMethodNames {
+		if n == name {
+			return byte(c), true
+		}
+	}
+	return 0, false
+}
+
+// maxNodes caps the node count a request may declare, bounding the
+// allocation a single frame can demand before spanning-connectivity
+// (which itself forces n ≤ edges+1) is verified.
+const maxNodes = 1 << 21
+
+// ErrFrameTooLarge is returned by ReadFrame when the length prefix
+// exceeds the caller's cap; servers map it to StatusTooLarge / HTTP 413.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size cap")
+
+// ---- framing ----
+
+// AppendFrame appends the 4-byte little-endian length prefix and the
+// payload to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame from r into buf (grown as needed) and
+// returns the payload. Lengths above max fail with ErrFrameTooLarge
+// before any payload is read, so oversized frames cost no allocation.
+func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int64(n) > int64(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return buf, nil
+}
+
+// ---- scalar primitives ----
+
+func appendFloat64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+var errTruncated = errors.New("wire: truncated payload")
+
+// reader walks a payload with a sticky error, so decode paths read
+// field after field and check once.
+type reader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *reader) fail() { r.bad = true }
+
+func (r *reader) byte() byte {
+	if r.bad || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	c := r.b[r.off]
+	r.off++
+	return c
+}
+
+func (r *reader) bool() (bool, bool) {
+	switch r.byte() {
+	case 0:
+		return false, true
+	case 1:
+		return true, true
+	default:
+		r.fail()
+		return false, false
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// uint reads a uvarint that must fit a non-negative int.
+func (r *reader) uint() int {
+	v := r.uvarint()
+	if uint64(int(v)) != v || int(v) < 0 {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) float64() float64 {
+	if r.bad || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// remaining reports the unread byte count — the basis for the
+// count-vs-bytes sanity caps that keep a malicious uvarint from forcing
+// a huge allocation.
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+// done requires full, exact consumption of the payload.
+func (r *reader) done() error {
+	if r.bad {
+		return errTruncated
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// ---- instance codec ----
+
+// AppendInstance encodes a parsed instance: node count, root, the edge
+// list (endpoints + exact weight bits), the non-default multiplicities,
+// and the target tree. It is the binary twin of instancefile.Write.
+func AppendInstance(dst []byte, in *instancefile.Instance) []byte {
+	g := in.Game.G
+	dst = binary.AppendUvarint(dst, uint64(g.N()))
+	dst = binary.AppendUvarint(dst, uint64(in.Game.Root))
+	dst = binary.AppendUvarint(dst, uint64(g.M()))
+	for _, e := range g.Edges() {
+		dst = binary.AppendUvarint(dst, uint64(e.U))
+		dst = binary.AppendUvarint(dst, uint64(e.V))
+		dst = appendFloat64(dst, e.W)
+	}
+	nOverride := 0
+	for v, m := range in.Game.Mult {
+		if v != in.Game.Root && m != 1 {
+			nOverride++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(nOverride))
+	for v, m := range in.Game.Mult {
+		if v != in.Game.Root && m != 1 {
+			dst = binary.AppendUvarint(dst, uint64(v))
+			dst = binary.AppendVarint(dst, m)
+		}
+	}
+	if in.Tree == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.AppendUvarint(dst, uint64(len(in.Tree)))
+	for _, id := range in.Tree {
+		dst = binary.AppendUvarint(dst, uint64(id))
+	}
+	return dst
+}
+
+// ReqDecoder decodes request payloads through reusable scratch: the
+// edge, multiplicity and tree tables persist between calls, so a pooled
+// decoder on the serving hot path allocates only what the assembled
+// instance itself owns. Not safe for concurrent use — pool instances.
+type ReqDecoder struct {
+	edges    []graph.Edge
+	multNode []int
+	multVal  []int64
+	tree     []int
+}
+
+// instance decodes the shared instance section and funnels it through
+// instancefile.Assemble — the same defaulting and validation gate the
+// text parser uses, so both formats accept exactly the same instances.
+func (d *ReqDecoder) instance(r *reader) (*instancefile.Instance, error) {
+	n := r.uint()
+	root := r.uint()
+	m := r.uint()
+	if r.bad {
+		return nil, errTruncated
+	}
+	if n < 1 || n > maxNodes {
+		return nil, fmt.Errorf("wire: node count %d out of range [1,%d]", n, maxNodes)
+	}
+	if n > m+1 {
+		return nil, fmt.Errorf("wire: %d nodes cannot be spanned by %d edges", n, m)
+	}
+	// Each edge costs ≥ 10 payload bytes (two 1-byte uvarints + 8 weight
+	// bytes), so a declared count beyond remaining/10 is a lie.
+	if m > r.remaining()/10 {
+		return nil, fmt.Errorf("wire: edge count %d exceeds payload", m)
+	}
+	d.edges = d.edges[:0]
+	for i := 0; i < m; i++ {
+		u := r.uint()
+		v := r.uint()
+		w := r.float64()
+		if r.bad {
+			return nil, errTruncated
+		}
+		if u >= n || v >= n || u == v || w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("wire: malformed edge %d (%d,%d,%v)", i, u, v, w)
+		}
+		d.edges = append(d.edges, graph.Edge{U: u, V: v, W: w})
+	}
+	k := r.uint()
+	if r.bad {
+		return nil, errTruncated
+	}
+	if k > r.remaining()/2 {
+		return nil, fmt.Errorf("wire: mult count %d exceeds payload", k)
+	}
+	d.multNode = d.multNode[:0]
+	d.multVal = d.multVal[:0]
+	for i := 0; i < k; i++ {
+		v := r.uint()
+		mu := r.varint()
+		if r.bad {
+			return nil, errTruncated
+		}
+		if v >= n {
+			return nil, fmt.Errorf("wire: mult node %d out of range", v)
+		}
+		d.multNode = append(d.multNode, v)
+		d.multVal = append(d.multVal, mu)
+	}
+	var tree []int
+	hasTree, ok := r.bool()
+	if !ok {
+		return nil, errTruncated
+	}
+	if hasTree {
+		t := r.uint()
+		if r.bad {
+			return nil, errTruncated
+		}
+		if t > r.remaining() {
+			return nil, fmt.Errorf("wire: tree count %d exceeds payload", t)
+		}
+		d.tree = d.tree[:0]
+		for i := 0; i < t; i++ {
+			id := r.uint()
+			if r.bad {
+				return nil, errTruncated
+			}
+			if id >= m {
+				return nil, fmt.Errorf("wire: tree edge %d out of range", id)
+			}
+			d.tree = append(d.tree, id)
+		}
+		tree = d.tree
+		if tree == nil {
+			tree = []int{} // present-but-empty must not select the MST default
+		}
+	}
+	return instancefile.Assemble(graph.NewBulk(n, d.edges), root, d.multNode, d.multVal, tree)
+}
+
+func (d *ReqDecoder) version(r *reader) error {
+	if v := r.byte(); r.bad || v != Version {
+		return fmt.Errorf("wire: unsupported request version %d", v)
+	}
+	return nil
+}
+
+// Check decodes a /v2/check request: version, instance.
+func (d *ReqDecoder) Check(payload []byte) (*instancefile.Instance, error) {
+	r := &reader{b: payload}
+	if err := d.version(r); err != nil {
+		return nil, err
+	}
+	inst, err := d.instance(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// SNE decodes a /v2/sne request: version, method code, instance. The
+// method comes back as its /v1 string (a static — the decode allocates
+// nothing for it).
+func (d *ReqDecoder) SNE(payload []byte) (*instancefile.Instance, string, error) {
+	r := &reader{b: payload}
+	if err := d.version(r); err != nil {
+		return nil, "", err
+	}
+	code := r.byte()
+	if r.bad {
+		return nil, "", errTruncated
+	}
+	method, ok := MethodName(code)
+	if !ok {
+		return nil, "", fmt.Errorf("wire: unknown sne method code %d", code)
+	}
+	inst, err := d.instance(r)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := r.done(); err != nil {
+		return nil, "", err
+	}
+	return inst, method, nil
+}
+
+// SND decodes a /v2/snd request: version, exact flag, budget, tree
+// limit, instance.
+func (d *ReqDecoder) SND(payload []byte) (inst *instancefile.Instance, budget float64, exact bool, treeLimit int, err error) {
+	r := &reader{b: payload}
+	if err = d.version(r); err != nil {
+		return nil, 0, false, 0, err
+	}
+	exact, _ = r.bool()
+	budget = r.float64()
+	limit := r.varint()
+	if r.bad {
+		return nil, 0, false, 0, errTruncated
+	}
+	if int64(int(limit)) != limit {
+		return nil, 0, false, 0, fmt.Errorf("wire: tree limit %d out of range", limit)
+	}
+	inst, err = d.instance(r)
+	if err != nil {
+		return nil, 0, false, 0, err
+	}
+	if err = r.done(); err != nil {
+		return nil, 0, false, 0, err
+	}
+	return inst, budget, exact, int(limit), nil
+}
+
+// PoS decodes a /v2/pos request: version, starts, max steps, seed,
+// instance.
+func (d *ReqDecoder) PoS(payload []byte) (inst *instancefile.Instance, starts, maxSteps int, seed int64, err error) {
+	r := &reader{b: payload}
+	if err = d.version(r); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	starts = r.uint()
+	maxSteps = r.uint()
+	seed = r.varint()
+	if r.bad {
+		return nil, 0, 0, 0, errTruncated
+	}
+	inst, err = d.instance(r)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	if err = r.done(); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	return inst, starts, maxSteps, seed, nil
+}
+
+// ---- request encoders (the client side: loadgen, tests) ----
+
+// AppendCheckRequest encodes a /v2/check request payload.
+func AppendCheckRequest(dst []byte, in *instancefile.Instance) []byte {
+	dst = append(dst, Version)
+	return AppendInstance(dst, in)
+}
+
+// AppendSNERequest encodes a /v2/sne request payload.
+func AppendSNERequest(dst []byte, in *instancefile.Instance, method byte) []byte {
+	dst = append(dst, Version, method)
+	return AppendInstance(dst, in)
+}
+
+// AppendSNDRequest encodes a /v2/snd request payload.
+func AppendSNDRequest(dst []byte, in *instancefile.Instance, budget float64, exact bool, treeLimit int) []byte {
+	dst = append(dst, Version)
+	dst = appendBool(dst, exact)
+	dst = appendFloat64(dst, budget)
+	dst = binary.AppendVarint(dst, int64(treeLimit))
+	return AppendInstance(dst, in)
+}
+
+// AppendPoSRequest encodes a /v2/pos request payload.
+func AppendPoSRequest(dst []byte, in *instancefile.Instance, starts, maxSteps int, seed int64) []byte {
+	dst = append(dst, Version)
+	dst = binary.AppendUvarint(dst, uint64(starts))
+	dst = binary.AppendUvarint(dst, uint64(maxSteps))
+	dst = binary.AppendVarint(dst, seed)
+	return AppendInstance(dst, in)
+}

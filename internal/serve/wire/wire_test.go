@@ -1,0 +1,300 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"netdesign/internal/broadcast"
+	"netdesign/internal/graph"
+	"netdesign/internal/instancefile"
+)
+
+// randomInstance builds a parsed instance with overridden
+// multiplicities and an explicit tree.
+func randomInstance(t testing.TB, rng *rand.Rand, n int) *instancefile.Instance {
+	t.Helper()
+	g := graph.RandomConnected(rng, n, 0.4, 0.5, 4)
+	mult := make([]int64, n)
+	for v := range mult {
+		mult[v] = int64(1 + rng.Intn(3))
+	}
+	mult[0] = 0
+	bg, err := broadcast.NewGameMult(g, 0, mult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := graph.MST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &instancefile.Instance{Game: bg, Tree: tree}
+}
+
+// sameInstance asserts two instances carry identical graphs, roots,
+// multiplicities and trees, weight bits included.
+func sameInstance(t *testing.T, a, b *instancefile.Instance) {
+	t.Helper()
+	ga, gb := a.Game.G, b.Game.G
+	if ga.N() != gb.N() || ga.M() != gb.M() || a.Game.Root != b.Game.Root {
+		t.Fatalf("shape (%d,%d,root %d) != (%d,%d,root %d)", ga.N(), ga.M(), a.Game.Root, gb.N(), gb.M(), b.Game.Root)
+	}
+	for id := 0; id < ga.M(); id++ {
+		ea, eb := ga.Edge(id), gb.Edge(id)
+		if ea.U != eb.U || ea.V != eb.V || math.Float64bits(ea.W) != math.Float64bits(eb.W) {
+			t.Fatalf("edge %d: %+v != %+v", id, ea, eb)
+		}
+	}
+	for v := range a.Game.Mult {
+		if a.Game.Mult[v] != b.Game.Mult[v] {
+			t.Fatalf("mult[%d]: %d != %d", v, a.Game.Mult[v], b.Game.Mult[v])
+		}
+	}
+	if len(a.Tree) != len(b.Tree) {
+		t.Fatalf("tree %v != %v", a.Tree, b.Tree)
+	}
+	for i := range a.Tree {
+		if a.Tree[i] != b.Tree[i] {
+			t.Fatalf("tree %v != %v", a.Tree, b.Tree)
+		}
+	}
+}
+
+// TestRequestRoundTrips: every request encoder must decode back to the
+// same instance and parameters, and the binary instance must equal the
+// text-format parse of the same instance.
+func TestRequestRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var d ReqDecoder
+	for trial := 0; trial < 25; trial++ {
+		in := randomInstance(t, rng, 2+rng.Intn(12))
+
+		// Cross-format: binary decode ≡ text parse.
+		var buf bytes.Buffer
+		if err := instancefile.Write(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := instancefile.Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		got, err := d.Check(AppendCheckRequest(nil, in))
+		if err != nil {
+			t.Fatalf("trial %d check: %v", trial, err)
+		}
+		sameInstance(t, got, ref)
+
+		methodCode := byte(trial % int(nMethods))
+		got, method, err := d.SNE(AppendSNERequest(nil, in, methodCode))
+		if err != nil {
+			t.Fatalf("trial %d sne: %v", trial, err)
+		}
+		wantMethod, _ := MethodName(methodCode)
+		if method != wantMethod {
+			t.Fatalf("trial %d: method %q != %q", trial, method, wantMethod)
+		}
+		sameInstance(t, got, ref)
+
+		budget := rng.Float64() * 10
+		got, b2, exact, limit, err := d.SND(AppendSNDRequest(nil, in, budget, trial%2 == 0, 1000+trial))
+		if err != nil {
+			t.Fatalf("trial %d snd: %v", trial, err)
+		}
+		if math.Float64bits(b2) != math.Float64bits(budget) || exact != (trial%2 == 0) || limit != 1000+trial {
+			t.Fatalf("trial %d: snd params (%v,%v,%d)", trial, b2, exact, limit)
+		}
+		sameInstance(t, got, ref)
+
+		got, starts, steps, seed, err := d.PoS(AppendPoSRequest(nil, in, 4, 100, int64(-5*trial)))
+		if err != nil {
+			t.Fatalf("trial %d pos: %v", trial, err)
+		}
+		if starts != 4 || steps != 100 || seed != int64(-5*trial) {
+			t.Fatalf("trial %d: pos params (%d,%d,%d)", trial, starts, steps, seed)
+		}
+		sameInstance(t, got, ref)
+	}
+}
+
+// TestRequestRejections: malformed payloads must fail cleanly, never
+// panic, and never allocate proportional to a lying count.
+func TestRequestRejections(t *testing.T) {
+	in := randomInstance(t, rand.New(rand.NewSource(1)), 5)
+	valid := AppendSNERequest(nil, in, MethodLP)
+	var d ReqDecoder
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad version":      {9, 0},
+		"truncated header": valid[:2],
+		"truncated edges":  valid[:len(valid)/2],
+		"trailing bytes":   append(append([]byte{}, valid...), 0xFF),
+		"method code":      {Version, 99, 1, 0, 0, 0, 0},
+		// A frame declaring 2^30 edges with no bytes to back them.
+		"lying edge count": {Version, 0, 4, 0, 0x80, 0x80, 0x80, 0x80, 0x04, 0},
+		// n > m+1 can never span.
+		"unspannable":  AppendSNERequest(nil, in, MethodLP)[:0],
+		"self loop":    {Version, 0, 2, 0, 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"zero nodes":   {Version, 0, 0, 0, 0, 0, 0},
+		"galaxy nodes": {Version, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0, 0},
+	}
+	cases["unspannable"] = func() []byte {
+		b := []byte{Version, MethodLP}
+		b = append(b, 5, 0, 0) // n=5, root 0, m=0
+		return b
+	}()
+	for name, payload := range cases {
+		if _, _, err := d.SNE(payload); err == nil {
+			t.Errorf("%s: decoder accepted %v", name, payload)
+		}
+	}
+}
+
+// TestResponseRoundTrips: every response struct must survive the binary
+// codec bit for bit, including NaN and ±Inf floats.
+func TestResponseRoundTrips(t *testing.T) {
+	weird := []float64{0, 1.5, -0.0, math.NaN(), math.Inf(1), math.Inf(-1), math.MaxFloat64, 5e-324}
+	feq := func(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+	for i, w := range weird {
+		check := CheckResponse{Equilibrium: i%2 == 0, Weight: w, Players: int64(i) - 3}
+		if i%3 == 0 {
+			check.Violation = &Violation{Node: i, ViaEdge: 2 * i, Current: w, Better: -w, Gain: w * 2}
+		}
+		var got CheckResponse
+		status, body, _, err := DecodeStatus(AppendCheckResponse(nil, &check))
+		if err != nil || status != StatusOK {
+			t.Fatalf("check %d: status %d err %v", i, status, err)
+		}
+		if err := DecodeCheckResponse(body, &got); err != nil {
+			t.Fatalf("check %d: %v", i, err)
+		}
+		if got.Equilibrium != check.Equilibrium || !feq(got.Weight, check.Weight) || got.Players != check.Players ||
+			(got.Violation == nil) != (check.Violation == nil) {
+			t.Fatalf("check %d: %+v != %+v", i, got, check)
+		}
+		if check.Violation != nil && (got.Violation.Node != check.Violation.Node || !feq(got.Violation.Gain, check.Violation.Gain)) {
+			t.Fatalf("check %d violation: %+v != %+v", i, got.Violation, check.Violation)
+		}
+
+		sne := SNEResponse{Method: methodNames[i%int(nMethods)], Cost: w, Fraction: -w, TreeWeight: w * 3, Pivots: i * 7, Warm: i%2 == 1}
+		for j := 0; j < i; j++ {
+			sne.Subsidies = append(sne.Subsidies, EdgeSubsidy{Edge: j, U: j + 1, V: j + 2, Weight: w, Subsidy: float64(j) * w})
+		}
+		var gotSNE SNEResponse
+		_, body, _, err = DecodeStatus(AppendSNEResponse(nil, &sne))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeSNEResponse(body, &gotSNE); err != nil {
+			t.Fatalf("sne %d: %v", i, err)
+		}
+		if gotSNE.Method != sne.Method || !feq(gotSNE.Cost, sne.Cost) || !feq(gotSNE.Fraction, sne.Fraction) ||
+			!feq(gotSNE.TreeWeight, sne.TreeWeight) || gotSNE.Pivots != sne.Pivots || gotSNE.Warm != sne.Warm ||
+			len(gotSNE.Subsidies) != len(sne.Subsidies) {
+			t.Fatalf("sne %d: %+v != %+v", i, gotSNE, sne)
+		}
+		for j := range sne.Subsidies {
+			if gotSNE.Subsidies[j].Edge != sne.Subsidies[j].Edge || !feq(gotSNE.Subsidies[j].Subsidy, sne.Subsidies[j].Subsidy) {
+				t.Fatalf("sne %d subsidy %d: %+v != %+v", i, j, gotSNE.Subsidies[j], sne.Subsidies[j])
+			}
+		}
+
+		snd := SNDResponse{Method: sndMethodNames[i%int(nSNDMethods)], FellBack: i%2 == 0, Weight: w, SubsidyCost: w / 2, Budget: w * 4, Tree: []int{1, 5, i}}
+		var gotSND SNDResponse
+		_, body, _, err = DecodeStatus(AppendSNDResponse(nil, &snd))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeSNDResponse(body, &gotSND); err != nil {
+			t.Fatalf("snd %d: %v", i, err)
+		}
+		if gotSND.Method != snd.Method || gotSND.FellBack != snd.FellBack || !feq(gotSND.Weight, snd.Weight) ||
+			!feq(gotSND.SubsidyCost, snd.SubsidyCost) || !feq(gotSND.Budget, snd.Budget) || len(gotSND.Tree) != 3 ||
+			gotSND.Tree[2] != i {
+			t.Fatalf("snd %d: %+v != %+v", i, gotSND, snd)
+		}
+
+		pos := PoSResponse{OptWeight: w, BestEq: -w, PoS: w * w, Converged: i, Starts: i + 1, Steps: i * 10}
+		var gotPoS PoSResponse
+		_, body, _, err = DecodeStatus(AppendPoSResponse(nil, &pos))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodePoSResponse(body, &gotPoS); err != nil {
+			t.Fatalf("pos %d: %v", i, err)
+		}
+		if !feq(gotPoS.OptWeight, pos.OptWeight) || !feq(gotPoS.BestEq, pos.BestEq) || !feq(gotPoS.PoS, pos.PoS) ||
+			gotPoS.Converged != pos.Converged || gotPoS.Starts != pos.Starts || gotPoS.Steps != pos.Steps {
+			t.Fatalf("pos %d: %+v != %+v", i, gotPoS, pos)
+		}
+	}
+}
+
+// TestErrorResponses: non-OK statuses carry their message through.
+func TestErrorResponses(t *testing.T) {
+	for _, status := range []byte{StatusBadRequest, StatusUnprocessable, StatusUnavailable, StatusInternal, StatusTooLarge} {
+		payload := AppendError(nil, status, "why it failed")
+		got, body, msg, err := DecodeStatus(payload)
+		if err != nil || got != status || body != nil || msg != "why it failed" {
+			t.Fatalf("status %d: got %d body %v msg %q err %v", status, got, body, msg, err)
+		}
+	}
+}
+
+// TestFrameRoundTrip and size-cap enforcement.
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("some payload bytes")
+	frame := AppendFrame(nil, payload)
+	got, err := ReadFrame(bytes.NewReader(frame), nil, 1024)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: %q err %v", got, err)
+	}
+	// Oversized length prefix: rejected before reading the payload.
+	if _, err := ReadFrame(bytes.NewReader(frame), nil, 4); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Truncated payload.
+	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-3]), nil, 1024); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Buffer reuse: a big enough scratch is used in place.
+	buf := make([]byte, 0, 64)
+	got, err = ReadFrame(bytes.NewReader(frame), buf, 1024)
+	if err != nil || &got[0] != &buf[:1][0] {
+		t.Fatalf("scratch not reused (err %v)", err)
+	}
+}
+
+// TestMethodTables: the wire enums and the /v1 strings must stay in
+// lockstep in both directions.
+func TestMethodTables(t *testing.T) {
+	for c := byte(0); c < nMethods; c++ {
+		name, ok := MethodName(c)
+		if !ok {
+			t.Fatalf("method %d unnamed", c)
+		}
+		back, ok := MethodCode(name)
+		if !ok || back != c {
+			t.Fatalf("method %q: code %d != %d", name, back, c)
+		}
+	}
+	if _, ok := MethodName(nMethods); ok {
+		t.Fatal("out-of-range method named")
+	}
+	if _, ok := MethodCode("sorcery"); ok {
+		t.Fatal("unknown method encoded")
+	}
+	for c := byte(0); c < nSNDMethods; c++ {
+		name, ok := SNDMethodName(c)
+		if !ok {
+			t.Fatalf("snd method %d unnamed", c)
+		}
+		back, ok := SNDMethodCode(name)
+		if !ok || back != c {
+			t.Fatalf("snd method %q: code %d != %d", name, back, c)
+		}
+	}
+}
