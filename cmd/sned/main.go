@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sned [-addr :8533] [-timeout 30s] [-maxbody 1048576] [-cache 512] [-cacheshards 16] [-cachettl 10m] [-drain 15s]
+//	sned [-addr :8533] [-timeout 30s] [-maxbody 1048576] [-cache 512] [-cacheshards 16] [-cachettl 10m] [-maxinflight 0] [-drain 15s]
 //
 // Endpoints: POST /v1/check, /v1/sne, /v1/snd, /v1/pos (JSON bodies with
 // the instance in the CLI text format); POST /v2/check, /v2/sne,
@@ -17,6 +17,14 @@
 // expire -cachettl after their last refresh (negative disables expiry),
 // and under eviction pressure a new structure is only admitted on its
 // second sighting, so one-shot instances cannot flush the hot set.
+//
+// Liveness and readiness are separate probes: /healthz answers ok for
+// as long as the process runs, while /readyz answers 503 before the
+// listener is warm and again the moment a shutdown drain begins — the
+// signal a load balancer needs to stop routing here without declaring
+// the process dead. -maxinflight caps concurrently served solves; past
+// it /v1 sheds with 503 + Retry-After and /v2 with an unavailable
+// frame, counted by sned_shed_requests_total in /metrics.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // in-flight solves drain for up to -drain, then the process exits 0.
@@ -41,22 +49,24 @@ func main() {
 	cacheCap := flag.Int("cache", 512, "basis cache capacity in bases (negative disables caching)")
 	cacheShards := flag.Int("cacheshards", 16, "basis cache lock shards (rounded up to a power of two)")
 	cacheTTL := flag.Duration("cachettl", 10*time.Minute, "basis cache entry lifetime (negative disables expiry)")
+	maxInflight := flag.Int("maxinflight", 0, "shed requests past this many concurrent solves (0 = unlimited)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
-	if err := run(*addr, *timeout, *maxBody, *cacheCap, *cacheShards, *cacheTTL, *drain); err != nil {
+	if err := run(*addr, *timeout, *maxBody, *cacheCap, *cacheShards, *cacheTTL, *maxInflight, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "sned:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, timeout time.Duration, maxBody int64, cacheCap, cacheShards int, cacheTTL, drain time.Duration) error {
+func run(addr string, timeout time.Duration, maxBody int64, cacheCap, cacheShards int, cacheTTL time.Duration, maxInflight int, drain time.Duration) error {
 	srv := serve.New(serve.Config{
 		MaxBodyBytes: maxBody,
 		Timeout:      timeout,
 		CacheCap:     cacheCap,
 		CacheShards:  cacheShards,
 		CacheTTL:     cacheTTL,
+		MaxInflight:  maxInflight,
 	})
 	bound, err := srv.Start(addr)
 	if err != nil {

@@ -6,7 +6,7 @@
 //
 //	snedload [-url http://127.0.0.1:8533] [-proto v2] [-mix jitter] [-n 64]
 //	         [-count 32] [-seed 9] [-workers 8] [-conns 8]
-//	         [-duration 5s] [-total 0] [-pipeline 1]
+//	         [-duration 5s] [-total 0] [-pipeline 1] [-reconnect 5]
 //
 // Mixes: jitter (warm-friendly E22 family — one structure, drifting
 // weights), adversarial (shuffled never-repeating structures — every
@@ -15,9 +15,15 @@
 // the run in requests instead of wall time when > 0. -pipeline K packs
 // K frames into each HTTP round trip on v2 (counts stay per frame).
 //
+// A request whose transport fails — the pooled connection died, the
+// daemon restarted mid-run — is retried up to -reconnect times with
+// capped exponential backoff before it counts as an error; HTTP error
+// answers (shed 503s included) are counted, never retried. -reconnect 0
+// restores strict single-shot sends.
+//
 // The report goes to stdout as one line, e.g.:
 //
-//	14310 req in 5.001s (2862 req/s), errors 0, p50 2.1ms p99 6.8ms p999 11ms
+//	14310 req in 5.001s (2862 req/s), errors 0, reconnects 0, p50 2.1ms p99 6.8ms p999 11ms
 //
 // Exit status is 1 when any request failed, so CI can assert a clean
 // run.
@@ -44,15 +50,16 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "run length (wall time)")
 	total := flag.Int("total", 0, "request budget (0: duration-bound)")
 	pipeline := flag.Int("pipeline", 1, "frames per HTTP round trip (v2 only)")
+	reconnect := flag.Int("reconnect", 5, "transport-failure retries per request, backed off (0 = single-shot)")
 	flag.Parse()
 
-	if err := run(*url, *proto, *mix, *n, *count, *seed, *workers, *conns, *duration, *total, *pipeline); err != nil {
+	if err := run(*url, *proto, *mix, *n, *count, *seed, *workers, *conns, *duration, *total, *pipeline, *reconnect); err != nil {
 		fmt.Fprintln(os.Stderr, "snedload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, proto, mix string, n, count int, seed int64, workers, conns int, duration time.Duration, total, pipeline int) error {
+func run(url, proto, mix string, n, count int, seed int64, workers, conns int, duration time.Duration, total, pipeline, reconnect int) error {
 	binary := false
 	path := "/v1/sne"
 	switch proto {
@@ -77,6 +84,7 @@ func run(url, proto, mix string, n, count int, seed int64, workers, conns int, d
 		Total:     total,
 		DecodeSNE: true,
 		Pipeline:  pipeline,
+		Reconnect: reconnect,
 	})
 	if err != nil {
 		return err

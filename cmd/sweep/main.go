@@ -12,8 +12,18 @@
 //	sweep -dir run/ -shard 3/8 -resume                                     # one worker process
 //	sweep -dir run/ -shards 8 -spawn                                       # spawn 8 worker processes, merge
 //	sweep -dir run/ -shards 8 -merge                                       # merge completed shards only
+//	sweep -coordinator http://host:8633                                    # fabric worker: lease shards until done
 //	sweep -scenario pos-swap -count 16 -size 40 -serial                    # serial oracle, no files
 //	sweep -list                                                            # registered scenarios
+//
+// With -coordinator the process is a fabric worker (see internal/fabric
+// and cmd/sweepd): it acquires shard leases over HTTP, computes through
+// the coordinator-served checkpoint store, heartbeats each lease, and
+// exits 0 when the coordinator reports the sweep complete. The spec
+// comes from the coordinator; no -dir or spec flags are needed.
+// -throttle sleeps that long before every instance — a deliberate
+// straggler knob the fault-injection smoke tests use to force
+// speculative re-execution.
 //
 // The spec is pinned inside the run directory (spec.sweep), so resumed
 // and spawned workers need only -dir. Restarting over a non-empty
@@ -34,7 +44,9 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
+	"netdesign/internal/fabric"
 	"netdesign/internal/sweep"
 	"netdesign/internal/table"
 )
@@ -89,6 +101,10 @@ func realMain(argv []string, stdout io.Writer) error {
 		serial   = fs.Bool("serial", false, "run the serial in-process oracle; no checkpoints")
 		markdown = fs.Bool("markdown", false, "emit a markdown table")
 		list     = fs.Bool("list", false, "list registered scenarios")
+
+		coordinator = fs.String("coordinator", "", "fabric coordinator URL; run as a leased worker until the sweep completes")
+		workerID    = fs.String("id", "", "worker label reported to the coordinator (default host-pid)")
+		throttle    = fs.Duration("throttle", 0, "sleep this long before each instance (deliberate straggler for fault tests)")
 	)
 	fs.Var(params, "param", "scenario parameter name=value (repeatable)")
 	if err := fs.Parse(argv); err != nil {
@@ -100,6 +116,15 @@ func realMain(argv []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "%-12s %s: %s\n", name, sc.TableID, sc.Title)
 		}
 		return nil
+	}
+	if *coordinator != "" {
+		// Worker mode takes the spec — and the checkpoint store — from the
+		// coordinator; a local spec source would be silently ignored, so
+		// refuse it outright.
+		if *specPath != "" || *scenario != "" || *dir != "" {
+			return fmt.Errorf("-coordinator is exclusive with -spec/-scenario/-dir: the coordinator owns the spec and store")
+		}
+		return runWorker(*coordinator, *workerID, *workers, *syncEv, *throttle)
 	}
 
 	spec, err := resolveSpec(*specPath, *scenario, *seed, *count, *size, params, *dir)
@@ -197,6 +222,34 @@ func realMain(argv []string, stdout io.Writer) error {
 		}
 		return render(tb)
 	}
+}
+
+// runWorker is fabric worker mode: lease shards from the coordinator and
+// compute them through its checkpoint store until the sweep is done.
+func runWorker(url, id string, workers, syncEvery int, throttle time.Duration) error {
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &fabric.Worker{
+		Client:  &fabric.Client{URL: strings.TrimSuffix(url, "/")},
+		ID:      id,
+		Options: sweep.Options{Workers: workers, SyncEvery: syncEvery},
+	}
+	if throttle > 0 {
+		w.Interrupt = func() bool {
+			time.Sleep(throttle)
+			return false
+		}
+	}
+	if err := w.Run(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: worker %s: sweep complete\n", id)
+	return nil
 }
 
 // resolveSpec builds the sweep spec from, in priority order: an explicit

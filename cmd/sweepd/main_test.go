@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+
+	"netdesign/internal/fabric"
+	"netdesign/internal/sweep"
+)
+
+func specArgs() []string {
+	return []string{"-scenario", "enforce", "-seed", "11", "-count", "6", "-size", "5", "-param", "spread=3"}
+}
+
+// TestOnceServesSweepToCompletion boots the daemon on :0 in -once mode,
+// drives it with an in-process fabric worker, and checks the merged
+// table printed on exit matches the serial oracle byte for byte.
+func TestOnceServesSweepToCompletion(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	listening = func(a net.Addr) { addrCh <- a }
+	defer func() { listening = nil }()
+
+	var stdout, stderr bytes.Buffer
+	args := append(specArgs(), "-dir", t.TempDir(), "-shards", "3", "-addr", "127.0.0.1:0", "-once")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var mainErr error
+	go func() {
+		defer wg.Done()
+		mainErr = realMain(args, &stdout, &stderr)
+	}()
+
+	addr := <-addrCh
+	w := &fabric.Worker{
+		Client:  &fabric.Client{URL: "http://" + addr.String()},
+		ID:      "t",
+		Options: sweep.Options{Workers: 1},
+	}
+	if err := w.Run(); err != nil {
+		wg.Wait()
+		t.Fatalf("worker: %v\nsweepd err: %v\nsweepd stderr:\n%s", err, mainErr, stderr.String())
+	}
+	wg.Wait()
+	if mainErr != nil {
+		t.Fatalf("sweepd: %v\nstderr:\n%s", mainErr, stderr.String())
+	}
+
+	want, err := sweep.RunSerial(sweep.Spec{Scenario: "enforce", Seed: 11, Count: 6, Size: 5, Params: map[string]float64{"spread": 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantText bytes.Buffer
+	want.Render(&wantText)
+	if stdout.String() != wantText.String() {
+		t.Errorf("sweepd -once output differs from serial oracle:\n--- serial ---\n%s--- sweepd ---\n%s", wantText.String(), stdout.String())
+	}
+}
+
+// TestResumePinnedSpec restarts the daemon over a completed run with no
+// spec flags: the pinned spec must be enough, and -once exits
+// immediately since every shard is already done.
+func TestResumePinnedSpec(t *testing.T) {
+	dir := t.TempDir()
+	spec := sweep.Spec{Scenario: "enforce", Seed: 11, Count: 6, Size: 5, Params: map[string]float64{"spread": 3}}
+	if _, err := sweep.Run(spec, dir, 2, sweep.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if err := realMain([]string{"-dir", dir, "-shards", "2", "-addr", "127.0.0.1:0", "-once"}, &stdout, &stderr); err != nil {
+		t.Fatalf("resume over pinned spec: %v\nstderr:\n%s", err, stderr.String())
+	}
+	want, err := sweep.RunSerial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantText bytes.Buffer
+	want.Render(&wantText)
+	if stdout.String() != wantText.String() {
+		t.Errorf("resumed merge differs from serial oracle:\n%s", stdout.String())
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-scenario", "enforce"},                       // no -dir
+		{"-dir", t.TempDir()},                          // no spec source, nothing pinned
+		{"-param", "broken", "-dir", t.TempDir()},      // malformed param
+		{"-spec", "/nonexistent", "-dir", t.TempDir()}, // missing spec file
+	}
+	for _, args := range cases {
+		if err := realMain(args, &out, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

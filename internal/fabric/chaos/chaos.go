@@ -1,0 +1,303 @@
+// Package chaos is the deterministic fault-injection harness for the
+// sweep fabric. A Schedule — derived entirely from a seed — scripts a
+// sequence of faults against a real coordinator (worker kills at record
+// boundaries, network partitions of the coordinator's HTTP surface,
+// dropped heartbeats aging into lease expiry, host crashes tearing the
+// final checkpoint line mid-write), and the harness replays it
+// single-threaded under a hand-advanced clock: every lease expiry,
+// straggler detection and speculative grant is a pure function of the
+// schedule, so a failing seed replays exactly.
+//
+// The differential contract is the same one every layer below honors:
+// after any schedule, the surviving fleet drains the sweep and the
+// merged table must be byte-identical to the serial oracle. Faults may
+// cost recomputation, never correctness.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netdesign/internal/fabric"
+	"netdesign/internal/sweep"
+)
+
+// Op is one kind of scripted fault step.
+type Op int
+
+const (
+	// OpRun: a healthy worker acquires one grant and completes it.
+	OpRun Op = iota
+	// OpKill: a worker acquires a grant and dies at a record boundary
+	// after Arg records — no complete, no further heartbeats, lease left
+	// to expire.
+	OpKill
+	// OpPartition: the coordinator is unreachable for the next Arg
+	// requests; the following healthy worker heals through retries.
+	OpPartition
+	// OpAge: the clock advances within the lease TTL, ripening held
+	// leases into stragglers.
+	OpAge
+	// OpExpire: the clock advances past the TTL, fencing every
+	// non-heartbeating lease.
+	OpExpire
+	// OpTearTail: a host crash tears the final line of a partial
+	// canonical checkpoint in half; resume must recover the valid prefix
+	// and recompute the torn record.
+	OpTearTail
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRun:
+		return "run"
+	case OpKill:
+		return "kill"
+	case OpPartition:
+		return "partition"
+	case OpAge:
+		return "age"
+	case OpExpire:
+		return "expire"
+	case OpTearTail:
+		return "tear-tail"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Step is one schedule entry: an op plus its argument (records before
+// the kill, requests eaten by the partition).
+type Step struct {
+	Op  Op
+	Arg int
+}
+
+// Schedule is a deterministic fault script: the same seed always yields
+// the same steps, and replaying them against the harness is
+// reproducible end to end.
+type Schedule struct {
+	Seed  int64
+	Steps []Step
+}
+
+// NewSchedule derives a steps-long schedule from seed. Healthy runs are
+// weighted double so most schedules make progress between faults.
+func NewSchedule(seed int64, steps int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed}
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(8) {
+		case 0, 1, 2:
+			s.Steps = append(s.Steps, Step{Op: OpRun})
+		case 3:
+			s.Steps = append(s.Steps, Step{Op: OpKill, Arg: 1 + rng.Intn(3)})
+		case 4:
+			s.Steps = append(s.Steps, Step{Op: OpPartition, Arg: 1 + rng.Intn(3)})
+		case 5:
+			s.Steps = append(s.Steps, Step{Op: OpAge})
+		case 6:
+			s.Steps = append(s.Steps, Step{Op: OpExpire})
+		case 7:
+			s.Steps = append(s.Steps, Step{Op: OpTearTail})
+		}
+	}
+	return s
+}
+
+// flakyTransport injects partitions: while fail > 0 every request is
+// eaten by a transport error. Single-threaded by construction.
+type flakyTransport struct {
+	base http.RoundTripper
+	fail int
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.fail > 0 {
+		f.fail--
+		return nil, errors.New("chaos: injected partition")
+	}
+	return f.base.RoundTrip(req)
+}
+
+// leaseTTL is the harness lease TTL; OpAge advances less than it,
+// OpExpire more. Large against the 100ms-per-record synthetic compute
+// time so a worker never expires its own lease mid-shard.
+const leaseTTL = 5 * time.Second
+
+// Harness is one fabric under scripted fault injection.
+type Harness struct {
+	t     *testing.T
+	spec  sweep.Spec
+	dir   string
+	now   time.Time
+	coord *fabric.Coordinator
+	srv   *httptest.Server
+	flaky *flakyTransport
+	step  int
+}
+
+// NewHarness boots a coordinator over a fresh store with a fake clock.
+func NewHarness(t *testing.T, spec sweep.Spec, shards int) *Harness {
+	t.Helper()
+	h := &Harness{t: t, spec: spec, dir: t.TempDir(), now: time.Unix(1_000_000, 0)}
+	coord, err := fabric.New(fabric.Config{
+		Spec:            spec,
+		Shards:          shards,
+		Store:           sweep.NewDirBackend(h.dir),
+		LeaseTTL:        leaseTTL,
+		StragglerMin:    time.Second,
+		StragglerFactor: 3,
+		Clock:           func() time.Time { return h.now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.coord = coord
+	h.srv = httptest.NewServer(coord.Handler())
+	t.Cleanup(h.srv.Close)
+	h.flaky = &flakyTransport{base: h.srv.Client().Transport}
+	return h
+}
+
+// worker builds a fresh single-goroutine worker: heartbeats disabled
+// (the schedule owns time), sleeps elided, retry jitter pinned.
+func (h *Harness) worker(id string, interrupt func() bool) *fabric.Worker {
+	return &fabric.Worker{
+		Client: &fabric.Client{
+			URL:  h.srv.URL,
+			HTTP: &http.Client{Transport: h.flaky},
+			Retry: fabric.Retry{
+				Sleep: func(time.Duration) {},
+				Rand:  func() float64 { return 0.5 },
+			},
+		},
+		ID:        id,
+		Options:   sweep.Options{Workers: 1},
+		Interrupt: interrupt,
+		Heartbeat: -1,
+		Sleep:     func(time.Duration) {},
+	}
+}
+
+// runWorker executes one acquire cycle. killAfter > 0 kills the worker
+// at that record boundary. Every instance poll advances the fake clock
+// 100ms, standing in for compute time so completed shards establish a
+// straggler baseline.
+func (h *Harness) runWorker(id string, killAfter int) (done bool) {
+	h.t.Helper()
+	polls := 0
+	w := h.worker(id, func() bool {
+		polls++
+		h.now = h.now.Add(100 * time.Millisecond)
+		return killAfter > 0 && polls > killAfter
+	})
+	done, err := w.RunOnce()
+	if err != nil {
+		h.t.Fatalf("seed replay: worker %s (step %d): %v", id, h.step, err)
+	}
+	return done
+}
+
+// tearTail simulates a host crash on the store: the final line of some
+// partial canonical checkpoint loses its trailing half, exactly the
+// state an interrupted write leaves behind. Completed shards are out of
+// bounds — their records were fsynced at close, and a crash cannot
+// un-sync durable data.
+func (h *Harness) tearTail() {
+	h.t.Helper()
+	status := h.coord.Status()
+	for _, info := range status.ShardInfo {
+		if info.State == "done" {
+			continue
+		}
+		path := filepath.Join(h.dir, sweep.ShardName(info.Shard, status.Shards))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			h.t.Fatal(err)
+		}
+		if len(data) == 0 || data[len(data)-1] != '\n' {
+			continue
+		}
+		start := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+		torn := data[:start+(len(data)-1-start)/2]
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			h.t.Fatal(err)
+		}
+		return // one crash per step
+	}
+}
+
+// Play replays the schedule, then drains the sweep with healthy workers
+// (expiring abandoned leases between rounds) and verifies the end state:
+// not poisoned, all shards complete, merged table byte-identical to the
+// serial oracle.
+func (h *Harness) Play(s Schedule) {
+	h.t.Helper()
+	for i, step := range s.Steps {
+		h.step = i
+		id := fmt.Sprintf("w%03d-%s", i, step.Op)
+		switch step.Op {
+		case OpRun:
+			h.runWorker(id, 0)
+		case OpKill:
+			h.runWorker(id, step.Arg)
+		case OpPartition:
+			h.flaky.fail = step.Arg
+			h.runWorker(id, 0)
+		case OpAge:
+			h.now = h.now.Add(2 * time.Second)
+		case OpExpire:
+			h.now = h.now.Add(leaseTTL + time.Second)
+		case OpTearTail:
+			h.tearTail()
+		}
+	}
+	h.flaky.fail = 0
+	for i := 0; ; i++ {
+		if i > 200 {
+			h.t.Fatalf("seed %d: sweep did not drain; status %+v", s.Seed, h.coord.Status())
+		}
+		h.now = h.now.Add(leaseTTL + time.Second)
+		if h.runWorker(fmt.Sprintf("drain%03d", i), 0) {
+			break
+		}
+	}
+	h.verify(s)
+}
+
+func (h *Harness) verify(s Schedule) {
+	h.t.Helper()
+	if err := h.coord.Err(); err != nil {
+		h.t.Fatalf("seed %d poisoned the run: %v", s.Seed, err)
+	}
+	status := h.coord.Status()
+	if !status.Done {
+		h.t.Fatalf("seed %d: drained but not done: %+v", s.Seed, status)
+	}
+	got, err := h.coord.Merge()
+	if err != nil {
+		h.t.Fatalf("seed %d: merge: %v", s.Seed, err)
+	}
+	want, err := sweep.RunSerial(h.spec)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	var gotText, wantText bytes.Buffer
+	got.Render(&gotText)
+	want.Render(&wantText)
+	if gotText.String() != wantText.String() {
+		h.t.Fatalf("seed %d: merged table diverged from serial oracle\nschedule: %v\n--- serial ---\n%s--- fabric ---\n%s",
+			s.Seed, s.Steps, wantText.String(), gotText.String())
+	}
+}

@@ -1,0 +1,374 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"netdesign/internal/sweep"
+)
+
+// Retry is the backoff policy of every worker→coordinator call:
+// transport errors and 5xx responses are retried with capped exponential
+// backoff and full jitter; 4xx responses are answers, not failures, and
+// return immediately. Sleep and Rand are injectable so the chaos harness
+// can heal partitions with recorded, zero-duration sleeps and keep runs
+// deterministic.
+type Retry struct {
+	Attempts int           // total tries; <= 0 means DefaultRetryAttempts
+	Base     time.Duration // first backoff; <= 0 means DefaultRetryBase
+	Cap      time.Duration // backoff ceiling; <= 0 means DefaultRetryCap
+	Sleep    func(time.Duration)
+	Rand     func() float64 // jitter source in [0,1)
+}
+
+// Defaults for Retry knobs left zero.
+const (
+	DefaultRetryAttempts = 8
+	DefaultRetryBase     = 25 * time.Millisecond
+	DefaultRetryCap      = 1 * time.Second
+)
+
+func (r Retry) withDefaults() Retry {
+	if r.Attempts <= 0 {
+		r.Attempts = DefaultRetryAttempts
+	}
+	if r.Base <= 0 {
+		r.Base = DefaultRetryBase
+	}
+	if r.Cap <= 0 {
+		r.Cap = DefaultRetryCap
+	}
+	if r.Sleep == nil {
+		r.Sleep = time.Sleep
+	}
+	if r.Rand == nil {
+		r.Rand = rand.Float64
+	}
+	return r
+}
+
+// backoff is the wait before try attempt+1: min(Cap, Base·2^attempt)
+// scaled by a jitter in [0.5, 1) so a fleet of workers retrying the same
+// outage doesn't stampede the coordinator in lockstep.
+func (r Retry) backoff(attempt int) time.Duration {
+	d := r.Base
+	for i := 0; i < attempt && d < r.Cap; i++ {
+		d *= 2
+	}
+	if d > r.Cap {
+		d = r.Cap
+	}
+	return time.Duration((0.5 + 0.5*r.Rand()) * float64(d))
+}
+
+// Client speaks the coordinator's HTTP API. The zero HTTP and Retry
+// fields get http.DefaultClient and default backoff.
+type Client struct {
+	URL   string // coordinator base URL, no trailing slash
+	HTTP  *http.Client
+	Retry Retry
+}
+
+func (cl *Client) httpClient() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one API call under the retry policy and returns the final
+// status and body. err is non-nil only when every attempt failed
+// transiently; any 4xx comes back as a status for the caller to map.
+func (cl *Client) do(method, path string, q url.Values, body []byte) (int, []byte, error) {
+	r := cl.Retry.withDefaults()
+	u := cl.URL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var lastErr error
+	for attempt := 0; attempt < r.Attempts; attempt++ {
+		if attempt > 0 {
+			r.Sleep(r.backoff(attempt - 1))
+		}
+		req, err := http.NewRequest(method, u, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := cl.httpClient().Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+			continue
+		}
+		return resp.StatusCode, data, nil
+	}
+	return 0, nil, fmt.Errorf("fabric: %s %s failed after %d attempts: %w", method, path, r.Attempts, lastErr)
+}
+
+func statusError(op string, status int, body []byte) error {
+	return fmt.Errorf("fabric: %s: HTTP %d: %s", op, status, bytes.TrimSpace(body))
+}
+
+// Acquire asks the coordinator for work.
+func (cl *Client) Acquire(worker string) (*AcquireResult, error) {
+	body, err := json.Marshal(acquireRequest{Worker: worker})
+	if err != nil {
+		return nil, err
+	}
+	st, data, err := cl.do(http.MethodPost, "/fabric/v1/acquire", nil, body)
+	if err != nil {
+		return nil, err
+	}
+	switch st {
+	case http.StatusOK:
+		var res AcquireResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			return nil, fmt.Errorf("fabric: acquire response: %w", err)
+		}
+		return &res, nil
+	case http.StatusConflict:
+		return nil, fmt.Errorf("%w: %s", ErrPoisoned, bytes.TrimSpace(data))
+	default:
+		return nil, statusError("acquire", st, data)
+	}
+}
+
+// Heartbeat extends a lease. ErrLeaseGone means the attempt is fenced.
+func (cl *Client) Heartbeat(lease int64) error {
+	body, err := json.Marshal(leaseRequest{Lease: lease})
+	if err != nil {
+		return err
+	}
+	st, data, err := cl.do(http.MethodPost, "/fabric/v1/heartbeat", nil, body)
+	if err != nil {
+		return err
+	}
+	switch st {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusGone:
+		return ErrLeaseGone
+	default:
+		return statusError("heartbeat", st, data)
+	}
+}
+
+// Complete reports a finished attempt.
+func (cl *Client) Complete(lease int64) (*CompleteResult, error) {
+	body, err := json.Marshal(leaseRequest{Lease: lease})
+	if err != nil {
+		return nil, err
+	}
+	st, data, err := cl.do(http.MethodPost, "/fabric/v1/complete", nil, body)
+	if err != nil {
+		return nil, err
+	}
+	switch st {
+	case http.StatusOK:
+		var res CompleteResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			return nil, fmt.Errorf("fabric: complete response: %w", err)
+		}
+		return &res, nil
+	case http.StatusGone:
+		return nil, ErrLeaseGone
+	case http.StatusConflict:
+		return nil, fmt.Errorf("%w: %s", ErrPoisoned, bytes.TrimSpace(data))
+	default:
+		return nil, statusError("complete", st, data)
+	}
+}
+
+// Status fetches the coordinator's manifest snapshot.
+func (cl *Client) Status() (Status, error) {
+	st, data, err := cl.do(http.MethodGet, "/fabric/v1/status", nil, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	if st != http.StatusOK {
+		return Status{}, statusError("status", st, data)
+	}
+	var s Status
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Status{}, fmt.Errorf("fabric: status response: %w", err)
+	}
+	return s, nil
+}
+
+// Backend returns the coordinator-served checkpoint store as a
+// sweep.Backend, with every mutating call carrying lease (0 for an
+// unfenced store). It honors the identical contract DirBackend does —
+// pinned by running internal/sweep/backendtest against it.
+func (cl *Client) Backend(lease int64) sweep.Backend {
+	return &httpBackend{cl: cl, lease: lease}
+}
+
+type httpBackend struct {
+	cl    *Client
+	lease int64
+}
+
+func (b *httpBackend) leaseQuery(q url.Values) url.Values {
+	if b.lease != 0 {
+		q.Set("lease", strconv.FormatInt(b.lease, 10))
+	}
+	return q
+}
+
+func (b *httpBackend) PinSpec(spec sweep.Spec) error {
+	var buf bytes.Buffer
+	if err := sweep.WriteSpec(&buf, spec); err != nil {
+		return err
+	}
+	st, data, err := b.cl.do(http.MethodPut, "/fabric/v1/spec", nil, buf.Bytes())
+	if err != nil {
+		return err
+	}
+	if st != http.StatusNoContent {
+		return statusError("pin spec", st, data)
+	}
+	return nil
+}
+
+func (b *httpBackend) LoadSpec() (sweep.Spec, error) {
+	st, data, err := b.cl.do(http.MethodGet, "/fabric/v1/spec", nil, nil)
+	if err != nil {
+		return sweep.Spec{}, err
+	}
+	switch st {
+	case http.StatusOK:
+		return sweep.ParseSpec(bytes.NewReader(data))
+	case http.StatusNotFound:
+		return sweep.Spec{}, fmt.Errorf("fabric: no spec pinned: %w", os.ErrNotExist)
+	default:
+		return sweep.Spec{}, statusError("load spec", st, data)
+	}
+}
+
+func (b *httpBackend) CheckLayout(shards int) error {
+	q := url.Values{"shards": {strconv.Itoa(shards)}}
+	st, data, err := b.cl.do(http.MethodGet, "/fabric/v1/layout", q, nil)
+	if err != nil {
+		return err
+	}
+	if st != http.StatusNoContent {
+		return statusError("layout", st, data)
+	}
+	return nil
+}
+
+func (b *httpBackend) ReadShard(name string) ([]sweep.Record, int64, error) {
+	q := url.Values{"name": {name}}
+	st, data, err := b.cl.do(http.MethodGet, "/fabric/v1/ckpt", q, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if st != http.StatusOK {
+		return nil, 0, statusError("read "+name, st, data)
+	}
+	// The server sends only the decodable prefix, but decoding locally
+	// (torn tails tolerated) keeps the client honest about what validLen
+	// means even against a misbehaving server.
+	return sweep.DecodeCheckpoint(data)
+}
+
+func (b *httpBackend) OpenShard(name string, validLen int64, syncEvery int) (sweep.ShardWriter, error) {
+	q := b.leaseQuery(url.Values{
+		"name": {name},
+		"len":  {strconv.FormatInt(validLen, 10)},
+		"sync": {strconv.Itoa(syncEvery)},
+	})
+	st, data, err := b.cl.do(http.MethodPost, "/fabric/v1/ckpt/open", q, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch st {
+	case http.StatusNoContent:
+		return &httpShardWriter{b: b, name: name, off: validLen}, nil
+	case http.StatusGone:
+		return nil, ErrLeaseGone
+	default:
+		return nil, statusError("open "+name, st, data)
+	}
+}
+
+// httpShardWriter appends records one offset-checked request at a time.
+// The offset makes appends idempotent: a retry of a request whose
+// response was lost is recognized server-side (the bytes are already at
+// off) and acknowledged without double-appending, so the retry policy is
+// safe on the write path. The engine's worker goroutines share one
+// writer, hence the lock.
+type httpShardWriter struct {
+	b    *httpBackend
+	name string
+
+	mu  sync.Mutex
+	off int64
+}
+
+func (w *httpShardWriter) Append(rec sweep.Record) error {
+	line, err := sweep.EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	q := w.b.leaseQuery(url.Values{
+		"name": {w.name},
+		"off":  {strconv.FormatInt(w.off, 10)},
+	})
+	st, data, err := w.b.cl.do(http.MethodPost, "/fabric/v1/ckpt/append", q, line)
+	if err != nil {
+		return err
+	}
+	switch st {
+	case http.StatusOK:
+		var res appendResponse
+		if err := json.Unmarshal(data, &res); err != nil {
+			return fmt.Errorf("fabric: append response: %w", err)
+		}
+		w.off = res.Len
+		return nil
+	case http.StatusGone:
+		return ErrLeaseGone
+	default:
+		return statusError("append "+w.name, st, data)
+	}
+}
+
+func (w *httpShardWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	q := w.b.leaseQuery(url.Values{"name": {w.name}})
+	st, data, err := w.b.cl.do(http.MethodPost, "/fabric/v1/ckpt/close", q, nil)
+	if err != nil {
+		return err
+	}
+	switch st {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusGone:
+		return ErrLeaseGone
+	default:
+		return statusError("close "+w.name, st, data)
+	}
+}

@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"netdesign/internal/sweep"
+	"netdesign/internal/sweep/backendtest"
+)
+
+// TestHTTPBackendContract holds the coordinator-served checkpoint store
+// to the exact contract suite DirBackend passes: same append-only
+// semantics, same torn-tail recovery, same fsync windows (observed
+// server-side, where the real writer lives), same engine differential.
+// The store is served bare — no lease fencing — because the contract is
+// about storage semantics; fencing is layered on top and tested with the
+// coordinator.
+func TestHTTPBackendContract(t *testing.T) {
+	backendtest.Run(t, func(t *testing.T) backendtest.Env {
+		dir := t.TempDir()
+		mux := http.NewServeMux()
+		newStoreServer(sweep.NewDirBackend(dir)).register(mux)
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		cl := &Client{URL: srv.URL, HTTP: srv.Client()}
+		return backendtest.Env{
+			Backend: cl.Backend(0),
+			Tamper: func(t *testing.T, name string, mutate func([]byte) []byte) {
+				t.Helper()
+				path := filepath.Join(dir, name)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		}
+	})
+}
+
+// TestHTTPAppendIdempotent pins the retry-safety of the write path: an
+// append replayed with a stale offset (the response was lost, the bytes
+// were not) is acknowledged without double-appending, while a genuinely
+// conflicting offset is rejected.
+func TestHTTPAppendIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	store := sweep.NewDirBackend(dir)
+	mux := http.NewServeMux()
+	newStoreServer(store).register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	cl := &Client{URL: srv.URL, HTTP: srv.Client()}
+	b := cl.Backend(0).(*httpBackend)
+
+	name := sweep.ShardName(0, 1)
+	w, err := b.OpenShard(name, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sweep.Record{Index: 0, Cells: []string{"x"}, Vals: []float64{1.5}}
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	hw := w.(*httpShardWriter)
+	line, err := sweep.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := append(line, '\n')
+
+	post := func(off int64, body []byte) (int, string) {
+		t.Helper()
+		st, data, err := cl.do(http.MethodPost, "/fabric/v1/ckpt/append",
+			map[string][]string{"name": {name}, "off": {strconv.FormatInt(off, 10)}}, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, string(data)
+	}
+	// Replay of the applied append: same bytes at the pre-append offset.
+	if st, body := post(0, wire); st != http.StatusOK {
+		t.Fatalf("replay rejected: %d %s", st, body)
+	}
+	// Conflicting offset (neither current nor an exact replay).
+	if st, _ := post(hw.off+7, wire); st != http.StatusConflict {
+		t.Fatalf("conflicting offset accepted: %d", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := store.ReadShard(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("checkpoint holds %d records after replay, want 1", len(recs))
+	}
+}

@@ -1,0 +1,87 @@
+package fabric
+
+import "netdesign/internal/sweep"
+
+// costModel estimates per-instance compute cost from the WallNS stamps
+// the engine records on every checkpointed record. The coordinator seeds
+// it from the boot scan and feeds it every append, so a resumed sweep
+// schedules on real observed costs, not instance counts.
+type costModel struct {
+	wall []int64 // observed WallNS per index; 0 = unobserved
+	sum  int64   // sum of observed costs
+	n    int     // observed indices
+}
+
+func (m *costModel) init(count int) { m.wall = make([]int64, count) }
+
+func (m *costModel) observe(rec sweep.Record) {
+	if rec.Index < 0 || rec.Index >= len(m.wall) || rec.WallNS <= 0 {
+		return
+	}
+	if prev := m.wall[rec.Index]; prev == 0 {
+		m.n++
+		m.sum += rec.WallNS
+	} else {
+		m.sum += rec.WallNS - prev
+	}
+	m.wall[rec.Index] = rec.WallNS
+}
+
+// estimate predicts the cost of computing idx: its own observation if
+// present, else the nearest observed index (sweep families vary cost
+// smoothly along the index axis — neighbors are the best predictor),
+// else the global mean, else 1 so empty models still order shards by
+// instance count.
+func (m *costModel) estimate(idx int) int64 {
+	if idx < 0 || idx >= len(m.wall) {
+		return 1
+	}
+	if m.wall[idx] > 0 {
+		return m.wall[idx]
+	}
+	for d := 1; d < len(m.wall); d++ {
+		if lo := idx - d; lo >= 0 && m.wall[lo] > 0 {
+			return m.wall[lo]
+		}
+		if hi := idx + d; hi < len(m.wall) && m.wall[hi] > 0 {
+			return m.wall[hi]
+		}
+	}
+	if m.n > 0 {
+		return m.sum / int64(m.n)
+	}
+	return 1
+}
+
+// remainingCostLocked sums the estimated cost of a shard's unobserved
+// indices — the work a fresh attempt would actually do, since observed
+// indices are already durable in the canonical checkpoint and resume
+// skips them.
+func (c *Coordinator) remainingCostLocked(shard int) int64 {
+	var total int64
+	for idx := shard; idx < c.spec.Count; idx += c.cfg.Shards {
+		if c.costs.wall[idx] == 0 {
+			total += c.costs.estimate(idx)
+		}
+	}
+	return total
+}
+
+// pickPendingLocked chooses the next shard to grant: the unleased,
+// unfinished shard with the heaviest remaining estimated cost, so the
+// expensive shards start first and the sweep's tail stays short. Ties
+// resolve to the lowest shard index, which keeps grant order
+// deterministic under the fake clock.
+func (c *Coordinator) pickPendingLocked() (int, bool) {
+	best, bestCost := -1, int64(-1)
+	for shard := range c.shards {
+		st := &c.shards[shard]
+		if st.done || len(st.attempts) > 0 {
+			continue
+		}
+		if cost := c.remainingCostLocked(shard); cost > bestCost {
+			best, bestCost = shard, cost
+		}
+	}
+	return best, best >= 0
+}

@@ -1,0 +1,427 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+
+	"netdesign/internal/sweep"
+)
+
+// storeWriter is one open server-side checkpoint writer: the real
+// sweep.ShardWriter (with its fsync window) plus the lease that owns it
+// and the acknowledged byte length, which is the append idempotency
+// cursor.
+type storeWriter struct {
+	lease int64
+	off   int64
+	w     sweep.ShardWriter
+}
+
+// storeServer serves a Store over HTTP: spec pin/load, layout check,
+// checkpoint read, and the open/append/close writer protocol. The
+// durable files, fsync windows and torn-tail semantics are all the
+// Store's — this layer only adds transport, per-name writer ownership,
+// and (when fence is set) lease fencing: every mutating call names its
+// lease, and a lease the coordinator has expired or superseded gets 410
+// before a single byte lands. onAppend, when set, observes every
+// accepted record (the coordinator feeds its cost model with it); it is
+// called without locks held.
+type storeServer struct {
+	store    Store
+	fence    func(lease int64, name string) error
+	onAppend func(rec sweep.Record)
+
+	mu      sync.Mutex
+	writers map[string]*storeWriter
+}
+
+func newStoreServer(store Store) *storeServer {
+	return &storeServer{store: store, writers: map[string]*storeWriter{}}
+}
+
+// closeOwned closes the open writer of name if lease owns it, flushing
+// its sync window. Closing a name with no writer (or someone else's) is
+// a no-op: fencing and completion paths race benignly.
+func (ss *storeServer) closeOwned(name string, lease int64) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	sw, ok := ss.writers[name]
+	if !ok || sw.lease != lease {
+		return nil
+	}
+	delete(ss.writers, name)
+	return sw.w.Close()
+}
+
+// checkFence applies the coordinator's lease check, writing the 410 that
+// tells a zombie worker its attempt is over. With no fence installed
+// (bare store, as in the backend contract tests) every call passes.
+func (ss *storeServer) checkFence(w http.ResponseWriter, r *http.Request, name string) bool {
+	if ss.fence == nil {
+		return true
+	}
+	lease, _ := strconv.ParseInt(r.URL.Query().Get("lease"), 10, 64)
+	if err := ss.fence(lease, name); err != nil {
+		http.Error(w, err.Error(), http.StatusGone)
+		return false
+	}
+	return true
+}
+
+func (ss *storeServer) register(mux *http.ServeMux) {
+	mux.HandleFunc("/fabric/v1/spec", ss.handleSpec)
+	mux.HandleFunc("/fabric/v1/layout", ss.handleLayout)
+	mux.HandleFunc("/fabric/v1/ckpt", ss.handleRead)
+	mux.HandleFunc("/fabric/v1/ckpt/open", ss.handleOpen)
+	mux.HandleFunc("/fabric/v1/ckpt/append", ss.handleAppend)
+	mux.HandleFunc("/fabric/v1/ckpt/close", ss.handleClose)
+}
+
+func (ss *storeServer) handleSpec(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		spec, err := ss.store.LoadSpec()
+		if errors.Is(err, os.ErrNotExist) {
+			http.Error(w, "no spec pinned", http.StatusNotFound)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var buf bytes.Buffer
+		if err := sweep.WriteSpec(&buf, spec); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(buf.Bytes())
+	case http.MethodPut:
+		spec, err := sweep.ParseSpec(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Pin mismatch is a client error — a worker trying to extend the
+		// store with a different sweep — and must not be retried.
+		if err := ss.store.PinSpec(spec); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "GET or PUT", http.StatusMethodNotAllowed)
+	}
+}
+
+func (ss *storeServer) handleLayout(w http.ResponseWriter, r *http.Request) {
+	shards, err := strconv.Atoi(r.URL.Query().Get("shards"))
+	if err != nil || shards < 1 {
+		http.Error(w, "bad shards", http.StatusBadRequest)
+		return
+	}
+	if err := ss.store.CheckLayout(shards); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRead serves the decodable prefix of a checkpoint, re-encoded.
+// Since every stored line originates from EncodeRecord, the re-encoding
+// is byte-identical to the on-disk prefix: the length the client decodes
+// is exactly the validLen a later open may truncate to. A torn tail
+// stays server-side and is simply not sent; mid-file corruption is an
+// unprocessable store, not a transient failure.
+func (ss *storeServer) handleRead(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	recs, _, err := ss.store.ReadShard(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		line, err := sweep.EncodeRecord(rec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	w.Write(buf.Bytes())
+}
+
+func (ss *storeServer) handleOpen(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	validLen, err := strconv.ParseInt(q.Get("len"), 10, 64)
+	if name == "" || err != nil || validLen < 0 {
+		http.Error(w, "bad name or len", http.StatusBadRequest)
+		return
+	}
+	syncEvery, err := strconv.Atoi(q.Get("sync"))
+	if err != nil || syncEvery < 0 {
+		http.Error(w, "bad sync", http.StatusBadRequest)
+		return
+	}
+	if !ss.checkFence(w, r, name) {
+		return
+	}
+	lease, _ := strconv.ParseInt(q.Get("lease"), 10, 64)
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	// A reopen supersedes any writer left behind by a dead client of the
+	// same checkpoint; its unsynced window is flushed by Close first.
+	if prev, ok := ss.writers[name]; ok {
+		delete(ss.writers, name)
+		if err := prev.w.Close(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	sw, err := ss.store.OpenShard(name, validLen, syncEvery)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ss.writers[name] = &storeWriter{lease: lease, off: validLen, w: sw}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (ss *storeServer) handleAppend(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	off, perr := strconv.ParseInt(q.Get("off"), 10, 64)
+	if name == "" || perr != nil || off < 0 {
+		http.Error(w, "bad name or off", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Decode every line before appending any: a request torn in transit
+	// (or a mid-write kill upstream of it) is rejected whole, so the
+	// durable checkpoint only ever grows by fully formed records and the
+	// record boundary the torn-tail recovery depends on is preserved.
+	recs, lens, err := decodeAppendBody(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !ss.checkFence(w, r, name) {
+		return
+	}
+	lease, _ := strconv.ParseInt(q.Get("lease"), 10, 64)
+	ss.mu.Lock()
+	sw, ok := ss.writers[name]
+	if !ok {
+		ss.mu.Unlock()
+		http.Error(w, "no open writer for "+name, http.StatusConflict)
+		return
+	}
+	if sw.lease != lease {
+		ss.mu.Unlock()
+		http.Error(w, ErrLeaseGone.Error(), http.StatusGone)
+		return
+	}
+	switch {
+	case off == sw.off:
+		for i, rec := range recs {
+			if err := sw.w.Append(rec); err != nil {
+				sw.off += sumInt64(lens[:i])
+				ss.mu.Unlock()
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		sw.off += sumInt64(lens)
+	case off < sw.off && sw.off-off == int64(len(body)):
+		// Retry of an append whose response was lost: already applied.
+	default:
+		ss.mu.Unlock()
+		http.Error(w, fmt.Sprintf("append at %d, writer at %d", off, sw.off), http.StatusConflict)
+		return
+	}
+	newLen := sw.off
+	ss.mu.Unlock()
+	if ss.onAppend != nil {
+		for _, rec := range recs {
+			ss.onAppend(rec)
+		}
+	}
+	json.NewEncoder(w).Encode(appendResponse{Len: newLen})
+}
+
+func (ss *storeServer) handleClose(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if !ss.checkFence(w, r, name) {
+		return
+	}
+	lease, _ := strconv.ParseInt(r.URL.Query().Get("lease"), 10, 64)
+	ss.mu.Lock()
+	sw, ok := ss.writers[name]
+	if ok && sw.lease != lease {
+		ss.mu.Unlock()
+		http.Error(w, ErrLeaseGone.Error(), http.StatusGone)
+		return
+	}
+	if ok {
+		delete(ss.writers, name)
+	}
+	ss.mu.Unlock()
+	if ok {
+		if err := sw.w.Close(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// decodeAppendBody splits a newline-terminated JSONL body into records,
+// returning each line's wire length (record + newline). Any undecodable
+// or unterminated line rejects the whole body.
+func decodeAppendBody(body []byte) ([]sweep.Record, []int64, error) {
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		return nil, nil, fmt.Errorf("fabric: append body not newline-terminated")
+	}
+	var recs []sweep.Record
+	var lens []int64
+	for off := 0; off < len(body); {
+		nl := bytes.IndexByte(body[off:], '\n')
+		rec, err := sweep.DecodeRecord(body[off : off+nl])
+		if err != nil {
+			return nil, nil, err
+		}
+		recs = append(recs, rec)
+		lens = append(lens, int64(nl)+1)
+		off += nl + 1
+	}
+	return recs, lens, nil
+}
+
+func sumInt64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// fenceCheck is the coordinator's lease gate on the checkpoint store: a
+// mutating call is admitted only under an active lease that owns the
+// named checkpoint. It is installed as the storeServer's fence and runs
+// lazy expiry first, so a zombie past its TTL is fenced by its own
+// write, not by a background sweep.
+func (c *Coordinator) fenceCheck(lease int64, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.cfg.Clock())
+	l, ok := c.leases[lease]
+	if !ok || l.state != leaseActive || l.file != name {
+		return ErrLeaseGone
+	}
+	return nil
+}
+
+// observeAppend feeds every accepted checkpoint record into the cost
+// model, keeping straggler estimates current while shards run.
+func (c *Coordinator) observeAppend(rec sweep.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.costs.observe(rec)
+}
+
+// leaseRequest and acquireRequest are the tiny JSON bodies of the
+// coordination calls.
+type leaseRequest struct {
+	Lease int64 `json:"lease"`
+}
+
+type acquireRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Handler returns the coordinator's full HTTP surface: the coordination
+// API (acquire/heartbeat/complete/status) plus the fenced checkpoint
+// store, all under /fabric/v1/.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fabric/v1/acquire", c.handleAcquire)
+	mux.HandleFunc("/fabric/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/fabric/v1/complete", c.handleComplete)
+	mux.HandleFunc("/fabric/v1/status", c.handleStatus)
+	c.ckpts.register(mux)
+	return mux
+}
+
+func (c *Coordinator) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req acquireRequest
+	json.NewDecoder(r.Body).Decode(&req)
+	res, err := c.Acquire(req.Worker)
+	if err != nil {
+		// Poisoned: a permanent condition, reported as a conflict so
+		// clients stop rather than retry.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	json.NewEncoder(w).Encode(res)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := c.Heartbeat(req.Lease); err != nil {
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := c.Complete(req.Lease)
+	switch {
+	case errors.Is(err, ErrLeaseGone):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.Is(err, ErrPoisoned):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		json.NewEncoder(w).Encode(res)
+	}
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(c.Status())
+}

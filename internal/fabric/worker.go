@@ -1,0 +1,187 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"netdesign/internal/sweep"
+)
+
+// Worker executes shard leases against a coordinator: acquire, compute
+// through the coordinator-served checkpoint store, heartbeat until done,
+// complete. A worker holds no sweep state of its own — kill it at any
+// instant and the coordinator reassigns its shard, which resumes from
+// the last durable record.
+type Worker struct {
+	Client *Client
+	ID     string // diagnostic label sent with acquires
+
+	// Options is the per-shard execution tuning (worker goroutines, sync
+	// window). Its Interrupt slot is owned by the worker: lease loss is
+	// parked there, combined with the optional Interrupt below.
+	Options sweep.Options
+
+	// Interrupt, when non-nil, is polled before each instance in addition
+	// to the lease-loss check; returning true abandons the current
+	// attempt without completing it. The chaos harness kills workers at
+	// record boundaries through this hook.
+	Interrupt func() bool
+
+	// Heartbeat is the interval between lease extensions: 0 means a third
+	// of the granted TTL, negative disables the heartbeat goroutine
+	// entirely (the chaos harness drives heartbeats explicitly to keep
+	// runs single-threaded and deterministic).
+	Heartbeat time.Duration
+
+	// Sleep is how the worker waits out coordinator back-off hints and
+	// failure backoffs; nil means time.Sleep.
+	Sleep func(time.Duration)
+
+	// MaxFailures caps consecutive RunOnce errors before Run gives up;
+	// <= 0 means DefaultMaxFailures.
+	MaxFailures int
+
+	spec     sweep.Spec // cached after the first load
+	haveSpec bool
+}
+
+// DefaultMaxFailures is the consecutive-error budget of Worker.Run.
+const DefaultMaxFailures = 5
+
+func (w *Worker) sleep(d time.Duration) {
+	if w.Sleep != nil {
+		w.Sleep(d)
+	} else {
+		time.Sleep(d)
+	}
+}
+
+// RunOnce performs one acquire cycle: it returns done=true when the
+// coordinator reports the sweep complete, and done=false after executing
+// (or abandoning) a single grant or waiting out a back-off hint. An
+// abandoned attempt — lease lost, interrupt fired — is not an error; the
+// coordinator's expiry machinery owns the cleanup.
+func (w *Worker) RunOnce() (done bool, err error) {
+	res, err := w.Client.Acquire(w.ID)
+	if err != nil {
+		return false, err
+	}
+	if res.Done {
+		return true, nil
+	}
+	if res.Grant == nil {
+		w.sleep(res.Wait())
+		return false, nil
+	}
+	return w.runGrant(res.Grant)
+}
+
+// runGrant executes one grant; done=true means this worker's complete
+// finished the whole sweep (the coordinator piggybacks sweep completion
+// on the complete response, since a -once coordinator may exit before
+// the worker's next acquire could ask).
+func (w *Worker) runGrant(g *Grant) (done bool, err error) {
+	backend := w.Client.Backend(g.Lease)
+	if !w.haveSpec {
+		spec, err := backend.LoadSpec()
+		if err != nil {
+			return false, fmt.Errorf("fabric: worker loading spec: %w", err)
+		}
+		w.spec, w.haveSpec = spec, true
+	}
+
+	// Heartbeat until the shard is done or the lease is lost. The lost
+	// flag reaches the compute loop through Options.Interrupt, so a
+	// fenced worker stops burning CPU on records the coordinator will
+	// refuse anyway.
+	var lost, interrupted atomic.Bool
+	stopHB := make(chan struct{})
+	hbDone := make(chan struct{})
+	interval := w.Heartbeat
+	if interval == 0 {
+		interval = g.TTL() / 3
+	}
+	if interval > 0 {
+		go func() {
+			defer close(hbDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopHB:
+					return
+				case <-t.C:
+					if err := w.Client.Heartbeat(g.Lease); errors.Is(err, ErrLeaseGone) {
+						lost.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	} else {
+		close(hbDone)
+	}
+
+	opt := w.Options
+	opt.Interrupt = func() bool {
+		if lost.Load() {
+			return true
+		}
+		if w.Interrupt != nil && w.Interrupt() {
+			interrupted.Store(true)
+			return true
+		}
+		return false
+	}
+	_, runErr := sweep.RunShardFileOn(backend, w.spec, g.File, g.Shard, g.Shards, opt)
+	close(stopHB)
+	<-hbDone
+
+	if runErr != nil {
+		// A fenced attempt surfaces as ErrLeaseGone from the write path
+		// (or via the heartbeat); that is reassignment, not failure.
+		if lost.Load() || errors.Is(runErr, ErrLeaseGone) {
+			return false, nil
+		}
+		return false, runErr
+	}
+	if lost.Load() || interrupted.Load() {
+		return false, nil // abandoned cleanly; no complete
+	}
+	res, err := w.Client.Complete(g.Lease)
+	if errors.Is(err, ErrLeaseGone) {
+		return false, nil // a rival finished first and this lease was fenced
+	}
+	if err != nil {
+		return false, err
+	}
+	return res.Done, nil
+}
+
+// Run loops RunOnce until the sweep completes, tolerating up to
+// MaxFailures consecutive errors with backed-off retries between them.
+func (w *Worker) Run() error {
+	max := w.MaxFailures
+	if max <= 0 {
+		max = DefaultMaxFailures
+	}
+	retry := w.Client.Retry.withDefaults()
+	failures := 0
+	for {
+		done, err := w.RunOnce()
+		if done {
+			return nil
+		}
+		if err == nil {
+			failures = 0
+			continue
+		}
+		failures++
+		if failures >= max || errors.Is(err, ErrPoisoned) {
+			return err
+		}
+		w.sleep(retry.backoff(failures - 1))
+	}
+}

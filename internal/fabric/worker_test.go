@@ -1,0 +1,93 @@
+package fabric
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"netdesign/internal/sweep"
+)
+
+// TestWorkersCompleteSweepOverHTTP runs a real fleet: a coordinator
+// behind an HTTP server, one worker that acquires a shard and dies
+// without completing or heartbeating it, and two healthy workers that
+// drive the sweep to completion — including the dead worker's shard,
+// reassigned after lease expiry. The merged table must match the serial
+// oracle byte for byte.
+func TestWorkersCompleteSweepOverHTTP(t *testing.T) {
+	spec := testSpec()
+	spec.Count = 12
+	store := sweep.NewDirBackend(t.TempDir())
+	c, err := New(Config{Spec: spec, Shards: 4, Store: store, LeaseTTL: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// The doomed worker: abandons its first grant at the first instance
+	// poll and is never heard from again. Heartbeats are disabled so its
+	// lease dies with it.
+	doomed := &Worker{
+		Client:    &Client{URL: srv.URL, HTTP: srv.Client()},
+		ID:        "doomed",
+		Options:   sweep.Options{Workers: 1},
+		Interrupt: func() bool { return true },
+		Heartbeat: -1,
+	}
+	if done, err := doomed.RunOnce(); done || err != nil {
+		t.Fatalf("doomed RunOnce: done=%v err=%v", done, err)
+	}
+	if st := c.Status(); st.Leased != 1 {
+		t.Fatalf("after doomed worker: %d leased shards, want 1", st.Leased)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		w := &Worker{
+			Client:  &Client{URL: srv.URL, HTTP: srv.Client()},
+			ID:      string(rune('a' + i)),
+			Options: sweep.Options{Workers: 1},
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Run()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	status, err := (&Client{URL: srv.URL, HTTP: srv.Client()}).Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.Done || status.Completed != 4 {
+		t.Fatalf("status %+v, want 4 completed", status)
+	}
+	if status.Attempts < 5 {
+		t.Fatalf("%d attempts, want at least 5 (doomed shard must be reassigned)", status.Attempts)
+	}
+
+	got, err := c.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sweep.RunSerial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotText, wantText bytes.Buffer
+	got.Render(&gotText)
+	want.Render(&wantText)
+	if gotText.String() != wantText.String() {
+		t.Fatalf("fleet merge differs from serial oracle:\n%s\nvs\n%s", gotText.String(), wantText.String())
+	}
+}

@@ -65,20 +65,30 @@ type Config struct {
 	// in order). 0 or 1 sends one frame per request. Requests, errors
 	// and req/s count frames; latency quantiles are per round trip.
 	Pipeline int
+
+	// Reconnect retries a request up to this many times when the
+	// transport fails — a pooled connection died, the daemon restarted —
+	// with capped exponential backoff (10ms doubling to 500ms) between
+	// tries. HTTP-status failures are never retried: a 4xx/5xx answer is
+	// the server speaking, not the connection dying. 0 disables, so a
+	// failed send is simply an error (the strict mode the differential
+	// tests use).
+	Reconnect int
 }
 
 // Result is one run's report.
 type Result struct {
 	Requests       int           // completed requests (errors included)
 	Errors         int           // transport failures + non-200 + non-OK frames
+	Reconnects     int           // transport retries that re-sent a request
 	Elapsed        time.Duration // wall time of the measured window
 	ReqPerSec      float64
 	P50, P99, P999 time.Duration
 }
 
 func (r *Result) String() string {
-	return fmt.Sprintf("%d req in %v (%.0f req/s), errors %d, p50 %v p99 %v p999 %v",
-		r.Requests, r.Elapsed.Round(time.Millisecond), r.ReqPerSec, r.Errors, r.P50, r.P99, r.P999)
+	return fmt.Sprintf("%d req in %v (%.0f req/s), errors %d, reconnects %d, p50 %v p99 %v p999 %v",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.ReqPerSec, r.Errors, r.Reconnects, r.P50, r.P99, r.P999)
 }
 
 // Run executes the configured load and reports.
@@ -130,7 +140,7 @@ func Run(cfg Config) (*Result, error) {
 	defer cancel()
 
 	var sent atomic.Int64 // tickets: worker proceeds only while < Total
-	var errs atomic.Int64
+	var errs, recon atomic.Int64
 	lats := make([][]time.Duration, cfg.Workers)
 	var wg sync.WaitGroup
 	t0 := time.Now()
@@ -149,7 +159,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 				body := cfg.Bodies[i%len(cfg.Bodies)]
 				q0 := time.Now()
-				if failed := doOne(ctx, client, &cfg, contentType, body, perOp, ws); failed > 0 {
+				if failed := doOne(ctx, client, &cfg, contentType, body, perOp, ws, &recon); failed > 0 {
 					errs.Add(int64(failed))
 				}
 				my = append(my, time.Since(q0))
@@ -166,9 +176,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res := &Result{
-		Requests: len(all) * perOp,
-		Errors:   int(errs.Load()),
-		Elapsed:  elapsed,
+		Requests:   len(all) * perOp,
+		Errors:     int(errs.Load()),
+		Reconnects: int(recon.Load()),
+		Elapsed:    elapsed,
 	}
 	if elapsed > 0 {
 		res.ReqPerSec = float64(res.Requests) / elapsed.Seconds()
@@ -211,22 +222,44 @@ func (ws *workerScratch) readAll(r io.Reader) ([]byte, error) {
 // doOne sends one round trip of perOp requests and returns how many
 // failed. Success is HTTP 200, a well-formed OK status frame per
 // pipelined frame on the binary protocol, and (with DecodeSNE) a fully
-// decodable response on either protocol.
-func doOne(ctx context.Context, client *http.Client, cfg *Config, contentType string, body []byte, perOp int, ws *workerScratch) int {
-	ws.body.Reset(body)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, ws.body)
-	if err != nil {
-		return perOp
+// decodable response on either protocol. Transport failures — a dead
+// pooled connection, a daemon mid-restart — are retried up to
+// cfg.Reconnect times with capped exponential backoff; an HTTP error
+// status is an answer and is never retried.
+func doOne(ctx context.Context, client *http.Client, cfg *Config, contentType string, body []byte, perOp int, ws *workerScratch, recon *atomic.Int64) int {
+	var raw []byte
+	var resp *http.Response
+	backoff := 10 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		ws.body.Reset(body)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, ws.body)
+		if err != nil {
+			return perOp
+		}
+		req.ContentLength = int64(len(body))
+		req.Header.Set("Content-Type", contentType)
+		resp, err = client.Do(req)
+		if err == nil {
+			raw, err = ws.readAll(resp.Body)
+			resp.Body.Close()
+			if err == nil {
+				break
+			}
+		}
+		if attempt >= cfg.Reconnect || ctx.Err() != nil {
+			return perOp
+		}
+		select {
+		case <-ctx.Done():
+			return perOp
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+		recon.Add(1)
 	}
-	req.ContentLength = int64(len(body))
-	req.Header.Set("Content-Type", contentType)
-	resp, err := client.Do(req)
-	if err != nil {
-		return perOp
-	}
-	raw, err := ws.readAll(resp.Body)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK {
 		return perOp
 	}
 	if cfg.Binary {

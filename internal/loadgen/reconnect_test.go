@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// connKiller answers the first kill requests by slamming the TCP
+// connection shut mid-request — the client sees a transport error, not
+// an HTTP status — and serves 200 afterwards.
+type connKiller struct {
+	kill atomic.Int64
+}
+
+func (ck *connKiller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if ck.kill.Add(-1) >= 0 {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server not hijackable")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			panic(err)
+		}
+		conn.Close()
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// TestReconnectRecoversDeadConnections: with Reconnect budget, requests
+// whose pooled connection dies are retried until they land, the run ends
+// clean, and the retries are reported.
+func TestReconnectRecoversDeadConnections(t *testing.T) {
+	ck := &connKiller{}
+	ck.kill.Store(3)
+	ts := httptest.NewServer(ck)
+	defer ts.Close()
+
+	res, err := Run(Config{
+		URL:       ts.URL,
+		Bodies:    [][]byte{[]byte("{}")},
+		Workers:   1,
+		Conns:     1,
+		Total:     5,
+		Duration:  30 * time.Second,
+		Reconnect: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("run with reconnects still failed: %v", res)
+	}
+	if res.Reconnects < 3 {
+		t.Fatalf("%d reconnects reported, want >= 3 (one per killed connection): %v", res.Reconnects, res)
+	}
+}
+
+// TestReconnectDisabledIsSingleShot: the zero config keeps the strict
+// semantics — a dead connection is an error, nothing is resent.
+func TestReconnectDisabledIsSingleShot(t *testing.T) {
+	ck := &connKiller{}
+	ck.kill.Store(2)
+	ts := httptest.NewServer(ck)
+	defer ts.Close()
+
+	res, err := Run(Config{
+		URL:      ts.URL,
+		Bodies:   [][]byte{[]byte("{}")},
+		Workers:  1,
+		Conns:    1,
+		Total:    4,
+		Duration: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 2 || res.Reconnects != 0 {
+		t.Fatalf("single-shot run: errors %d (want 2), reconnects %d (want 0)", res.Errors, res.Reconnects)
+	}
+}

@@ -41,8 +41,18 @@ type binWS struct {
 // buffers a second copy of the response.
 func (s *Server) binAPI(ep int) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.met.inflight.Add(1)
+		n := s.met.inflight.Add(1)
 		defer s.met.inflight.Add(-1)
+		if s.overloaded(n) {
+			s.met.shed.Add(1)
+			s.met.observe(ep, 0, true)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Retry-After", "1")
+			ws := s.binws.Get().(*binWS)
+			binFail(w, ws, http.StatusServiceUnavailable, wire.StatusUnavailable, "server overloaded, retry later")
+			s.binws.Put(ws)
+			return
+		}
 		t0 := time.Now()
 		code := s.serveBinary(ep, w, r)
 		s.met.observe(ep, time.Since(t0), code >= 400)

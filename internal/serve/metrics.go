@@ -44,6 +44,7 @@ type metrics struct {
 	coldSolves  atomic.Int64
 
 	inflight atomic.Int64
+	shed     atomic.Int64
 	started  time.Time
 }
 
@@ -136,6 +137,7 @@ func (m *metrics) render(cacheLen int) string {
 	fmt.Fprintf(&b, "sned_solves_total{mode=\"warm\"} %d\n", m.warmSolves.Load())
 	fmt.Fprintf(&b, "sned_solves_total{mode=\"cold\"} %d\n", m.coldSolves.Load())
 	fmt.Fprintf(&b, "sned_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(&b, "sned_shed_requests_total %d\n", m.shed.Load())
 	fmt.Fprintf(&b, "sned_uptime_seconds %g\n", time.Since(m.started).Seconds())
 
 	// Go runtime health: goroutine count and the GC ledger. ReadMemStats

@@ -42,6 +42,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netdesign/internal/broadcast"
@@ -77,6 +78,14 @@ type Config struct {
 	// arriving cannot pin a stale basis forever. Default 10m; negative
 	// disables expiry.
 	CacheTTL time.Duration
+
+	// MaxInflight caps concurrently served solve requests; past it the
+	// server sheds load instead of queueing: /v1 answers 503 with a
+	// Retry-After hint, /v2 answers a StatusUnavailable frame. Solves are
+	// CPU-bound, so admitting more than the machine can run concurrently
+	// only grows every request's latency until all of them time out;
+	// shedding keeps the admitted ones fast. 0 means unlimited.
+	MaxInflight int
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +121,12 @@ type Server struct {
 	// latency here to exercise the timeout path deterministically.
 	preSolve func()
 
+	// ready gates /readyz: false until Start has a listener bound, false
+	// again the instant Shutdown begins draining — so a load balancer
+	// stops routing to a daemon that is about to close its listener,
+	// while /healthz keeps answering (the process is alive throughout).
+	ready atomic.Bool
+
 	mu   sync.Mutex
 	http *http.Server
 }
@@ -136,6 +151,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -164,13 +188,21 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	s.mu.Lock()
 	s.http = hs
 	s.mu.Unlock()
+	s.ready.Store(true)
 	go hs.Serve(ln)
 	return ln.Addr(), nil
 }
 
+// SetReady overrides the readiness gate; callers mounting Handler on
+// their own listener (no Start) use it to flip /readyz themselves.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
 // Shutdown gracefully drains the listener started by Start: no new
 // connections, in-flight requests run to completion (or ctx expiry).
+// Readiness drops first, so health checkers see not-ready before the
+// listener disappears.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
 	s.mu.Lock()
 	hs := s.http
 	s.mu.Unlock()
@@ -205,13 +237,26 @@ func (s *Server) api(ep int, h http.HandlerFunc) http.Handler {
 	})
 	timed := http.TimeoutHandler(limited, s.cfg.Timeout, `{"error":"request timed out"}`)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.met.inflight.Add(1)
+		n := s.met.inflight.Add(1)
 		defer s.met.inflight.Add(-1)
+		if s.overloaded(n) {
+			s.met.shed.Add(1)
+			s.met.observe(ep, 0, true)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server overloaded, retry later")
+			return
+		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		t0 := time.Now()
 		timed.ServeHTTP(rec, r)
 		s.met.observe(ep, time.Since(t0), rec.code >= 400)
 	})
+}
+
+// overloaded decides admission for the request that just raised the
+// inflight gauge to n.
+func (s *Server) overloaded(n int64) bool {
+	return s.cfg.MaxInflight > 0 && n > int64(s.cfg.MaxInflight)
 }
 
 // decodeRequest parses the JSON body into req and the embedded instance

@@ -63,7 +63,7 @@ func TestDispatchAllocsPerInstance(t *testing.T) {
 	}
 	sink := func(rec Record) error { return nil }
 	avg := testing.AllocsPerRun(20, func() {
-		if _, err := runIndices(sc, spec, indices, 1, 0, sink); err != nil {
+		if _, err := runIndices(sc, spec, indices, 1, 0, nil, sink); err != nil {
 			t.Fatal(err)
 		}
 	})

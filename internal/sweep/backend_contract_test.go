@@ -1,0 +1,34 @@
+package sweep_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netdesign/internal/sweep"
+	"netdesign/internal/sweep/backendtest"
+)
+
+// TestDirBackendContract holds the local-directory store to the shared
+// backend contract — the same suite internal/fabric runs against the
+// coordinator-served HTTP store, so durability semantics (append-only,
+// torn-tail recovery, fsync windows) are pinned identically on both.
+func TestDirBackendContract(t *testing.T) {
+	backendtest.Run(t, func(t *testing.T) backendtest.Env {
+		dir := t.TempDir()
+		return backendtest.Env{
+			Backend: sweep.NewDirBackend(dir),
+			Tamper: func(t *testing.T, name string, mutate func([]byte) []byte) {
+				t.Helper()
+				path := filepath.Join(dir, name)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		}
+	})
+}

@@ -1,0 +1,323 @@
+// Package backendtest is the shared contract suite for sweep checkpoint
+// backends: every Backend implementation — the local run directory, the
+// coordinator-served HTTP store — must pass the identical battery of
+// spec-pin, append-only, torn-tail-recovery, durability-window and
+// engine-integration assertions. The suite is what makes "pluggable"
+// trustworthy: the engine's crash-safety argument is written once against
+// the contract, and each backend proves it honors it.
+package backendtest
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+
+	"netdesign/internal/sweep"
+)
+
+// Env is one backend under test. Tamper rewrites the raw bytes of a
+// named checkpoint behind the Backend's back — how the suite plants the
+// torn tails and corruption a crashed writer leaves. For remote
+// backends, Tamper operates on the server-side store.
+type Env struct {
+	Backend sweep.Backend
+	Tamper  func(t *testing.T, name string, mutate func([]byte) []byte)
+}
+
+// Run drives the full contract suite, building a fresh Env per subtest.
+func Run(t *testing.T, open func(t *testing.T) Env) {
+	t.Run("SpecPin", func(t *testing.T) { testSpecPin(t, open(t)) })
+	t.Run("AppendRead", func(t *testing.T) { testAppendRead(t, open(t)) })
+	t.Run("TornTailRecovery", func(t *testing.T) { testTornTail(t, open(t)) })
+	t.Run("CorruptionErrors", func(t *testing.T) { testCorruption(t, open(t)) })
+	t.Run("SyncWindow", func(t *testing.T) { testSyncWindow(t, open(t)) })
+	t.Run("LayoutGuard", func(t *testing.T) { testLayoutGuard(t, open(t)) })
+	t.Run("EngineDifferential", func(t *testing.T) { testEngineDifferential(t, open(t)) })
+}
+
+func contractSpec() sweep.Spec {
+	return sweep.Spec{Scenario: "enforce", Seed: 17, Count: 6, Size: 5, Params: map[string]float64{"spread": 3}}
+}
+
+func rec(i int, v float64) sweep.Record {
+	return sweep.Record{Index: i, Cells: []string{"a", "b", "c", "d", "e"}, Vals: []float64{v}}
+}
+
+// encode renders a record the way the checkpoint file stores it.
+func encode(t *testing.T, r sweep.Record) []byte {
+	t.Helper()
+	line, err := sweep.EncodeRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return line
+}
+
+func testSpecPin(t *testing.T, env Env) {
+	b := env.Backend
+	if _, err := b.LoadSpec(); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("LoadSpec on empty store: got %v, want ErrNotExist", err)
+	}
+	spec := contractSpec()
+	if err := b.PinSpec(spec); err != nil {
+		t.Fatalf("first pin: %v", err)
+	}
+	got, err := b.LoadSpec()
+	if err != nil {
+		t.Fatalf("LoadSpec after pin: %v", err)
+	}
+	if !got.Equal(spec) {
+		t.Fatalf("pinned spec round-trip: got %+v, want %+v", got, spec)
+	}
+	if err := b.PinSpec(spec); err != nil {
+		t.Fatalf("idempotent re-pin: %v", err)
+	}
+	other := spec
+	other.Seed++
+	if err := b.PinSpec(other); err == nil {
+		t.Fatal("pin of a different spec accepted — mixing sweeps must error")
+	}
+}
+
+func testAppendRead(t *testing.T, env Env) {
+	b := env.Backend
+	name := sweep.ShardName(0, 2)
+	// A checkpoint never written reads as empty, not as an error.
+	recs, validLen, err := b.ReadShard(name)
+	if err != nil || len(recs) != 0 || validLen != 0 {
+		t.Fatalf("missing checkpoint: recs=%d len=%d err=%v, want empty", len(recs), validLen, err)
+	}
+	w, err := b.OpenShard(name, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []sweep.Record
+	wantLen := int64(0)
+	for i := 0; i < 3; i++ {
+		r := rec(2*i, float64(i)+0.5)
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+		wantLen += int64(len(encode(t, r))) + 1
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, validLen, err = b.ReadShard(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if validLen != wantLen {
+		t.Fatalf("validLen %d, want %d", validLen, wantLen)
+	}
+	requireSameRecords(t, recs, want)
+	// Append-only: reopening at validLen extends, never rewrites.
+	w, err = b.OpenShard(name, validLen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := rec(8, 9.25)
+	if err := w.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err = b.ReadShard(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRecords(t, recs, append(want, extra))
+}
+
+func testTornTail(t *testing.T, env Env) {
+	b := env.Backend
+	name := sweep.ShardName(1, 2)
+	w, err := b.OpenShard(name, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []sweep.Record
+	for i := 0; i < 3; i++ {
+		r := rec(2*i+1, float64(i)*3.5)
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A writer killed mid-write leaves the head half of its final line.
+	env.Tamper(t, name, func(data []byte) []byte {
+		start := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+		return data[:start+(len(data)-1-start)/2]
+	})
+	recs, validLen, err := b.ReadShard(name)
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	requireSameRecords(t, recs, want[:2])
+	// Resume: truncate at the valid prefix and recompute the lost record.
+	w, err = b.OpenShard(name, validLen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(want[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err = b.ReadShard(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRecords(t, recs, want)
+}
+
+func testCorruption(t *testing.T, env Env) {
+	b := env.Backend
+	name := sweep.ShardName(0, 3)
+	w, err := b.OpenShard(name, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(rec(3*i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage before the final line is corruption, not a torn tail.
+	env.Tamper(t, name, func(data []byte) []byte {
+		first := bytes.IndexByte(data, '\n')
+		mangled := append([]byte(nil), data...)
+		copy(mangled[first/2:], "@@@@")
+		return mangled
+	})
+	if _, _, err := b.ReadShard(name); err == nil {
+		t.Fatal("mid-file corruption read back as valid")
+	}
+}
+
+func testSyncWindow(t *testing.T, env Env) {
+	b := env.Backend
+	name := sweep.ShardName(0, 1)
+	var mu sync.Mutex
+	var synced int64
+	syncs := 0
+	sweep.CheckpointSyncHook = func(off int64) {
+		mu.Lock()
+		synced, syncs = off, syncs+1
+		mu.Unlock()
+	}
+	t.Cleanup(func() { sweep.CheckpointSyncHook = nil })
+
+	const window = 2
+	w, err := b.OpenShard(name, 0, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := int64(0)
+	for i := 0; i < 7; i++ {
+		r := rec(i, float64(i))
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		written += int64(len(encode(t, r))) + 1
+		mu.Lock()
+		lag := written - synced
+		mu.Unlock()
+		// At every acknowledgement, at most one window of records may
+		// still be outside an fsync (each line here is < 96 bytes).
+		if maxLag := int64(window) * 96; lag >= maxLag {
+			t.Fatalf("after ack %d, %d bytes unsynced (>= %d)", i, lag, maxLag)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	finalSynced, n := synced, syncs
+	mu.Unlock()
+	if finalSynced != written {
+		t.Fatalf("close left %d of %d bytes unsynced", finalSynced, written)
+	}
+	if n < 7/window {
+		t.Fatalf("only %d fsyncs for 7 records at window %d", n, window)
+	}
+}
+
+func testLayoutGuard(t *testing.T, env Env) {
+	b := env.Backend
+	if err := b.CheckLayout(4); err != nil {
+		t.Fatalf("layout check on empty store: %v", err)
+	}
+	w, err := b.OpenShard(sweep.ShardName(1, 4), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckLayout(4); err != nil {
+		t.Fatalf("matching layout rejected: %v", err)
+	}
+	if err := b.CheckLayout(3); err == nil {
+		t.Fatal("mixed shard counts accepted — partitions must not mix in one store")
+	}
+}
+
+// testEngineDifferential runs a real sharded sweep end to end through
+// the backend — including a mid-shard kill and resume — and holds the
+// merged table byte-identical to the serial oracle.
+func testEngineDifferential(t *testing.T, env Env) {
+	b := env.Backend
+	spec := contractSpec()
+	want, err := sweep.RunSerial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantText, gotText bytes.Buffer
+	want.Render(&wantText)
+	const shards = 2
+	for shard := 0; shard < shards; shard++ {
+		// Kill after one record, then resume to completion.
+		if _, err := sweep.RunShardOn(b, spec, shard, shards, sweep.Options{Workers: 1, StopAfter: 1}); err != nil {
+			t.Fatalf("killed run shard %d: %v", shard, err)
+		}
+		if _, err := sweep.RunShardOn(b, spec, shard, shards, sweep.Options{Workers: 1}); err != nil {
+			t.Fatalf("resume shard %d: %v", shard, err)
+		}
+	}
+	got, err := sweep.MergeOn(b, spec, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Render(&gotText)
+	if gotText.String() != wantText.String() {
+		t.Fatalf("merged table differs from serial oracle:\n--- serial ---\n%s--- merged ---\n%s", wantText.String(), gotText.String())
+	}
+}
+
+func requireSameRecords(t *testing.T, got, want []sweep.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := encode(t, got[i]), encode(t, want[i])
+		if !bytes.Equal(g, w) {
+			t.Fatalf("record %d differs:\n got %s\nwant %s", i, g, w)
+		}
+	}
+}

@@ -154,13 +154,16 @@ func resolveSyncEvery(n int) int {
 	return n
 }
 
-// checkpointSyncHook, when non-nil, observes every durability fsync with
-// the byte offset now guaranteed on disk. The differential harness uses
-// it to assert the sync-point invariant: no acknowledged record may sit
-// more than one sync window beyond the last synced offset — the
-// "acknowledged to the coordinator, lost on host crash" hole a
-// process-kill-only harness cannot see.
-var checkpointSyncHook func(synced int64)
+// CheckpointSyncHook, when non-nil, observes every durability fsync with
+// the byte offset now guaranteed on disk. Test-only: the durability
+// harness and the shared backend contract suite (backendtest) use it to
+// assert the sync-point invariant — no acknowledged record may sit more
+// than one sync window beyond the last synced offset, the "acknowledged
+// to the coordinator, lost on host crash" hole a process-kill-only
+// harness cannot see. It is exported solely so backendtest (and the
+// fabric coordinator's tests, where the syncs happen server-side) can
+// observe it; production code must never set it.
+var CheckpointSyncHook func(synced int64)
 
 // checkpointWriter appends records to a shard file, one fully formed line
 // per completed instance, serialized across worker goroutines. Each line
@@ -197,7 +200,7 @@ func openCheckpoint(path string, validLen int64, syncEvery int) (*checkpointWrit
 	return &checkpointWriter{f: f, syncEvery: syncEvery, off: validLen, synced: validLen}, nil
 }
 
-func (w *checkpointWriter) append(rec Record) error {
+func (w *checkpointWriter) Append(rec Record) error {
 	line, err := EncodeRecord(rec)
 	if err != nil {
 		return err
@@ -225,13 +228,13 @@ func (w *checkpointWriter) syncLocked() error {
 	}
 	w.unsynced = 0
 	w.synced = w.off
-	if checkpointSyncHook != nil {
-		checkpointSyncHook(w.synced)
+	if CheckpointSyncHook != nil {
+		CheckpointSyncHook(w.synced)
 	}
 	return nil
 }
 
-func (w *checkpointWriter) close() error {
+func (w *checkpointWriter) Close() error {
 	w.mu.Lock()
 	var syncErr error
 	if w.syncEvery > 0 && w.unsynced > 0 {

@@ -18,12 +18,12 @@ func TestCheckpointWriterSyncWindow(t *testing.T) {
 	for _, window := range []int{1, 4} {
 		var mu sync.Mutex
 		var synced int64
-		checkpointSyncHook = func(off int64) {
+		CheckpointSyncHook = func(off int64) {
 			mu.Lock()
 			synced = off
 			mu.Unlock()
 		}
-		t.Cleanup(func() { checkpointSyncHook = nil })
+		t.Cleanup(func() { CheckpointSyncHook = nil })
 
 		path := filepath.Join(t.TempDir(), "shard.jsonl")
 		w, err := openCheckpoint(path, 0, window)
@@ -37,7 +37,7 @@ func TestCheckpointWriterSyncWindow(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := w.append(rec); err != nil {
+			if err := w.Append(rec); err != nil {
 				t.Fatal(err)
 			}
 			written += int64(len(line)) + 1
@@ -50,7 +50,7 @@ func TestCheckpointWriterSyncWindow(t *testing.T) {
 				t.Fatalf("window %d: after ack %d, %d bytes unsynced (>= %d)", window, i, lag, maxLag)
 			}
 		}
-		if err := w.close(); err != nil {
+		if err := w.Close(); err != nil {
 			t.Fatal(err)
 		}
 		mu.Lock()
@@ -66,8 +66,8 @@ func TestCheckpointWriterSyncWindow(t *testing.T) {
 // to a writer that never fsyncs — the explicit benchmark escape hatch.
 func TestCheckpointWriterSyncDisabled(t *testing.T) {
 	calls := 0
-	checkpointSyncHook = func(int64) { calls++ }
-	t.Cleanup(func() { checkpointSyncHook = nil })
+	CheckpointSyncHook = func(int64) { calls++ }
+	t.Cleanup(func() { CheckpointSyncHook = nil })
 
 	path := filepath.Join(t.TempDir(), "shard.jsonl")
 	w, err := openCheckpoint(path, 0, resolveSyncEvery(-1))
@@ -75,11 +75,11 @@ func TestCheckpointWriterSyncDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := w.append(Record{Index: i}); err != nil {
+		if err := w.Append(Record{Index: i}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := w.close(); err != nil {
+	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if calls != 0 {
@@ -110,12 +110,12 @@ func TestRunShardSyncPoints(t *testing.T) {
 
 	var mu sync.Mutex
 	var offsets []int64
-	checkpointSyncHook = func(off int64) {
+	CheckpointSyncHook = func(off int64) {
 		mu.Lock()
 		offsets = append(offsets, off)
 		mu.Unlock()
 	}
-	t.Cleanup(func() { checkpointSyncHook = nil })
+	t.Cleanup(func() { CheckpointSyncHook = nil })
 
 	n, err := RunShard(spec, dir, 0, 1, Options{Workers: 1, SyncEvery: 1})
 	if err != nil {

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -32,6 +33,13 @@ type Options struct {
 	// entirely (benchmark mode — a host crash may then lose acknowledged
 	// records, which resume would silently recompute differently-ordered).
 	SyncEvery int
+
+	// Interrupt, when non-nil, is polled before each instance; returning
+	// true stops the shard cleanly (no error — the partial checkpoint is a
+	// valid crash state resume recovers from). Fabric workers park lease
+	// loss here so a fenced worker stops computing instead of burning CPU
+	// on records the coordinator will refuse.
+	Interrupt func() bool
 }
 
 // ShardOf returns the shard owning instance idx under a round-robin
@@ -40,7 +48,7 @@ func ShardOf(idx, shards int) int { return idx % shards }
 
 // ShardPath returns the checkpoint path of one shard of a run directory.
 func ShardPath(dir string, shard, shards int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard-%03d-of-%03d.jsonl", shard, shards))
+	return filepath.Join(dir, ShardName(shard, shards))
 }
 
 // specFileName pins the sweep spec inside its run directory so resumed
@@ -165,7 +173,7 @@ func (d doneSet) add(i int) bool {
 // produced; which indices complete under an early stop depends on worker
 // scheduling (any subset is a valid crash state — resume recomputes the
 // rest). Returns the number of records handed to sink.
-func runIndices(sc *Scenario, spec Spec, indices []int, workers, stopAfter int, sink func(Record) error) (int, error) {
+func runIndices(sc *Scenario, spec Spec, indices []int, workers, stopAfter int, interrupt func() bool, sink func(Record) error) (int, error) {
 	if len(indices) == 0 {
 		return 0, nil
 	}
@@ -179,6 +187,10 @@ func runIndices(sc *Scenario, spec Spec, indices []int, workers, stopAfter int, 
 		var carry any
 		for _, idx := range indices[lo:hi] {
 			if stop.Load() {
+				return
+			}
+			if interrupt != nil && interrupt() {
+				stop.Store(true)
 				return
 			}
 			if stopAfter > 0 && reserved.Add(1) > int64(stopAfter) {
@@ -247,7 +259,7 @@ func RunTable(spec Spec, workers int) (*table.Table, error) {
 	}
 	recs := make([]Record, 0, spec.Count)
 	var mu sync.Mutex
-	_, err := runIndices(sc, spec, indices, workers, 0, func(rec Record) error {
+	_, err := runIndices(sc, spec, indices, workers, 0, nil, func(rec Record) error {
 		mu.Lock()
 		recs = append(recs, rec)
 		mu.Unlock()
@@ -272,6 +284,26 @@ func RunSerial(spec Spec) (*table.Table, error) { return RunTable(spec, 1) }
 // writers on the *same* shard are not supported (give each worker its
 // own shard).
 func RunShard(spec Spec, dir string, shard, shards int, opt Options) (int, error) {
+	return RunShardOn(NewDirBackend(dir), spec, shard, shards, opt)
+}
+
+// RunShardOn is RunShard over any checkpoint Backend: the canonical
+// shard checkpoint (ShardName) is read, torn-tail-truncated, and extended
+// with every newly completed instance.
+func RunShardOn(b Backend, spec Spec, shard, shards int, opt Options) (int, error) {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return 0, fmt.Errorf("sweep: shard %d/%d out of range", shard, shards)
+	}
+	return RunShardFileOn(b, spec, ShardName(shard, shards), shard, shards, opt)
+}
+
+// RunShardFileOn runs shard shard/shards of the sweep against the named
+// checkpoint instead of the canonical one — the hook speculative
+// re-execution rides on: a second attempt at a straggling shard computes
+// the same index set into its own staging checkpoint, so the primary's
+// writer is never shared. Resume semantics are per name: indices already
+// present in that checkpoint are skipped.
+func RunShardFileOn(b Backend, spec Spec, name string, shard, shards int, opt Options) (int, error) {
 	if err := spec.Validate(); err != nil {
 		return 0, err
 	}
@@ -282,24 +314,23 @@ func RunShard(spec Spec, dir string, shard, shards int, opt Options) (int, error
 	if shards < 1 || shard < 0 || shard >= shards {
 		return 0, fmt.Errorf("sweep: shard %d/%d out of range", shard, shards)
 	}
-	if err := WriteRunSpec(dir, spec); err != nil {
+	if err := b.PinSpec(spec); err != nil {
 		return 0, err
 	}
-	if err := checkLayout(dir, shards); err != nil {
+	if err := b.CheckLayout(shards); err != nil {
 		return 0, err
 	}
-	path := ShardPath(dir, shard, shards)
-	recs, validLen, err := ReadCheckpointFile(path)
+	recs, validLen, err := b.ReadShard(name)
 	if err != nil {
 		return 0, err
 	}
 	done := newDoneSet(spec.Count)
 	for _, rec := range recs {
 		if rec.Index >= spec.Count || ShardOf(rec.Index, shards) != shard {
-			return 0, fmt.Errorf("sweep: checkpoint %s holds foreign index %d", path, rec.Index)
+			return 0, fmt.Errorf("sweep: checkpoint %s holds foreign index %d", name, rec.Index)
 		}
 		if !done.add(rec.Index) {
-			return 0, fmt.Errorf("sweep: checkpoint %s duplicates index %d", path, rec.Index)
+			return 0, fmt.Errorf("sweep: checkpoint %s duplicates index %d", name, rec.Index)
 		}
 	}
 	var remaining []int
@@ -311,12 +342,12 @@ func RunShard(spec Spec, dir string, shard, shards int, opt Options) (int, error
 	if len(remaining) == 0 {
 		return 0, nil
 	}
-	w, err := openCheckpoint(path, validLen, resolveSyncEvery(opt.SyncEvery))
+	w, err := b.OpenShard(name, validLen, resolveSyncEvery(opt.SyncEvery))
 	if err != nil {
 		return 0, err
 	}
-	n, runErr := runIndices(sc, spec, remaining, opt.Workers, opt.StopAfter, w.append)
-	if cerr := w.close(); runErr == nil {
+	n, runErr := runIndices(sc, spec, remaining, opt.Workers, opt.StopAfter, opt.Interrupt, w.Append)
+	if cerr := w.Close(); runErr == nil {
 		runErr = cerr
 	}
 	return n, runErr
@@ -327,25 +358,30 @@ func RunShard(spec Spec, dir string, shard, shards int, opt Options) (int, error
 // killed, resumed, resharded-nowhere run merges bit-identically to
 // RunSerial or it errors.
 func Merge(spec Spec, dir string, shards int) (*table.Table, error) {
+	return MergeOn(NewDirBackend(dir), spec, shards)
+}
+
+// MergeOn is Merge over any checkpoint Backend.
+func MergeOn(b Backend, spec Spec, shards int) (*table.Table, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	pinned, err := LoadRunSpec(dir)
+	pinned, err := b.LoadSpec()
 	switch {
-	case os.IsNotExist(err):
+	case errors.Is(err, os.ErrNotExist):
 		// No pin (checkpoints assembled by hand); BuildTable's
 		// completeness check is the only guard left.
 	case err != nil:
-		return nil, fmt.Errorf("sweep: unreadable pinned spec in %s: %w", dir, err)
+		return nil, fmt.Errorf("sweep: unreadable pinned spec: %w", err)
 	case !pinned.Equal(spec):
-		return nil, fmt.Errorf("sweep: run dir %s holds a different sweep", dir)
+		return nil, fmt.Errorf("sweep: checkpoint store holds a different sweep")
 	}
-	if err := checkLayout(dir, shards); err != nil {
+	if err := b.CheckLayout(shards); err != nil {
 		return nil, err
 	}
 	var recs []Record
 	for shard := 0; shard < shards; shard++ {
-		rs, _, err := ReadCheckpointFile(ShardPath(dir, shard, shards))
+		rs, _, err := b.ReadShard(ShardName(shard, shards))
 		if err != nil {
 			return nil, err
 		}
